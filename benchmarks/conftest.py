@@ -1,0 +1,83 @@
+"""Shared fixtures for the benchmark harnesses.
+
+Every bench regenerates one table or figure from the paper (DESIGN.md
+§4). Training runs are expensive, so benches use ``benchmark.pedantic``
+with one round, and tasks share datasets through session-scoped caches.
+
+Scale note: models and datasets here are laptop-scale versions of the
+paper's setup (see DESIGN.md §2). Absolute numbers differ from the
+paper; the *shape* — who wins, by what factor, where the label-budget
+crossover falls — is what the assertions check.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.datasets import build_dataset, make_windows  # noqa: E402
+from repro.models import TrainConfig  # noqa: E402
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Bench-wide training recipe (small but real).
+BENCH_TRAIN = TrainConfig(epochs=8, lr=1e-3, batch_size=32, patience=3, seed=0)
+BENCH_KERNELS = (5, 7, 9, 15)
+BENCH_KERNELS_SMALL = (5, 9)
+BENCH_FILTERS = (8, 16, 16)
+BENCH_WINDOW = 128
+BENCH_STRIDE = 64
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def dataset_cache():
+    """profile name → built dataset (houses are expensive to simulate)."""
+    cache: dict[str, object] = {}
+
+    def get(profile: str, **kwargs):
+        key = profile + repr(sorted(kwargs.items()))
+        if key not in cache:
+            cache[key] = build_dataset(profile, seed=0, **kwargs)
+        return cache[key]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def task_cache(dataset_cache):
+    """(profile, appliance) → (train_windows, test_windows)."""
+    sizes = {
+        "ukdale": dict(n_houses=5, days_per_house=(6, 8)),
+        "refit": dict(n_houses=6, days_per_house=(5, 6)),
+        "ideal": dict(n_houses=8, days_per_house=(4, 5)),
+    }
+    cache: dict[tuple[str, str], tuple] = {}
+
+    def get(profile: str, appliance: str):
+        key = (profile, appliance)
+        if key not in cache:
+            dataset = dataset_cache(profile, **sizes[profile])
+            train_ds, test_ds = dataset.split_houses(
+                0.3, rng=np.random.default_rng(0), stratify_by=appliance
+            )
+            train = make_windows(
+                train_ds, appliance, BENCH_WINDOW, stride=BENCH_STRIDE
+            )
+            test = make_windows(
+                test_ds, appliance, BENCH_WINDOW, scaler=train.scaler
+            )
+            cache[key] = (train, test)
+        return cache[key]
+
+    return get

@@ -1,0 +1,83 @@
+"""ABL-CAM — ablation: the CAM-attention localization recipe.
+
+Compares the paper's exact step-5/6 recipe (sigmoid of CAM × input)
+against variants: thresholding the raw CAM directly (no input
+attention), flooring weak CAM regions, smoothing, and minimum-duration
+post-processing. This quantifies how much the attention mechanism — the
+distinctive part of CamAL — contributes.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core import CamAL, CamALConfig
+from repro.eval import format_table, localization_metrics
+from repro.nn import functional as F
+
+from conftest import BENCH_FILTERS, BENCH_KERNELS_SMALL, BENCH_TRAIN
+
+
+def cam_threshold_status(result, threshold=0.5):
+    """Variant: binarize the normalized CAM directly (no attention)."""
+    status = (result.cam >= threshold).astype(float)
+    status[~result.detected] = 0.0
+    return status
+
+
+def run_ablation(task_cache):
+    train, test = task_cache("ukdale", "dishwasher")
+    model = CamAL.train(
+        train,
+        kernel_sizes=BENCH_KERNELS_SMALL,
+        n_filters=BENCH_FILTERS,
+        train_config=BENCH_TRAIN,
+    )
+    rows = []
+
+    def score(name, status):
+        loc = localization_metrics(test.y_strong, status)
+        rows.append(
+            {
+                "variant": name,
+                "loc_f1": loc.f1,
+                "precision": loc.precision,
+                "recall": loc.recall,
+                "bacc": loc.balanced_accuracy,
+            }
+        )
+        return loc
+
+    base = model.localize(test.x)
+    score("paper recipe (CAM x input)", base.status)
+    score("raw CAM >= 0.5 (no attention)", cam_threshold_status(base))
+    for floor in (0.3, 0.5):
+        variant = CamAL(model.ensemble, model.scaler, CamALConfig(cam_floor=floor))
+        score(f"cam_floor={floor}", variant.predict_status(test.x))
+    smooth = CamAL(model.ensemble, model.scaler, CamALConfig(smooth_window=5))
+    score("smooth_window=5", smooth.predict_status(test.x))
+    duration = CamAL(
+        model.ensemble, model.scaler, CamALConfig(min_on_duration=5)
+    )
+    score("min_on_duration=5", duration.predict_status(test.x))
+    return rows
+
+
+def test_cam_ablation(benchmark, task_cache, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_ablation(task_cache), rounds=1, iterations=1
+    )
+    print("\nABL-CAM — localization recipe ablation (ukdale / dishwasher)")
+    print(format_table(rows))
+    with open(results_dir / "ablation_cam.json", "w") as handle:
+        json.dump(rows, handle, indent=2)
+    by_name = {row["variant"]: row for row in rows}
+    paper = by_name["paper recipe (CAM x input)"]
+    # The paper recipe must meaningfully localize ...
+    assert paper["loc_f1"] > 0.2
+    # ... and the input-attention step must beat raw-CAM thresholding on
+    # F1: the CAM alone has high precision on the discriminative core of
+    # an activation but misses most of its extent (low recall), while
+    # multiplying by the input recovers the full above-average-power span.
+    raw = by_name["raw CAM >= 0.5 (no attention)"]
+    assert paper["loc_f1"] >= raw["loc_f1"] - 0.05

@@ -1,0 +1,70 @@
+"""FIG3 — localization accuracy vs number of training labels.
+
+The paper's Figure 3 (dishwasher, IDEAL dataset): CamAL's curve is
+near-flat in the label budget, sits well above the weakly supervised
+baseline, and the strongly supervised NILM models only approach it with
+orders of magnitude more labels. This bench sweeps the same axes and
+prints the series the figure plots.
+"""
+
+import numpy as np
+
+from repro.eval import LabelEfficiencySweep, format_efficiency, save_json
+
+from conftest import (
+    BENCH_FILTERS,
+    BENCH_KERNELS_SMALL,
+    BENCH_TRAIN,
+)
+
+
+def run_sweep(task_cache):
+    train, test = task_cache("ideal", "dishwasher")
+    budgets = [32, 320, 3200, 32000, len(train) * train.window_length]
+    sweep = LabelEfficiencySweep(
+        train,
+        test,
+        budgets=budgets,
+        methods=["mil", "seq2seq_cnn", "unet", "bigru"],
+        train_config=BENCH_TRAIN,
+        camal_kernel_sizes=BENCH_KERNELS_SMALL,
+        camal_filters=BENCH_FILTERS,
+        seed=0,
+        dataset_name="ideal",
+    )
+    return sweep.run()
+
+
+def test_fig3_label_efficiency(benchmark, task_cache, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_sweep(task_cache), rounds=1, iterations=1
+    )
+    print("\nFIG3 — " + format_efficiency(result))
+    save_json(result, results_dir / "fig3_label_efficiency.json")
+
+    camal = result.get("camal")
+    # Shape 1: CamAL beats the other weakly supervised baseline overall
+    # (paper: 2.2x better F1).
+    gap = result.weak_gap("mil")
+    print(f"CamAL / MIL best-F1 ratio: "
+          f"{gap:.1f}x (paper: 2.2x)" if gap else "MIL F1 is zero")
+    assert gap is None or gap > 1.3
+
+    # Shape 2: CamAL is near-flat in labels — within 1% of the maximum
+    # strong-supervision budget it already reaches most of its best F1.
+    best = camal.best_f1
+    assert best > 0.0
+    max_budget = max(point.labels for curve in result.curves.values()
+                     for point in curve.points)
+    assert camal.f1_at_or_below(max(max_budget // 100, 32)) >= 0.5 * best
+
+    # Shape 3: strong methods need orders of magnitude more labels to
+    # match CamAL (paper: 5200x). Require >= 25x for at least one strong
+    # baseline, or that they never catch up at all.
+    ratios = []
+    for name in ("seq2seq_cnn", "unet", "bigru"):
+        ratio = result.crossover_ratio(name)
+        ratios.append(ratio)
+        label = "never catches up" if ratio is None else f"{ratio:.0f}x"
+        print(f"{name}: needs {label} labels vs CamAL")
+    assert all(r is None or r >= 25 for r in ratios)

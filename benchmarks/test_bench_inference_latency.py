@@ -1,0 +1,44 @@
+"""PERF — interactive-latency requirement of the demo system.
+
+DeviceScope is an interactive GUI: selecting an appliance must return a
+localization for the current window quickly. This bench measures true
+CamAL inference latency (detection + CAM + attention) for the three GUI
+window lengths with pytest-benchmark's real timing loop (these runs are
+cheap, unlike the training benches).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+
+from conftest import BENCH_FILTERS
+
+
+@pytest.fixture(scope="module")
+def model():
+    ensemble = ResNetEnsemble((5, 7, 9, 15), n_filters=BENCH_FILTERS, seed=0)
+    ensemble.eval()
+    return CamAL(ensemble, Standardizer(mean=300.0, std=400.0))
+
+
+@pytest.mark.parametrize(
+    "label,samples", [("6h", 360), ("12h", 720), ("1day", 1440)]
+)
+def test_window_localization_latency(benchmark, model, label, samples):
+    rng = np.random.default_rng(0)
+    watts = rng.uniform(0, 3000, size=(1, samples))
+    result = benchmark(lambda: model.localize_watts(watts))
+    assert result.status.shape == (1, samples)
+    # Interactivity: well under a second per window on a laptop.
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_batch_of_windows_latency(benchmark, model):
+    """The Playground's per-device view localizes a batch at once."""
+    rng = np.random.default_rng(1)
+    watts = rng.uniform(0, 3000, size=(16, 360))
+    result = benchmark(lambda: model.localize_watts(watts))
+    assert result.status.shape == (16, 360)

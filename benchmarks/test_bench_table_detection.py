@@ -1,0 +1,51 @@
+"""TAB-DET — the benchmark frame's detection tables (B.1).
+
+Reproduces the detection half of the benchmark browser: CamAL and the
+six baselines on the UK-DALE-like profile across all five appliances the
+paper targets. Prints one table per appliance with the five measures the
+GUI offers and persists them for the app's benchmark frame.
+"""
+
+from repro.app import BenchmarkBrowser
+from repro.eval import BenchmarkRunner, format_benchmark
+
+from conftest import BENCH_FILTERS, BENCH_KERNELS_SMALL, BENCH_TRAIN
+
+APPLIANCES = ("kettle", "microwave", "dishwasher", "washing_machine", "shower")
+METHODS = ["seq2seq_cnn", "seq2point", "dae", "unet", "bigru", "mil"]
+
+
+def run_tables(task_cache):
+    tables = {}
+    for appliance in APPLIANCES:
+        train, test = task_cache("ukdale", appliance)
+        runner = BenchmarkRunner(
+            train,
+            test,
+            train_config=BENCH_TRAIN,
+            camal_kernel_sizes=BENCH_KERNELS_SMALL,
+            camal_filters=BENCH_FILTERS,
+            dataset_name="ukdale",
+        )
+        tables[appliance] = runner.run_all(METHODS)
+    return tables
+
+
+def test_detection_tables(benchmark, task_cache, results_dir):
+    tables = benchmark.pedantic(
+        lambda: run_tables(task_cache), rounds=1, iterations=1
+    )
+    browser = BenchmarkBrowser()
+    for appliance, result in tables.items():
+        print("\n" + format_benchmark(result, "detection"))
+        browser.add(result)
+    browser.save_dir(results_dir / "tables")
+    for appliance, result in tables.items():
+        camal = result.get("camal")
+        mil = result.get("mil")
+        # CamAL's detector must be far better than chance on every
+        # appliance, and at least as good as the weak baseline.
+        assert camal.detection.balanced_accuracy > 0.65, appliance
+        assert (
+            camal.detection.f1 >= mil.detection.f1 - 0.05
+        ), appliance

@@ -1,0 +1,70 @@
+"""TAB-LABELS — the B.2 frame: labels required for training per method.
+
+Pure label accounting (no training): for the benchmark tasks' window
+grids, how many annotations does each supervision regime consume? This
+is the bookkeeping behind the paper's "5200× more labels" claim — the
+ratio between regimes is exactly the window length in samples, so at the
+paper's 1-min frequency a 1-day window costs a seq2seq model 1440 labels
+where CamAL needs 1.
+"""
+
+from repro.datasets import WINDOW_LENGTHS, count_strong_labels, count_weak_labels
+from repro.eval import format_table
+from repro.models import BASELINES
+
+from conftest import BENCH_WINDOW
+
+
+def run_accounting(task_cache):
+    rows = []
+    train, _ = task_cache("ideal", "dishwasher")
+    n = len(train)
+    rows.append(
+        {
+            "method": "CamAL",
+            "supervision": "weak",
+            "labels": count_weak_labels(n),
+            "per_window": 1,
+        }
+    )
+    for spec in BASELINES.values():
+        if spec.supervision == "weak":
+            labels = count_weak_labels(n)
+            per_window = 1
+        else:
+            labels = count_strong_labels(n, BENCH_WINDOW)
+            per_window = BENCH_WINDOW
+        rows.append(
+            {
+                "method": spec.display_name,
+                "supervision": spec.supervision,
+                "labels": labels,
+                "per_window": per_window,
+            }
+        )
+    return n, rows
+
+
+def test_label_accounting(benchmark, task_cache):
+    n, rows = benchmark.pedantic(
+        lambda: run_accounting(task_cache), rounds=1, iterations=1
+    )
+    print(f"\nTAB-LABELS — {n} training windows of {BENCH_WINDOW} samples")
+    print(format_table(rows))
+    weak = [r for r in rows if r["supervision"] == "weak"]
+    strong = [r for r in rows if r["supervision"] == "strong"]
+    assert len(strong) == 5
+    assert len(weak) == 2  # CamAL + MIL
+    for row in strong:
+        assert row["labels"] == weak[0]["labels"] * BENCH_WINDOW
+
+
+def test_paper_scale_ratio():
+    """At the paper's scale (1-min sampling, 1-day windows) the per-
+    window label ratio is 1440×; over a multi-house training corpus the
+    cumulative gap reaches the thousands the paper reports."""
+    day = WINDOW_LENGTHS["1day"]
+    n_windows = 100
+    ratio = count_strong_labels(n_windows, day) / count_weak_labels(n_windows)
+    print(f"\nper-window strong/weak label ratio at 1-day windows: {ratio:.0f}x")
+    assert ratio == day == 1440

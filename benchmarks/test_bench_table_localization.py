@@ -1,0 +1,54 @@
+"""TAB-LOC — the benchmark frame's localization tables (B.1).
+
+Reproduces the localization half of the benchmark browser across all
+three dataset profiles (UK-DALE / REFIT / IDEAL) on the paper's Fig. 3
+appliance, the dishwasher. Expected shape: strongly supervised seq2seq
+models lead when given their full label budget; CamAL, trained on a
+tiny fraction of the labels, stays competitive and beats the weak
+baseline decisively.
+"""
+
+from repro.app import BenchmarkBrowser
+from repro.eval import BenchmarkRunner, format_benchmark
+
+from conftest import BENCH_FILTERS, BENCH_KERNELS_SMALL, BENCH_TRAIN
+
+PROFILES = ("ukdale", "refit", "ideal")
+METHODS = ["seq2seq_cnn", "seq2point", "dae", "unet", "bigru", "mil"]
+
+
+def run_tables(task_cache):
+    tables = {}
+    for profile in PROFILES:
+        train, test = task_cache(profile, "dishwasher")
+        runner = BenchmarkRunner(
+            train,
+            test,
+            train_config=BENCH_TRAIN,
+            camal_kernel_sizes=BENCH_KERNELS_SMALL,
+            camal_filters=BENCH_FILTERS,
+            dataset_name=profile,
+        )
+        tables[profile] = runner.run_all(METHODS)
+    return tables
+
+
+def test_localization_tables(benchmark, task_cache, results_dir):
+    tables = benchmark.pedantic(
+        lambda: run_tables(task_cache), rounds=1, iterations=1
+    )
+    browser = BenchmarkBrowser()
+    for profile, result in tables.items():
+        print("\n" + format_benchmark(result, "localization"))
+        browser.add(result)
+    browser.save_dir(results_dir / "tables_localization")
+    wins = 0
+    for profile, result in tables.items():
+        camal = result.get("camal")
+        mil = result.get("mil")
+        if camal.localization.f1 > mil.localization.f1:
+            wins += 1
+        # CamAL must localize far better than chance everywhere.
+        assert camal.localization.balanced_accuracy > 0.6, profile
+    # ... and beat the weak baseline on at least 2 of 3 profiles.
+    assert wins >= 2

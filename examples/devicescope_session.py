@@ -1,0 +1,119 @@
+"""The three demonstration scenarios of the paper (§IV), end to end.
+
+Scenario 1 — a blind guess: browse raw aggregate windows.
+Scenario 2 — a second guess with appliance patterns: show an example
+pattern, display CamAL's localization, compare with the per-device
+ground truth.
+Scenario 3 — compare CamAL's performance: run a small benchmark, browse
+the tables and the label-requirement comparison.
+
+Run:  python examples/devicescope_session.py
+"""
+
+import numpy as np
+
+from repro.app import DeviceScope, ascii_series
+from repro.datasets import make_windows
+from repro.eval import BenchmarkRunner, LabelEfficiencySweep, format_table
+from repro.models import TrainConfig
+
+
+def scenario_1(session: DeviceScope) -> None:
+    print("=" * 70)
+    print("Scenario 1 — a blind guess (raw aggregate, no help)")
+    print("=" * 70)
+    playground = session.playground
+    for _ in range(3):
+        view = playground.view([])
+        print(f"window {view.position + 1}/{view.n_windows}  "
+              + ascii_series(view.watts, 60))
+        if not view.has_next:
+            break
+        playground.next()
+    print("Which appliances ran? Hard to say from the aggregate alone.\n")
+
+
+def scenario_2(session: DeviceScope, appliance: str) -> None:
+    print("=" * 70)
+    print("Scenario 2 — a second guess, with appliance patterns")
+    print("=" * 70)
+    playground = session.playground
+    pattern = playground.example_pattern(appliance)
+    print(f"example {appliance} pattern:  " + ascii_series(pattern, 30)
+          + f"  (peak {pattern.max():.0f} W)")
+    playground.jump(0)
+    playground.state.selected_appliances = [appliance]
+    for _ in range(playground.n_windows):
+        view = playground.view()
+        pred = view.predictions[appliance]
+        if pred.detected:
+            print(f"\nwindow {view.position + 1}: CamAL detects the "
+                  f"{appliance} (p={pred.probability:.2f})")
+            print("aggregate  " + ascii_series(view.watts, 60))
+            print("predicted  " + ascii_series(pred.status, 60))
+            if pred.ground_truth_status is not None:
+                print("per-device " + ascii_series(pred.ground_truth_status, 60))
+            break
+        if not view.has_next:
+            print("no detection in this house's windows")
+            break
+        playground.next()
+    print()
+
+
+def scenario_3(session: DeviceScope, appliance: str) -> None:
+    print("=" * 70)
+    print("Scenario 3 — compare CamAL with the NILM baselines")
+    print("=" * 70)
+    config = TrainConfig(epochs=6, seed=0)
+    train = make_windows(session.train_dataset, appliance, 128, stride=64)
+    test = make_windows(
+        session.browse_dataset, appliance, 128, scaler=train.scaler
+    )
+    runner = BenchmarkRunner(
+        train, test, train_config=config,
+        camal_kernel_sizes=(5, 9), camal_filters=(8, 16, 16),
+        dataset_name=session.dataset_name,
+    )
+    session.benchmarks.add(runner.run_all(["mil", "seq2seq_cnn"]))
+    sweep = LabelEfficiencySweep(
+        train, test, budgets=[32, len(train) * 128], methods=["mil"],
+        train_config=config, camal_kernel_sizes=(5, 9),
+        camal_filters=(8, 16, 16), dataset_name=session.dataset_name,
+    )
+    session.benchmarks.add_efficiency(sweep.run())
+
+    browser = session.benchmarks
+    for kind in ("detection", "localization"):
+        print(f"\n{kind} (sorted by F1):")
+        print(format_table(
+            browser.table(session.dataset_name, appliance, kind),
+            ["method", "supervision", "labels", "f1", "balanced_accuracy"],
+        ))
+    print("\nlabels required (B.2):")
+    print(format_table(
+        browser.label_comparison(session.dataset_name, appliance)
+    ))
+
+
+def main() -> None:
+    appliance = "kettle"
+    print("Bootstrapping a DeviceScope session (training CamAL) ...\n")
+    session = DeviceScope.bootstrap(
+        profile="ukdale",
+        appliances=(appliance,),
+        window=128,
+        seed=0,
+        n_houses=4,
+        days_per_house=(4, 5),
+        kernel_sizes=(5, 9),
+        n_filters=(8, 16, 16),
+        train_config=TrainConfig(epochs=8, seed=0),
+    )
+    scenario_1(session)
+    scenario_2(session, appliance)
+    scenario_3(session, appliance)
+
+
+if __name__ == "__main__":
+    main()

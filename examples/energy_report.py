@@ -1,0 +1,81 @@
+"""Energy accounting: which appliances drive the bill?
+
+The paper's conclusion motivates DeviceScope with helping "customers
+save significantly by identifying over-consuming devices". This example
+trains CamAL per appliance, localizes a held-out house's full recording,
+converts each localization into an energy estimate, and prints a ranked
+energy report with the ground-truth comparison.
+
+Run:  python examples/energy_report.py
+"""
+
+import numpy as np
+
+from repro.core import CamAL, SlidingWindowLocalizer, recommended_config
+from repro.datasets import build_dataset, make_windows
+from repro.eval import estimate_energy, format_table, usage_profile
+from repro.models import TrainConfig
+
+APPLIANCES = ("kettle", "dishwasher", "washing_machine", "shower")
+WINDOW = 128
+
+
+def main() -> None:
+    dataset = build_dataset("ukdale", seed=0, n_houses=5, days_per_house=(6, 7))
+    rows = []
+    house_used = None
+    for appliance in APPLIANCES:
+        train_houses, test_houses = dataset.split_houses(
+            0.3, rng=np.random.default_rng(0), stratify_by=appliance
+        )
+        owner = next(
+            (h for h in test_houses.houses if h.possession.get(appliance)),
+            test_houses.houses[0],
+        )
+        house_used = owner
+        train = make_windows(train_houses, appliance, WINDOW, stride=64)
+        model = CamAL.train(
+            train,
+            kernel_sizes=(5, 9),
+            n_filters=(8, 16, 16),
+            train_config=TrainConfig(epochs=8, seed=0),
+            config=recommended_config(appliance),
+        )
+        located = SlidingWindowLocalizer(model, WINDOW).localize_house(
+            owner, appliance
+        )
+        estimate = estimate_energy(
+            appliance,
+            located.status,
+            owner.aggregate,
+            step_s=dataset.step_s,
+            submeter_w=owner.submeters[appliance],
+        )
+        profile = usage_profile(
+            appliance, located.status, power_w=owner.aggregate,
+            step_s=dataset.step_s, merge_gap=15,
+        )
+        print("  " + profile.describe())
+        rows.append(
+            {
+                "appliance": appliance,
+                "house": owner.house_id,
+                "estimated_kwh": estimate.estimated_kwh,
+                "true_kwh": estimate.true_kwh,
+                "abs_error_kwh": estimate.absolute_error_kwh,
+            }
+        )
+    rows.sort(key=lambda row: row["estimated_kwh"], reverse=True)
+    days = house_used.duration_days if house_used else 0
+    print(f"\nEnergy report over ~{days:.0f} days (per held-out house):")
+    print(format_table(rows))
+    top = rows[0]
+    print(
+        f"\nBiggest estimated consumer: {top['appliance']} "
+        f"({top['estimated_kwh']:.1f} kWh estimated, "
+        f"{top['true_kwh']:.1f} kWh metered)"
+    )
+
+
+if __name__ == "__main__":
+    main()

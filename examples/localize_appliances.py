@@ -1,0 +1,93 @@
+"""Figure-1 scenario: localize several appliances in one day of data.
+
+Trains one CamAL model per appliance, then walks a full day of a
+held-out house with the sliding-window localizer and renders an HTML
+report showing the aggregate signal with each appliance's predicted and
+true activations — the picture the paper opens with.
+
+Run:  python examples/localize_appliances.py [output.html]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.app import ascii_series, svg_series, write_report
+from repro.core import CamAL, SlidingWindowLocalizer
+from repro.datasets import (
+    APPLIANCES as APPLIANCE_SPECS,
+    HouseholdSimulator,
+    build_dataset,
+    make_windows,
+    strong_labels,
+)
+from repro.eval import compute_metrics
+from repro.models import TrainConfig
+
+APPLIANCES = ("kettle", "dishwasher", "washing_machine")
+WINDOW = 128
+DAY = 1440  # samples per day at 1-min
+
+
+def demo_house(seed: int = 123):
+    """A held-out household owning every target appliance (clean meter)."""
+    simulator = HouseholdSimulator(
+        house_id="demo_house",
+        appliance_specs=APPLIANCE_SPECS,
+        step_s=60.0,
+        missing_rate=0.0,
+        owned={name: True for name in APPLIANCE_SPECS},
+    )
+    return simulator.simulate(3, np.random.default_rng(seed))
+
+
+def main(out_path: str = "fig1_localization.html") -> None:
+    dataset = build_dataset("ukdale", seed=0, n_houses=5, days_per_house=(5, 6))
+    house = demo_house()
+    print(f"Localizing {', '.join(APPLIANCES)} in a held-out demo house")
+
+    sections = []
+    day = slice(0, DAY)
+    sections.append(
+        "<h2>Aggregate consumption — one day</h2>"
+        + svg_series(house.aggregate[day], color="#333")
+    )
+    print("aggregate      " + ascii_series(house.aggregate[day]))
+
+    for appliance in APPLIANCES:
+        train_houses, _ = dataset.split_houses(
+            0.25, rng=np.random.default_rng(0), stratify_by=appliance
+        )
+        train = make_windows(train_houses, appliance, WINDOW, stride=64)
+        model = CamAL.train(
+            train,
+            kernel_sizes=(5, 9),
+            n_filters=(8, 16, 16),
+            train_config=TrainConfig(epochs=8, seed=0),
+        )
+        localizer = SlidingWindowLocalizer(model, WINDOW)
+        located = localizer.localize_house(house, appliance)
+        truth = strong_labels(house.submeters[appliance], appliance)
+        covered = ~np.isnan(located.probability)
+        scores = compute_metrics(truth[covered], located.status[covered])
+        print(
+            f"{appliance:<15}" + ascii_series(located.status[day])
+            + f"  loc-F1 {scores.f1:.3f}"
+        )
+        sections.append(
+            f"<h2>{appliance}</h2>"
+            f"<p>localization F1 on this house: {scores.f1:.3f}</p>"
+            "<h4>predicted activations</h4>"
+            + svg_series(located.status[day], height=40, color="#d62728",
+                         fill=True)
+            + "<h4>true activations (submeter)</h4>"
+            + svg_series(truth[day], height=40, color="#2ca02c", fill=True)
+        )
+
+    path = write_report(out_path, "DeviceScope — Figure 1 reproduction",
+                        sections)
+    print(f"report written to {path}")
+
+
+if __name__ == "__main__":
+    main(*(sys.argv[1:2] or []))

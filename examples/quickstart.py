@@ -1,0 +1,62 @@
+"""Quickstart: detect and localize a kettle with weak labels only.
+
+Builds a synthetic UK-DALE-like dataset, trains CamAL using one binary
+label per window ("did the kettle run in this window?"), and evaluates
+detection and localization on houses never seen in training.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.app import ascii_series
+from repro.core import CamAL
+from repro.datasets import build_dataset, make_windows
+from repro.eval import detection_metrics, localization_metrics
+from repro.models import TrainConfig
+
+
+def main() -> None:
+    print("1. Building a synthetic UK-DALE-like dataset ...")
+    dataset = build_dataset("ukdale", seed=0, n_houses=4, days_per_house=(5, 6))
+    train_houses, test_houses = dataset.split_houses(
+        0.25, rng=np.random.default_rng(0)
+    )
+    print(f"   train houses: {train_houses.house_ids}")
+    print(f"   test houses:  {test_houses.house_ids}")
+
+    print("2. Extracting windows (weak label = kettle ran in the window) ...")
+    train = make_windows(train_houses, "kettle", 128, stride=64)
+    test = make_windows(test_houses, "kettle", 128, scaler=train.scaler)
+    print(f"   {len(train)} training windows, "
+          f"{train.positive_fraction:.0%} positive")
+
+    print("3. Training CamAL (ResNet ensemble, weak labels only) ...")
+    model = CamAL.train(
+        train,
+        kernel_sizes=(5, 9),
+        n_filters=(8, 16, 16),
+        train_config=TrainConfig(epochs=8, seed=0),
+    )
+
+    print("4. Evaluating on unseen houses ...")
+    result = model.localize(test.x)
+    det = detection_metrics(test.y_weak, result.probabilities)
+    loc = localization_metrics(test.y_strong, result.status)
+    print(f"   detection    — F1 {det.f1:.3f}, "
+          f"balanced accuracy {det.balanced_accuracy:.3f}")
+    print(f"   localization — F1 {loc.f1:.3f}, recall {loc.recall:.3f} "
+          f"(trained with {len(train)} weak labels; a seq2seq NILM model "
+          f"would need {len(train) * train.window_length})")
+
+    print("5. One detected window, localized:")
+    detected = np.flatnonzero(result.detected & (test.y_weak > 0.5))
+    if len(detected):
+        i = int(detected[0])
+        print("   aggregate   " + ascii_series(test.x_watts[i]))
+        print("   CamAL says  " + ascii_series(result.status[i]))
+        print("   truth       " + ascii_series(test.y_strong[i]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of DeviceScope / CamAL (Petralia et al., ICDE 2025).
+
+Weakly supervised appliance detection and localization in aggregate smart
+meter electricity consumption series.
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch numpy deep-learning framework (substrate).
+``repro.datasets``
+    Synthetic smart-meter data generator emulating UK-DALE / REFIT / IDEAL.
+``repro.models``
+    TSC ResNet ensemble and the six NILM baselines.
+``repro.core``
+    CamAL — the paper's contribution: CAM-based appliance localization.
+``repro.eval``
+    Metrics, benchmark runner, and the label-efficiency sweep (Fig. 3).
+``repro.app``
+    The DeviceScope application layer (playground + benchmark frames,
+    HTML rendering, CLI).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,39 @@
+"""The DeviceScope application layer (paper §III-IV).
+
+Headless implementation of the demo system's two frames — the
+Playground (window browsing, per-device view, detection probabilities)
+and the Benchmark browser — plus ASCII/HTML rendering and a CLI.
+"""
+
+from .benchmark_frame import BenchmarkBrowser
+from .guessing import GuessGame, GuessOutcome
+from .playground import AppliancePrediction, Playground, WindowView
+from .render import (
+    ascii_series,
+    benchmark_sections,
+    render_report,
+    render_table,
+    render_window_view,
+    svg_series,
+    write_report,
+)
+from .session import DeviceScope
+from .state import SessionState
+
+__all__ = [
+    "SessionState",
+    "Playground",
+    "WindowView",
+    "AppliancePrediction",
+    "BenchmarkBrowser",
+    "GuessGame",
+    "GuessOutcome",
+    "DeviceScope",
+    "ascii_series",
+    "svg_series",
+    "render_table",
+    "render_window_view",
+    "render_report",
+    "write_report",
+    "benchmark_sections",
+]

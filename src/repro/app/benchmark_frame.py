@@ -1,0 +1,144 @@
+"""The Benchmark frame (paper §III, Figure 5 B).
+
+B.1 — browse detection/localization results per dataset × appliance ×
+metric; B.2 — compare CamAL with the NILM baselines on the number of
+labels their training required. Results are held in memory and can be
+persisted to / reloaded from a JSON directory, so the app can browse
+precomputed benchmarks without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..eval import (
+    BenchmarkResult,
+    LabelEfficiencyResult,
+    METRIC_NAMES,
+)
+
+__all__ = ["BenchmarkBrowser"]
+
+
+class BenchmarkBrowser:
+    """Stores and queries benchmark + label-efficiency results."""
+
+    def __init__(self) -> None:
+        self._benchmarks: dict[tuple[str, str], BenchmarkResult] = {}
+        self._efficiency: dict[tuple[str, str], LabelEfficiencyResult] = {}
+
+    # -- ingestion -----------------------------------------------------------
+
+    def add(self, result: BenchmarkResult) -> None:
+        self._benchmarks[(result.dataset, result.appliance)] = result
+
+    def add_efficiency(self, result: LabelEfficiencyResult) -> None:
+        self._efficiency[(result.dataset, result.appliance)] = result
+
+    # -- discovery --------------------------------------------------------
+
+    @property
+    def datasets(self) -> list[str]:
+        return sorted({key[0] for key in self._benchmarks})
+
+    def appliances(self, dataset: str) -> list[str]:
+        found = sorted(
+            appliance
+            for (ds, appliance) in self._benchmarks
+            if ds == dataset
+        )
+        if not found:
+            raise KeyError(
+                f"no benchmark results for dataset {dataset!r}; "
+                f"available: {', '.join(self.datasets) or '(none)'}"
+            )
+        return found
+
+    def get(self, dataset: str, appliance: str) -> BenchmarkResult:
+        try:
+            return self._benchmarks[(dataset, appliance)]
+        except KeyError:
+            raise KeyError(
+                f"no benchmark for ({dataset!r}, {appliance!r})"
+            ) from None
+
+    def get_efficiency(self, dataset: str, appliance: str) -> LabelEfficiencyResult:
+        try:
+            return self._efficiency[(dataset, appliance)]
+        except KeyError:
+            raise KeyError(
+                f"no label-efficiency result for ({dataset!r}, {appliance!r})"
+            ) from None
+
+    # -- B.1: metric tables -----------------------------------------------
+
+    def table(
+        self,
+        dataset: str,
+        appliance: str,
+        kind: str = "detection",
+        sort_by: str = "f1",
+    ) -> list[dict]:
+        """Rows sorted by the chosen measure, best first."""
+        if sort_by not in METRIC_NAMES:
+            raise KeyError(
+                f"unknown measure {sort_by!r}; available: "
+                f"{', '.join(METRIC_NAMES)}"
+            )
+        rows = self.get(dataset, appliance).to_rows(kind)
+        return sorted(rows, key=lambda row: row[sort_by], reverse=True)
+
+    # -- B.2: label-requirement comparison --------------------------------
+
+    def label_comparison(self, dataset: str, appliance: str) -> list[dict]:
+        """One row per method: labels needed and best localization F1."""
+        result = self.get_efficiency(dataset, appliance)
+        rows = []
+        for curve in result.curves.values():
+            if not curve.points:
+                continue
+            best = max(curve.points, key=lambda p: p.f1)
+            rows.append(
+                {
+                    "method": curve.display_name,
+                    "supervision": curve.supervision,
+                    "best_f1": best.f1,
+                    "labels_at_best": best.labels,
+                    "min_labels": min(p.labels for p in curve.points),
+                }
+            )
+        return sorted(rows, key=lambda row: row["best_f1"], reverse=True)
+
+    # -- persistence ------------------------------------------------------
+
+    def save_dir(self, directory: str | os.PathLike) -> None:
+        """Write every stored result as one JSON file per task."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for (ds, appliance), result in self._benchmarks.items():
+            path = directory / f"benchmark_{ds}_{appliance}.json"
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+        for (ds, appliance), result in self._efficiency.items():
+            path = directory / f"efficiency_{ds}_{appliance}.json"
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+
+    @classmethod
+    def load_dir(cls, directory: str | os.PathLike) -> "BenchmarkBrowser":
+        """Rebuild a browser from :meth:`save_dir` output."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise FileNotFoundError(f"no such results directory: {directory}")
+        browser = cls()
+        for path in sorted(directory.glob("benchmark_*.json")):
+            with open(path, encoding="utf-8") as handle:
+                browser.add(BenchmarkResult.from_dict(json.load(handle)))
+        for path in sorted(directory.glob("efficiency_*.json")):
+            with open(path, encoding="utf-8") as handle:
+                browser.add_efficiency(
+                    LabelEfficiencyResult.from_dict(json.load(handle))
+                )
+        return browser

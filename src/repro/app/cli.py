@@ -1,0 +1,324 @@
+"""DeviceScope command-line interface.
+
+Three subcommands mirroring the demo scenarios (§IV):
+
+* ``devicescope browse`` — Scenario 1/2: build a session, page through
+  windows in the terminal with sparklines and predicted statuses.
+* ``devicescope demo`` — train CamAL and write a standalone HTML report
+  of the Playground frame.
+* ``devicescope benchmark`` — Scenario 3: run the method comparison and
+  print the detection/localization tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from ..datasets import APPLIANCE_NAMES, PROFILES, make_windows
+from ..eval import BenchmarkRunner, format_benchmark
+from ..models import TrainConfig, list_baselines
+from .render import (
+    ascii_series,
+    benchmark_sections,
+    render_window_view,
+    write_report,
+)
+from .session import DeviceScope
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The devicescope argument parser (also used by the tests)."""
+    parser = argparse.ArgumentParser(
+        prog="devicescope",
+        description=(
+            "DeviceScope: detect and localize appliance patterns in "
+            "electricity consumption series (ICDE 2025 reproduction)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument(
+            "--profile", default="ukdale", choices=sorted(PROFILES)
+        )
+        p.add_argument(
+            "--appliance", default="kettle", choices=sorted(APPLIANCE_NAMES)
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--fast",
+            action="store_true",
+            help="tiny dataset and models (seconds instead of minutes)",
+        )
+
+    browse = sub.add_parser("browse", help="page through windows in the terminal")
+    common(browse)
+    browse.add_argument("--window", default="6h", choices=["6h", "12h", "1day"])
+    browse.add_argument("--pages", type=int, default=3)
+
+    demo = sub.add_parser("demo", help="train CamAL and write an HTML report")
+    common(demo)
+    demo.add_argument("--window", default="6h", choices=["6h", "12h", "1day"])
+    demo.add_argument("--out", default="devicescope_report.html")
+    demo.add_argument("--pages", type=int, default=3)
+
+    bench = sub.add_parser("benchmark", help="compare CamAL against baselines")
+    common(bench)
+    bench.add_argument(
+        "--methods",
+        nargs="*",
+        default=["mil", "seq2seq_cnn"],
+        choices=list_baselines(include_extras=True),
+    )
+    bench.add_argument(
+        "--save", default=None, metavar="DIR",
+        help="persist results as JSON for 'devicescope report'",
+    )
+
+    report = sub.add_parser(
+        "report", help="render saved benchmark results as an HTML report"
+    )
+    report.add_argument("results_dir", help="directory written by --save")
+    report.add_argument("--out", default="benchmark_report.html")
+
+    upload = sub.add_parser(
+        "upload", help="browse an uploaded CSV consumption series"
+    )
+    upload.add_argument("csv", help="CSV with an 'aggregate' column")
+    upload.add_argument("--pages", type=int, default=3)
+
+    energy = sub.add_parser(
+        "energy", help="per-appliance energy report for a held-out house"
+    )
+    common(energy)
+    return parser
+
+
+def _session(args, window: str) -> DeviceScope:
+    if args.fast:
+        return DeviceScope.bootstrap(
+            profile=args.profile,
+            appliances=(args.appliance,),
+            window=128,
+            seed=args.seed,
+            n_houses=3,
+            days_per_house=(3, 4),
+            kernel_sizes=(5, 9),
+            n_filters=(8, 16, 16),
+            train_config=TrainConfig(epochs=5, seed=args.seed),
+        )
+    return DeviceScope.bootstrap(
+        profile=args.profile,
+        appliances=(args.appliance,),
+        window=window,
+        seed=args.seed,
+    )
+
+
+def cmd_browse(args) -> int:
+    """Scenario 1/2: page through windows with terminal sparklines."""
+    session = _session(args, args.window)
+    playground = session.playground
+    if not args.fast:
+        playground.select_window(args.window)
+    playground.state.selected_appliances = [args.appliance]
+    print(
+        f"Dataset {session.dataset_name}: browsing house "
+        f"{playground.state.house_id} ({playground.n_windows} windows)"
+    )
+    for _ in range(max(args.pages, 1)):
+        view = playground.view()
+        print(f"\n— window {view.position + 1}/{view.n_windows} —")
+        print("aggregate  " + ascii_series(view.watts))
+        for name, pred in view.predictions.items():
+            marker = "DETECTED" if pred.detected else "not detected"
+            prob = (
+                f"p={pred.probability:.2f}"
+                if np.isfinite(pred.probability)
+                else "missing data"
+            )
+            print(f"{name:<11}" + ascii_series(pred.status) + f"  {marker} ({prob})")
+        if not view.has_next:
+            break
+        playground.next()
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """Train CamAL and write a standalone HTML Playground report."""
+    session = _session(args, args.window)
+    playground = session.playground
+    if not args.fast:
+        playground.select_window(args.window)
+    playground.state.selected_appliances = [args.appliance]
+    sections = []
+    for _ in range(max(args.pages, 1)):
+        sections.append(render_window_view(playground.view()))
+        if not playground.view().has_next:
+            break
+        playground.next()
+    path = write_report(
+        args.out, f"DeviceScope — {session.dataset_name} / {args.appliance}",
+        sections,
+    )
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_benchmark(args) -> int:
+    """Scenario 3: train and compare CamAL with the baselines."""
+    from ..datasets import build_dataset
+
+    if args.fast:
+        dataset = build_dataset(
+            args.profile, seed=args.seed, n_houses=3, days_per_house=(3, 4)
+        )
+        window, stride = 128, 64
+        config = TrainConfig(epochs=5, seed=args.seed)
+        kernels, filters = (5, 9), (8, 16, 16)
+    else:
+        dataset = build_dataset(args.profile, seed=args.seed)
+        window, stride = "6h", None
+        config = TrainConfig(epochs=10, seed=args.seed)
+        kernels, filters = (5, 7, 9, 15), (8, 16, 16)
+    train_ds, test_ds = dataset.split_houses(
+        0.34, rng=np.random.default_rng(args.seed)
+    )
+    train_windows = make_windows(train_ds, args.appliance, window, stride=stride)
+    test_windows = make_windows(
+        test_ds, args.appliance, window, scaler=train_windows.scaler
+    )
+    runner = BenchmarkRunner(
+        train_windows,
+        test_windows,
+        train_config=config,
+        camal_kernel_sizes=kernels,
+        camal_filters=filters,
+        seed=args.seed,
+        dataset_name=args.profile,
+    )
+    result = runner.run_all(args.methods)
+    print(format_benchmark(result, "detection"))
+    print()
+    print(format_benchmark(result, "localization"))
+    if args.save:
+        from .benchmark_frame import BenchmarkBrowser
+
+        browser = BenchmarkBrowser()
+        browser.add(result)
+        browser.save_dir(args.save)
+        print(f"results saved to {args.save}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Render saved benchmark JSON as a standalone HTML report."""
+    from .benchmark_frame import BenchmarkBrowser
+
+    browser = BenchmarkBrowser.load_dir(args.results_dir)
+    sections = []
+    for dataset in browser.datasets:
+        for appliance in browser.appliances(dataset):
+            sections.extend(benchmark_sections(browser, dataset, appliance))
+    if not sections:
+        print(f"no results found in {args.results_dir}")
+        return 1
+    path = write_report(args.out, "DeviceScope — benchmark results", sections)
+    print(f"report written to {path}")
+    return 0
+
+
+def cmd_upload(args) -> int:
+    """Load a user CSV (the §III upload path) and browse it."""
+    from ..datasets import house_from_csv
+
+    house = house_from_csv(args.csv)
+    print(
+        f"loaded {house.house_id}: {house.n_steps} samples "
+        f"(~{house.duration_days:.1f} days at {house.step_s:.0f}s), "
+        f"channels: aggregate"
+        + ("".join(f", {name}" for name in house.submeters))
+    )
+    length = min(360, max(house.n_steps // max(args.pages, 1), 2))
+    for page in range(max(args.pages, 1)):
+        start = page * length
+        chunk = house.aggregate[start : start + length]
+        if len(chunk) < 2:
+            break
+        print(f"window {page + 1}: " + ascii_series(chunk))
+    return 0
+
+
+def cmd_energy(args) -> int:
+    """Per-appliance energy + usage report for a held-out house."""
+    from ..core import CamAL, SlidingWindowLocalizer
+    from ..datasets import build_dataset
+    from ..eval import estimate_energy, format_table, usage_profile
+    from ..models import TrainConfig
+
+    if args.fast:
+        dataset = build_dataset(
+            args.profile, seed=args.seed, n_houses=4, days_per_house=(4, 5)
+        )
+        config = TrainConfig(epochs=5, seed=args.seed)
+    else:
+        dataset = build_dataset(args.profile, seed=args.seed)
+        config = TrainConfig(epochs=10, seed=args.seed)
+    train_houses, test_houses = dataset.split_houses(
+        0.3, rng=np.random.default_rng(args.seed), stratify_by=args.appliance
+    )
+    owner = next(
+        (h for h in test_houses.houses if h.possession.get(args.appliance)),
+        test_houses.houses[0],
+    )
+    train = make_windows(train_houses, args.appliance, 128, stride=64)
+    model = CamAL.train(
+        train, kernel_sizes=(5, 9), n_filters=(8, 16, 16), train_config=config
+    )
+    located = SlidingWindowLocalizer(model, 128).localize_house(
+        owner, args.appliance
+    )
+    estimate = estimate_energy(
+        args.appliance,
+        located.status,
+        owner.aggregate,
+        step_s=dataset.step_s,
+        submeter_w=owner.submeters.get(args.appliance),
+    )
+    print(format_table([
+        {
+            "house": owner.house_id,
+            "appliance": args.appliance,
+            "estimated_kwh": estimate.estimated_kwh,
+            "true_kwh": estimate.true_kwh,
+        }
+    ]))
+    profile = usage_profile(
+        args.appliance, located.status, power_w=owner.aggregate,
+        step_s=dataset.step_s,
+    )
+    print(profile.describe())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "browse": cmd_browse,
+        "demo": cmd_demo,
+        "benchmark": cmd_benchmark,
+        "report": cmd_report,
+        "upload": cmd_upload,
+        "energy": cmd_energy,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""The Scenario-2 guessing game (paper §IV).
+
+The demo "challenge[s] the user to interactively localize appliance
+patterns and compare their estimation against the estimation obtained
+with CamAL (and also the ground-truth)". :class:`GuessGame` implements
+exactly that: the user marks intervals where they believe the appliance
+ran in the current window; the game scores the guess against the
+per-device ground truth and against CamAL's localization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..eval import Metrics, compute_metrics
+from .playground import WindowView
+
+__all__ = ["GuessOutcome", "GuessGame"]
+
+
+@dataclass
+class GuessOutcome:
+    """Scores of one submitted guess."""
+
+    appliance: str
+    user: Metrics
+    camal: Metrics
+    user_beats_camal: bool
+    guess_status: np.ndarray
+
+    def summary(self) -> str:
+        verdict = (
+            "you beat CamAL!" if self.user_beats_camal else "CamAL wins."
+        )
+        return (
+            f"{self.appliance}: your F1 {self.user.f1:.3f} vs CamAL "
+            f"{self.camal.f1:.3f} — {verdict}"
+        )
+
+
+class GuessGame:
+    """Score a user's interval guesses for one window.
+
+    Parameters
+    ----------
+    view:
+        A :class:`~repro.app.playground.WindowView` whose prediction for
+        ``appliance`` includes ground truth (per-device view available).
+    appliance:
+        The appliance being guessed.
+    """
+
+    def __init__(self, view: WindowView, appliance: str):
+        if appliance not in view.predictions:
+            raise KeyError(
+                f"view has no prediction for {appliance!r}; select it in "
+                "the playground first"
+            )
+        prediction = view.predictions[appliance]
+        if prediction.ground_truth_status is None:
+            raise ValueError(
+                "ground truth unavailable for this window; the guessing "
+                "game needs the per-device view"
+            )
+        self.view = view
+        self.appliance = appliance
+        self.prediction = prediction
+        self.window_length = len(view.watts)
+
+    def intervals_to_status(
+        self, intervals: list[tuple[int, int]]
+    ) -> np.ndarray:
+        """Convert user intervals ``[(start, end), ...)`` (half-open,
+        window-relative samples) into a binary status series."""
+        status = np.zeros(self.window_length)
+        for start, end in intervals:
+            if not 0 <= start < end <= self.window_length:
+                raise ValueError(
+                    f"interval [{start}, {end}) outside the window "
+                    f"[0, {self.window_length})"
+                )
+            status[start:end] = 1.0
+        return status
+
+    def submit(self, intervals: list[tuple[int, int]]) -> GuessOutcome:
+        """Score a guess against the ground truth and against CamAL."""
+        guess = self.intervals_to_status(intervals)
+        truth = self.prediction.ground_truth_status
+        user = compute_metrics(truth, guess)
+        camal = compute_metrics(truth, self.prediction.status)
+        return GuessOutcome(
+            appliance=self.appliance,
+            user=user,
+            camal=camal,
+            user_beats_camal=user.f1 > camal.f1,
+            guess_status=guess,
+        )

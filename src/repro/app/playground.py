@@ -1,0 +1,223 @@
+"""The Playground frame (paper §III, Figure 5 A).
+
+Implements every interaction of the GUI's first frame as an API:
+
+* A.1 — browse the loaded consumption series window by window (Prev /
+  Next over 6 h / 12 h / 1 day tiles), with each selected appliance's
+  predicted status below the aggregate.
+* A.2 — the "Per device" view: ground-truth appliance power next to the
+  predicted localization.
+* A.3 — "Model detection probabilities": the ensemble's (and each
+  member's) detection probability for the current window.
+* A.4 — example appliance patterns (the expander of Scenario 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import CamAL
+from ..datasets import (
+    SmartMeterDataset,
+    get_appliance_spec,
+    render_activation,
+    strong_labels,
+    window_samples,
+)
+from .state import SessionState
+
+__all__ = ["AppliancePrediction", "WindowView", "Playground"]
+
+
+@dataclass
+class AppliancePrediction:
+    """One appliance's detection + localization for the current window."""
+
+    appliance: str
+    probability: float
+    detected: bool
+    status: np.ndarray  # (T,) predicted binary status
+    cam: np.ndarray  # (T,) averaged normalized CAM
+    member_probabilities: dict[int, float]
+    ground_truth_watts: np.ndarray | None = None  # (T,) submeter power
+    ground_truth_status: np.ndarray | None = None  # (T,) true binary status
+    uncertainty: float = 0.0  # ensemble disagreement (std of member probs)
+
+
+@dataclass
+class WindowView:
+    """Everything the GUI renders for the current window."""
+
+    house_id: str
+    window: str
+    position: int
+    n_windows: int
+    start: int
+    hours: np.ndarray  # (T,) hour-of-recording axis
+    watts: np.ndarray  # (T,) aggregate power
+    missing: bool  # window contains meter outages
+    predictions: dict[str, AppliancePrediction] = field(default_factory=dict)
+
+    @property
+    def has_previous(self) -> bool:
+        return self.position > 0
+
+    @property
+    def has_next(self) -> bool:
+        return self.position < self.n_windows - 1
+
+
+class Playground:
+    """Window-by-window exploration of one dataset with trained models.
+
+    Parameters
+    ----------
+    dataset:
+        The series to browse — per the paper, houses *distinct from the
+        training houses*.
+    models:
+        Appliance name → trained :class:`CamAL`. Appliances without a
+        model can still be browsed as ground truth but not predicted.
+    state:
+        Optional shared session state (created fresh otherwise).
+    """
+
+    def __init__(
+        self,
+        dataset: SmartMeterDataset,
+        models: dict[str, CamAL] | None = None,
+        state: SessionState | None = None,
+    ):
+        self.dataset = dataset
+        self.models = dict(models or {})
+        self.state = state or SessionState(dataset_name=dataset.name)
+        if not self.state.house_id:
+            self.state.house_id = dataset.house_ids[0]
+
+    # -- selection ---------------------------------------------------------
+
+    @property
+    def house(self):
+        return self.dataset.get_house(self.state.house_id)
+
+    @property
+    def window_length(self) -> int:
+        return window_samples(self.state.window, self.dataset.step_s)
+
+    @property
+    def n_windows(self) -> int:
+        return max(self.house.n_steps // self.window_length, 1)
+
+    def select_house(self, house_id: str) -> None:
+        self.dataset.get_house(house_id)  # validate
+        self.state.select_house(house_id)
+
+    def select_window(self, window: str) -> None:
+        self.state.select_window(window)
+
+    def available_appliances(self) -> list[str]:
+        """Appliances with a trained model, in catalogue order."""
+        return [a for a in self.house.appliances if a in self.models]
+
+    # -- the A.4 expander --------------------------------------------------
+
+    def example_pattern(self, appliance: str, seed: int = 0) -> np.ndarray:
+        """A representative watt trace of one activation, for the
+        "examples of appliance patterns" expander."""
+        spec = get_appliance_spec(appliance)
+        rng = np.random.default_rng(seed)
+        duration_s = float(np.mean(spec.duration_s))
+        n_steps = max(int(round(duration_s / self.dataset.step_s)), 2)
+        return render_activation(spec, n_steps, self.dataset.step_s, rng)
+
+    # -- window views (A.1 - A.3) ----------------------------------------
+
+    def view(self, appliances: list[str] | None = None) -> WindowView:
+        """Render the current window with predictions for ``appliances``
+        (default: the session's selected appliances)."""
+        appliances = (
+            appliances
+            if appliances is not None
+            else self.state.selected_appliances
+        )
+        house = self.house
+        length = self.window_length
+        position = min(self.state.position, self.n_windows - 1)
+        start = position * length
+        watts = house.aggregate[start : start + length]
+        missing = bool(np.isnan(watts).any())
+        view = WindowView(
+            house_id=house.house_id,
+            window=self.state.window,
+            position=position,
+            n_windows=self.n_windows,
+            start=start,
+            hours=house.hours_index()[start : start + length],
+            watts=watts,
+            missing=missing,
+        )
+        for appliance in appliances:
+            prediction = self._predict(house, appliance, watts, start, length)
+            if prediction is not None:
+                view.predictions[appliance] = prediction
+        return view
+
+    def _predict(self, house, appliance, watts, start, length):
+        if appliance not in self.models:
+            raise KeyError(
+                f"no trained model for {appliance!r}; available: "
+                f"{', '.join(self.models) or '(none)'}"
+            )
+        truth_watts = None
+        truth_status = None
+        if appliance in house.submeters:
+            truth_watts = house.submeters[appliance][start : start + length]
+            truth_status = strong_labels(truth_watts, appliance)
+        if np.isnan(watts).any():
+            # The paper's pipeline omits windows with missing data.
+            nan_status = np.zeros(length)
+            return AppliancePrediction(
+                appliance=appliance,
+                probability=float("nan"),
+                detected=False,
+                status=nan_status,
+                cam=np.zeros(length),
+                member_probabilities={},
+                ground_truth_watts=truth_watts,
+                ground_truth_status=truth_status,
+            )
+        result = self.models[appliance].localize_watts(watts[None, :])
+        return AppliancePrediction(
+            appliance=appliance,
+            probability=float(result.probabilities[0]),
+            detected=bool(result.detected[0]),
+            status=result.status[0],
+            cam=result.cam[0],
+            member_probabilities={
+                k: float(v[0]) for k, v in result.member_probabilities.items()
+            },
+            ground_truth_watts=truth_watts,
+            ground_truth_status=truth_status,
+            uncertainty=float(result.uncertainty[0]),
+        )
+
+    # -- navigation (the Prev / Next buttons) ------------------------------
+
+    def next(self) -> WindowView:
+        self.state.advance(self.n_windows, +1)
+        return self.view()
+
+    def previous(self) -> WindowView:
+        self.state.advance(self.n_windows, -1)
+        return self.view()
+
+    def jump(self, position: int) -> WindowView:
+        if not 0 <= position < self.n_windows:
+            raise ValueError(
+                f"position must be in [0, {self.n_windows - 1}], "
+                f"got {position}"
+            )
+        self.state.position = position
+        return self.view()

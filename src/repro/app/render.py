@@ -1,0 +1,214 @@
+"""Rendering: ASCII sparklines for the CLI and standalone HTML reports.
+
+The real DeviceScope is a Streamlit app; offline we render the same
+content — aggregate plot, per-appliance predicted status, per-device
+ground truth, probability panel, benchmark tables — as self-contained
+HTML (inline SVG, no external assets) and terminal sparklines.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+import numpy as np
+
+from ..eval import METRIC_NAMES
+from .playground import WindowView
+
+__all__ = [
+    "ascii_series",
+    "svg_series",
+    "render_window_view",
+    "render_table",
+    "render_report",
+    "write_report",
+]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_series(values: np.ndarray, width: int = 80) -> str:
+    """Render a series as a one-line unicode sparkline (NaN → '·')."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    if len(values) > width:
+        # Block-max downsample so short spikes stay visible.
+        n_blocks = width
+        edges = np.linspace(0, len(values), n_blocks + 1).astype(int)
+        condensed = np.array(
+            [
+                np.nanmax(values[a:b]) if b > a and not np.all(np.isnan(values[a:b])) else np.nan
+                for a, b in zip(edges[:-1], edges[1:])
+            ]
+        )
+        values = condensed
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return "·" * len(values)
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low if high > low else 1.0
+    chars = []
+    for value in values:
+        if not np.isfinite(value):
+            chars.append("·")
+        else:
+            level = int(round((value - low) / span * (len(_BLOCKS) - 1)))
+            chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def svg_series(
+    values: np.ndarray,
+    width: int = 720,
+    height: int = 120,
+    color: str = "#1f77b4",
+    fill: bool = False,
+) -> str:
+    """Inline-SVG line chart of one series (NaN splits the path)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) < 2:
+        raise ValueError("values must be 1-D with at least 2 samples")
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return f'<svg width="{width}" height="{height}"></svg>'
+    low, high = float(finite.min()), float(finite.max())
+    span = high - low if high > low else 1.0
+    xs = np.linspace(0, width, len(values))
+    ys = height - (np.nan_to_num(values, nan=low) - low) / span * (height - 4) - 2
+    segments = []
+    current: list[str] = []
+    for x, y, value in zip(xs, ys, values):
+        if np.isfinite(value):
+            current.append(f"{x:.1f},{y:.1f}")
+        elif current:
+            segments.append(current)
+            current = []
+    if current:
+        segments.append(current)
+    paths = []
+    for segment in segments:
+        if len(segment) < 2:
+            continue
+        points = " ".join(segment)
+        if fill:
+            first_x = segment[0].split(",")[0]
+            last_x = segment[-1].split(",")[0]
+            paths.append(
+                f'<polygon points="{first_x},{height} {points} '
+                f'{last_x},{height}" fill="{color}" opacity="0.35" />'
+            )
+        else:
+            paths.append(
+                f'<polyline points="{points}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5" />'
+            )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'style="background:#fafafa;border:1px solid #ddd">'
+        + "".join(paths)
+        + "</svg>"
+    )
+
+
+def render_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Dict rows as an HTML table."""
+    if not rows:
+        return "<p>(no rows)</p>"
+    columns = columns or list(rows[0])
+    head = "".join(f"<th>{html.escape(str(c))}</th>" for c in columns)
+    body_rows = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            cells.append(f"<td>{html.escape(text)}</td>")
+        body_rows.append("<tr>" + "".join(cells) + "</tr>")
+    return (
+        '<table border="1" cellpadding="4" cellspacing="0">'
+        f"<thead><tr>{head}</tr></thead>"
+        f"<tbody>{''.join(body_rows)}</tbody></table>"
+    )
+
+
+def render_window_view(view: WindowView) -> str:
+    """The Playground frame (A.1-A.3) as an HTML section."""
+    parts = [
+        f"<h2>House {html.escape(view.house_id)} — window "
+        f"{view.position + 1}/{view.n_windows} ({html.escape(view.window)})</h2>",
+        "<h3>Aggregate consumption (W)</h3>",
+        svg_series(view.watts, color="#333333"),
+    ]
+    if view.missing:
+        parts.append(
+            "<p><em>This window contains missing meter data; "
+            "predictions are unavailable (omitted subsequence).</em></p>"
+        )
+    if view.predictions:
+        prob_rows = []
+        for name, pred in view.predictions.items():
+            parts.append(f"<h3>{html.escape(name)} — predicted status</h3>")
+            parts.append(
+                svg_series(pred.status, height=40, color="#d62728", fill=True)
+            )
+            if pred.ground_truth_status is not None:
+                parts.append(
+                    "<h4>Per device: ground truth status</h4>"
+                    + svg_series(
+                        pred.ground_truth_status,
+                        height=40,
+                        color="#2ca02c",
+                        fill=True,
+                    )
+                )
+            row = {"appliance": name, "ensemble": pred.probability}
+            for idx, value in pred.member_probabilities.items():
+                row[f"member {idx}"] = value
+            prob_rows.append(row)
+        parts.append("<h3>Model detection probabilities</h3>")
+        parts.append(render_table(prob_rows))
+    return "\n".join(parts)
+
+
+def render_report(title: str, sections: list[str]) -> str:
+    """Assemble sections into a self-contained HTML document."""
+    body = "\n<hr/>\n".join(sections)
+    return (
+        "<!DOCTYPE html>\n<html><head><meta charset='utf-8'/>"
+        f"<title>{html.escape(title)}</title>"
+        "<style>body{font-family:sans-serif;margin:2em;}"
+        "table{border-collapse:collapse;}</style>"
+        f"</head><body><h1>{html.escape(title)}</h1>\n{body}\n</body></html>"
+    )
+
+
+def write_report(path: str, title: str, sections: list[str]) -> Path:
+    """Write an HTML report to disk; returns the path."""
+    target = Path(path)
+    target.write_text(render_report(title, sections), encoding="utf-8")
+    return target
+
+
+def benchmark_sections(browser, dataset: str, appliance: str) -> list[str]:
+    """The benchmark frame (B.1-B.2) as HTML sections."""
+    sections = []
+    for kind in ("detection", "localization"):
+        rows = browser.table(dataset, appliance, kind)
+        sections.append(
+            f"<h2>{html.escape(dataset)} / {html.escape(appliance)} — "
+            f"{kind}</h2>"
+            + render_table(
+                rows, ["method", "supervision", "labels", *METRIC_NAMES]
+            )
+        )
+    try:
+        rows = browser.label_comparison(dataset, appliance)
+        sections.append(
+            "<h2>Labels required for training (Fig. 3 comparison)</h2>"
+            + render_table(rows)
+        )
+    except KeyError:
+        pass  # no efficiency sweep stored for this task
+    return sections

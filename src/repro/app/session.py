@@ -1,0 +1,83 @@
+"""DeviceScope facade: dataset + trained models + both frames.
+
+``DeviceScope.bootstrap`` reproduces the demo's setup end to end: build
+a dataset, split houses (training houses are never browsed — §II.A),
+train a CamAL model per requested appliance, and expose the Playground
+over the held-out houses plus an empty :class:`BenchmarkBrowser` ready
+to ingest results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core import CamAL
+from ..datasets import SmartMeterDataset, build_dataset, make_windows
+from ..models import TrainConfig
+from .benchmark_frame import BenchmarkBrowser
+from .playground import Playground
+
+__all__ = ["DeviceScope"]
+
+
+@dataclass
+class DeviceScope:
+    """A fully wired application session."""
+
+    dataset_name: str
+    train_dataset: SmartMeterDataset
+    browse_dataset: SmartMeterDataset
+    models: dict[str, CamAL]
+    playground: Playground
+    benchmarks: BenchmarkBrowser
+
+    @classmethod
+    def bootstrap(
+        cls,
+        profile: str = "ukdale",
+        appliances: tuple[str, ...] = ("kettle",),
+        window: str | int = "6h",
+        seed: int = 0,
+        n_houses: int | None = None,
+        days_per_house: tuple[int, int] | None = None,
+        kernel_sizes: tuple[int, ...] = (5, 7, 9, 15),
+        n_filters: tuple[int, int, int] = (8, 16, 16),
+        train_config: TrainConfig | None = None,
+        stratify_by: str | None = None,
+    ) -> "DeviceScope":
+        """Build a session from scratch (dataset → training → frames).
+
+        The train/browse house split is stratified on the first requested
+        appliance (or ``stratify_by``) so the browsable houses actually
+        contain it.
+        """
+        dataset = build_dataset(
+            profile, seed=seed, n_houses=n_houses, days_per_house=days_per_house
+        )
+        import numpy as np
+
+        train_ds, browse_ds = dataset.split_houses(
+            0.34,
+            rng=np.random.default_rng(seed),
+            stratify_by=stratify_by or (appliances[0] if appliances else None),
+        )
+        config = train_config or TrainConfig(epochs=8, seed=seed)
+        models: dict[str, CamAL] = {}
+        for appliance in appliances:
+            windows = make_windows(train_ds, appliance, window)
+            models[appliance] = CamAL.train(
+                windows,
+                kernel_sizes=kernel_sizes,
+                n_filters=n_filters,
+                train_config=config,
+                seed=seed,
+            )
+        playground = Playground(browse_ds, models)
+        return cls(
+            dataset_name=dataset.name,
+            train_dataset=train_ds,
+            browse_dataset=browse_ds,
+            models=models,
+            playground=playground,
+            benchmarks=BenchmarkBrowser(),
+        )

@@ -1,0 +1,63 @@
+"""Session state for the DeviceScope application.
+
+Mirrors the GUI's sidebar inputs (§III): selected dataset, time series
+(house), window length, current window position, and the appliances
+whose predicted status is displayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datasets import WINDOW_LENGTHS
+
+__all__ = ["SessionState"]
+
+
+@dataclass
+class SessionState:
+    """The user's current selections in the app."""
+
+    dataset_name: str = ""
+    house_id: str = ""
+    window: str = "12h"
+    position: int = 0
+    selected_appliances: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.window not in WINDOW_LENGTHS:
+            raise ValueError(
+                f"window must be one of {', '.join(WINDOW_LENGTHS)}, "
+                f"got {self.window!r}"
+            )
+        if self.position < 0:
+            raise ValueError("position must be >= 0")
+
+    def select_window(self, window: str) -> None:
+        """Change the window length; resets the paging position."""
+        if window not in WINDOW_LENGTHS:
+            raise ValueError(
+                f"window must be one of {', '.join(WINDOW_LENGTHS)}, "
+                f"got {window!r}"
+            )
+        self.window = window
+        self.position = 0
+
+    def select_house(self, house_id: str) -> None:
+        """Change the loaded series; resets the paging position."""
+        self.house_id = house_id
+        self.position = 0
+
+    def toggle_appliance(self, appliance: str) -> None:
+        """Add or remove an appliance from the displayed set."""
+        if appliance in self.selected_appliances:
+            self.selected_appliances.remove(appliance)
+        else:
+            self.selected_appliances.append(appliance)
+
+    def advance(self, n_windows: int, step: int = 1) -> int:
+        """Move Next (+1) or Prev (-1), clamped to [0, n_windows - 1]."""
+        if n_windows < 1:
+            raise ValueError("n_windows must be >= 1")
+        self.position = int(min(max(self.position + step, 0), n_windows - 1))
+        return self.position

@@ -1,0 +1,137 @@
+"""Streamlit front end — the paper's actual GUI layer (§III).
+
+The published DeviceScope is "a stand-alone web application developed
+using Python 3.10 and Streamlit". This module renders the same two
+frames on top of the headless engine in this package:
+
+* **Playground** — dataset/house/window selection, Prev/Next paging,
+  per-appliance predicted status, per-device ground truth, model
+  detection probabilities, example appliance patterns;
+* **Benchmark** — metric tables and the label-requirement comparison
+  from a saved results directory.
+
+Run (requires ``pip install streamlit``, not available in the offline
+test environment — everything here delegates to the fully tested
+headless API):
+
+    streamlit run src/repro/app/streamlit_app.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+try:  # pragma: no cover - exercised only when streamlit is installed
+    import streamlit as st
+except ImportError:  # pragma: no cover
+    st = None
+
+from ..datasets import APPLIANCE_NAMES, PROFILES
+from ..models import TrainConfig
+from .benchmark_frame import BenchmarkBrowser
+from .session import DeviceScope
+
+REQUIRES_STREAMLIT = (
+    "the DeviceScope GUI requires streamlit; install it with "
+    "'pip install streamlit' or use the headless CLI: devicescope --help"
+)
+
+
+def require_streamlit() -> None:
+    """Raise a clear error when streamlit is unavailable."""
+    if st is None:
+        raise ImportError(REQUIRES_STREAMLIT)
+
+
+def bootstrap_session(profile: str, appliance: str) -> DeviceScope:
+    """Train-or-reuse the session backing the GUI (cached by streamlit)."""
+    return DeviceScope.bootstrap(
+        profile=profile,
+        appliances=(appliance,),
+        window="6h",
+        seed=0,
+        kernel_sizes=(5, 9),
+        n_filters=(8, 16, 16),
+        train_config=TrainConfig(epochs=8, seed=0),
+    )
+
+
+def render_playground(session: DeviceScope, appliance: str) -> None:  # pragma: no cover
+    """Frame A: the Playground (needs a live streamlit runtime)."""
+    require_streamlit()
+    playground = session.playground
+    playground.state.selected_appliances = [appliance]
+    st.subheader("Playground")
+    house_id = st.selectbox("Time series", session.browse_dataset.house_ids)
+    playground.select_house(house_id)
+    window = st.radio("Window length", ["6h", "12h", "1day"], horizontal=True)
+    playground.select_window(window)
+    col_prev, col_pos, col_next = st.columns([1, 2, 1])
+    if col_prev.button("Prev."):
+        playground.previous()
+    if col_next.button("Next"):
+        playground.next()
+    view = playground.view()
+    col_pos.write(f"window {view.position + 1} / {view.n_windows}")
+    st.line_chart(view.watts)
+    if view.missing:
+        st.warning("Missing meter data in this window — predictions omitted.")
+    prediction = view.predictions.get(appliance)
+    if prediction is not None:
+        st.caption(
+            f"{appliance}: p={prediction.probability:.2f} "
+            f"(±{prediction.uncertainty:.2f} ensemble disagreement)"
+        )
+        st.area_chart(prediction.status)
+        with st.expander("Per device (ground truth)"):
+            if prediction.ground_truth_watts is not None:
+                st.line_chart(prediction.ground_truth_watts)
+        with st.expander("Model detection probabilities"):
+            st.json(prediction.member_probabilities)
+        with st.expander("Example appliance patterns"):
+            st.line_chart(playground.example_pattern(appliance))
+
+
+def render_benchmark(results_dir: str) -> None:  # pragma: no cover
+    """Frame B: the Benchmark browser (needs a live streamlit runtime)."""
+    require_streamlit()
+    st.subheader("Benchmark")
+    try:
+        browser = BenchmarkBrowser.load_dir(results_dir)
+    except FileNotFoundError:
+        st.info(
+            "No saved results; run 'devicescope benchmark --save "
+            f"{results_dir}' first."
+        )
+        return
+    dataset = st.selectbox("Dataset", browser.datasets)
+    appliance = st.selectbox("Appliance", browser.appliances(dataset))
+    kind = st.radio("Measure set", ["detection", "localization"], horizontal=True)
+    st.dataframe(browser.table(dataset, appliance, kind))
+    try:
+        st.caption("Comparison with SotA NILM approaches (labels needed)")
+        st.dataframe(browser.label_comparison(dataset, appliance))
+    except KeyError:
+        pass
+
+
+def main() -> None:  # pragma: no cover - live GUI entry point
+    """Top-level page router (sidebar: Playground / Benchmark)."""
+    require_streamlit()
+    st.set_page_config(page_title="DeviceScope", layout="wide")
+    st.title("DeviceScope")
+    page = st.sidebar.radio("Page", ["Playground", "Benchmark"])
+    profile = st.sidebar.selectbox("Dataset profile", sorted(PROFILES))
+    appliance = st.sidebar.selectbox("Appliance", sorted(APPLIANCE_NAMES))
+    if page == "Playground":
+        session = st.cache_resource(bootstrap_session)(profile, appliance)
+        render_playground(session, appliance)
+    else:
+        render_benchmark(st.sidebar.text_input("Results dir", "results"))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    if st is None:
+        print(REQUIRES_STREAMLIT, file=sys.stderr)
+        sys.exit(1)
+    main()

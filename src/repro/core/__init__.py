@@ -1,0 +1,33 @@
+"""CamAL — the paper's primary contribution.
+
+Weakly supervised appliance localization: an ensemble of TSC ResNets
+detects the appliance from window-level labels, and Class Activation
+Maps turned into an attention mask localize it per timestep.
+"""
+
+from .camal import (
+    CamAL,
+    CamALConfig,
+    CamALResult,
+    recommended_config,
+    remove_short_runs,
+)
+from .explain import grad_cam, occlusion_saliency
+from .multi import MultiApplianceCamAL
+from .persistence import load_camal, save_camal
+from .pipeline import SeriesLocalization, SlidingWindowLocalizer
+
+__all__ = [
+    "CamAL",
+    "CamALConfig",
+    "CamALResult",
+    "remove_short_runs",
+    "recommended_config",
+    "SeriesLocalization",
+    "SlidingWindowLocalizer",
+    "grad_cam",
+    "occlusion_saliency",
+    "MultiApplianceCamAL",
+    "save_camal",
+    "load_camal",
+]

@@ -1,0 +1,75 @@
+"""Alternative explainability back-ends for localization.
+
+The paper builds CamAL on the classic GAP-linear CAM [Zhou et al. 2016]
+and cites Grad-CAM [Selvaraju et al. 2017] as related explainability
+work. This module implements both, plus a model-agnostic occlusion
+saliency, so the ablation benches can compare localization back-ends.
+
+For a GAP-linear head the Grad-CAM weights are analytically
+``α_k = w_k^c / L`` — i.e. Grad-CAM equals the (ReLU-rectified) CAM up
+to a positive scale, and after min-max normalization the two coincide
+wherever the CAM is positive. The test suite asserts this equivalence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.resnet import ResNetTSC
+
+__all__ = ["grad_cam", "occlusion_saliency"]
+
+
+def grad_cam(
+    model: ResNetTSC, x: np.ndarray, class_index: int = 1
+) -> np.ndarray:
+    """Grad-CAM over the final feature maps, shape ``(N, L)``.
+
+    Weights are the time-averaged gradients of the class logit with
+    respect to each feature map; the weighted sum is ReLU-rectified.
+    With this architecture's GAP-linear head the gradient of logit
+    ``c`` w.r.t. ``f_k(t)`` is the constant ``w_k^c / L``.
+    """
+    if not 0 <= class_index < model.num_classes:
+        raise ValueError(
+            f"class_index {class_index} out of range "
+            f"[0, {model.num_classes})"
+        )
+    features = model.forward_features(np.asarray(x, dtype=np.float64))
+    length = features.shape[2]
+    alpha = model.fc.weight.data[class_index] / length  # (C,)
+    cam = np.einsum("ncl,c->nl", features, alpha)
+    return np.maximum(cam, 0.0)
+
+
+def occlusion_saliency(
+    model,
+    x: np.ndarray,
+    patch: int = 8,
+    baseline: float = 0.0,
+) -> np.ndarray:
+    """Model-agnostic saliency: probability drop when a patch is masked.
+
+    For each non-overlapping patch of ``patch`` samples, replace it with
+    ``baseline`` (the standardized mean power is 0) and record how much
+    the detection probability falls. Every timestep inherits its patch's
+    drop; negative drops (masking *raises* the probability) clamp to 0.
+
+    Works with any model exposing ``predict_proba``. O(L / patch)
+    forward passes — use moderate patch sizes.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, C, L) input, got shape {x.shape}")
+    if patch < 1:
+        raise ValueError("patch must be >= 1")
+    n, _, length = x.shape
+    reference = model.predict_proba(x)  # (N,)
+    saliency = np.zeros((n, length))
+    for start in range(0, length, patch):
+        end = min(start + patch, length)
+        occluded = x.copy()
+        occluded[:, :, start:end] = baseline
+        drop = reference - model.predict_proba(occluded)
+        saliency[:, start:end] = np.maximum(drop, 0.0)[:, None]
+    return saliency

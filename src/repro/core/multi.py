@@ -1,0 +1,133 @@
+"""Managing one CamAL model per appliance — the app's model hub.
+
+DeviceScope serves five appliances at once; :class:`MultiApplianceCamAL`
+trains, stores, applies, and (de)serializes the per-appliance models as
+one unit, which is what the Playground consumes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from ..datasets import SmartMeterDataset, make_windows
+from ..models import TrainConfig
+from .camal import CamAL, CamALConfig, recommended_config
+from .persistence import load_camal, save_camal
+from .pipeline import SeriesLocalization, SlidingWindowLocalizer
+
+__all__ = ["MultiApplianceCamAL"]
+
+
+class MultiApplianceCamAL:
+    """A bundle of trained CamAL models keyed by appliance."""
+
+    def __init__(self, models: dict[str, CamAL] | None = None):
+        self._models: dict[str, CamAL] = dict(models or {})
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, appliance: str) -> bool:
+        return appliance in self._models
+
+    @property
+    def appliances(self) -> list[str]:
+        return list(self._models)
+
+    def get(self, appliance: str) -> CamAL:
+        try:
+            return self._models[appliance]
+        except KeyError:
+            raise KeyError(
+                f"no model for {appliance!r}; available: "
+                f"{', '.join(self._models) or '(none)'}"
+            ) from None
+
+    def add(self, appliance: str, model: CamAL) -> None:
+        self._models[appliance] = model
+
+    def as_dict(self) -> dict[str, CamAL]:
+        """The mapping the Playground expects."""
+        return dict(self._models)
+
+    # -- training ----------------------------------------------------------
+
+    @classmethod
+    def train(
+        cls,
+        dataset: SmartMeterDataset,
+        appliances: tuple[str, ...],
+        window: str | int = "6h",
+        stride: int | None = None,
+        kernel_sizes: tuple[int, ...] = (5, 7, 9, 15),
+        n_filters: tuple[int, int, int] = (8, 16, 16),
+        train_config: TrainConfig | None = None,
+        use_recommended_configs: bool = True,
+        seed: int = 0,
+    ) -> "MultiApplianceCamAL":
+        """Train one model per appliance on the given (training) dataset."""
+        if not appliances:
+            raise ValueError("at least one appliance is required")
+        models: dict[str, CamAL] = {}
+        for i, appliance in enumerate(appliances):
+            windows = make_windows(dataset, appliance, window, stride=stride)
+            config: CamALConfig | None = (
+                recommended_config(appliance) if use_recommended_configs else None
+            )
+            models[appliance] = CamAL.train(
+                windows,
+                kernel_sizes=kernel_sizes,
+                n_filters=n_filters,
+                train_config=train_config,
+                config=config,
+                seed=seed + 101 * i,
+            )
+        return cls(models)
+
+    # -- inference ------------------------------------------------------------
+
+    def localize_series(
+        self, aggregate: np.ndarray, window_length: int, stride: int | None = None
+    ) -> dict[str, SeriesLocalization]:
+        """Localize every appliance across one aggregate watt series."""
+        return {
+            appliance: SlidingWindowLocalizer(
+                model, window_length, stride
+            ).localize_series(aggregate, appliance)
+            for appliance, model in self._models.items()
+        }
+
+    # -- persistence ------------------------------------------------------
+
+    def save_dir(self, directory: str | os.PathLike) -> None:
+        """One checkpoint per appliance plus an index file."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = {}
+        for appliance, model in self._models.items():
+            filename = f"camal_{appliance}.npz"
+            save_camal(directory / filename, model, appliance=appliance)
+            index[appliance] = filename
+        with open(directory / "models.json", "w", encoding="utf-8") as handle:
+            json.dump(index, handle, indent=2)
+
+    @classmethod
+    def load_dir(cls, directory: str | os.PathLike) -> "MultiApplianceCamAL":
+        """Rebuild a bundle written by :meth:`save_dir`."""
+        directory = Path(directory)
+        index_path = directory / "models.json"
+        if not index_path.exists():
+            raise FileNotFoundError(f"no models.json under {directory}")
+        with open(index_path, encoding="utf-8") as handle:
+            index = json.load(handle)
+        models = {}
+        for appliance, filename in index.items():
+            model, _ = load_camal(directory / filename)
+            models[appliance] = model
+        return cls(models)

@@ -1,0 +1,86 @@
+"""Saving and loading trained CamAL models.
+
+A checkpoint is a single ``.npz`` holding every ensemble member's
+parameters and buffers (namespaced ``member<i>.<param>``) plus metadata:
+architecture (kernel sizes, filter widths, input channels), the fitted
+standardizer, the inference config, and the target appliance. The demo
+system serves precomputed models per appliance; this is the mechanism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..datasets import Standardizer
+from ..models import ResNetEnsemble
+from ..nn.serialization import load_state, save_state
+from .camal import CamAL, CamALConfig
+
+__all__ = ["save_camal", "load_camal"]
+
+_FORMAT_VERSION = "1"
+
+
+def save_camal(
+    path: str | os.PathLike, model: CamAL, appliance: str = ""
+) -> None:
+    """Write a trained CamAL model to one ``.npz`` checkpoint."""
+    state = {}
+    for i, member in enumerate(model.ensemble.members):
+        for name, value in member.state_dict().items():
+            state[f"member{i}.{name}"] = value
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "appliance": appliance,
+        "kernel_sizes": json.dumps(list(model.ensemble.kernel_sizes)),
+        "n_filters": json.dumps(list(model.ensemble.n_filters)),
+        "in_channels": model.ensemble.in_channels,
+        "scaler_mean": repr(model.scaler.mean),
+        "scaler_std": repr(model.scaler.std),
+        "config": json.dumps(
+            {
+                "detection_threshold": model.config.detection_threshold,
+                "status_threshold": model.config.status_threshold,
+                "cam_floor": model.config.cam_floor,
+                "smooth_window": model.config.smooth_window,
+                "min_on_duration": model.config.min_on_duration,
+            }
+        ),
+    }
+    save_state(path, state, meta=meta)
+
+
+def load_camal(path: str | os.PathLike) -> tuple[CamAL, str]:
+    """Load a checkpoint written by :func:`save_camal`.
+
+    Returns ``(model, appliance)``. The model is in eval mode, ready
+    for inference.
+    """
+    state, meta = load_state(path)
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported CamAL checkpoint version "
+            f"{meta.get('format_version')!r} (expected {_FORMAT_VERSION})"
+        )
+    kernel_sizes = tuple(json.loads(meta["kernel_sizes"]))
+    n_filters = tuple(json.loads(meta["n_filters"]))
+    ensemble = ResNetEnsemble(
+        kernel_sizes=kernel_sizes,
+        in_channels=int(meta["in_channels"]),
+        n_filters=n_filters,
+    )
+    for i, member in enumerate(ensemble.members):
+        prefix = f"member{i}."
+        member_state = {
+            name[len(prefix):]: value
+            for name, value in state.items()
+            if name.startswith(prefix)
+        }
+        member.load_state_dict(member_state)
+    ensemble.eval()
+    scaler = Standardizer(
+        mean=float(meta["scaler_mean"]), std=float(meta["scaler_std"])
+    )
+    config = CamALConfig(**json.loads(meta["config"]))
+    return CamAL(ensemble, scaler, config), meta.get("appliance", "")

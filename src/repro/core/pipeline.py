@@ -1,0 +1,96 @@
+"""Sliding-window localization over full recordings.
+
+CamAL operates on fixed-length windows; a real recording is days long.
+:class:`SlidingWindowLocalizer` tiles a house's aggregate with windows,
+runs CamAL (or any model exposing the same API) on the valid ones, and
+stitches the per-window outputs back into full-length series — the
+operation behind every Playground view in DeviceScope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import House, extract_windows
+from .camal import CamAL
+
+__all__ = ["SeriesLocalization", "SlidingWindowLocalizer"]
+
+
+@dataclass
+class SeriesLocalization:
+    """Full-series localization output.
+
+    ``status`` and ``probability`` are aligned with the house's
+    aggregate; samples not covered by any valid window (missing data or
+    trailing remainder) are NaN in ``probability`` and 0 in ``status``.
+    """
+
+    appliance: str
+    status: np.ndarray  # (n_steps,) binary
+    probability: np.ndarray  # (n_steps,) window detection prob, NaN = no cover
+    cam: np.ndarray  # (n_steps,) stitched CAM, NaN = no cover
+    window_starts: np.ndarray
+    window_probabilities: np.ndarray
+
+    @property
+    def covered_fraction(self) -> float:
+        return float(np.mean(~np.isnan(self.probability)))
+
+
+class SlidingWindowLocalizer:
+    """Applies a trained :class:`CamAL` across a whole house recording."""
+
+    def __init__(self, model: CamAL, window_length: int, stride: int | None = None):
+        if window_length < 2:
+            raise ValueError("window_length must be >= 2")
+        self.model = model
+        self.window_length = window_length
+        self.stride = window_length if stride is None else stride
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+
+    def localize_series(
+        self, aggregate: np.ndarray, appliance: str = ""
+    ) -> SeriesLocalization:
+        """Localize over one aggregate watt series."""
+        aggregate = np.asarray(aggregate, dtype=np.float64)
+        n = len(aggregate)
+        windows, starts = extract_windows(aggregate, self.window_length, self.stride)
+        status = np.zeros(n)
+        probability = np.full(n, np.nan)
+        cam = np.full(n, np.nan)
+        counts = np.zeros(n)
+        window_probs = np.empty(len(starts))
+        if len(starts):
+            result = self.model.localize_watts(windows)
+            window_probs = result.probabilities
+            for i, start in enumerate(starts):
+                span = slice(start, start + self.window_length)
+                # Overlapping windows vote; average probabilities/CAMs and
+                # OR the statuses.
+                prev_p = np.nan_to_num(probability[span], nan=0.0)
+                prev_c = np.nan_to_num(cam[span], nan=0.0)
+                probability[span] = prev_p + result.probabilities[i]
+                cam[span] = prev_c + result.cam[i]
+                status[span] = np.maximum(status[span], result.status[i])
+                counts[span] += 1
+            covered = counts > 0
+            probability[covered] /= counts[covered]
+            cam[covered] /= counts[covered]
+            probability[~covered] = np.nan
+            cam[~covered] = np.nan
+        return SeriesLocalization(
+            appliance=appliance,
+            status=status,
+            probability=probability,
+            cam=cam,
+            window_starts=starts,
+            window_probabilities=window_probs,
+        )
+
+    def localize_house(self, house: House, appliance: str) -> SeriesLocalization:
+        """Localize ``appliance`` across ``house``'s aggregate channel."""
+        return self.localize_series(house.aggregate, appliance)

@@ -1,0 +1,81 @@
+"""Synthetic smart-meter datasets emulating UK-DALE, REFIT, and IDEAL.
+
+This package is the data substrate of the reproduction (DESIGN.md §2):
+physically-motivated appliance signature models, household simulation
+with background load and meter outages, dataset profiles matching the
+three public datasets' characteristics, resampling to the common 1-min
+frequency, subsequence extraction with missing-data omission, and the
+weak/strong labeling regimes the paper compares.
+"""
+
+from .appliances import (
+    APPLIANCE_NAMES,
+    APPLIANCES,
+    ApplianceSpec,
+    TimeOfDayPreference,
+    get_appliance_spec,
+    render_activation,
+    simulate_appliance,
+    simulate_appliance_day,
+)
+from .build import build_dataset, draw_balanced_ownership
+from .household import HouseholdSimulator, fridge_cycle, lighting_load, misc_electronics
+from .io import dataset_from_dir, dataset_to_dir, house_from_csv, house_to_csv
+from .labels import (
+    count_strong_labels,
+    count_weak_labels,
+    strong_labels,
+    weak_label_from_strong,
+    weak_labels_per_window,
+)
+from .profiles import PROFILES, DatasetProfile, get_profile
+from .resample import resample_dataset, resample_house, resample_mean
+from .store import House, SmartMeterDataset
+from .windows import (
+    WINDOW_LENGTHS,
+    Standardizer,
+    WindowSet,
+    extract_windows,
+    make_windows,
+    window_samples,
+)
+
+__all__ = [
+    "APPLIANCES",
+    "APPLIANCE_NAMES",
+    "ApplianceSpec",
+    "TimeOfDayPreference",
+    "get_appliance_spec",
+    "render_activation",
+    "simulate_appliance",
+    "simulate_appliance_day",
+    "HouseholdSimulator",
+    "fridge_cycle",
+    "lighting_load",
+    "misc_electronics",
+    "House",
+    "SmartMeterDataset",
+    "DatasetProfile",
+    "PROFILES",
+    "get_profile",
+    "build_dataset",
+    "draw_balanced_ownership",
+    "house_to_csv",
+    "house_from_csv",
+    "dataset_to_dir",
+    "dataset_from_dir",
+    "resample_mean",
+    "resample_house",
+    "resample_dataset",
+    "strong_labels",
+    "weak_label_from_strong",
+    "weak_labels_per_window",
+    "count_strong_labels",
+    "count_weak_labels",
+    "WINDOW_LENGTHS",
+    "window_samples",
+    "extract_windows",
+    "Standardizer",
+    "WindowSet",
+    "make_windows",
+]

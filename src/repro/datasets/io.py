@@ -1,0 +1,141 @@
+"""CSV import/export of smart-meter data.
+
+DeviceScope's GUI notes that "users could upload other datasets, as
+well" (§III). This module is that path: a house round-trips through a
+plain CSV (one column per channel, NaN for meter outages), and a whole
+dataset through a directory of CSVs plus a JSON manifest. A single-
+column CSV with just aggregate readings loads as an unlabeled house
+ready for the Playground.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .store import House, SmartMeterDataset
+
+__all__ = [
+    "house_to_csv",
+    "house_from_csv",
+    "dataset_to_dir",
+    "dataset_from_dir",
+]
+
+_AGGREGATE_COLUMN = "aggregate"
+
+
+def house_to_csv(house: House, path: str | os.PathLike) -> None:
+    """Write a house's channels as CSV (aggregate first, then submeters)."""
+    columns = [_AGGREGATE_COLUMN, *house.submeters]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(columns)
+        for i in range(house.n_steps):
+            row = [house.aggregate[i]]
+            row.extend(house.submeters[name][i] for name in house.submeters)
+            writer.writerow(
+                "" if isinstance(v, float) and math.isnan(v) else repr(float(v))
+                for v in row
+            )
+
+
+def house_from_csv(
+    path: str | os.PathLike,
+    house_id: str | None = None,
+    step_s: float = 60.0,
+    possession: dict[str, bool] | None = None,
+) -> House:
+    """Load a house from CSV written by :func:`house_to_csv` (or any CSV
+    with an ``aggregate`` column; empty cells become NaN).
+
+    Possession defaults to "owns every appliance that ever draws power".
+    """
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        if _AGGREGATE_COLUMN not in header:
+            raise ValueError(
+                f"{path} has no {_AGGREGATE_COLUMN!r} column; "
+                f"found {header}"
+            )
+        rows = [
+            [float(cell) if cell != "" else np.nan for cell in row]
+            for row in reader
+            if row
+        ]
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+    data = np.asarray(rows, dtype=np.float64)
+    if data.shape[1] != len(header):
+        raise ValueError(f"{path}: ragged rows")
+    by_name = {name: data[:, i] for i, name in enumerate(header)}
+    aggregate = by_name.pop(_AGGREGATE_COLUMN)
+    if possession is None:
+        possession = {
+            name: bool(np.nan_to_num(channel).max() > 0)
+            for name, channel in by_name.items()
+        }
+    return House(
+        house_id=house_id or path.stem,
+        step_s=step_s,
+        aggregate=aggregate,
+        submeters=by_name,
+        possession=possession,
+    )
+
+
+def dataset_to_dir(dataset: SmartMeterDataset, directory: str | os.PathLike) -> None:
+    """Write one CSV per house plus a ``manifest.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "name": dataset.name,
+        "step_s": dataset.step_s,
+        "label_source": dataset.label_source,
+        "houses": {},
+    }
+    for house in dataset.houses:
+        filename = f"{house.house_id}.csv"
+        house_to_csv(house, directory / filename)
+        manifest["houses"][house.house_id] = {
+            "file": filename,
+            "possession": house.possession,
+        }
+    with open(directory / "manifest.json", "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def dataset_from_dir(directory: str | os.PathLike) -> SmartMeterDataset:
+    """Rebuild a dataset from :func:`dataset_to_dir` output."""
+    directory = Path(directory)
+    manifest_path = directory / "manifest.json"
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no manifest.json under {directory}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    houses = []
+    for house_id, entry in manifest["houses"].items():
+        houses.append(
+            house_from_csv(
+                directory / entry["file"],
+                house_id=house_id,
+                step_s=float(manifest["step_s"]),
+                possession={k: bool(v) for k, v in entry["possession"].items()},
+            )
+        )
+    return SmartMeterDataset(
+        name=manifest["name"],
+        houses=houses,
+        step_s=float(manifest["step_s"]),
+        label_source=manifest["label_source"],
+    )

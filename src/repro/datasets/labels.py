@@ -1,0 +1,71 @@
+"""Label derivation and label accounting.
+
+Two supervision regimes, matching the paper:
+
+* **Strong labels** — per-timestep ON/OFF status derived by thresholding
+  the appliance submeter (what seq2seq NILM baselines train on).
+* **Weak labels** — one bit per subsequence. For UKDALE/REFIT-style
+  datasets the bit is "the appliance ran at least once in this window";
+  for IDEAL-style datasets it is the household possession survey answer
+  (so every window of an owning house is positive — the weakest signal).
+
+The label *counting* functions quantify the supervision cost used in
+Fig. 3 and the 5200× headline: a weak label costs 1 per window, a strong
+label costs 1 per timestep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .appliances import get_appliance_spec
+
+__all__ = [
+    "strong_labels",
+    "weak_label_from_strong",
+    "weak_labels_per_window",
+    "count_strong_labels",
+    "count_weak_labels",
+]
+
+
+def strong_labels(
+    submeter: np.ndarray, appliance: str, on_threshold_w: float | None = None
+) -> np.ndarray:
+    """Per-timestep ON/OFF (float 0/1) from an appliance submeter trace."""
+    threshold = (
+        on_threshold_w
+        if on_threshold_w is not None
+        else get_appliance_spec(appliance).on_threshold_w
+    )
+    submeter = np.asarray(submeter, dtype=np.float64)
+    return (np.nan_to_num(submeter, nan=0.0) > threshold).astype(np.float64)
+
+
+def weak_label_from_strong(status: np.ndarray) -> float:
+    """Window-level weak label: 1 iff the appliance was ever ON."""
+    return float(np.any(np.asarray(status) > 0.5))
+
+
+def weak_labels_per_window(status_windows: np.ndarray) -> np.ndarray:
+    """Vectorized weak labels for a stack ``(n_windows, T)`` of statuses."""
+    status_windows = np.asarray(status_windows)
+    if status_windows.ndim != 2:
+        raise ValueError(
+            f"expected (n_windows, T) statuses, got {status_windows.shape}"
+        )
+    return (status_windows > 0.5).any(axis=1).astype(np.float64)
+
+
+def count_strong_labels(n_windows: int, window_length: int) -> int:
+    """Annotation cost of strong supervision: one label per timestep."""
+    if n_windows < 0 or window_length < 1:
+        raise ValueError("invalid window counts")
+    return n_windows * window_length
+
+
+def count_weak_labels(n_windows: int) -> int:
+    """Annotation cost of weak supervision: one label per window."""
+    if n_windows < 0:
+        raise ValueError("invalid window count")
+    return n_windows

@@ -1,0 +1,99 @@
+"""Dataset profiles emulating UK-DALE, REFIT, and IDEAL.
+
+Each profile captures the characteristics that matter to the experiments:
+house count, recording length, native sampling rate, noise level, meter
+outage rate, and — crucially — the weak-label source. UK-DALE and REFIT
+provide submeters, so window-level labels say "the appliance ran in this
+window"; IDEAL-style labels are the household possession survey, the
+weakest supervision CamAL is designed for (paper §II.A).
+
+House counts and durations are scaled down from the real datasets
+(UK-DALE: 5 houses; REFIT: 20; IDEAL: 255) to laptop-friendly sizes while
+keeping their relative ordering; see DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetProfile", "PROFILES", "get_profile"]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Generation recipe for one synthetic dataset."""
+
+    name: str
+    n_houses: int
+    days_per_house: tuple[int, int]  # uniform bounds
+    step_s: float
+    noise_w: float
+    missing_rate: float  # outages per day
+    label_source: str  # "submeter" or "possession"
+    base_load_w: tuple[float, float] = (60.0, 180.0)
+    description: str = ""
+
+    def __post_init__(self):
+        if self.n_houses < 2:
+            raise ValueError("need at least 2 houses to split train/test")
+        if self.days_per_house[0] < 1 or (
+            self.days_per_house[0] > self.days_per_house[1]
+        ):
+            raise ValueError("invalid days_per_house bounds")
+        if self.label_source not in ("submeter", "possession"):
+            raise ValueError(f"unknown label source {self.label_source!r}")
+
+
+PROFILES: dict[str, DatasetProfile] = {
+    "ukdale": DatasetProfile(
+        name="ukdale",
+        n_houses=5,
+        days_per_house=(20, 30),
+        step_s=30.0,  # near UK-DALE's 6 s mains; resampled to 1 min
+        noise_w=10.0,
+        missing_rate=0.08,
+        label_source="submeter",
+        description=(
+            "UK-DALE-like: few long-recorded houses, clean submeters, "
+            "native rate above 1/min (exercises the resampling step)."
+        ),
+    ),
+    "refit": DatasetProfile(
+        name="refit",
+        n_houses=10,
+        days_per_house=(12, 22),
+        step_s=60.0,
+        noise_w=25.0,
+        missing_rate=0.2,
+        label_source="submeter",
+        base_load_w=(80.0, 260.0),
+        description=(
+            "REFIT-like: more houses, noisier aggregates, more meter "
+            "outages."
+        ),
+    ),
+    "ideal": DatasetProfile(
+        name="ideal",
+        n_houses=12,
+        days_per_house=(10, 18),
+        step_s=60.0,
+        noise_w=18.0,
+        missing_rate=0.12,
+        label_source="possession",
+        description=(
+            "IDEAL-like: many houses, weak labels from the possession "
+            "survey questionnaire instead of submeters."
+        ),
+    ),
+}
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a dataset profile by name, with a helpful error."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset profile {name!r}; available: "
+            f"{', '.join(PROFILES)}"
+        ) from None

@@ -1,0 +1,169 @@
+"""In-memory data store for smart-meter datasets.
+
+Mirrors the structure of the public NILM datasets (UK-DALE, REFIT,
+IDEAL): a dataset is a collection of houses, each with an aggregate mains
+channel, per-appliance submeter channels (used only for evaluation and
+the "Per device" view), and a possession survey.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["House", "SmartMeterDataset"]
+
+
+@dataclass
+class House:
+    """One monitored household.
+
+    Attributes
+    ----------
+    house_id:
+        Stable identifier, e.g. ``"ukdale_house_1"``.
+    step_s:
+        Sampling period of all channels in seconds.
+    aggregate:
+        Mains watt readings; may contain NaN where the meter dropped out.
+    submeters:
+        Appliance name → watt readings (all-zero when not owned).
+        Ground truth: used only for evaluation, never for weak training
+        labels.
+    possession:
+        Appliance name → ownership flag (the IDEAL-style survey label).
+    """
+
+    house_id: str
+    step_s: float
+    aggregate: np.ndarray
+    submeters: dict[str, np.ndarray] = field(default_factory=dict)
+    possession: dict[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.aggregate = np.asarray(self.aggregate, dtype=np.float64)
+        if self.aggregate.ndim != 1:
+            raise ValueError("aggregate must be 1-D")
+        for name, channel in self.submeters.items():
+            channel = np.asarray(channel, dtype=np.float64)
+            if channel.shape != self.aggregate.shape:
+                raise ValueError(
+                    f"submeter {name!r} length {channel.shape} does not match "
+                    f"aggregate {self.aggregate.shape}"
+                )
+            self.submeters[name] = channel
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.aggregate)
+
+    @property
+    def duration_days(self) -> float:
+        return self.n_steps * self.step_s / 86400.0
+
+    @property
+    def appliances(self) -> tuple[str, ...]:
+        return tuple(self.submeters)
+
+    def hours_index(self) -> np.ndarray:
+        """Hour-of-recording for each sample (for display axes)."""
+        return np.arange(self.n_steps) * self.step_s / 3600.0
+
+
+@dataclass
+class SmartMeterDataset:
+    """A named collection of houses with a common sampling period."""
+
+    name: str
+    houses: list[House]
+    step_s: float
+    label_source: str = "submeter"  # or "possession" (IDEAL style)
+
+    def __post_init__(self):
+        if not self.houses:
+            raise ValueError("a dataset needs at least one house")
+        if self.label_source not in ("submeter", "possession"):
+            raise ValueError(f"unknown label source {self.label_source!r}")
+        for house in self.houses:
+            if house.step_s != self.step_s:
+                raise ValueError(
+                    f"house {house.house_id} sampled at {house.step_s}s, "
+                    f"dataset expects {self.step_s}s"
+                )
+
+    @property
+    def house_ids(self) -> list[str]:
+        return [house.house_id for house in self.houses]
+
+    def get_house(self, house_id: str) -> House:
+        for house in self.houses:
+            if house.house_id == house_id:
+                return house
+        raise KeyError(
+            f"no house {house_id!r} in dataset {self.name!r}; "
+            f"available: {', '.join(self.house_ids)}"
+        )
+
+    def split_houses(
+        self,
+        test_fraction: float = 0.4,
+        rng: np.random.Generator | None = None,
+        stratify_by: str | None = None,
+    ) -> tuple["SmartMeterDataset", "SmartMeterDataset"]:
+        """Split into disjoint train/test datasets **by house**.
+
+        The paper is explicit that train and test houses are distinct
+        (§II.A, Training Phase); splitting windows of the same house
+        would leak the household's appliance fleet into the test set.
+
+        ``stratify_by`` names an appliance whose owners/non-owners are
+        split proportionally, guaranteeing (when counts allow) that both
+        sides of the split see both classes — otherwise a small dataset
+        can randomly put every dishwasher owner in training and none in
+        the evaluation houses.
+        """
+        if not 0.0 < test_fraction < 1.0:
+            raise ValueError("test_fraction must be in (0, 1)")
+        rng = rng or np.random.default_rng(0)
+        n = len(self.houses)
+        n_test = max(int(round(n * test_fraction)), 1)
+        if n_test >= n:
+            raise ValueError(
+                f"cannot hold out {n_test} of {n} houses for testing"
+            )
+        if stratify_by is None:
+            order = rng.permutation(n)
+            test_idx = set(order[:n_test].tolist())
+        else:
+            owners = [
+                i
+                for i, house in enumerate(self.houses)
+                if house.possession.get(stratify_by, False)
+            ]
+            others = [i for i in range(n) if i not in set(owners)]
+            if not owners:
+                raise ValueError(
+                    f"no house owns {stratify_by!r}; cannot stratify"
+                )
+            test_idx: set[int] = set()
+            # Proportional allocation, at least one owner held out (and
+            # one kept for training) whenever there are two or more.
+            n_owner_test = int(round(len(owners) * test_fraction))
+            n_owner_test = min(max(n_owner_test, 1), max(len(owners) - 1, 1))
+            owner_order = rng.permutation(len(owners))
+            test_idx.update(owners[i] for i in owner_order[:n_owner_test])
+            n_other_test = n_test - len(test_idx)
+            if others and n_other_test > 0:
+                n_other_test = min(n_other_test, max(len(others) - 1, 1))
+                other_order = rng.permutation(len(others))
+                test_idx.update(others[i] for i in other_order[:n_other_test])
+        train_houses = [h for i, h in enumerate(self.houses) if i not in test_idx]
+        test_houses = [h for i, h in enumerate(self.houses) if i in test_idx]
+        make = lambda houses, tag: SmartMeterDataset(  # noqa: E731
+            name=f"{self.name}/{tag}",
+            houses=houses,
+            step_s=self.step_s,
+            label_source=self.label_source,
+        )
+        return make(train_houses, "train"), make(test_houses, "test")

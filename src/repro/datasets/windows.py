@@ -1,0 +1,256 @@
+"""Subsequence extraction and the training-ready WindowSet.
+
+The paper divides each household's consumption into subsequences,
+omitting those with missing data, and attaches a single weak label per
+subsequence (§II.A). This module implements that pipeline plus the
+standardization used by the classifiers and by CamAL's attention step.
+
+Window lengths follow the GUI options: 6 hours, 12 hours, 1 day — at the
+common 1-minute frequency those are 360, 720 and 1440 samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .labels import strong_labels, weak_labels_per_window
+from .store import House, SmartMeterDataset
+
+__all__ = [
+    "WINDOW_LENGTHS",
+    "window_samples",
+    "extract_windows",
+    "Standardizer",
+    "WindowSet",
+    "make_windows",
+]
+
+#: GUI window-length options (§III) in minutes at the 1-min frequency.
+WINDOW_LENGTHS: dict[str, int] = {"6h": 360, "12h": 720, "1day": 1440}
+
+
+def window_samples(window: str | int, step_s: float = 60.0) -> int:
+    """Resolve a window spec (``"6h"``/``"12h"``/``"1day"`` or a sample
+    count) to a number of samples at ``step_s`` resolution."""
+    if isinstance(window, str):
+        try:
+            minutes = WINDOW_LENGTHS[window]
+        except KeyError:
+            raise KeyError(
+                f"unknown window {window!r}; options: "
+                f"{', '.join(WINDOW_LENGTHS)}"
+            ) from None
+        samples = minutes * 60.0 / step_s
+        if abs(samples - round(samples)) > 1e-9:
+            raise ValueError(
+                f"window {window} is not a whole number of {step_s}s samples"
+            )
+        return int(round(samples))
+    if window < 2:
+        raise ValueError("window must span at least 2 samples")
+    return int(window)
+
+
+def extract_windows(
+    series: np.ndarray, length: int, stride: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cut ``series`` into complete windows, dropping any with NaN.
+
+    Returns ``(windows, starts)`` where ``windows`` is ``(n, length)``
+    and ``starts`` holds each window's start index in the source series.
+    """
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise ValueError("series must be 1-D")
+    if length < 1:
+        raise ValueError("length must be >= 1")
+    stride = stride or length
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    starts = np.arange(0, len(series) - length + 1, stride)
+    if len(starts) == 0:
+        return np.empty((0, length)), np.empty(0, dtype=np.int64)
+    windows = np.stack([series[s : s + length] for s in starts])
+    keep = ~np.isnan(windows).any(axis=1)
+    return windows[keep], starts[keep]
+
+
+@dataclass
+class Standardizer:
+    """Global z-score scaler fit on training aggregates.
+
+    CamAL's attention step (paper §II.B step 5) computes
+    ``sigmoid(CAM(t) * x(t))`` — meaningful only when ``x`` is centred:
+    below-average power maps to negative values (→ status OFF) and
+    appliance activations map to positive values. A *global* scaler
+    (rather than per-window) keeps the watt scale comparable across
+    windows, so a kettle spike looks the same everywhere.
+    """
+
+    mean: float = 0.0
+    std: float = 1.0
+
+    @classmethod
+    def fit(cls, windows: np.ndarray) -> "Standardizer":
+        values = np.asarray(windows, dtype=np.float64).ravel()
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            raise ValueError("cannot fit a standardizer on empty data")
+        std = float(values.std())
+        return cls(mean=float(values.mean()), std=max(std, 1e-6))
+
+    def transform(self, windows: np.ndarray) -> np.ndarray:
+        return (np.asarray(windows, dtype=np.float64) - self.mean) / self.std
+
+    def inverse(self, windows: np.ndarray) -> np.ndarray:
+        return np.asarray(windows, dtype=np.float64) * self.std + self.mean
+
+
+@dataclass
+class WindowSet:
+    """Training/evaluation-ready windows for one appliance.
+
+    Attributes
+    ----------
+    x:
+        Standardized aggregates, shape ``(n, 1, T)`` (channel-first for
+        the conv nets).
+    x_watts:
+        Raw aggregates in watts, shape ``(n, T)`` (for display and for
+        watt-space baselines).
+    y_weak:
+        Window-level labels ``(n,)``.
+    y_strong:
+        Per-timestep ground-truth status ``(n, T)`` — used for training
+        the strongly supervised baselines and for *evaluating* all
+        localizers; never for training CamAL.
+    house_ids, starts:
+        Provenance of each window.
+    appliance:
+        Target appliance name.
+    scaler:
+        The fitted standardizer (shared with the test split).
+    """
+
+    x: np.ndarray
+    x_watts: np.ndarray
+    y_weak: np.ndarray
+    y_strong: np.ndarray
+    house_ids: list[str]
+    starts: np.ndarray
+    appliance: str
+    scaler: Standardizer = field(default_factory=Standardizer)
+
+    def __post_init__(self):
+        n = len(self.x)
+        shapes_ok = (
+            self.x.ndim == 3
+            and self.x.shape[1] == 1
+            and self.x_watts.shape == (n, self.x.shape[2])
+            and self.y_weak.shape == (n,)
+            and self.y_strong.shape == (n, self.x.shape[2])
+            and len(self.house_ids) == n
+            and self.starts.shape == (n,)
+        )
+        if not shapes_ok:
+            raise ValueError("inconsistent WindowSet component shapes")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def window_length(self) -> int:
+        return self.x.shape[2]
+
+    @property
+    def positive_fraction(self) -> float:
+        return float(self.y_weak.mean()) if len(self) else 0.0
+
+    def subset(self, indices: np.ndarray) -> "WindowSet":
+        indices = np.asarray(indices)
+        return WindowSet(
+            x=self.x[indices],
+            x_watts=self.x_watts[indices],
+            y_weak=self.y_weak[indices],
+            y_strong=self.y_strong[indices],
+            house_ids=[self.house_ids[i] for i in np.atleast_1d(indices)],
+            starts=self.starts[indices],
+            appliance=self.appliance,
+            scaler=self.scaler,
+        )
+
+
+def _house_windows(
+    house: House, appliance: str, length: int, stride: int | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aligned aggregate and status windows for one house."""
+    agg_windows, starts = extract_windows(house.aggregate, length, stride)
+    if appliance not in house.submeters:
+        raise KeyError(
+            f"house {house.house_id} has no submeter for {appliance!r}"
+        )
+    status = strong_labels(house.submeters[appliance], appliance)
+    status_windows = (
+        np.stack([status[s : s + length] for s in starts])
+        if len(starts)
+        else np.empty((0, length))
+    )
+    return agg_windows, status_windows, starts
+
+
+def make_windows(
+    dataset: SmartMeterDataset,
+    appliance: str,
+    window: str | int = "12h",
+    stride: int | None = None,
+    scaler: Standardizer | None = None,
+) -> WindowSet:
+    """Build a :class:`WindowSet` over every house of ``dataset``.
+
+    Weak labels come from the dataset's ``label_source``: per-window
+    activation for submetered datasets, the possession survey for
+    IDEAL-style datasets. When ``scaler`` is None a new standardizer is
+    fit on these windows (do that on the train split and pass the result
+    when windowing the test split).
+    """
+    length = window_samples(window, dataset.step_s)
+    all_agg, all_status, all_starts, all_houses = [], [], [], []
+    for house in dataset.houses:
+        agg, status, starts = _house_windows(house, appliance, length, stride)
+        all_agg.append(agg)
+        all_status.append(status)
+        all_starts.append(starts)
+        all_houses.extend([house.house_id] * len(agg))
+    x_watts = (
+        np.concatenate(all_agg) if all_agg else np.empty((0, length))
+    )
+    y_strong = (
+        np.concatenate(all_status) if all_status else np.empty((0, length))
+    )
+    starts = (
+        np.concatenate(all_starts)
+        if all_starts
+        else np.empty(0, dtype=np.int64)
+    )
+    if dataset.label_source == "possession":
+        possession_by_house = {
+            house.house_id: float(house.possession.get(appliance, False))
+            for house in dataset.houses
+        }
+        y_weak = np.array([possession_by_house[h] for h in all_houses])
+    else:
+        y_weak = weak_labels_per_window(y_strong)
+    scaler = scaler or Standardizer.fit(x_watts)
+    x = scaler.transform(x_watts)[:, None, :]
+    return WindowSet(
+        x=x,
+        x_watts=x_watts,
+        y_weak=y_weak,
+        y_strong=y_strong,
+        house_ids=all_houses,
+        starts=starts,
+        appliance=appliance,
+        scaler=scaler,
+    )

@@ -1,0 +1,84 @@
+"""Evaluation: metrics, the benchmark runner, and the Fig. 3 sweep."""
+
+from .analysis import (
+    ThresholdPoint,
+    best_threshold,
+    bootstrap_metric,
+    expected_calibration_error,
+    threshold_sweep,
+)
+from .benchmark import CAMAL_NAME, BenchmarkResult, BenchmarkRunner, MethodResult
+from .energy import EnergyEstimate, energy_kwh, estimate_energy
+from .events import Event, event_metrics, extract_events, match_events
+from .loho import LOHOFold, LOHOResult, leave_one_house_out
+from .label_efficiency import (
+    EfficiencyCurve,
+    EfficiencyPoint,
+    LabelEfficiencyResult,
+    LabelEfficiencySweep,
+    stratified_subsample,
+)
+from .per_house import per_house_detection, per_house_localization
+from .usage import UsageProfile, merge_close_events, usage_profile
+from .metrics import (
+    METRIC_NAMES,
+    ConfusionCounts,
+    Metrics,
+    compute_metrics,
+    confusion_counts,
+    detection_metrics,
+    localization_metrics,
+)
+from .results import (
+    format_benchmark,
+    format_efficiency,
+    format_loho,
+    format_table,
+    load_json,
+    save_json,
+)
+
+__all__ = [
+    "METRIC_NAMES",
+    "ConfusionCounts",
+    "Metrics",
+    "confusion_counts",
+    "compute_metrics",
+    "detection_metrics",
+    "localization_metrics",
+    "CAMAL_NAME",
+    "ThresholdPoint",
+    "threshold_sweep",
+    "best_threshold",
+    "expected_calibration_error",
+    "bootstrap_metric",
+    "EnergyEstimate",
+    "energy_kwh",
+    "estimate_energy",
+    "Event",
+    "LOHOFold",
+    "LOHOResult",
+    "leave_one_house_out",
+    "extract_events",
+    "match_events",
+    "event_metrics",
+    "per_house_detection",
+    "per_house_localization",
+    "UsageProfile",
+    "merge_close_events",
+    "usage_profile",
+    "MethodResult",
+    "BenchmarkResult",
+    "BenchmarkRunner",
+    "EfficiencyPoint",
+    "EfficiencyCurve",
+    "LabelEfficiencyResult",
+    "LabelEfficiencySweep",
+    "stratified_subsample",
+    "format_table",
+    "format_benchmark",
+    "format_efficiency",
+    "format_loho",
+    "save_json",
+    "load_json",
+]

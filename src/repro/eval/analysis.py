@@ -1,0 +1,141 @@
+"""Statistical analysis utilities: threshold sweeps, calibration,
+bootstrap confidence intervals.
+
+The demo fixes the detection threshold at 0.5 (§II.B step 2); these
+tools quantify how sensitive the reported numbers are to that choice,
+how trustworthy the ensemble probabilities are as probabilities, and how
+wide the sampling error on a metric is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import Metrics, compute_metrics
+
+__all__ = [
+    "ThresholdPoint",
+    "threshold_sweep",
+    "best_threshold",
+    "expected_calibration_error",
+    "bootstrap_metric",
+]
+
+
+@dataclass(frozen=True)
+class ThresholdPoint:
+    """Metrics at one decision threshold."""
+
+    threshold: float
+    metrics: Metrics
+
+
+def threshold_sweep(
+    y_true: np.ndarray,
+    probabilities: np.ndarray,
+    thresholds: np.ndarray | None = None,
+) -> list[ThresholdPoint]:
+    """Metrics across decision thresholds (a PR/F1 curve in table form)."""
+    y_true = np.asarray(y_true)
+    probabilities = np.asarray(probabilities)
+    if y_true.shape != probabilities.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {probabilities.shape}"
+        )
+    if thresholds is None:
+        thresholds = np.linspace(0.05, 0.95, 19)
+    points = []
+    for threshold in np.asarray(thresholds, dtype=np.float64):
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold {threshold} outside (0, 1)")
+        points.append(
+            ThresholdPoint(
+                threshold=float(threshold),
+                metrics=compute_metrics(y_true, probabilities > threshold),
+            )
+        )
+    return points
+
+
+def best_threshold(
+    y_true: np.ndarray,
+    probabilities: np.ndarray,
+    metric: str = "f1",
+    thresholds: np.ndarray | None = None,
+) -> ThresholdPoint:
+    """The sweep point maximizing ``metric`` (ties break toward 0.5)."""
+    points = threshold_sweep(y_true, probabilities, thresholds)
+    return max(
+        points,
+        key=lambda p: (p.metrics.get(metric), -abs(p.threshold - 0.5)),
+    )
+
+
+def expected_calibration_error(
+    y_true: np.ndarray,
+    probabilities: np.ndarray,
+    n_bins: int = 10,
+) -> float:
+    """ECE: mean |confidence − empirical accuracy| over probability bins.
+
+    0 means the ensemble's probabilities are perfectly calibrated; a
+    detector that says "0.9" should be right 90% of the time.
+    """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
+    y_true = np.asarray(y_true).ravel() > 0.5
+    probabilities = np.asarray(probabilities, dtype=np.float64).ravel()
+    if y_true.shape != probabilities.shape:
+        raise ValueError("shape mismatch")
+    if probabilities.size == 0:
+        raise ValueError("empty inputs")
+    if probabilities.min() < 0 or probabilities.max() > 1:
+        raise ValueError("probabilities must lie in [0, 1]")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(probabilities, edges[1:-1]), 0, n_bins - 1)
+    ece = 0.0
+    for b in range(n_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        confidence = probabilities[mask].mean()
+        accuracy = y_true[mask].mean()
+        ece += mask.mean() * abs(confidence - accuracy)
+    return float(ece)
+
+
+def bootstrap_metric(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    metric: str = "f1",
+    n_resamples: int = 500,
+    confidence: float = 0.95,
+    rng: np.random.Generator | None = None,
+) -> tuple[float, float, float]:
+    """Percentile bootstrap CI for a metric over sample units.
+
+    Resamples rows (windows) with replacement — the unit of independence
+    in a window-level evaluation. Returns ``(point, low, high)``.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_resamples < 10:
+        raise ValueError("n_resamples must be >= 10")
+    rng = rng or np.random.default_rng(0)
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shape mismatch")
+    n = y_true.shape[0]
+    if n < 2:
+        raise ValueError("need at least 2 samples to bootstrap")
+    point = compute_metrics(y_true, y_pred).get(metric)
+    values = np.empty(n_resamples)
+    for i in range(n_resamples):
+        idx = rng.integers(0, n, size=n)
+        values[i] = compute_metrics(y_true[idx], y_pred[idx]).get(metric)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(values, [alpha, 1.0 - alpha])
+    return float(point), float(low), float(high)

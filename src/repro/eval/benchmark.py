@@ -1,0 +1,267 @@
+"""Benchmark runner: CamAL vs the six baselines on one task.
+
+Produces the rows behind the DeviceScope benchmark frame (§III): for a
+given dataset × appliance × window length, every method is trained with
+its own supervision regime and evaluated on held-out houses for both
+detection (window level) and localization (timestep level), together
+with the number of labels its training consumed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import CamAL, CamALConfig
+from ..datasets import WindowSet, count_strong_labels, count_weak_labels
+from ..models import (
+    TrainConfig,
+    get_baseline_spec,
+    list_baselines,
+    train_classifier,
+    train_mil,
+    train_seq2seq,
+)
+from .metrics import Metrics, detection_metrics, localization_metrics
+
+__all__ = ["MethodResult", "BenchmarkResult", "BenchmarkRunner"]
+
+#: Registry name used for the paper's method.
+CAMAL_NAME = "camal"
+
+
+@dataclass
+class MethodResult:
+    """One method's scores on one task."""
+
+    method: str
+    display_name: str
+    supervision: str
+    detection: Metrics
+    localization: Metrics
+    labels_used: int
+    train_seconds: float
+
+    def row(self, kind: str = "localization") -> dict:
+        metrics = self.localization if kind == "localization" else self.detection
+        return {
+            "method": self.display_name,
+            "supervision": self.supervision,
+            "labels": self.labels_used,
+            **metrics.as_dict(),
+        }
+
+
+@dataclass
+class BenchmarkResult:
+    """All methods' scores on one dataset × appliance × window task."""
+
+    dataset: str
+    appliance: str
+    window: str | int
+    n_train_windows: int
+    n_test_windows: int
+    results: list[MethodResult] = field(default_factory=list)
+
+    def get(self, method: str) -> MethodResult:
+        for result in self.results:
+            if result.method == method:
+                return result
+        raise KeyError(
+            f"no result for {method!r}; available: "
+            f"{', '.join(r.method for r in self.results)}"
+        )
+
+    @property
+    def methods(self) -> list[str]:
+        return [r.method for r in self.results]
+
+    def to_rows(self, kind: str = "localization") -> list[dict]:
+        if kind not in ("detection", "localization"):
+            raise ValueError("kind must be 'detection' or 'localization'")
+        return [r.row(kind) for r in self.results]
+
+    def to_dict(self) -> dict:
+        """JSON-serializable summary (used by the app's benchmark frame)."""
+        return {
+            "dataset": self.dataset,
+            "appliance": self.appliance,
+            "window": self.window,
+            "n_train_windows": self.n_train_windows,
+            "n_test_windows": self.n_test_windows,
+            "methods": {
+                r.method: {
+                    "display_name": r.display_name,
+                    "supervision": r.supervision,
+                    "labels_used": r.labels_used,
+                    "train_seconds": r.train_seconds,
+                    "detection": r.detection.as_dict(),
+                    "localization": r.localization.as_dict(),
+                }
+                for r in self.results
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchmarkResult":
+        """Rebuild from :meth:`to_dict` output (JSON round trip)."""
+        result = cls(
+            dataset=payload["dataset"],
+            appliance=payload["appliance"],
+            window=payload["window"],
+            n_train_windows=int(payload["n_train_windows"]),
+            n_test_windows=int(payload["n_test_windows"]),
+        )
+        for name, entry in payload["methods"].items():
+            result.results.append(
+                MethodResult(
+                    method=name,
+                    display_name=entry["display_name"],
+                    supervision=entry["supervision"],
+                    detection=Metrics.from_dict(entry["detection"]),
+                    localization=Metrics.from_dict(entry["localization"]),
+                    labels_used=int(entry["labels_used"]),
+                    train_seconds=float(entry["train_seconds"]),
+                )
+            )
+        return result
+
+
+class BenchmarkRunner:
+    """Trains and scores every method on one train/test window pair.
+
+    Parameters
+    ----------
+    train_windows, test_windows:
+        Disjoint-household window sets sharing a scaler.
+    train_config:
+        Shared training hyperparameters.
+    camal_kernel_sizes, camal_filters, camal_config:
+        CamAL architecture/inference knobs.
+    seed:
+        Base seed for model initialization.
+    """
+
+    def __init__(
+        self,
+        train_windows: WindowSet,
+        test_windows: WindowSet,
+        train_config: TrainConfig | None = None,
+        camal_kernel_sizes: tuple[int, ...] = (5, 7, 9, 15),
+        camal_filters: tuple[int, int, int] = (8, 16, 16),
+        camal_config: CamALConfig | None = None,
+        seed: int = 0,
+        dataset_name: str = "",
+    ):
+        if len(train_windows) == 0 or len(test_windows) == 0:
+            raise ValueError("train and test window sets must be non-empty")
+        if train_windows.window_length != test_windows.window_length:
+            raise ValueError("train/test window lengths differ")
+        self.train_windows = train_windows
+        self.test_windows = test_windows
+        self.train_config = train_config or TrainConfig()
+        self.camal_kernel_sizes = camal_kernel_sizes
+        self.camal_filters = camal_filters
+        self.camal_config = camal_config
+        self.seed = seed
+        self.dataset_name = dataset_name
+
+    # -- method adapters ----------------------------------------------------
+
+    def _evaluate(
+        self,
+        name: str,
+        display_name: str,
+        supervision: str,
+        probabilities: np.ndarray,
+        status: np.ndarray,
+        labels_used: int,
+        train_seconds: float,
+    ) -> MethodResult:
+        return MethodResult(
+            method=name,
+            display_name=display_name,
+            supervision=supervision,
+            detection=detection_metrics(self.test_windows.y_weak, probabilities),
+            localization=localization_metrics(
+                self.test_windows.y_strong, status
+            ),
+            labels_used=labels_used,
+            train_seconds=train_seconds,
+        )
+
+    def run_camal(self, train_windows: WindowSet | None = None) -> MethodResult:
+        """Train and score CamAL (weak supervision)."""
+        windows = train_windows or self.train_windows
+        start = time.perf_counter()
+        model = CamAL.train(
+            windows,
+            kernel_sizes=self.camal_kernel_sizes,
+            n_filters=self.camal_filters,
+            train_config=self.train_config,
+            config=self.camal_config,
+            seed=self.seed,
+        )
+        elapsed = time.perf_counter() - start
+        result = model.localize(self.test_windows.x)
+        return self._evaluate(
+            CAMAL_NAME,
+            "CamAL",
+            "weak",
+            result.probabilities,
+            result.status,
+            count_weak_labels(len(windows)),
+            elapsed,
+        )
+
+    def run_baseline(
+        self, name: str, train_windows: WindowSet | None = None
+    ) -> MethodResult:
+        """Train and score one registry baseline."""
+        spec = get_baseline_spec(name)
+        windows = train_windows or self.train_windows
+        model = spec.factory(np.random.default_rng(self.seed))
+        trainers = {
+            "seq2seq": train_seq2seq,
+            "mil": train_mil,
+            "classifier": train_classifier,
+        }
+        start = time.perf_counter()
+        trainers[spec.trainer](model, windows, self.train_config)
+        elapsed = time.perf_counter() - start
+        status = model.predict_status(self.test_windows.x)
+        if spec.supervision == "strong":
+            # Detection is derived: the window's max ON probability.
+            probabilities = model.predict_status_proba(
+                self.test_windows.x
+            ).max(axis=1)
+            labels = count_strong_labels(len(windows), windows.window_length)
+        else:
+            probabilities = model.predict_proba(self.test_windows.x)
+            labels = count_weak_labels(len(windows))
+        return self._evaluate(
+            name,
+            spec.display_name,
+            spec.supervision,
+            probabilities,
+            status,
+            labels,
+            elapsed,
+        )
+
+    def run_all(self, methods: list[str] | None = None) -> BenchmarkResult:
+        """Run CamAL plus the requested baselines (default: all six)."""
+        methods = methods if methods is not None else list_baselines()
+        result = BenchmarkResult(
+            dataset=self.dataset_name,
+            appliance=self.train_windows.appliance,
+            window=self.train_windows.window_length,
+            n_train_windows=len(self.train_windows),
+            n_test_windows=len(self.test_windows),
+        )
+        result.results.append(self.run_camal())
+        for name in methods:
+            result.results.append(self.run_baseline(name))
+        return result

@@ -1,0 +1,119 @@
+"""Event-level evaluation of localizations.
+
+Per-timestep metrics punish small boundary errors on long activations
+and reward marking half of every event. Event-level scoring — standard
+in the NILM literature — asks the question users actually care about:
+*did the system find each activation?* Two events match when they
+overlap in time (optionally within a tolerance); matching is one-to-one
+and greedy by overlap size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Event", "extract_events", "match_events", "event_metrics"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A half-open activation interval ``[start, end)`` in samples."""
+
+    start: int
+    end: int
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError(f"empty event [{self.start}, {self.end})")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def overlap(self, other: "Event") -> int:
+        return max(0, min(self.end, other.end) - max(self.start, other.start))
+
+
+def extract_events(status: np.ndarray) -> list[Event]:
+    """ON runs of a binary status series as a list of events."""
+    status = np.asarray(status)
+    if status.ndim != 1:
+        raise ValueError(f"expected 1-D status, got shape {status.shape}")
+    on = np.concatenate([[False], status > 0.5, [False]])
+    starts = np.flatnonzero(on[1:] & ~on[:-1])
+    ends = np.flatnonzero(~on[1:] & on[:-1])
+    return [Event(int(s), int(e)) for s, e in zip(starts, ends)]
+
+
+def match_events(
+    true_events: list[Event],
+    pred_events: list[Event],
+    tolerance: int = 0,
+) -> list[tuple[int, int]]:
+    """Greedy one-to-one matching by overlap.
+
+    ``tolerance`` widens each true event by that many samples on both
+    sides before testing overlap, forgiving small boundary shifts.
+    Returns index pairs ``(true_idx, pred_idx)``.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be >= 0")
+    candidates = []
+    for i, true_event in enumerate(true_events):
+        widened = Event(
+            max(true_event.start - tolerance, 0), true_event.end + tolerance
+        )
+        for j, pred_event in enumerate(pred_events):
+            overlap = widened.overlap(pred_event)
+            if overlap > 0:
+                candidates.append((overlap, i, j))
+    candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+    matched_true: set[int] = set()
+    matched_pred: set[int] = set()
+    pairs = []
+    for _, i, j in candidates:
+        if i in matched_true or j in matched_pred:
+            continue
+        matched_true.add(i)
+        matched_pred.add(j)
+        pairs.append((i, j))
+    return pairs
+
+
+def event_metrics(
+    true_status: np.ndarray,
+    pred_status: np.ndarray,
+    tolerance: int = 0,
+) -> dict[str, float]:
+    """Event precision/recall/F1 over stacked windows ``(N, T)`` or a
+    single series ``(T,)``."""
+    true_status = np.atleast_2d(np.asarray(true_status))
+    pred_status = np.atleast_2d(np.asarray(pred_status))
+    if true_status.shape != pred_status.shape:
+        raise ValueError(
+            f"shape mismatch: {true_status.shape} vs {pred_status.shape}"
+        )
+    n_true = n_pred = n_matched = 0
+    for truth_row, pred_row in zip(true_status, pred_status):
+        true_events = extract_events(truth_row)
+        pred_events = extract_events(pred_row)
+        n_true += len(true_events)
+        n_pred += len(pred_events)
+        n_matched += len(match_events(true_events, pred_events, tolerance))
+    precision = n_matched / n_pred if n_pred else 0.0
+    recall = n_matched / n_true if n_true else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return {
+        "event_precision": precision,
+        "event_recall": recall,
+        "event_f1": f1,
+        "n_true_events": float(n_true),
+        "n_pred_events": float(n_pred),
+        "n_matched": float(n_matched),
+    }

@@ -1,0 +1,295 @@
+"""Label-efficiency sweep — the harness behind Figure 3.
+
+For each label budget, every method gets exactly that many labels:
+a weakly supervised method labels one *window* per label, a strongly
+supervised method labels one *timestep* per label (so its window count
+is ``budget // window_length``). Each method trains on its affordable
+subsample and is scored on a fixed held-out test set with localization
+F1 — reproducing the paper's "accuracy vs number of labels" axes, the
+2.2× weak-baseline gap, and the ~5200× label-cost crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datasets import WindowSet
+from ..models import TrainConfig, get_baseline_spec
+from .benchmark import CAMAL_NAME, BenchmarkRunner
+
+__all__ = [
+    "EfficiencyPoint",
+    "EfficiencyCurve",
+    "LabelEfficiencyResult",
+    "stratified_subsample",
+    "LabelEfficiencySweep",
+]
+
+
+@dataclass(frozen=True)
+class EfficiencyPoint:
+    """One (budget, score) sample of a method's curve."""
+
+    labels: int  # labels actually consumed
+    windows: int  # training windows that budget affords
+    f1: float  # localization F1 on the fixed test set
+    detection_f1: float = 0.0
+
+
+@dataclass
+class EfficiencyCurve:
+    """One method's label-efficiency curve."""
+
+    method: str
+    display_name: str
+    supervision: str
+    points: list[EfficiencyPoint] = field(default_factory=list)
+
+    @property
+    def best_f1(self) -> float:
+        return max((p.f1 for p in self.points), default=0.0)
+
+    def f1_at_or_below(self, budget: int) -> float:
+        """Best F1 achievable within ``budget`` labels."""
+        eligible = [p.f1 for p in self.points if p.labels <= budget]
+        return max(eligible, default=0.0)
+
+    def labels_to_reach(self, target_f1: float) -> int | None:
+        """Smallest label budget whose F1 meets ``target_f1`` (None if never)."""
+        reached = [p.labels for p in self.points if p.f1 >= target_f1]
+        return min(reached, default=None)
+
+
+@dataclass
+class LabelEfficiencyResult:
+    """All curves for one dataset × appliance task (Fig. 3)."""
+
+    dataset: str
+    appliance: str
+    window_length: int
+    curves: dict[str, EfficiencyCurve] = field(default_factory=dict)
+
+    def get(self, method: str) -> EfficiencyCurve:
+        try:
+            return self.curves[method]
+        except KeyError:
+            raise KeyError(
+                f"no curve for {method!r}; available: "
+                f"{', '.join(self.curves)}"
+            ) from None
+
+    def crossover_ratio(self, strong_method: str, reference: str = CAMAL_NAME) -> float | None:
+        """How many × more labels ``strong_method`` needs to match the
+        reference's best F1. ``None`` when it never gets there."""
+        ref = self.get(reference)
+        target = ref.best_f1
+        ref_labels = ref.labels_to_reach(target)
+        strong_labels = self.get(strong_method).labels_to_reach(target)
+        if ref_labels is None or strong_labels is None or ref_labels == 0:
+            return None
+        return strong_labels / ref_labels
+
+    def weak_gap(self, weak_method: str = "mil", reference: str = CAMAL_NAME) -> float | None:
+        """F1 ratio reference/weak at the weak methods' common best —
+        the paper's "2.2× better than the other weakly supervised
+        baseline"."""
+        weak_best = self.get(weak_method).best_f1
+        if weak_best == 0.0:
+            return None
+        return self.get(reference).best_f1 / weak_best
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "appliance": self.appliance,
+            "window_length": self.window_length,
+            "curves": {
+                name: {
+                    "display_name": curve.display_name,
+                    "supervision": curve.supervision,
+                    "points": [
+                        {
+                            "labels": p.labels,
+                            "windows": p.windows,
+                            "f1": p.f1,
+                            "detection_f1": p.detection_f1,
+                        }
+                        for p in curve.points
+                    ],
+                }
+                for name, curve in self.curves.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "LabelEfficiencyResult":
+        """Rebuild from :meth:`to_dict` output (JSON round trip)."""
+        result = cls(
+            dataset=payload["dataset"],
+            appliance=payload["appliance"],
+            window_length=int(payload["window_length"]),
+        )
+        for name, entry in payload["curves"].items():
+            curve = EfficiencyCurve(
+                method=name,
+                display_name=entry["display_name"],
+                supervision=entry["supervision"],
+            )
+            curve.points = [
+                EfficiencyPoint(
+                    labels=int(p["labels"]),
+                    windows=int(p["windows"]),
+                    f1=float(p["f1"]),
+                    detection_f1=float(p.get("detection_f1", 0.0)),
+                )
+                for p in entry["points"]
+            ]
+            result.curves[name] = curve
+        return result
+
+
+def stratified_subsample(
+    windows: WindowSet, n: int, rng: np.random.Generator
+) -> WindowSet:
+    """Pick ``n`` windows preserving the positive/negative balance.
+
+    Guarantees at least one window of each class when both exist in the
+    source — a detector can't train on a single class.
+    """
+    total = len(windows)
+    if not 1 <= n <= total:
+        raise ValueError(f"cannot subsample {n} of {total} windows")
+    positives = np.flatnonzero(windows.y_weak > 0.5)
+    negatives = np.flatnonzero(windows.y_weak <= 0.5)
+    if len(positives) == 0 or len(negatives) == 0 or n == 1:
+        idx = rng.permutation(total)[:n]
+        return windows.subset(np.sort(idx))
+    n_pos = int(round(n * len(positives) / total))
+    n_pos = min(max(n_pos, 1), n - 1, len(positives))
+    n_neg = min(n - n_pos, len(negatives))
+    chosen = np.concatenate(
+        [
+            rng.choice(positives, size=n_pos, replace=False),
+            rng.choice(negatives, size=n_neg, replace=False),
+        ]
+    )
+    return windows.subset(np.sort(chosen))
+
+
+class LabelEfficiencySweep:
+    """Runs the Fig. 3 experiment.
+
+    Parameters
+    ----------
+    train_windows, test_windows:
+        The full task; each budget subsamples ``train_windows``.
+    budgets:
+        Label budgets to sweep. Defaults to decades from 10 to the
+        strong-supervision cost of the full training set.
+    methods:
+        Baselines to include (default: all six).
+    min_windows:
+        Skip (method, budget) pairs affording fewer than this many
+        training windows — below it training is degenerate.
+    """
+
+    def __init__(
+        self,
+        train_windows: WindowSet,
+        test_windows: WindowSet,
+        budgets: list[int] | None = None,
+        methods: list[str] | None = None,
+        train_config: TrainConfig | None = None,
+        camal_kernel_sizes: tuple[int, ...] = (5, 7, 9, 15),
+        camal_filters: tuple[int, int, int] = (8, 16, 16),
+        min_windows: int = 4,
+        seed: int = 0,
+        dataset_name: str = "",
+    ):
+        self.train_windows = train_windows
+        self.test_windows = test_windows
+        t = train_windows.window_length
+        max_strong = len(train_windows) * t
+        if budgets is None:
+            budgets = []
+            budget = 10
+            while budget < max_strong:
+                budgets.append(budget)
+                budget *= 10
+            budgets.append(max_strong)
+        self.budgets = sorted(set(int(b) for b in budgets))
+        if any(b < 1 for b in self.budgets):
+            raise ValueError("budgets must be positive")
+        self.methods = methods if methods is not None else [
+            "seq2seq_cnn", "seq2point", "dae", "unet", "bigru", "mil",
+        ]
+        self.runner = BenchmarkRunner(
+            train_windows,
+            test_windows,
+            train_config=train_config,
+            camal_kernel_sizes=camal_kernel_sizes,
+            camal_filters=camal_filters,
+            seed=seed,
+            dataset_name=dataset_name,
+        )
+        self.min_windows = min_windows
+        self.seed = seed
+        self.dataset_name = dataset_name
+
+    def _windows_for_budget(self, supervision: str, budget: int) -> int:
+        if supervision == "weak":
+            affordable = budget
+        else:
+            affordable = budget // self.train_windows.window_length
+        return min(affordable, len(self.train_windows))
+
+    def _labels_consumed(self, supervision: str, n_windows: int) -> int:
+        if supervision == "weak":
+            return n_windows
+        return n_windows * self.train_windows.window_length
+
+    def run(self, verbose: bool = False) -> LabelEfficiencyResult:
+        """Sweep every method over every budget."""
+        result = LabelEfficiencyResult(
+            dataset=self.dataset_name,
+            appliance=self.train_windows.appliance,
+            window_length=self.train_windows.window_length,
+        )
+        specs = [(CAMAL_NAME, "CamAL", "weak")]
+        for name in self.methods:
+            spec = get_baseline_spec(name)
+            specs.append((name, spec.display_name, spec.supervision))
+        for name, display, supervision in specs:
+            curve = EfficiencyCurve(name, display, supervision)
+            seen_window_counts: set[int] = set()
+            for i, budget in enumerate(self.budgets):
+                n_windows = self._windows_for_budget(supervision, budget)
+                if n_windows < self.min_windows:
+                    continue
+                if n_windows in seen_window_counts:
+                    continue  # same effective training set; skip retrain
+                seen_window_counts.add(n_windows)
+                rng = np.random.default_rng(self.seed + 1000 + i)
+                subsample = stratified_subsample(
+                    self.train_windows, n_windows, rng
+                )
+                if name == CAMAL_NAME:
+                    method_result = self.runner.run_camal(subsample)
+                else:
+                    method_result = self.runner.run_baseline(name, subsample)
+                point = EfficiencyPoint(
+                    labels=self._labels_consumed(supervision, n_windows),
+                    windows=n_windows,
+                    f1=method_result.localization.f1,
+                    detection_f1=method_result.detection.f1,
+                )
+                curve.points.append(point)
+                if verbose:  # pragma: no cover - logging only
+                    print(
+                        f"{display:12s} labels={point.labels:>8d} "
+                        f"windows={n_windows:>5d} locF1={point.f1:.3f}"
+                    )
+            result.curves[name] = curve
+        return result

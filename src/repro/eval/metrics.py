@@ -1,0 +1,142 @@
+"""Classification metrics for detection and localization.
+
+The paper's benchmark frame reports Accuracy, Balanced Accuracy,
+Precision, Recall, and F1 Score (§III). Detection metrics operate on one
+prediction per window; localization metrics on one per timestep
+(flattened across windows). All ratios define 0/0 as 0, the standard
+convention when a fold has no positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "METRIC_NAMES",
+    "ConfusionCounts",
+    "Metrics",
+    "confusion_counts",
+    "compute_metrics",
+    "detection_metrics",
+    "localization_metrics",
+]
+
+METRIC_NAMES: tuple[str, ...] = (
+    "accuracy",
+    "balanced_accuracy",
+    "precision",
+    "recall",
+    "f1",
+)
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion-matrix counts."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> ConfusionCounts:
+    """Count TP/FP/TN/FN from binary arrays of any (matching) shape."""
+    y_true = np.asarray(y_true).ravel() > 0.5
+    y_pred = np.asarray(y_pred).ravel() > 0.5
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("cannot compute metrics on empty arrays")
+    return ConfusionCounts(
+        tp=int(np.sum(y_pred & y_true)),
+        fp=int(np.sum(y_pred & ~y_true)),
+        tn=int(np.sum(~y_pred & ~y_true)),
+        fn=int(np.sum(~y_pred & y_true)),
+    )
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """The five scores of the paper's benchmark frame."""
+
+    accuracy: float
+    balanced_accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    counts: ConfusionCounts = field(
+        default_factory=lambda: ConfusionCounts(0, 0, 0, 0), compare=False
+    )
+
+    def as_dict(self) -> dict[str, float]:
+        return {name: getattr(self, name) for name in METRIC_NAMES}
+
+    def get(self, name: str) -> float:
+        if name not in METRIC_NAMES:
+            raise KeyError(
+                f"unknown metric {name!r}; available: {', '.join(METRIC_NAMES)}"
+            )
+        return getattr(self, name)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Metrics":
+        """Rebuild from :meth:`as_dict` output (confusion counts are not
+        serialized and come back zeroed)."""
+        return cls(**{name: float(payload[name]) for name in METRIC_NAMES})
+
+
+def compute_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> Metrics:
+    """All five metrics from binary arrays."""
+    counts = confusion_counts(y_true, y_pred)
+    precision = _ratio(counts.tp, counts.tp + counts.fp)
+    recall = _ratio(counts.tp, counts.tp + counts.fn)
+    specificity = _ratio(counts.tn, counts.tn + counts.fp)
+    return Metrics(
+        accuracy=_ratio(counts.tp + counts.tn, counts.total),
+        balanced_accuracy=0.5 * (recall + specificity),
+        precision=precision,
+        recall=recall,
+        f1=_ratio(2.0 * precision * recall, precision + recall),
+        counts=counts,
+    )
+
+
+def detection_metrics(
+    y_weak_true: np.ndarray, probabilities: np.ndarray, threshold: float = 0.5
+) -> Metrics:
+    """Window-level detection metrics from probabilities ``(N,)``."""
+    probabilities = np.asarray(probabilities)
+    if probabilities.ndim != 1:
+        raise ValueError(
+            f"expected (N,) probabilities, got shape {probabilities.shape}"
+        )
+    return compute_metrics(y_weak_true, probabilities > threshold)
+
+
+def localization_metrics(
+    y_strong_true: np.ndarray, status_pred: np.ndarray
+) -> Metrics:
+    """Per-timestep localization metrics from status stacks ``(N, T)``."""
+    y_strong_true = np.asarray(y_strong_true)
+    status_pred = np.asarray(status_pred)
+    if y_strong_true.shape != status_pred.shape:
+        raise ValueError(
+            f"shape mismatch: truth {y_strong_true.shape} vs "
+            f"prediction {status_pred.shape}"
+        )
+    if y_strong_true.ndim != 2:
+        raise ValueError("localization metrics expect (N, T) stacks")
+    return compute_metrics(y_strong_true, status_pred)

@@ -1,0 +1,59 @@
+"""Per-household result breakdown.
+
+Aggregate metrics hide heterogeneity: a detector can ace four houses and
+fail the fifth (different appliance models, different base loads). The
+per-house breakdown groups a :class:`~repro.datasets.WindowSet`'s
+evaluation by source household — the unit the train/test split is made
+of — which is how regressions localized to one household get spotted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datasets import WindowSet
+from .metrics import Metrics, detection_metrics, localization_metrics
+
+__all__ = ["per_house_detection", "per_house_localization"]
+
+
+def _house_groups(windows: WindowSet) -> dict[str, np.ndarray]:
+    groups: dict[str, list[int]] = {}
+    for i, house_id in enumerate(windows.house_ids):
+        groups.setdefault(house_id, []).append(i)
+    return {hid: np.asarray(idx) for hid, idx in groups.items()}
+
+
+def per_house_detection(
+    windows: WindowSet, probabilities: np.ndarray, threshold: float = 0.5
+) -> dict[str, Metrics]:
+    """Detection metrics grouped by household."""
+    probabilities = np.asarray(probabilities)
+    if probabilities.shape != (len(windows),):
+        raise ValueError(
+            f"expected ({len(windows)},) probabilities, "
+            f"got {probabilities.shape}"
+        )
+    return {
+        house_id: detection_metrics(
+            windows.y_weak[idx], probabilities[idx], threshold
+        )
+        for house_id, idx in _house_groups(windows).items()
+    }
+
+
+def per_house_localization(
+    windows: WindowSet, status: np.ndarray
+) -> dict[str, Metrics]:
+    """Localization metrics grouped by household."""
+    status = np.asarray(status)
+    if status.shape != windows.y_strong.shape:
+        raise ValueError(
+            f"expected {windows.y_strong.shape} status, got {status.shape}"
+        )
+    return {
+        house_id: localization_metrics(
+            windows.y_strong[idx], status[idx]
+        )
+        for house_id, idx in _house_groups(windows).items()
+    }

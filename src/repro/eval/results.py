@@ -1,0 +1,116 @@
+"""Result formatting and persistence.
+
+Plain-text tables (what the bench harnesses print) and JSON round-trips
+(what the app's benchmark frame browses).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .benchmark import BenchmarkResult
+from .label_efficiency import LabelEfficiencyResult
+from .loho import LOHOResult
+from .metrics import METRIC_NAMES
+
+__all__ = [
+    "format_table",
+    "format_benchmark",
+    "format_efficiency",
+    "format_loho",
+    "save_json",
+    "load_json",
+]
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None) -> str:
+    """Render dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = columns or list(rows[0])
+    widths = {}
+    rendered = []
+    for row in rows:
+        cells = {}
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                cells[col] = f"{value:.3f}"
+            else:
+                cells[col] = str(value)
+        rendered.append(cells)
+    for col in columns:
+        widths[col] = max(len(col), *(len(r[col]) for r in rendered))
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    rule = "  ".join("-" * widths[col] for col in columns)
+    body = [
+        "  ".join(r[col].ljust(widths[col]) for col in columns)
+        for r in rendered
+    ]
+    return "\n".join([header, rule, *body])
+
+
+def format_benchmark(result: BenchmarkResult, kind: str = "localization") -> str:
+    """Benchmark table in the paper's metric order."""
+    title = (
+        f"[{result.dataset or 'dataset'}] {result.appliance} — {kind} "
+        f"(train={result.n_train_windows} windows, "
+        f"test={result.n_test_windows})"
+    )
+    columns = ["method", "supervision", "labels", *METRIC_NAMES]
+    return title + "\n" + format_table(result.to_rows(kind), columns)
+
+
+def format_efficiency(result: LabelEfficiencyResult) -> str:
+    """Fig. 3 as text: one row per (method, budget) point."""
+    rows = []
+    for curve in result.curves.values():
+        for point in curve.points:
+            rows.append(
+                {
+                    "method": curve.display_name,
+                    "supervision": curve.supervision,
+                    "labels": point.labels,
+                    "windows": point.windows,
+                    "loc_f1": point.f1,
+                    "det_f1": point.detection_f1,
+                }
+            )
+    title = (
+        f"[{result.dataset or 'dataset'}] {result.appliance} — "
+        f"localization F1 vs labels (window={result.window_length})"
+    )
+    return title + "\n" + format_table(
+        rows, ["method", "supervision", "labels", "windows", "loc_f1", "det_f1"]
+    )
+
+
+def format_loho(result: LOHOResult) -> str:
+    """Leave-one-house-out folds plus the mean ± std summary row."""
+    rows = result.to_rows()
+    det_mean, det_std = result.summary("detection", "f1")
+    loc_mean, loc_std = result.summary("localization", "f1")
+    table = format_table(rows)
+    summary = (
+        f"mean ± std — detection F1 {det_mean:.3f} ± {det_std:.3f}, "
+        f"localization F1 {loc_mean:.3f} ± {loc_std:.3f}"
+    )
+    return (
+        f"Leave-one-house-out — {result.appliance} "
+        f"({len(result.folds)} folds)\n{table}\n{summary}"
+    )
+
+
+def save_json(
+    result: BenchmarkResult | LabelEfficiencyResult, path: str | os.PathLike
+) -> None:
+    """Persist a result's dict form as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+
+
+def load_json(path: str | os.PathLike) -> dict:
+    """Load a result dict saved by :func:`save_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

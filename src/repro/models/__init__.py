@@ -1,0 +1,68 @@
+"""Detector architectures: the CamAL ResNet ensemble and six baselines."""
+
+from .augment import AugmentConfig, augment_batch, jitter, scale, time_mask
+from .baselines import (
+    BiGRUSeq2Seq,
+    DAENILM,
+    MILPoolingDetector,
+    Seq2PointCNN,
+    Seq2SeqCNN,
+    Seq2SeqNILM,
+    UNetNILM,
+)
+from .ensemble import DEFAULT_KERNEL_SIZES, ResNetEnsemble, normalize_cam
+from .layers import LSEPool1d, SqueezeChannel, TransposeCT, TransposeTC
+from .registry import (
+    BASELINES,
+    EXTRA_BASELINES,
+    ModelSpec,
+    get_baseline_spec,
+    list_baselines,
+)
+from .resnet import ResidualBlock, ResNetTSC
+from .transapp import TransAppDetector, sinusoidal_positions
+from .training import (
+    TrainConfig,
+    auto_pos_weight,
+    train_classifier,
+    train_ensemble,
+    train_mil,
+    train_seq2seq,
+)
+
+__all__ = [
+    "ResNetTSC",
+    "ResidualBlock",
+    "ResNetEnsemble",
+    "DEFAULT_KERNEL_SIZES",
+    "normalize_cam",
+    "Seq2SeqNILM",
+    "Seq2SeqCNN",
+    "Seq2PointCNN",
+    "DAENILM",
+    "UNetNILM",
+    "BiGRUSeq2Seq",
+    "MILPoolingDetector",
+    "SqueezeChannel",
+    "TransposeTC",
+    "TransposeCT",
+    "LSEPool1d",
+    "ModelSpec",
+    "BASELINES",
+    "EXTRA_BASELINES",
+    "list_baselines",
+    "get_baseline_spec",
+    "TransAppDetector",
+    "sinusoidal_positions",
+    "TrainConfig",
+    "AugmentConfig",
+    "augment_batch",
+    "jitter",
+    "scale",
+    "time_mask",
+    "auto_pos_weight",
+    "train_classifier",
+    "train_seq2seq",
+    "train_mil",
+    "train_ensemble",
+]

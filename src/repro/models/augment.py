@@ -1,0 +1,106 @@
+"""Training-time augmentation for consumption windows.
+
+Standard TSC augmentations adapted to watt series: jitter (measurement
+noise), scaling (household-level load magnitude), and time masking
+(short meter dropouts filled with the window mean). All operate on the
+standardized ``(N, 1, T)`` windows and are label-preserving for the
+*weak* detection task — an appliance that ran still ran after any of
+them.
+
+Augmentation is wired into the classifier recipe through
+``TrainConfig``-style options on :func:`augment_batch`; each epoch sees
+a fresh random draw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AugmentConfig", "jitter", "scale", "time_mask", "augment_batch"]
+
+
+@dataclass(frozen=True)
+class AugmentConfig:
+    """Which augmentations to apply and how strongly."""
+
+    jitter_std: float = 0.05
+    scale_range: tuple[float, float] = (0.9, 1.1)
+    mask_probability: float = 0.2
+    mask_max_fraction: float = 0.1
+
+    def __post_init__(self):
+        if self.jitter_std < 0:
+            raise ValueError("jitter_std must be >= 0")
+        low, high = self.scale_range
+        if not 0 < low <= high:
+            raise ValueError("scale_range must satisfy 0 < low <= high")
+        if not 0.0 <= self.mask_probability <= 1.0:
+            raise ValueError("mask_probability must be in [0, 1]")
+        if not 0.0 <= self.mask_max_fraction < 1.0:
+            raise ValueError("mask_max_fraction must be in [0, 1)")
+
+
+def jitter(x: np.ndarray, std: float, rng: np.random.Generator) -> np.ndarray:
+    """Additive Gaussian noise (extra measurement error)."""
+    if std < 0:
+        raise ValueError("std must be >= 0")
+    if std == 0:
+        return x.copy()
+    return x + rng.normal(0.0, std, size=x.shape)
+
+
+def scale(
+    x: np.ndarray, scale_range: tuple[float, float], rng: np.random.Generator
+) -> np.ndarray:
+    """Per-window multiplicative scaling (household load magnitude)."""
+    low, high = scale_range
+    if not 0 < low <= high:
+        raise ValueError("scale_range must satisfy 0 < low <= high")
+    factors = rng.uniform(low, high, size=(x.shape[0],) + (1,) * (x.ndim - 1))
+    return x * factors
+
+
+def time_mask(
+    x: np.ndarray,
+    probability: float,
+    max_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Blank a random span of some windows with the window mean.
+
+    Emulates short meter dropouts that the resampler smoothed over;
+    teaches the detector not to rely on any single region.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+    if not 0.0 <= max_fraction < 1.0:
+        raise ValueError("max_fraction must be in [0, 1)")
+    out = x.copy()
+    if probability == 0.0 or max_fraction == 0.0:
+        return out
+    n, _, t = out.shape
+    max_len = max(int(t * max_fraction), 1)
+    for i in range(n):
+        if rng.random() >= probability:
+            continue
+        length = int(rng.integers(1, max_len + 1))
+        start = int(rng.integers(0, t - length + 1))
+        out[i, :, start : start + length] = out[i].mean()
+    return out
+
+
+def augment_batch(
+    x: np.ndarray, config: AugmentConfig, rng: np.random.Generator
+) -> np.ndarray:
+    """Apply the configured augmentations to a ``(N, 1, T)`` batch."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 3:
+        raise ValueError(f"expected (N, 1, T) batch, got shape {x.shape}")
+    out = scale(x, config.scale_range, rng)
+    out = jitter(out, config.jitter_std, rng)
+    out = time_mask(
+        out, config.mask_probability, config.mask_max_fraction, rng
+    )
+    return out

@@ -1,0 +1,22 @@
+"""The six comparison baselines (paper §II.C, §III).
+
+Five strongly supervised seq2seq NILM models — :class:`Seq2SeqCNN`,
+:class:`Seq2PointCNN`, :class:`DAENILM`, :class:`UNetNILM`,
+:class:`BiGRUSeq2Seq` — plus the weakly supervised
+:class:`MILPoolingDetector`.
+"""
+
+from .bigru import BiGRUSeq2Seq
+from .mil import MILPoolingDetector
+from .seq2seq import DAENILM, Seq2PointCNN, Seq2SeqCNN, Seq2SeqNILM
+from .unet import UNetNILM
+
+__all__ = [
+    "Seq2SeqNILM",
+    "Seq2SeqCNN",
+    "Seq2PointCNN",
+    "DAENILM",
+    "UNetNILM",
+    "BiGRUSeq2Seq",
+    "MILPoolingDetector",
+]

@@ -1,0 +1,55 @@
+"""Bidirectional-GRU seq2seq NILM baseline (Kelly's RNN family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ..layers import TransposeCT, TransposeTC
+from .seq2seq import Seq2SeqNILM
+
+__all__ = ["BiGRUSeq2Seq"]
+
+
+class BiGRUSeq2Seq(Seq2SeqNILM):
+    """Conv front-end + bidirectional recurrent core + pointwise head.
+
+    The convolution extracts local shape features; the bidirectional
+    RNN carries cycle-scale state in both directions; the linear head
+    emits a status logit per timestep. ``rnn_type`` selects GRU
+    (default) or LSTM — the latter matches Kelly & Knottenbelt's
+    original BiLSTM disaggregator.
+    """
+
+    def __init__(
+        self,
+        conv_filters: int = 8,
+        hidden_size: int = 16,
+        rnn_type: str = "gru",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if rnn_type not in ("gru", "lstm"):
+            raise ValueError(f"rnn_type must be 'gru' or 'lstm', got {rnn_type!r}")
+        rng = rng or np.random.default_rng(0)
+        self.front = nn.Sequential(
+            nn.Conv1d(1, conv_filters, 5, rng=rng),
+            nn.BatchNorm1d(conv_filters),
+            nn.ReLU(),
+            TransposeTC(),  # (N, C, T) -> (N, T, C)
+        )
+        rnn_cls = nn.BiGRU if rnn_type == "gru" else nn.BiLSTM
+        self.rnn = rnn_cls(conv_filters, hidden_size, rng=rng)
+        self.head = nn.Linear(2 * hidden_size, 1, rng=rng)
+        self._transpose_back = TransposeCT()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        h = self.front(x)  # (N, T, C)
+        h = self.rnn(h)  # (N, T, 2H)
+        logits = self.head(h)  # (N, T, 1)
+        return logits[:, :, 0]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.head.backward(grad_output[:, :, None])
+        grad = self.rnn.backward(grad)
+        return self.front.backward(grad)

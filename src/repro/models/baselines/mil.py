@@ -1,0 +1,70 @@
+"""Weakly supervised multiple-instance-learning baseline.
+
+The "only other weakly supervised baseline" of the paper's comparison
+(§II.C): a convolutional scorer emits per-timestep evidence, a smooth-max
+(log-sum-exp) pooling collapses it to a window logit, and training uses
+only window-level weak labels — the same supervision budget as CamAL.
+Localization reads the per-timestep scores directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ...nn import functional as F
+from ..layers import LSEPool1d, SqueezeChannel
+
+__all__ = ["MILPoolingDetector"]
+
+
+class MILPoolingDetector(nn.Module):
+    """Conv scorer + LSE pooling for weak-label training.
+
+    ``forward`` returns the window logit ``(N,)`` (for BCE training on
+    weak labels); ``timestep_scores`` exposes the pre-pooling evidence
+    ``(N, T)`` used for localization.
+    """
+
+    def __init__(
+        self,
+        n_filters: tuple[int, int] = (16, 16),
+        temperature: float = 3.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        f1, f2 = n_filters
+        self.scorer = nn.Sequential(
+            nn.Conv1d(1, f1, 7, rng=rng),
+            nn.BatchNorm1d(f1),
+            nn.ReLU(),
+            nn.Conv1d(f1, f2, 5, rng=rng),
+            nn.BatchNorm1d(f2),
+            nn.ReLU(),
+            nn.Conv1d(f2, 1, 1, rng=rng),
+            SqueezeChannel(),
+        )
+        self.pool = LSEPool1d(temperature)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.pool(self.scorer(x))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.scorer.backward(self.pool.backward(grad_output))
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Window-level appliance-present probability, ``(N,)``."""
+        return F.sigmoid(self.forward(x))
+
+    def timestep_scores(self, x: np.ndarray) -> np.ndarray:
+        """Per-timestep evidence logits, ``(N, T)``."""
+        return self.scorer(x)
+
+    def predict_status(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary per-timestep localization from the evidence scores."""
+        return (F.sigmoid(self.timestep_scores(x)) >= threshold).astype(
+            np.float64
+        )

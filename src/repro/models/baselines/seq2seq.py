@@ -1,0 +1,150 @@
+"""Strongly supervised seq2seq NILM baselines (convolutional family).
+
+These are the label-hungry comparators of Fig. 3: they map a window of
+aggregate power to a per-timestep appliance status and therefore need a
+label *per timestep* to train. Architectures are faithful, laptop-scale
+renditions of the standard NILM literature models.
+
+All models map ``(N, 1, T)`` standardized aggregates to ``(N, T)``
+status logits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ...nn import functional as F
+from ..layers import SqueezeChannel
+
+__all__ = ["Seq2SeqNILM", "Seq2SeqCNN", "Seq2PointCNN", "DAENILM"]
+
+
+class Seq2SeqNILM(nn.Module):
+    """Base class: a :class:`Sequential` body producing ``(N, T)`` logits."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.body: nn.Sequential | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if self.body is None:
+            raise NotImplementedError("subclass must build self.body")
+        return self.body(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)
+
+    def predict_status_proba(self, x: np.ndarray) -> np.ndarray:
+        """Per-timestep ON probability, ``(N, T)``."""
+        return F.sigmoid(self.forward(x))
+
+    def predict_status(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Binary per-timestep status, ``(N, T)``."""
+        return (self.predict_status_proba(x) >= threshold).astype(np.float64)
+
+
+class Seq2SeqCNN(Seq2SeqNILM):
+    """Fully convolutional seq2seq network (Kelly & Knottenbelt style).
+
+    Stacked same-padding convolutions with a pointwise head; every output
+    timestep sees a moderate receptive field of aggregate context.
+    """
+
+    def __init__(
+        self,
+        n_filters: tuple[int, int] = (16, 32),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        f1, f2 = n_filters
+        self.body = nn.Sequential(
+            nn.Conv1d(1, f1, 9, rng=rng),
+            nn.BatchNorm1d(f1),
+            nn.ReLU(),
+            nn.Conv1d(f1, f2, 5, rng=rng),
+            nn.BatchNorm1d(f2),
+            nn.ReLU(),
+            nn.Conv1d(f2, f2, 3, rng=rng),
+            nn.BatchNorm1d(f2),
+            nn.ReLU(),
+            nn.Conv1d(f2, 1, 1, rng=rng),
+            SqueezeChannel(),
+        )
+
+
+class Seq2PointCNN(Seq2SeqNILM):
+    """Sliding-window seq2point network (Zhang et al. 2018), vectorized.
+
+    The original predicts the midpoint status of a context window with a
+    dense head; sliding it across the series is equivalent to one wide
+    convolution followed by pointwise (1×1) layers, which is how we
+    implement it — identical math, one forward pass per window.
+    """
+
+    def __init__(
+        self,
+        context: int = 31,
+        n_filters: tuple[int, int] = (24, 24),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if context % 2 == 0:
+            raise ValueError("context must be odd so the midpoint is defined")
+        rng = rng or np.random.default_rng(0)
+        f1, f2 = n_filters
+        self.context = context
+        self.body = nn.Sequential(
+            nn.Conv1d(1, f1, context, rng=rng),  # the context window
+            nn.BatchNorm1d(f1),
+            nn.ReLU(),
+            nn.Conv1d(f1, f2, 1, rng=rng),  # dense head, applied pointwise
+            nn.ReLU(),
+            nn.Conv1d(f2, 1, 1, rng=rng),
+            SqueezeChannel(),
+        )
+
+
+class DAENILM(Seq2SeqNILM):
+    """Denoising-autoencoder NILM (Kelly & Knottenbelt 2015).
+
+    Conv encoder with temporal downsampling, a bottleneck, and an
+    upsampling decoder that reconstructs the *appliance status* from the
+    noisy aggregate. Window length must be divisible by 4.
+    """
+
+    def __init__(
+        self,
+        n_filters: tuple[int, int] = (8, 16),
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        f1, f2 = n_filters
+        self.body = nn.Sequential(
+            nn.Conv1d(1, f1, 5, rng=rng),
+            nn.BatchNorm1d(f1),
+            nn.ReLU(),
+            nn.MaxPool1d(2),
+            nn.Conv1d(f1, f2, 5, rng=rng),
+            nn.BatchNorm1d(f2),
+            nn.ReLU(),
+            nn.MaxPool1d(2),
+            nn.Conv1d(f2, f2, 3, rng=rng),  # bottleneck
+            nn.ReLU(),
+            nn.Upsample1d(2),
+            nn.Conv1d(f2, f1, 5, rng=rng),
+            nn.BatchNorm1d(f1),
+            nn.ReLU(),
+            nn.Upsample1d(2),
+            nn.Conv1d(f1, 1, 5, rng=rng),
+            SqueezeChannel(),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[2] % 4 != 0:
+            raise ValueError(
+                f"DAE needs window length divisible by 4, got {x.shape[2]}"
+            )
+        return super().forward(x)

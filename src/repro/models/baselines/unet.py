@@ -1,0 +1,86 @@
+"""U-Net NILM baseline (encoder-decoder with skip connections)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from .seq2seq import Seq2SeqNILM
+
+__all__ = ["UNetNILM"]
+
+
+class _ConvBlock(nn.Module):
+    """Conv → BN → ReLU with same padding."""
+
+    def __init__(self, in_ch: int, out_ch: int, k: int, rng: np.random.Generator):
+        super().__init__()
+        self.body = nn.Sequential(
+            nn.Conv1d(in_ch, out_ch, k, rng=rng),
+            nn.BatchNorm1d(out_ch),
+            nn.ReLU(),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.body(x)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)
+
+
+class UNetNILM(Seq2SeqNILM):
+    """Two-level U-Net mapping aggregates to per-timestep status logits.
+
+    Skip connections concatenate encoder features into the decoder at
+    matching resolutions, letting the head combine coarse cycle context
+    with sample-accurate edges. Window length must be divisible by 4.
+    """
+
+    def __init__(
+        self,
+        base_filters: int = 8,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        f = base_filters
+        self.enc1 = _ConvBlock(1, f, 5, rng)
+        self.pool1 = nn.MaxPool1d(2)
+        self.enc2 = _ConvBlock(f, 2 * f, 5, rng)
+        self.pool2 = nn.MaxPool1d(2)
+        self.bottleneck = _ConvBlock(2 * f, 4 * f, 3, rng)
+        self.up2 = nn.Upsample1d(2)
+        self.dec2 = _ConvBlock(4 * f + 2 * f, 2 * f, 5, rng)
+        self.up1 = nn.Upsample1d(2)
+        self.dec1 = _ConvBlock(2 * f + f, f, 5, rng)
+        self.head = nn.Conv1d(f, 1, 1, rng=rng)
+        self._f = f
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[2] % 4 != 0:
+            raise ValueError(
+                f"UNet needs window length divisible by 4, got {x.shape[2]}"
+            )
+        e1 = self.enc1(x)  # (N, f, T)
+        e2 = self.enc2(self.pool1(e1))  # (N, 2f, T/2)
+        b = self.bottleneck(self.pool2(e2))  # (N, 4f, T/4)
+        d2_in = np.concatenate([self.up2(b), e2], axis=1)  # (N, 6f, T/2)
+        d2 = self.dec2(d2_in)
+        d1_in = np.concatenate([self.up1(d2), e1], axis=1)  # (N, 3f, T)
+        d1 = self.dec1(d1_in)
+        return self.head(d1)[:, 0, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        f = self._f
+        grad = self.head.backward(grad_output[:, None, :])
+        grad = self.dec1.backward(grad)
+        grad_up1, grad_e1_skip = grad[:, : 2 * f], grad[:, 2 * f :]
+        grad = self.up1.backward(grad_up1)
+        grad = self.dec2.backward(grad)
+        grad_up2, grad_e2_skip = grad[:, : 4 * f], grad[:, 4 * f :]
+        grad = self.up2.backward(grad_up2)
+        grad = self.bottleneck.backward(grad)
+        grad = self.pool2.backward(grad)
+        grad = self.enc2.backward(grad + grad_e2_skip)
+        grad = self.pool1.backward(grad)
+        return self.enc1.backward(grad + grad_e1_skip)

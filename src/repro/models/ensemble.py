@@ -1,0 +1,142 @@
+"""Ensemble of TSC ResNets with varying kernel sizes (paper §II.A-B).
+
+The ensemble exists for two reasons: averaging the detection
+probabilities stabilizes the detector, and averaging *normalized* CAMs
+from members with different receptive fields sharpens the localization —
+a small-kernel member sees spikes, a large-kernel member sees cycles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .resnet import ResNetTSC
+
+__all__ = ["DEFAULT_KERNEL_SIZES", "normalize_cam", "ResNetEnsemble"]
+
+#: Kernel sizes used by the paper's ensemble.
+DEFAULT_KERNEL_SIZES: tuple[int, ...] = (5, 7, 9, 15)
+
+
+def normalize_cam(cam: np.ndarray) -> np.ndarray:
+    """Min-max normalize each window's CAM to [0, 1] (paper §II.B step 4).
+
+    A constant CAM (no discriminative evidence anywhere) maps to all
+    zeros rather than dividing by zero.
+    """
+    cam = np.asarray(cam, dtype=np.float64)
+    if cam.ndim != 2:
+        raise ValueError(f"expected (N, L) CAM stack, got shape {cam.shape}")
+    low = cam.min(axis=1, keepdims=True)
+    high = cam.max(axis=1, keepdims=True)
+    span = high - low
+    safe = np.where(span > 1e-12, span, 1.0)
+    normalized = (cam - low) / safe
+    return np.where(span > 1e-12, normalized, 0.0)
+
+
+class ResNetEnsemble(nn.Module):
+    """Bag of :class:`ResNetTSC` members differing in kernel size.
+
+    Parameters
+    ----------
+    kernel_sizes:
+        One member per entry (duplicates allowed — they get different
+        init seeds).
+    n_filters:
+        Shared channel widths.
+    seed:
+        Base seed; member ``i`` initializes from ``seed + i``.
+    """
+
+    def __init__(
+        self,
+        kernel_sizes: tuple[int, ...] = DEFAULT_KERNEL_SIZES,
+        in_channels: int = 1,
+        n_filters: tuple[int, int, int] = (16, 32, 32),
+        seed: int = 0,
+    ):
+        super().__init__()
+        if not kernel_sizes:
+            raise ValueError("ensemble needs at least one member")
+        self.kernel_sizes = tuple(kernel_sizes)
+        self.in_channels = in_channels
+        self.n_filters = tuple(n_filters)
+        self.members = nn.ModuleList(
+            [
+                ResNetTSC(
+                    kernel_size=k,
+                    in_channels=in_channels,
+                    n_filters=n_filters,
+                    rng=np.random.default_rng(seed + i),
+                )
+                for i, k in enumerate(kernel_sizes)
+            ]
+        )
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError(
+            "the ensemble is not trained end-to-end; train members "
+            "individually and use predict_proba / normalized_cams"
+        )
+
+    # -- paper §II.B step 1: averaged ensemble probability ---------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Mean of the members' appliance-present probabilities, ``(N,)``."""
+        probs = [member.predict_proba(x) for member in self.members]
+        return np.mean(probs, axis=0)
+
+    def member_probas(self, x: np.ndarray) -> dict[int, np.ndarray]:
+        """Per-member probabilities keyed by position (for the GUI's
+        "Model detection probabilities" tab)."""
+        return {
+            i: member.predict_proba(x) for i, member in enumerate(self.members)
+        }
+
+    # -- paper §II.B steps 3-4: averaged normalized CAM ---------------------
+
+    def normalized_cams(self, x: np.ndarray) -> np.ndarray:
+        """Average of per-member min-max normalized class-1 CAMs, ``(N, L)``."""
+        cams = [
+            normalize_cam(member.class_activation_map(x))
+            for member in self.members
+        ]
+        return np.mean(cams, axis=0)
+
+    # -- member selection (paper: "selected the networks that best
+    #    detected specific appliances") ---------------------------------------
+
+    def select_best(
+        self, x_val: np.ndarray, y_val: np.ndarray, top_n: int
+    ) -> "ResNetEnsemble":
+        """Keep the ``top_n`` members by validation balanced accuracy."""
+        if not 1 <= top_n <= len(self.members):
+            raise ValueError(
+                f"top_n must be in [1, {len(self.members)}], got {top_n}"
+            )
+        y_val = np.asarray(y_val) > 0.5
+        scores = []
+        for member in self.members:
+            pred = member.predict_proba(x_val) > 0.5
+            tp = np.sum(pred & y_val)
+            tn = np.sum(~pred & ~y_val)
+            pos = max(int(y_val.sum()), 1)
+            neg = max(int((~y_val).sum()), 1)
+            scores.append(0.5 * (tp / pos + tn / neg))
+        order = np.argsort(scores)[::-1][:top_n]
+        order = np.sort(order)  # keep original member order
+        pruned = ResNetEnsemble.__new__(ResNetEnsemble)
+        nn.Module.__init__(pruned)
+        pruned.kernel_sizes = tuple(self.kernel_sizes[i] for i in order)
+        pruned.in_channels = self.in_channels
+        pruned.n_filters = self.n_filters
+        pruned.members = nn.ModuleList([self.members[i] for i in order])
+        return pruned

@@ -1,0 +1,81 @@
+"""Small adapter layers used by the NILM baseline architectures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["SqueezeChannel", "TransposeTC", "TransposeCT", "LSEPool1d"]
+
+
+class SqueezeChannel(nn.Module):
+    """Drop a singleton channel axis: ``(N, 1, T) -> (N, T)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._seen = False
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != 1:
+            raise ValueError(f"expected (N, 1, T) input, got shape {x.shape}")
+        self._seen = True
+        return x[:, 0, :]
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if not self._seen:
+            raise RuntimeError("backward called before forward")
+        return grad_output[:, None, :]
+
+
+class TransposeTC(nn.Module):
+    """Channel-first to batch-first time-major: ``(N, C, T) -> (N, T, C)``."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected 3-D input, got shape {x.shape}")
+        return np.ascontiguousarray(np.transpose(x, (0, 2, 1)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(np.transpose(grad_output, (0, 2, 1)))
+
+
+class TransposeCT(TransposeTC):
+    """Alias of :class:`TransposeTC` going the other way — the transpose
+    is its own inverse, but a distinct name keeps model code readable."""
+
+
+class LSEPool1d(nn.Module):
+    """Log-sum-exp pooling over time: ``(N, T) -> (N,)``.
+
+    A smooth maximum: with temperature ``r → ∞`` it approaches max
+    pooling, with ``r → 0`` mean pooling. The multiple-instance-learning
+    baseline pools per-timestep evidence scores into a window logit with
+    this layer; its gradient distributes as a softmax over time, which is
+    what lets weak labels shape per-timestep scores.
+    """
+
+    def __init__(self, temperature: float = 3.0):
+        super().__init__()
+        if temperature <= 0:
+            raise ValueError("temperature must be positive")
+        self.temperature = temperature
+        self._weights: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2:
+            raise ValueError(f"expected (N, T) input, got shape {x.shape}")
+        r = self.temperature
+        shifted = r * x - np.max(r * x, axis=1, keepdims=True)
+        expd = np.exp(shifted)
+        denom = expd.sum(axis=1, keepdims=True)
+        self._weights = expd / denom  # softmax(r·x), cached for backward
+        return (
+            np.max(x, axis=1)
+            + np.log(denom[:, 0] / x.shape[1]) / r
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._weights is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output[:, None] * self._weights

@@ -1,0 +1,141 @@
+"""Model registry: the seven methods the benchmark frame compares.
+
+Six baselines (five strongly supervised seq2seq NILM models + one weakly
+supervised MIL model) plus CamAL. Each entry records the supervision
+regime — which determines both the training recipe and the label
+accounting used in Fig. 3 / the 5200× claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .baselines.bigru import BiGRUSeq2Seq
+from .baselines.mil import MILPoolingDetector
+from .baselines.seq2seq import DAENILM, Seq2PointCNN, Seq2SeqCNN
+from .baselines.unet import UNetNILM
+from .transapp import TransAppDetector
+
+__all__ = [
+    "ModelSpec",
+    "BASELINES",
+    "EXTRA_BASELINES",
+    "list_baselines",
+    "get_baseline_spec",
+]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A benchmarkable method.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    supervision:
+        ``"strong"`` (one label per timestep) or ``"weak"`` (one per
+        window) — drives the label-budget accounting.
+    factory:
+        ``factory(rng) -> model``; models expose ``predict_status`` for
+        localization.
+    display_name:
+        Label used in reports and the app.
+    trainer:
+        Training recipe: ``"seq2seq"`` (per-timestep BCE on strong
+        labels), ``"mil"`` (window BCE through the pooling logit), or
+        ``"classifier"`` (class-weighted cross entropy on weak labels).
+    """
+
+    name: str
+    supervision: str
+    factory: Callable[[np.random.Generator], object]
+    display_name: str
+    trainer: str = ""
+
+    def __post_init__(self):
+        if self.supervision not in ("weak", "strong"):
+            raise ValueError(f"unknown supervision {self.supervision!r}")
+        trainer = self.trainer or (
+            "seq2seq" if self.supervision == "strong" else "mil"
+        )
+        object.__setattr__(self, "trainer", trainer)
+        if self.trainer not in ("seq2seq", "mil", "classifier"):
+            raise ValueError(f"unknown trainer {self.trainer!r}")
+        if self.supervision == "strong" and self.trainer != "seq2seq":
+            raise ValueError("strong supervision implies the seq2seq trainer")
+
+
+BASELINES: dict[str, ModelSpec] = {
+    "seq2seq_cnn": ModelSpec(
+        name="seq2seq_cnn",
+        supervision="strong",
+        factory=lambda rng: Seq2SeqCNN(rng=rng),
+        display_name="Seq2Seq CNN",
+    ),
+    "seq2point": ModelSpec(
+        name="seq2point",
+        supervision="strong",
+        factory=lambda rng: Seq2PointCNN(rng=rng),
+        display_name="Seq2Point",
+    ),
+    "dae": ModelSpec(
+        name="dae",
+        supervision="strong",
+        factory=lambda rng: DAENILM(rng=rng),
+        display_name="DAE",
+    ),
+    "unet": ModelSpec(
+        name="unet",
+        supervision="strong",
+        factory=lambda rng: UNetNILM(rng=rng),
+        display_name="UNet-NILM",
+    ),
+    "bigru": ModelSpec(
+        name="bigru",
+        supervision="strong",
+        factory=lambda rng: BiGRUSeq2Seq(rng=rng),
+        display_name="BiGRU",
+    ),
+    "mil": ModelSpec(
+        name="mil",
+        supervision="weak",
+        factory=lambda rng: MILPoolingDetector(rng=rng),
+        display_name="MIL (weak)",
+    ),
+}
+
+
+#: Optional extra methods beyond the paper's six baselines. "transapp"
+#: is a compact rendition of the authors' prior transformer detector
+#: (PVLDB 2023) with the same weak supervision budget as CamAL.
+EXTRA_BASELINES: dict[str, ModelSpec] = {
+    "transapp": ModelSpec(
+        name="transapp",
+        supervision="weak",
+        factory=lambda rng: TransAppDetector(rng=rng),
+        display_name="TransApp (weak)",
+        trainer="classifier",
+    ),
+}
+
+
+def list_baselines(include_extras: bool = False) -> list[str]:
+    """Names of the six baselines (plus extras when requested)."""
+    names = list(BASELINES)
+    if include_extras:
+        names.extend(EXTRA_BASELINES)
+    return names
+
+
+def get_baseline_spec(name: str) -> ModelSpec:
+    """Look up a baseline spec by name, with a helpful error."""
+    if name in BASELINES:
+        return BASELINES[name]
+    if name in EXTRA_BASELINES:
+        return EXTRA_BASELINES[name]
+    available = ", ".join([*BASELINES, *EXTRA_BASELINES])
+    raise KeyError(f"unknown baseline {name!r}; available: {available}")

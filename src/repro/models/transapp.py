@@ -1,0 +1,134 @@
+"""TransApp-style transformer appliance detector.
+
+A compact rendition of the authors' own prior detector (ADF/TransApp,
+Petralia et al., PVLDB 2023 — the paper's reference [5]): a convolutional
+embedding of the aggregate series, sinusoidal positional encodings,
+transformer encoder blocks, and — crucially — a GAP + linear head.
+Keeping the GAP-linear head means the Class Activation Map identity
+``CAM_c(t) = Σ_k w_k^c · f_k(t)`` holds here too, so a TransApp detector
+supports the same CAM-attention localization recipe as the ResNet
+ensemble (and can serve as an extra, architecturally diverse CamAL
+member).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from .ensemble import normalize_cam
+
+__all__ = ["sinusoidal_positions", "TransAppDetector"]
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Fixed sinusoidal positional encodings, shape ``(length, dim)``."""
+    if length < 1 or dim < 2:
+        raise ValueError("length must be >= 1 and dim >= 2")
+    positions = np.arange(length)[:, None].astype(np.float64)
+    div = np.exp(
+        np.arange(0, dim, 2, dtype=np.float64) * (-np.log(10000.0) / dim)
+    )
+    encoding = np.zeros((length, dim))
+    encoding[:, 0::2] = np.sin(positions * div)
+    encoding[:, 1::2] = np.cos(positions * div[: encoding[:, 1::2].shape[1]])
+    return encoding
+
+
+class TransAppDetector(nn.Module):
+    """Transformer-based binary appliance detector over ``(N, 1, T)``.
+
+    Parameters
+    ----------
+    embed_dim:
+        Width of the token embedding (must divide by ``n_heads``).
+    n_blocks:
+        Number of transformer encoder blocks.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int = 16,
+        n_heads: int = 4,
+        n_blocks: int = 2,
+        num_classes: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if n_blocks < 1:
+            raise ValueError("n_blocks must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.embed_dim = embed_dim
+        self.num_classes = num_classes
+        self.embed = nn.Conv1d(1, embed_dim, 5, rng=rng)
+        self.blocks = nn.ModuleList(
+            [
+                nn.TransformerEncoderBlock(embed_dim, n_heads, rng=rng)
+                for _ in range(n_blocks)
+            ]
+        )
+        self.gap = nn.GlobalAvgPool1d()
+        self.fc = nn.Linear(embed_dim, num_classes, rng=rng)
+        self._features: np.ndarray | None = None
+
+    def forward_features(self, x: np.ndarray) -> np.ndarray:
+        """Token features back in channel-first layout ``(N, C, T)``."""
+        if x.ndim != 3 or x.shape[1] != 1:
+            raise ValueError(f"expected (N, 1, T) input, got shape {x.shape}")
+        h = self.embed(x)  # (N, C, T)
+        h = np.ascontiguousarray(h.transpose(0, 2, 1))  # (N, T, C)
+        h = h + sinusoidal_positions(h.shape[1], self.embed_dim)
+        for block in self.blocks:
+            h = block(h)
+        features = np.ascontiguousarray(h.transpose(0, 2, 1))
+        self._features = features
+        return features
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc(self.gap(self.forward_features(x)))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.gap.backward(self.fc.backward(grad_output))
+        grad = np.ascontiguousarray(grad.transpose(0, 2, 1))
+        for block in reversed(list(self.blocks)):
+            grad = block.backward(grad)
+        grad = np.ascontiguousarray(grad.transpose(0, 2, 1))
+        return self.embed.backward(grad)
+
+    # -- detector API -------------------------------------------------------
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Appliance-present probability, ``(N,)``."""
+        return F.softmax(self.forward(x), axis=1)[:, 1]
+
+    def class_activation_map(
+        self, x: np.ndarray | None = None, class_index: int = 1
+    ) -> np.ndarray:
+        """CAM for ``class_index`` — valid because the head is GAP-linear."""
+        if not 0 <= class_index < self.num_classes:
+            raise ValueError(
+                f"class_index {class_index} out of range "
+                f"[0, {self.num_classes})"
+            )
+        if x is not None:
+            self.forward_features(x)
+        if self._features is None:
+            raise RuntimeError(
+                "no cached features: call forward first or pass x"
+            )
+        return np.einsum(
+            "ncl,c->nl", self._features, self.fc.weight.data[class_index]
+        )
+
+    def predict_status(
+        self, x: np.ndarray, threshold: float = 0.5
+    ) -> np.ndarray:
+        """CAM-attention localization (the CamAL recipe, single model)."""
+        x = np.asarray(x, dtype=np.float64)
+        probabilities = self.predict_proba(x)
+        cam = normalize_cam(self.class_activation_map())
+        attention = F.sigmoid(cam * x[:, 0, :])
+        status = (attention > threshold).astype(np.float64)
+        status[probabilities <= threshold] = 0.0
+        return status

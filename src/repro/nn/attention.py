@@ -1,0 +1,148 @@
+"""Self-attention and transformer encoder blocks.
+
+Implements the pieces needed for the TransApp-style appliance detector
+(Petralia et al., PVLDB 2023 — the paper's reference [5]): multi-head
+scaled dot-product self-attention with full manual backward, and a
+pre-norm transformer encoder block (attention + feed-forward, residual
+connections, layer norm). Inputs are batch-first ``(N, T, F)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .linear import Linear
+from .module import Module
+from .norm import LayerNorm
+
+__all__ = ["MultiHeadSelfAttention", "TransformerEncoderBlock"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention over ``(N, T, F)``.
+
+    ``F`` must be divisible by ``n_heads``. Projections are learned
+    ``Linear`` layers; the attention math (softmax over key positions)
+    carries exact gradients through both the values and the attention
+    weights.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        n_heads: int = 4,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if embed_dim % n_heads != 0:
+            raise ValueError(
+                f"embed_dim {embed_dim} not divisible by n_heads {n_heads}"
+            )
+        rng = rng or np.random.default_rng(0)
+        self.embed_dim = embed_dim
+        self.n_heads = n_heads
+        self.head_dim = embed_dim // n_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self._cache: dict | None = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        n, t, _ = x.shape
+        return x.reshape(n, t, self.n_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        n, h, t, d = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(n, t, h * d)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.embed_dim:
+            raise ValueError(
+                f"expected (N, T, {self.embed_dim}) input, got {x.shape}"
+            )
+        q = self._split_heads(self.q_proj(x))  # (N, H, T, D)
+        k = self._split_heads(self.k_proj(x))
+        v = self._split_heads(self.v_proj(x))
+        scale = 1.0 / np.sqrt(self.head_dim)
+        scores = np.einsum("nhqd,nhkd->nhqk", q, k, optimize=True) * scale
+        attn = F.softmax(scores, axis=-1)  # (N, H, T, T)
+        context = np.einsum("nhqk,nhkd->nhqd", attn, v, optimize=True)
+        out = self.out_proj(self._merge_heads(context))
+        self._cache = {"q": q, "k": k, "v": v, "attn": attn, "scale": scale}
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        grad_context = self._split_heads(self.out_proj.backward(grad_output))
+        # Through context = attn @ v
+        grad_attn = np.einsum(
+            "nhqd,nhkd->nhqk", grad_context, c["v"], optimize=True
+        )
+        grad_v = np.einsum(
+            "nhqk,nhqd->nhkd", c["attn"], grad_context, optimize=True
+        )
+        # Through the softmax (row-wise Jacobian).
+        attn = c["attn"]
+        grad_scores = attn * (
+            grad_attn - np.sum(grad_attn * attn, axis=-1, keepdims=True)
+        )
+        grad_scores *= c["scale"]
+        # Through scores = q @ k^T
+        grad_q = np.einsum(
+            "nhqk,nhkd->nhqd", grad_scores, c["k"], optimize=True
+        )
+        grad_k = np.einsum(
+            "nhqk,nhqd->nhkd", grad_scores, c["q"], optimize=True
+        )
+        grad_x = self.q_proj.backward(self._merge_heads(grad_q))
+        grad_x = grad_x + self.k_proj.backward(self._merge_heads(grad_k))
+        grad_x = grad_x + self.v_proj.backward(self._merge_heads(grad_v))
+        return grad_x
+
+
+class TransformerEncoderBlock(Module):
+    """Pre-norm transformer encoder block over ``(N, T, F)``.
+
+    ``x + Attn(LN(x))`` followed by ``x + FFN(LN(x))`` with a GELU-free
+    (ReLU) two-layer feed-forward, matching compact TSC transformers.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        n_heads: int = 4,
+        ff_dim: int | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ff_dim = ff_dim or 2 * embed_dim
+        self.norm1 = LayerNorm(embed_dim)
+        self.attention = MultiHeadSelfAttention(embed_dim, n_heads, rng=rng)
+        self.norm2 = LayerNorm(embed_dim)
+        self.ff1 = Linear(embed_dim, ff_dim, rng=rng)
+        self.ff2 = Linear(ff_dim, embed_dim, rng=rng)
+        self._relu_mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        attended = x + self.attention(self.norm1(x))
+        hidden = self.ff1(self.norm2(attended))
+        self._relu_mask = hidden > 0
+        hidden = np.where(self._relu_mask, hidden, 0.0)
+        return attended + self.ff2(hidden)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._relu_mask is None:
+            raise RuntimeError("backward called before forward")
+        grad_hidden = self.ff2.backward(grad_output) * self._relu_mask
+        grad_attended = grad_output + self.norm2.backward(
+            self.ff1.backward(grad_hidden)
+        )
+        grad_x = grad_attended + self.norm1.backward(
+            self.attention.backward(grad_attended)
+        )
+        return grad_x

@@ -1,0 +1,71 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["Sequential", "ModuleList"]
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; backward runs in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._layers: list[Module] = []
+        for i, module in enumerate(modules):
+            self.register_module(str(i), module)
+            self._layers.append(module)
+
+    def append(self, module: Module) -> "Sequential":
+        self.register_module(str(len(self._layers)), module)
+        self._layers.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._layers[index]
+
+    def __iter__(self):
+        return iter(self._layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self._layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        for layer in reversed(self._layers):
+            grad_output = layer.backward(grad_output)
+        return grad_output
+
+
+class ModuleList(Module):
+    """List of registered child modules without a defined forward."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules or []:
+            self.append(module)
+
+    def append(self, module: Module) -> "ModuleList":
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError("ModuleList holds modules; it has no forward")

@@ -1,0 +1,122 @@
+"""1-D convolution layer with exact im2col forward and adjoint backward."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import col2im1d, im2col1d
+from .init import he_uniform
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Conv1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C_in, L)`` inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Width of the convolution kernel.
+    stride:
+        Step between output positions.
+    padding:
+        Zero padding applied to both ends, or ``"same"`` to keep
+        ``L_out == ceil(L / stride)`` (the TSC-ResNet convention).
+    dilation:
+        Spacing between kernel taps (dilated/atrous convolution); the
+        receptive span becomes ``(K - 1) * dilation + 1``.
+    bias:
+        Whether to learn an additive bias per output channel.
+    rng:
+        Generator used for He-uniform weight init.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int | str = "same",
+        dilation: int = 1,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or dilation < 1:
+            raise ValueError("kernel_size, stride and dilation must be >= 1")
+        if isinstance(padding, str):
+            if padding != "same":
+                raise ValueError(f"unknown padding mode {padding!r}")
+            if stride != 1:
+                raise ValueError("'same' padding requires stride == 1")
+        elif padding < 0:
+            raise ValueError("padding must be >= 0")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.dilation = dilation
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            he_uniform((out_channels, in_channels, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self._cache: tuple | None = None
+
+    @property
+    def span(self) -> int:
+        """Receptive span of the (possibly dilated) kernel."""
+        return (self.kernel_size - 1) * self.dilation + 1
+
+    def _pad_amounts(self, length: int) -> tuple[int, int]:
+        if self.padding == "same":
+            total = max(self.span - 1, 0)
+            left = total // 2
+            return left, total - left
+        return self.padding, self.padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (N, {self.in_channels}, L), got {x.shape}"
+            )
+        left, right = self._pad_amounts(x.shape[2])
+        padded = np.pad(x, ((0, 0), (0, 0), (left, right)))
+        if padded.shape[2] < self.span:
+            raise ValueError(
+                f"input length {x.shape[2]} too short for kernel span "
+                f"{self.span} with padding {self.padding}"
+            )
+        cols = im2col1d(
+            padded, self.kernel_size, self.stride, self.dilation
+        )  # (N,C,L_out,K)
+        out = np.einsum("nclk,dck->ndl", cols, self.weight.data, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        self._cache = (cols, padded.shape[2], left, x.shape[2])
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        cols, padded_len, left, in_len = self._cache
+        self.weight.accumulate_grad(
+            np.einsum("ndl,nclk->dck", grad_output, cols, optimize=True)
+        )
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=(0, 2)))
+        dcols = np.einsum(
+            "ndl,dck->nclk", grad_output, self.weight.data, optimize=True
+        )
+        dpadded = col2im1d(
+            dcols, padded_len, self.kernel_size, self.stride, self.dilation
+        )
+        return dpadded[:, :, left : left + in_len]

@@ -1,0 +1,128 @@
+"""Additional convolution/pooling layers: AvgPool1d and ConvTranspose1d.
+
+``ConvTranspose1d`` gives the DAE/UNet decoders a *learned* upsampling
+alternative to nearest-neighbour ``Upsample1d`` (evaluated in the
+decoder ablation); ``AvgPool1d`` is the smoother counterpart to
+``MaxPool1d``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import col2im1d, im2col1d
+from .init import he_uniform
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["AvgPool1d", "ConvTranspose1d"]
+
+
+class AvgPool1d(Module):
+    """Non-overlapping average pooling with ``kernel_size == stride``."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size < 1:
+            raise ValueError("kernel_size must be >= 1")
+        self.kernel_size = kernel_size
+        self._in_shape: tuple | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3:
+            raise ValueError(f"expected (N, C, L) input, got shape {x.shape}")
+        n, c, length = x.shape
+        l_out = length // self.kernel_size
+        if l_out == 0:
+            raise ValueError(
+                f"input length {length} shorter than pool size "
+                f"{self.kernel_size}"
+            )
+        self._in_shape = x.shape
+        trimmed = x[:, :, : l_out * self.kernel_size]
+        return trimmed.reshape(n, c, l_out, self.kernel_size).mean(axis=3)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, length = self._in_shape
+        l_out = grad_output.shape[2]
+        dx = np.zeros(self._in_shape, dtype=np.float64)
+        spread = np.repeat(grad_output / self.kernel_size, self.kernel_size, axis=2)
+        dx[:, :, : l_out * self.kernel_size] = spread
+        return dx
+
+
+class ConvTranspose1d(Module):
+    """Transposed 1-D convolution (learned upsampling).
+
+    Implemented as the exact adjoint of a strided ``Conv1d``: forward
+    scatters each input position's contribution through the kernel
+    (``col2im``), backward gathers (``im2col``). Output length is
+    ``(L_in - 1) * stride + kernel_size - 2 * padding``.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kernel_size < 1 or stride < 1 or padding < 0:
+            raise ValueError("invalid kernel/stride/padding")
+        if padding >= kernel_size:
+            raise ValueError("padding must be smaller than kernel_size")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size
+        self.weight = Parameter(
+            he_uniform((in_channels, out_channels, kernel_size), fan_in, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name="bias") if bias else None
+        self._cache: tuple | None = None
+
+    def output_length(self, in_length: int) -> int:
+        return (in_length - 1) * self.stride + self.kernel_size - 2 * self.padding
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected input (N, {self.in_channels}, L), got {x.shape}"
+            )
+        n, _, l_in = x.shape
+        full_length = (l_in - 1) * self.stride + self.kernel_size
+        # Scatter: each input position contributes weight[:, d, k] at
+        # offset position*stride + k in channel d.
+        cols = np.einsum("ncl,cdk->ndlk", x, self.weight.data, optimize=True)
+        out_full = col2im1d(cols, full_length, self.kernel_size, self.stride)
+        out = out_full[:, :, self.padding : full_length - self.padding]
+        if self.bias is not None:
+            out = out + self.bias.data[None, :, None]
+        self._cache = (x, full_length)
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, full_length = self._cache
+        grad_full = np.zeros(
+            (grad_output.shape[0], self.out_channels, full_length)
+        )
+        grad_full[:, :, self.padding : full_length - self.padding] = grad_output
+        gcols = im2col1d(grad_full, self.kernel_size, self.stride)  # (N,D,L,K)
+        self.weight.accumulate_grad(
+            np.einsum("ncl,ndlk->cdk", x, gcols, optimize=True)
+        )
+        if self.bias is not None:
+            self.bias.accumulate_grad(grad_output.sum(axis=(0, 2)))
+        return np.einsum("ndlk,cdk->ncl", gcols, self.weight.data, optimize=True)

@@ -1,0 +1,108 @@
+"""Minimal dataset/dataloader abstractions for numpy training loops."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["ArrayDataset", "DataLoader", "train_val_split"]
+
+
+class ArrayDataset:
+    """Zips equally sized leading-axis arrays into (x, y, ...) samples."""
+
+    def __init__(self, *arrays: np.ndarray):
+        if not arrays:
+            raise ValueError("at least one array is required")
+        length = len(arrays[0])
+        for array in arrays[1:]:
+            if len(array) != length:
+                raise ValueError(
+                    "all arrays must share the leading dimension: "
+                    f"{[len(a) for a in arrays]}"
+                )
+        self.arrays = tuple(np.asarray(a) for a in arrays)
+
+    def __len__(self) -> int:
+        return len(self.arrays[0])
+
+    def __getitem__(self, index) -> tuple[np.ndarray, ...]:
+        return tuple(array[index] for array in self.arrays)
+
+
+class DataLoader:
+    """Batched iteration with optional deterministic shuffling.
+
+    Parameters
+    ----------
+    dataset:
+        An :class:`ArrayDataset` (or anything indexable by integer arrays).
+    batch_size:
+        Number of samples per batch; the final partial batch is kept unless
+        ``drop_last`` is set.
+    shuffle:
+        Reshuffle at the start of every epoch using ``rng``.
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int = 32,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.rng = rng or np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, ...]]:
+        n = len(self.dataset)
+        order = np.arange(n)
+        if self.shuffle:
+            self.rng.shuffle(order)
+        stop = (n // self.batch_size) * self.batch_size if self.drop_last else n
+        for start in range(0, stop, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield self.dataset[idx]
+
+
+def train_val_split(
+    dataset: ArrayDataset,
+    val_fraction: float = 0.2,
+    rng: np.random.Generator | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random split into train/validation subsets.
+
+    Raises when either side would be empty — silent empty splits are a
+    classic source of "training worked but validation is NaN" bugs.
+    """
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError("val_fraction must be in (0, 1)")
+    rng = rng or np.random.default_rng(0)
+    n = len(dataset)
+    n_val = int(round(n * val_fraction))
+    if n_val == 0 or n_val == n:
+        raise ValueError(
+            f"split of {n} samples at fraction {val_fraction} leaves an "
+            "empty side"
+        )
+    order = rng.permutation(n)
+    val_idx = order[:n_val]
+    train_idx = order[n_val:]
+    train = ArrayDataset(*(a[train_idx] for a in dataset.arrays))
+    val = ArrayDataset(*(a[val_idx] for a in dataset.arrays))
+    return train, val

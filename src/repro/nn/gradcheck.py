@@ -1,0 +1,106 @@
+"""Finite-difference gradient checking for modules and losses.
+
+Every layer in this framework is validated against central differences in
+the test suite; this module provides the shared machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .losses import Loss
+from .module import Module
+
+__all__ = ["numerical_input_grad", "numerical_param_grads", "check_module_gradients"]
+
+
+def _scalar_loss(module: Module, loss: Loss, x: np.ndarray, y: np.ndarray) -> float:
+    return loss(module(x), y)
+
+
+def numerical_input_grad(
+    module: Module,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    eps: float = 1e-6,
+) -> np.ndarray:
+    """Central-difference gradient of the loss w.r.t. the input array."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = _scalar_loss(module, loss, x, y)
+        flat[i] = orig - eps
+        minus = _scalar_loss(module, loss, x, y)
+        flat[i] = orig
+        flat_grad[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def numerical_param_grads(
+    module: Module,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    eps: float = 1e-6,
+) -> dict[str, np.ndarray]:
+    """Central-difference gradients for every trainable parameter."""
+    grads: dict[str, np.ndarray] = {}
+    for name, param in module.named_parameters():
+        if not param.requires_grad:
+            continue
+        grad = np.zeros_like(param.data)
+        flat = param.data.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            plus = _scalar_loss(module, loss, x, y)
+            flat[i] = orig - eps
+            minus = _scalar_loss(module, loss, x, y)
+            flat[i] = orig
+            flat_grad[i] = (plus - minus) / (2.0 * eps)
+        grads[name] = grad
+    return grads
+
+
+def check_module_gradients(
+    module: Module,
+    loss: Loss,
+    x: np.ndarray,
+    y: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+    check_input: bool = True,
+) -> None:
+    """Assert analytic gradients match finite differences.
+
+    Runs one forward/backward pass and compares both the input gradient
+    and every parameter gradient against central differences. Raises
+    ``AssertionError`` on the first mismatch, naming the offender.
+    """
+    module.zero_grad()
+    value = loss(module(x), y)
+    if not np.isfinite(value):
+        raise AssertionError(f"loss is not finite: {value}")
+    analytic_input = module.backward(loss.backward())
+    if check_input:
+        numeric_input = numerical_input_grad(module, loss, x, y)
+        if not np.allclose(analytic_input, numeric_input, atol=atol, rtol=rtol):
+            worst = np.max(np.abs(analytic_input - numeric_input))
+            raise AssertionError(
+                f"input gradient mismatch (max abs err {worst:.3e})"
+            )
+    numeric_params = numerical_param_grads(module, loss, x, y)
+    for name, param in module.named_parameters():
+        if not param.requires_grad:
+            continue
+        if not np.allclose(param.grad, numeric_params[name], atol=atol, rtol=rtol):
+            worst = np.max(np.abs(param.grad - numeric_params[name]))
+            raise AssertionError(
+                f"parameter gradient mismatch for {name} "
+                f"(max abs err {worst:.3e})"
+            )

@@ -1,0 +1,62 @@
+"""Dense (fully connected) layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .init import glorot_uniform
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """Affine map ``y = x @ W.T + b`` over ``(..., in_features)`` inputs.
+
+    Works on any leading shape; gradients are reduced over all leading
+    dimensions. The final classification layer of the TSC ResNet is a
+    ``Linear`` whose weight rows double as the CAM weights ``w_k^c``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError("feature counts must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            glorot_uniform((out_features, in_features), in_features, out_features, rng),
+            name="weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name="bias") if bias else None
+        self._cache: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.in_features:
+            raise ValueError(
+                f"expected trailing dim {self.in_features}, got {x.shape[-1]}"
+            )
+        self._cache = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out = out + self.bias.data
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x = self._cache
+        flat_x = x.reshape(-1, self.in_features)
+        flat_g = grad_output.reshape(-1, self.out_features)
+        self.weight.accumulate_grad(flat_g.T @ flat_x)
+        if self.bias is not None:
+            self.bias.accumulate_grad(flat_g.sum(axis=0))
+        return (flat_g @ self.weight.data).reshape(x.shape)

@@ -1,0 +1,143 @@
+"""Loss functions.
+
+Each loss exposes ``forward(prediction, target) -> float`` and
+``backward() -> grad_wrt_prediction``. Losses average over every element
+of the prediction (batch and, for sequence losses, time), so learning
+rates transfer between classification and seq2seq training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+
+__all__ = ["Loss", "MSELoss", "BCEWithLogitsLoss", "CrossEntropyLoss"]
+
+
+class Loss:
+    """Base class for losses with cached backward."""
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        return self.forward(prediction, target)
+
+
+class MSELoss(Loss):
+    """Mean squared error over all elements."""
+
+    def __init__(self) -> None:
+        self._cache: tuple | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: prediction {prediction.shape} vs "
+                f"target {target.shape}"
+            )
+        diff = prediction - target
+        self._cache = (diff, prediction.size)
+        return float(np.mean(diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        diff, count = self._cache
+        return 2.0 * diff / count
+
+
+class BCEWithLogitsLoss(Loss):
+    """Binary cross entropy on logits, stable for large magnitudes.
+
+    Supports optional positive-class weighting to counter the heavy class
+    imbalance of appliance activation labels (most windows/timesteps are
+    OFF).
+    """
+
+    def __init__(self, pos_weight: float = 1.0) -> None:
+        if pos_weight <= 0:
+            raise ValueError("pos_weight must be positive")
+        self.pos_weight = pos_weight
+        self._cache: tuple | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        target = np.asarray(target, dtype=np.float64)
+        if prediction.shape != target.shape:
+            raise ValueError(
+                f"shape mismatch: logits {prediction.shape} vs "
+                f"target {target.shape}"
+            )
+        z = prediction
+        # Per-element loss: w * [softplus(z) - y * z], with
+        # softplus(z) = max(z, 0) + log(1 + exp(-|z|)) for stability and
+        # w = 1 + (pos_weight - 1) * y.
+        softplus = np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+        weight = 1.0 + (self.pos_weight - 1.0) * target
+        probs = F.sigmoid(z)
+        self._cache = (probs, target, weight, prediction.size)
+        return float(np.mean(weight * (softplus - target * z)))
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target, weight, count = self._cache
+        return weight * (probs - target) / count
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross entropy for integer class targets ``(N,)``.
+
+    Optional per-class weights counter class imbalance (appliance
+    windows are mostly negative): the loss becomes a weighted average
+    ``Σ w_{y_i} · (-log p_{i,y_i}) / Σ w_{y_i}``.
+    """
+
+    def __init__(self, class_weights: np.ndarray | None = None) -> None:
+        if class_weights is not None:
+            class_weights = np.asarray(class_weights, dtype=np.float64)
+            if class_weights.ndim != 1 or np.any(class_weights <= 0):
+                raise ValueError("class_weights must be positive and 1-D")
+        self.class_weights = class_weights
+        self._cache: tuple | None = None
+
+    def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
+        target = np.asarray(target, dtype=np.int64)
+        if prediction.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got {prediction.shape}")
+        if target.shape != (prediction.shape[0],):
+            raise ValueError(
+                f"expected target shape ({prediction.shape[0]},), "
+                f"got {target.shape}"
+            )
+        if self.class_weights is not None and (
+            len(self.class_weights) != prediction.shape[1]
+        ):
+            raise ValueError(
+                f"{len(self.class_weights)} class weights for "
+                f"{prediction.shape[1]} classes"
+            )
+        log_probs = F.log_softmax(prediction, axis=1)
+        n = prediction.shape[0]
+        picked = log_probs[np.arange(n), target]
+        if self.class_weights is None:
+            sample_weights = np.ones(n)
+        else:
+            sample_weights = self.class_weights[target]
+        total_weight = float(sample_weights.sum())
+        self._cache = (np.exp(log_probs), target, sample_weights, total_weight)
+        return float(-np.sum(sample_weights * picked) / total_weight)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probs, target, sample_weights, total_weight = self._cache
+        n = len(target)
+        grad = probs.copy()
+        grad[np.arange(n), target] -= 1.0
+        return grad * sample_weights[:, None] / total_weight

@@ -1,0 +1,73 @@
+"""Trainable parameter container for the numpy neural-network framework.
+
+A :class:`Parameter` pairs a value array with its gradient accumulator.
+Modules register parameters by assigning them as attributes; optimizers
+consume ``module.parameters()`` and update ``param.data`` in place using
+``param.grad``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Parameters
+    ----------
+    data:
+        Initial value. Stored as ``float64`` for numerically robust
+        training and finite-difference gradient checking.
+    name:
+        Optional human-readable name, filled in by the owning module when
+        building state dicts.
+    requires_grad:
+        When ``False`` the parameter is frozen: optimizers skip it and
+        ``accumulate_grad`` is a no-op.
+    """
+
+    def __init__(self, data: np.ndarray, name: str = "", requires_grad: bool = True):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+        self.requires_grad = requires_grad
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zeros."""
+        self.grad[...] = 0.0
+
+    def accumulate_grad(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into the accumulator (no-op when frozen)."""
+        if not self.requires_grad:
+            return
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} does not match parameter "
+                f"shape {self.data.shape} for {self.name or 'parameter'}"
+            )
+        self.grad += grad
+
+    def copy_(self, value: np.ndarray) -> None:
+        """Copy ``value`` into ``data`` in place, validating the shape."""
+        value = np.asarray(value, dtype=np.float64)
+        if value.shape != self.data.shape:
+            raise ValueError(
+                f"cannot load value of shape {value.shape} into parameter "
+                f"{self.name or '<unnamed>'} of shape {self.data.shape}"
+            )
+        self.data[...] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        frozen = "" if self.requires_grad else ", frozen"
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}{frozen})"

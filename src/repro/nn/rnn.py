@@ -1,0 +1,348 @@
+"""Gated recurrent units with full backpropagation through time.
+
+Used by the ``BiGRUSeq2Seq`` NILM baseline. Inputs are batch-first
+``(N, T, F)``; outputs are the per-timestep hidden states ``(N, T, H)``
+(or ``(N, T, 2H)`` for the bidirectional wrapper). Gate weights follow the
+torch convention: rows stacked in ``[reset, update, new]`` order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .init import glorot_uniform, orthogonal
+from .module import Module
+from .parameter import Parameter
+
+__all__ = ["GRU", "BiGRU", "LSTM", "BiLSTM"]
+
+
+class GRU(Module):
+    """Single-layer unidirectional GRU.
+
+    Parameters
+    ----------
+    input_size, hidden_size:
+        Feature dimensions.
+    reverse:
+        Process the sequence right-to-left (outputs are returned in the
+        original time order). Used by :class:`BiGRU`.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        reverse: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("input_size and hidden_size must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+        h = hidden_size
+        self.w_ih = Parameter(
+            glorot_uniform((3 * h, input_size), input_size, h, rng), name="w_ih"
+        )
+        self.w_hh = Parameter(
+            np.concatenate([orthogonal((h, h), rng) for _ in range(3)], axis=0),
+            name="w_hh",
+        )
+        self.b_ih = Parameter(np.zeros(3 * h), name="b_ih")
+        self.b_hh = Parameter(np.zeros(3 * h), name="b_hh")
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected input (N, T, {self.input_size}), got {x.shape}"
+            )
+        if self.reverse:
+            x = x[:, ::-1, :]
+        n, t, _ = x.shape
+        h = self.hidden_size
+        # Input projections for the whole sequence at once.
+        gates_i = x @ self.w_ih.data.T + self.b_ih.data  # (N, T, 3H)
+        h_prev = np.zeros((n, h), dtype=np.float64)
+        hs = np.empty((n, t, h), dtype=np.float64)
+        rs = np.empty_like(hs)
+        zs = np.empty_like(hs)
+        ns = np.empty_like(hs)
+        hn_pres = np.empty_like(hs)
+        h_prevs = np.empty_like(hs)
+        w_hr = self.w_hh.data[:h]
+        w_hz = self.w_hh.data[h : 2 * h]
+        w_hn = self.w_hh.data[2 * h :]
+        b_hr = self.b_hh.data[:h]
+        b_hz = self.b_hh.data[h : 2 * h]
+        b_hn = self.b_hh.data[2 * h :]
+        for step in range(t):
+            gi = gates_i[:, step, :]
+            r = F.sigmoid(gi[:, :h] + h_prev @ w_hr.T + b_hr)
+            z = F.sigmoid(gi[:, h : 2 * h] + h_prev @ w_hz.T + b_hz)
+            hn_pre = h_prev @ w_hn.T + b_hn
+            new = np.tanh(gi[:, 2 * h :] + r * hn_pre)
+            h_prevs[:, step] = h_prev
+            h_prev = (1.0 - z) * new + z * h_prev
+            hs[:, step] = h_prev
+            rs[:, step] = r
+            zs[:, step] = z
+            ns[:, step] = new
+            hn_pres[:, step] = hn_pre
+        self._cache = {
+            "x": x,
+            "rs": rs,
+            "zs": zs,
+            "ns": ns,
+            "hn_pres": hn_pres,
+            "h_prevs": h_prevs,
+        }
+        if self.reverse:
+            return hs[:, ::-1, :]
+        return hs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        if self.reverse:
+            grad_output = grad_output[:, ::-1, :]
+        x = c["x"]
+        n, t, _ = x.shape
+        h = self.hidden_size
+        w_ir = self.w_ih.data[:h]
+        w_iz = self.w_ih.data[h : 2 * h]
+        w_in = self.w_ih.data[2 * h :]
+        w_hr = self.w_hh.data[:h]
+        w_hz = self.w_hh.data[h : 2 * h]
+        w_hn = self.w_hh.data[2 * h :]
+        dw_ih = np.zeros_like(self.w_ih.data)
+        dw_hh = np.zeros_like(self.w_hh.data)
+        db_ih = np.zeros_like(self.b_ih.data)
+        db_hh = np.zeros_like(self.b_hh.data)
+        dx = np.empty_like(x)
+        dh_next = np.zeros((n, h), dtype=np.float64)
+        for step in range(t - 1, -1, -1):
+            dh = grad_output[:, step, :] + dh_next
+            r = c["rs"][:, step]
+            z = c["zs"][:, step]
+            new = c["ns"][:, step]
+            hn_pre = c["hn_pres"][:, step]
+            h_prev = c["h_prevs"][:, step]
+            xt = x[:, step, :]
+            dz = dh * (h_prev - new)
+            dn = dh * (1.0 - z)
+            dh_prev = dh * z
+            dn_pre = dn * (1.0 - new**2)
+            dr = dn_pre * hn_pre
+            dhn_pre = dn_pre * r
+            dr_pre = dr * r * (1.0 - r)
+            dz_pre = dz * z * (1.0 - z)
+            # Parameter gradients.
+            dw_ih[:h] += dr_pre.T @ xt
+            dw_ih[h : 2 * h] += dz_pre.T @ xt
+            dw_ih[2 * h :] += dn_pre.T @ xt
+            dw_hh[:h] += dr_pre.T @ h_prev
+            dw_hh[h : 2 * h] += dz_pre.T @ h_prev
+            dw_hh[2 * h :] += dhn_pre.T @ h_prev
+            db_ih[:h] += dr_pre.sum(axis=0)
+            db_ih[h : 2 * h] += dz_pre.sum(axis=0)
+            db_ih[2 * h :] += dn_pre.sum(axis=0)
+            db_hh[:h] += dr_pre.sum(axis=0)
+            db_hh[h : 2 * h] += dz_pre.sum(axis=0)
+            db_hh[2 * h :] += dhn_pre.sum(axis=0)
+            # Input and recurrent gradients.
+            dx[:, step, :] = dr_pre @ w_ir + dz_pre @ w_iz + dn_pre @ w_in
+            dh_next = (
+                dh_prev + dr_pre @ w_hr + dz_pre @ w_hz + dhn_pre @ w_hn
+            )
+        self.w_ih.accumulate_grad(dw_ih)
+        self.w_hh.accumulate_grad(dw_hh)
+        self.b_ih.accumulate_grad(db_ih)
+        self.b_hh.accumulate_grad(db_hh)
+        if self.reverse:
+            return dx[:, ::-1, :]
+        return dx
+
+
+class LSTM(Module):
+    """Single-layer unidirectional LSTM with full BPTT.
+
+    Gate weights follow the torch convention: rows stacked in
+    ``[input, forget, cell, output]`` order. Batch-first ``(N, T, F)``
+    in, per-timestep hidden states ``(N, T, H)`` out.
+    """
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        reverse: bool = False,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if input_size < 1 or hidden_size < 1:
+            raise ValueError("input_size and hidden_size must be >= 1")
+        rng = rng or np.random.default_rng(0)
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.reverse = reverse
+        h = hidden_size
+        self.w_ih = Parameter(
+            glorot_uniform((4 * h, input_size), input_size, h, rng), name="w_ih"
+        )
+        self.w_hh = Parameter(
+            np.concatenate([orthogonal((h, h), rng) for _ in range(4)], axis=0),
+            name="w_hh",
+        )
+        b_ih = np.zeros(4 * h)
+        b_ih[h : 2 * h] = 1.0  # forget-gate bias init: remember by default
+        self.b_ih = Parameter(b_ih, name="b_ih")
+        self.b_hh = Parameter(np.zeros(4 * h), name="b_hh")
+        self._cache: dict | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 3 or x.shape[2] != self.input_size:
+            raise ValueError(
+                f"expected input (N, T, {self.input_size}), got {x.shape}"
+            )
+        if self.reverse:
+            x = x[:, ::-1, :]
+        n, t, _ = x.shape
+        h = self.hidden_size
+        gates_i = x @ self.w_ih.data.T + self.b_ih.data  # (N, T, 4H)
+        h_prev = np.zeros((n, h))
+        c_prev = np.zeros((n, h))
+        store = {
+            name: np.empty((n, t, h))
+            for name in ("i", "f", "g", "o", "c", "tanh_c", "h_prev", "c_prev")
+        }
+        hs = np.empty((n, t, h))
+        for step in range(t):
+            pre = gates_i[:, step, :] + h_prev @ self.w_hh.data.T + self.b_hh.data
+            i_gate = F.sigmoid(pre[:, :h])
+            f_gate = F.sigmoid(pre[:, h : 2 * h])
+            g_gate = np.tanh(pre[:, 2 * h : 3 * h])
+            o_gate = F.sigmoid(pre[:, 3 * h :])
+            store["h_prev"][:, step] = h_prev
+            store["c_prev"][:, step] = c_prev
+            c_prev = f_gate * c_prev + i_gate * g_gate
+            tanh_c = np.tanh(c_prev)
+            h_prev = o_gate * tanh_c
+            hs[:, step] = h_prev
+            store["i"][:, step] = i_gate
+            store["f"][:, step] = f_gate
+            store["g"][:, step] = g_gate
+            store["o"][:, step] = o_gate
+            store["c"][:, step] = c_prev
+            store["tanh_c"][:, step] = tanh_c
+        self._cache = {"x": x, **store}
+        if self.reverse:
+            return hs[:, ::-1, :]
+        return hs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        c = self._cache
+        if self.reverse:
+            grad_output = grad_output[:, ::-1, :]
+        x = c["x"]
+        n, t, _ = x.shape
+        h = self.hidden_size
+        dw_ih = np.zeros_like(self.w_ih.data)
+        dw_hh = np.zeros_like(self.w_hh.data)
+        db = np.zeros(4 * h)
+        dx = np.empty_like(x)
+        dh_next = np.zeros((n, h))
+        dc_next = np.zeros((n, h))
+        for step in range(t - 1, -1, -1):
+            dh = grad_output[:, step, :] + dh_next
+            i_gate = c["i"][:, step]
+            f_gate = c["f"][:, step]
+            g_gate = c["g"][:, step]
+            o_gate = c["o"][:, step]
+            tanh_c = c["tanh_c"][:, step]
+            c_prev = c["c_prev"][:, step]
+            h_prev = c["h_prev"][:, step]
+            do = dh * tanh_c
+            dc = dc_next + dh * o_gate * (1.0 - tanh_c**2)
+            di = dc * g_gate
+            df = dc * c_prev
+            dg = dc * i_gate
+            dc_next = dc * f_gate
+            dpre = np.concatenate(
+                [
+                    di * i_gate * (1.0 - i_gate),
+                    df * f_gate * (1.0 - f_gate),
+                    dg * (1.0 - g_gate**2),
+                    do * o_gate * (1.0 - o_gate),
+                ],
+                axis=1,
+            )  # (N, 4H)
+            dw_ih += dpre.T @ x[:, step, :]
+            dw_hh += dpre.T @ h_prev
+            db += dpre.sum(axis=0)
+            dx[:, step, :] = dpre @ self.w_ih.data
+            dh_next = dpre @ self.w_hh.data
+        self.w_ih.accumulate_grad(dw_ih)
+        self.w_hh.accumulate_grad(dw_hh)
+        self.b_ih.accumulate_grad(db)
+        self.b_hh.accumulate_grad(db.copy())
+        if self.reverse:
+            return dx[:, ::-1, :]
+        return dx
+
+
+class BiLSTM(Module):
+    """Bidirectional LSTM: concatenated forward and backward states."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.fwd = LSTM(input_size, hidden_size, reverse=False, rng=rng)
+        self.bwd = LSTM(input_size, hidden_size, reverse=True, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate([self.fwd(x), self.bwd(x)], axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        h = self.hidden_size
+        return self.fwd.backward(grad_output[:, :, :h]) + self.bwd.backward(
+            grad_output[:, :, h:]
+        )
+
+
+class BiGRU(Module):
+    """Bidirectional GRU: concatenated forward and backward hidden states."""
+
+    def __init__(
+        self,
+        input_size: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.hidden_size = hidden_size
+        self.fwd = GRU(input_size, hidden_size, reverse=False, rng=rng)
+        self.bwd = GRU(input_size, hidden_size, reverse=True, rng=rng)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.concatenate([self.fwd(x), self.bwd(x)], axis=2)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        h = self.hidden_size
+        return self.fwd.backward(grad_output[:, :, :h]) + self.bwd.backward(
+            grad_output[:, :, h:]
+        )

@@ -1,0 +1,91 @@
+"""Learning-rate schedulers that mutate an optimizer's ``lr`` in place."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["StepLR", "CosineAnnealingLR", "ReduceLROnPlateau"]
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if not 0.0 < gamma <= 1.0:
+            raise ValueError("gamma must be in (0, 1]")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.base_lr * self.gamma ** (
+            self.epoch // self.step_size
+        )
+
+
+class CosineAnnealingLR:
+    """Cosine decay from the initial lr to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        progress = min(self.epoch, self.t_max) / self.t_max
+        self.optimizer.lr = self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+
+
+class ReduceLROnPlateau:
+    """Shrink the lr when a monitored metric stops improving."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        factor: float = 0.5,
+        patience: int = 3,
+        min_lr: float = 1e-6,
+        mode: str = "min",
+    ):
+        if not 0.0 < factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+        if patience < 0:
+            raise ValueError("patience must be >= 0")
+        if mode not in ("min", "max"):
+            raise ValueError("mode must be 'min' or 'max'")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.min_lr = min_lr
+        self.mode = mode
+        self.best: float | None = None
+        self.bad_epochs = 0
+
+    def step(self, metric: float) -> None:
+        improved = (
+            self.best is None
+            or (self.mode == "min" and metric < self.best)
+            or (self.mode == "max" and metric > self.best)
+        )
+        if improved:
+            self.best = metric
+            self.bad_epochs = 0
+            return
+        self.bad_epochs += 1
+        if self.bad_epochs > self.patience:
+            self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+            self.bad_epochs = 0

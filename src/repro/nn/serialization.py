@@ -1,0 +1,50 @@
+"""Checkpointing model state dicts to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_module", "load_into_module"]
+
+_META_PREFIX = "__meta__"
+
+
+def save_state(path: str | os.PathLike, state: dict, meta: dict | None = None) -> None:
+    """Write a flat name→array mapping (plus string metadata) to ``path``."""
+    payload: dict[str, np.ndarray] = {}
+    for name, value in state.items():
+        if name.startswith(_META_PREFIX):
+            raise ValueError(f"state key {name!r} collides with metadata prefix")
+        payload[name] = np.asarray(value)
+    for key, value in (meta or {}).items():
+        payload[f"{_META_PREFIX}{key}"] = np.array(str(value))
+    np.savez(path, **payload)
+
+
+def load_state(path: str | os.PathLike) -> tuple[dict, dict]:
+    """Read a checkpoint; returns ``(state_dict, metadata)``."""
+    with np.load(path, allow_pickle=False) as archive:
+        state: dict[str, np.ndarray] = {}
+        meta: dict[str, str] = {}
+        for name in archive.files:
+            if name.startswith(_META_PREFIX):
+                meta[name[len(_META_PREFIX):]] = str(archive[name])
+            else:
+                state[name] = archive[name]
+    return state, meta
+
+
+def save_module(path: str | os.PathLike, module: Module, meta: dict | None = None) -> None:
+    """Checkpoint a module's parameters and buffers."""
+    save_state(path, module.state_dict(), meta=meta)
+
+
+def load_into_module(path: str | os.PathLike, module: Module) -> dict:
+    """Load a checkpoint into ``module``; returns the metadata dict."""
+    state, meta = load_state(path)
+    module.load_state_dict(state)
+    return meta

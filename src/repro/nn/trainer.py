@@ -1,0 +1,164 @@
+"""Generic training loop with early stopping and best-weights restore."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .data import DataLoader
+from .losses import Loss
+from .module import Module
+from .optim import Optimizer, clip_grad_norm
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch traces collected during :meth:`Trainer.fit`."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    lr: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+    diverged: bool = False
+    best_epoch: int = -1
+
+    @property
+    def epochs_run(self) -> int:
+        return len(self.train_loss)
+
+
+class Trainer:
+    """Trains a :class:`Module` against a loss with mini-batch SGD.
+
+    Parameters
+    ----------
+    model, loss, optimizer:
+        The pieces to wire together. The model must map a batch ``x`` to
+        predictions accepted by ``loss``.
+    max_epochs:
+        Upper bound on epochs.
+    patience:
+        Early-stopping patience on validation loss; ``None`` disables
+        early stopping (runs all epochs).
+    grad_clip:
+        Optional global-norm gradient clipping.
+    scheduler:
+        Optional LR scheduler; ``step()`` is called once per epoch (with
+        the validation loss when the scheduler accepts one).
+    target_transform:
+        Optional callable applied to the raw batch target before the loss
+        (e.g. reshaping labels for seq2seq heads).
+    input_transform:
+        Optional callable applied to the batch input **during training
+        only** (e.g. data augmentation); evaluation always sees the raw
+        inputs.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        loss: Loss,
+        optimizer: Optimizer,
+        max_epochs: int = 50,
+        patience: int | None = 5,
+        grad_clip: float | None = 5.0,
+        scheduler=None,
+        target_transform=None,
+        input_transform=None,
+        verbose: bool = False,
+    ):
+        if max_epochs < 1:
+            raise ValueError("max_epochs must be >= 1")
+        if patience is not None and patience < 1:
+            raise ValueError("patience must be >= 1 or None")
+        self.model = model
+        self.loss = loss
+        self.optimizer = optimizer
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.grad_clip = grad_clip
+        self.scheduler = scheduler
+        self.target_transform = target_transform
+        self.input_transform = input_transform
+        self.verbose = verbose
+
+    def _run_batch(self, x: np.ndarray, y: np.ndarray, train: bool) -> float:
+        if self.target_transform is not None:
+            y = self.target_transform(y)
+        if train and self.input_transform is not None:
+            x = self.input_transform(x)
+        prediction = self.model(x)
+        value = self.loss(prediction, y)
+        if train:
+            self.optimizer.zero_grad()
+            self.model.backward(self.loss.backward())
+            if self.grad_clip is not None:
+                clip_grad_norm(self.model.parameters(), self.grad_clip)
+            self.optimizer.step()
+        return value
+
+    def _evaluate(self, loader: DataLoader) -> float:
+        self.model.eval()
+        total, count = 0.0, 0
+        for x, y in loader:
+            total += self._run_batch(x, y, train=False) * len(x)
+            count += len(x)
+        return total / max(count, 1)
+
+    def fit(
+        self, train_loader: DataLoader, val_loader: DataLoader | None = None
+    ) -> TrainingHistory:
+        """Run the training loop; restores best-validation weights."""
+        history = TrainingHistory()
+        best_val = np.inf
+        best_state = None
+        bad_epochs = 0
+        for epoch in range(self.max_epochs):
+            self.model.train()
+            total, count = 0.0, 0
+            for x, y in train_loader:
+                total += self._run_batch(x, y, train=True) * len(x)
+                count += len(x)
+            train_loss = total / max(count, 1)
+            history.train_loss.append(train_loss)
+            if not np.isfinite(train_loss):
+                # A NaN/inf loss never recovers under plain SGD/Adam —
+                # stop, flag it, and fall back to the best known weights.
+                history.diverged = True
+                break
+            history.lr.append(self.optimizer.lr)
+            if val_loader is not None:
+                val_loss = self._evaluate(val_loader)
+                history.val_loss.append(val_loss)
+                if self.scheduler is not None:
+                    try:
+                        self.scheduler.step(val_loss)
+                    except TypeError:
+                        self.scheduler.step()
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_state = self.model.state_dict()
+                    history.best_epoch = epoch
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if self.patience is not None and bad_epochs >= self.patience:
+                        history.stopped_early = True
+                        break
+            elif self.scheduler is not None:
+                try:
+                    self.scheduler.step()
+                except TypeError:
+                    pass
+            if self.verbose:  # pragma: no cover - logging only
+                msg = f"epoch {epoch}: train={train_loss:.4f}"
+                if history.val_loss:
+                    msg += f" val={history.val_loss[-1]:.4f}"
+                print(msg)
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        return history

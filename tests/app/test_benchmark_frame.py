@@ -1,0 +1,104 @@
+"""Tests for the BenchmarkBrowser (frame B)."""
+
+import pytest
+
+from repro.app import BenchmarkBrowser
+from repro.eval import (
+    BenchmarkResult,
+    EfficiencyCurve,
+    EfficiencyPoint,
+    LabelEfficiencyResult,
+    MethodResult,
+    Metrics,
+)
+
+
+def metrics(f1):
+    return Metrics(
+        accuracy=f1, balanced_accuracy=f1, precision=f1, recall=f1, f1=f1
+    )
+
+
+def make_benchmark(dataset="ukdale", appliance="kettle"):
+    result = BenchmarkResult(dataset, appliance, "6h", 100, 40)
+    result.results = [
+        MethodResult("camal", "CamAL", "weak", metrics(0.8), metrics(0.6), 100, 1.0),
+        MethodResult("mil", "MIL (weak)", "weak", metrics(0.4), metrics(0.25), 100, 1.0),
+        MethodResult(
+            "seq2seq_cnn", "Seq2Seq CNN", "strong", metrics(0.7), metrics(0.7),
+            36000, 2.0,
+        ),
+    ]
+    return result
+
+
+def make_efficiency(dataset="ukdale", appliance="kettle"):
+    result = LabelEfficiencyResult(dataset, appliance, 360)
+    camal = EfficiencyCurve("camal", "CamAL", "weak")
+    camal.points = [EfficiencyPoint(100, 100, 0.6)]
+    mil = EfficiencyCurve("mil", "MIL (weak)", "weak")
+    mil.points = [EfficiencyPoint(100, 100, 0.27)]
+    result.curves = {"camal": camal, "mil": mil}
+    return result
+
+
+def test_datasets_and_appliances_listing():
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark("ukdale", "kettle"))
+    browser.add(make_benchmark("ukdale", "shower"))
+    browser.add(make_benchmark("refit", "kettle"))
+    assert browser.datasets == ["refit", "ukdale"]
+    assert browser.appliances("ukdale") == ["kettle", "shower"]
+    with pytest.raises(KeyError):
+        browser.appliances("ideal")
+
+
+def test_table_is_sorted_by_measure():
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark())
+    rows = browser.table("ukdale", "kettle", "detection", sort_by="f1")
+    assert [r["method"] for r in rows] == ["CamAL", "Seq2Seq CNN", "MIL (weak)"]
+    rows_loc = browser.table("ukdale", "kettle", "localization", sort_by="f1")
+    assert rows_loc[0]["method"] == "Seq2Seq CNN"
+
+
+def test_table_rejects_unknown_measure():
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark())
+    with pytest.raises(KeyError):
+        browser.table("ukdale", "kettle", sort_by="auc")
+
+
+def test_get_unknown_task():
+    browser = BenchmarkBrowser()
+    with pytest.raises(KeyError):
+        browser.get("ukdale", "kettle")
+    with pytest.raises(KeyError):
+        browser.get_efficiency("ukdale", "kettle")
+
+
+def test_label_comparison_orders_by_best_f1():
+    browser = BenchmarkBrowser()
+    browser.add_efficiency(make_efficiency())
+    rows = browser.label_comparison("ukdale", "kettle")
+    assert rows[0]["method"] == "CamAL"
+    assert rows[0]["best_f1"] == 0.6
+    assert rows[0]["min_labels"] == 100
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark())
+    browser.add_efficiency(make_efficiency())
+    browser.save_dir(tmp_path)
+    loaded = BenchmarkBrowser.load_dir(tmp_path)
+    assert loaded.datasets == ["ukdale"]
+    table = loaded.table("ukdale", "kettle")
+    assert table[0]["method"] == "CamAL"
+    comparison = loaded.label_comparison("ukdale", "kettle")
+    assert comparison[0]["method"] == "CamAL"
+
+
+def test_load_missing_directory():
+    with pytest.raises(FileNotFoundError):
+        BenchmarkBrowser.load_dir("/nonexistent/results")

@@ -1,0 +1,100 @@
+"""Tests for the DeviceScope CLI (invoked in-process, --fast mode)."""
+
+import pytest
+
+from repro.app.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_profile():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["browse", "--profile", "redd"])
+
+
+def test_parser_rejects_unknown_appliance():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["demo", "--appliance", "toaster"])
+
+
+def test_browse_fast_runs(capsys):
+    code = main(["browse", "--fast", "--pages", "2", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "browsing house" in out
+    assert "aggregate" in out
+    assert "kettle" in out
+
+
+def test_demo_fast_writes_report(tmp_path, capsys):
+    out_path = tmp_path / "report.html"
+    code = main(
+        ["demo", "--fast", "--pages", "2", "--out", str(out_path), "--seed", "1"]
+    )
+    assert code == 0
+    html = out_path.read_text()
+    assert "<svg" in html
+    assert "Model detection probabilities" in html
+
+
+def test_benchmark_fast_prints_tables(capsys):
+    code = main(
+        ["benchmark", "--fast", "--methods", "mil", "--seed", "1"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "detection" in out
+    assert "localization" in out
+    assert "CamAL" in out
+    assert "MIL (weak)" in out
+
+
+def test_benchmark_save_and_report_roundtrip(tmp_path, capsys):
+    save_dir = tmp_path / "results"
+    code = main([
+        "benchmark", "--fast", "--methods", "mil", "--seed", "1",
+        "--save", str(save_dir),
+    ])
+    assert code == 0
+    assert any(save_dir.glob("benchmark_*.json"))
+    out_html = tmp_path / "report.html"
+    code = main(["report", str(save_dir), "--out", str(out_html)])
+    assert code == 0
+    html = out_html.read_text()
+    assert "CamAL" in html
+    assert "detection" in html
+
+
+def test_report_empty_dir_fails(tmp_path, capsys):
+    empty = tmp_path / "nothing"
+    empty.mkdir()
+    assert main(["report", str(empty)]) == 1
+
+
+def test_upload_command(tmp_path, capsys):
+    import numpy as np
+
+    from repro.datasets import House, house_to_csv
+
+    house = House(
+        house_id="upload",
+        step_s=60.0,
+        aggregate=np.random.default_rng(0).uniform(0, 500, 400),
+    )
+    path = tmp_path / "mydata.csv"
+    house_to_csv(house, path)
+    code = main(["upload", str(path), "--pages", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "loaded mydata" in out
+    assert "window 1" in out
+
+
+def test_energy_fast_command(capsys):
+    code = main(["energy", "--fast", "--appliance", "kettle", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "estimated_kwh" in out

@@ -1,0 +1,88 @@
+"""Tests for the Scenario-2 guessing game."""
+
+import numpy as np
+import pytest
+
+from repro.app import GuessGame
+from repro.app.playground import AppliancePrediction, WindowView
+
+
+def make_view(truth, camal_status, with_truth=True):
+    t = len(truth)
+    prediction = AppliancePrediction(
+        appliance="kettle",
+        probability=0.9,
+        detected=True,
+        status=np.asarray(camal_status, dtype=float),
+        cam=np.zeros(t),
+        member_probabilities={0: 0.9},
+        ground_truth_watts=np.asarray(truth, dtype=float) * 2000 if with_truth else None,
+        ground_truth_status=np.asarray(truth, dtype=float) if with_truth else None,
+    )
+    return WindowView(
+        house_id="h",
+        window="6h",
+        position=0,
+        n_windows=1,
+        start=0,
+        hours=np.arange(t, dtype=float),
+        watts=np.zeros(t),
+        missing=False,
+        predictions={"kettle": prediction},
+    )
+
+
+def test_perfect_guess_beats_imperfect_camal():
+    truth = [0, 0, 1, 1, 1, 0, 0, 0]
+    camal = [0, 0, 1, 1, 0, 0, 0, 1]  # partial + false positive
+    game = GuessGame(make_view(truth, camal), "kettle")
+    outcome = game.submit([(2, 5)])
+    assert outcome.user.f1 == 1.0
+    assert outcome.user_beats_camal
+    assert "you beat CamAL" in outcome.summary()
+
+
+def test_bad_guess_loses_to_camal():
+    truth = [0, 0, 1, 1, 1, 0, 0, 0]
+    game = GuessGame(make_view(truth, truth), "kettle")
+    outcome = game.submit([(6, 8)])  # completely wrong
+    assert outcome.user.f1 == 0.0
+    assert not outcome.user_beats_camal
+    assert "CamAL wins" in outcome.summary()
+
+
+def test_empty_guess_is_all_off():
+    truth = [0, 1, 0, 0]
+    game = GuessGame(make_view(truth, truth), "kettle")
+    outcome = game.submit([])
+    assert outcome.user.recall == 0.0
+
+
+def test_intervals_validation():
+    truth = [0, 1, 0, 0]
+    game = GuessGame(make_view(truth, truth), "kettle")
+    with pytest.raises(ValueError):
+        game.submit([(2, 2)])
+    with pytest.raises(ValueError):
+        game.submit([(0, 99)])
+
+
+def test_requires_selected_appliance():
+    view = make_view([0, 1], [0, 1])
+    with pytest.raises(KeyError, match="no prediction"):
+        GuessGame(view, "shower")
+
+
+def test_requires_ground_truth():
+    view = make_view([0, 1], [0, 1], with_truth=False)
+    with pytest.raises(ValueError, match="ground truth"):
+        GuessGame(view, "kettle")
+
+
+def test_overlapping_intervals_merge():
+    truth = [1, 1, 1, 1, 0, 0]
+    game = GuessGame(make_view(truth, truth), "kettle")
+    outcome = game.submit([(0, 3), (2, 4)])
+    np.testing.assert_array_equal(
+        outcome.guess_status, [1, 1, 1, 1, 0, 0]
+    )

@@ -1,0 +1,170 @@
+"""Tests for the Playground frame (integration with a trained CamAL)."""
+
+import numpy as np
+import pytest
+
+from repro.app import Playground
+from repro.core import CamAL
+from repro.datasets import House, SmartMeterDataset, Standardizer, strong_labels
+from repro.models import TrainConfig
+from tests.models.test_training import synthetic_windows
+
+WINDOW = 360  # "6h" at 1-min sampling
+
+
+@pytest.fixture(scope="module")
+def model():
+    ws = synthetic_windows(n=60, t=32)
+    return CamAL.train(
+        ws,
+        kernel_sizes=(3, 5),
+        n_filters=(4, 8, 8),
+        train_config=TrainConfig(epochs=5, lr=2e-3, patience=None, seed=0),
+    )
+
+
+@pytest.fixture()
+def dataset():
+    rng = np.random.default_rng(0)
+    n = 4 * 1440  # 4 days at 1-min
+    aggregate = rng.normal(100.0, 10.0, n)
+    kettle = np.zeros(n)
+    for start in (100, 800, 2000, 4000):
+        kettle[start : start + 5] = 2000.0
+    aggregate = aggregate + kettle
+    aggregate[3000:3050] = np.nan
+    houses = [
+        House(
+            house_id="h1",
+            step_s=60.0,
+            aggregate=aggregate,
+            submeters={"kettle": kettle},
+            possession={"kettle": True},
+        ),
+        House(
+            house_id="h2",
+            step_s=60.0,
+            aggregate=rng.normal(100.0, 10.0, n),
+            submeters={"kettle": np.zeros(n)},
+            possession={"kettle": False},
+        ),
+    ]
+    return SmartMeterDataset("toy", houses, 60.0)
+
+
+def test_defaults_to_first_house(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    assert pg.state.house_id == "h1"
+    assert pg.n_windows == 4 * 1440 // 720  # default 12h window
+
+
+def test_window_length_tracks_selection(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    assert pg.window_length == 360
+    assert pg.n_windows == 16
+
+
+def test_view_exposes_aggregate_and_axis(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    view = pg.view(["kettle"])
+    assert view.watts.shape == (360,)
+    assert view.hours.shape == (360,)
+    assert view.position == 0
+    assert view.n_windows == 16
+    assert not view.missing
+
+
+def test_prediction_includes_ground_truth(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    view = pg.view(["kettle"])
+    pred = view.predictions["kettle"]
+    assert pred.ground_truth_watts is not None
+    np.testing.assert_array_equal(
+        pred.ground_truth_status,
+        strong_labels(pred.ground_truth_watts, "kettle"),
+    )
+    assert pred.status.shape == (360,)
+    assert pred.cam.shape == (360,)
+    assert 0.0 <= pred.probability <= 1.0
+
+
+def test_missing_window_disables_prediction(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    pg.jump(3000 // 360)  # window containing the NaN gap
+    view = pg.view(["kettle"])
+    assert view.missing
+    pred = view.predictions["kettle"]
+    assert not pred.detected
+    assert np.isnan(pred.probability)
+    np.testing.assert_array_equal(pred.status, 0.0)
+
+
+def test_navigation_next_previous(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    view = pg.next()
+    assert view.position == 1
+    assert view.has_previous
+    view = pg.previous()
+    assert view.position == 0
+    assert not view.has_previous
+
+
+def test_navigation_clamps_at_end(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    pg.jump(pg.n_windows - 1)
+    view = pg.next()
+    assert view.position == pg.n_windows - 1
+    assert not view.has_next
+
+
+def test_jump_validates_bounds(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    with pytest.raises(ValueError):
+        pg.jump(999)
+
+
+def test_select_house_validates(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    with pytest.raises(KeyError):
+        pg.select_house("h99")
+    pg.select_house("h2")
+    assert pg.state.house_id == "h2"
+    assert pg.state.position == 0
+
+
+def test_view_requires_model_for_appliance(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    with pytest.raises(KeyError, match="no trained model"):
+        pg.view(["shower"])
+
+
+def test_available_appliances(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    assert pg.available_appliances() == ["kettle"]
+
+
+def test_example_pattern_looks_like_the_appliance(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pattern = pg.example_pattern("kettle")
+    assert pattern.ndim == 1
+    assert pattern.max() > 1500  # kilowatt-scale kettle
+
+
+def test_selected_appliances_drive_default_view(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.state.selected_appliances = ["kettle"]
+    view = pg.view()
+    assert "kettle" in view.predictions
+
+
+def test_prediction_reports_uncertainty(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    pred = pg.view(["kettle"]).predictions["kettle"]
+    assert 0.0 <= pred.uncertainty <= 0.5

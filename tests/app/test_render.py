@@ -1,0 +1,116 @@
+"""Tests for ASCII/HTML rendering."""
+
+import numpy as np
+import pytest
+
+from repro.app import (
+    ascii_series,
+    render_report,
+    render_table,
+    svg_series,
+    write_report,
+)
+
+
+def test_ascii_series_monotone_ramp():
+    out = ascii_series(np.linspace(0, 1, 9))
+    assert out[0] == " "
+    assert out[-1] == "█"
+    assert len(out) == 9
+
+
+def test_ascii_series_flat_is_uniform():
+    out = ascii_series(np.full(10, 5.0))
+    assert len(set(out)) == 1
+
+
+def test_ascii_series_nan_marker():
+    out = ascii_series(np.array([0.0, np.nan, 1.0]))
+    assert out[1] == "·"
+
+
+def test_ascii_series_downsamples_preserving_spikes():
+    values = np.zeros(1000)
+    values[500] = 10.0
+    out = ascii_series(values, width=50)
+    assert len(out) == 50
+    assert "█" in out  # the spike survived block-max downsampling
+
+
+def test_ascii_series_all_nan():
+    out = ascii_series(np.full(5, np.nan))
+    assert out == "·····"
+
+
+def test_ascii_series_rejects_empty():
+    with pytest.raises(ValueError):
+        ascii_series(np.array([]))
+
+
+def test_svg_series_contains_polyline():
+    svg = svg_series(np.sin(np.linspace(0, 6, 50)))
+    assert svg.startswith("<svg")
+    assert "polyline" in svg
+
+
+def test_svg_series_fill_mode_uses_polygon():
+    svg = svg_series(np.array([0.0, 1.0, 0.0, 1.0]), fill=True)
+    assert "polygon" in svg
+
+
+def test_svg_series_nan_splits_path():
+    values = np.concatenate([np.ones(10), [np.nan], np.zeros(10)])
+    svg = svg_series(values)
+    assert svg.count("polyline") == 2
+
+
+def test_svg_series_rejects_short_input():
+    with pytest.raises(ValueError):
+        svg_series(np.array([1.0]))
+
+
+def test_render_table_escapes_html():
+    html = render_table([{"method": "<script>"}])
+    assert "<script>" not in html
+    assert "&lt;script&gt;" in html
+
+
+def test_render_table_empty():
+    assert "(no rows)" in render_table([])
+
+
+def test_render_report_is_standalone_html():
+    doc = render_report("My Title", ["<p>one</p>", "<p>two</p>"])
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "My Title" in doc
+    assert "<p>one</p>" in doc
+
+
+def test_write_report_creates_file(tmp_path):
+    path = write_report(tmp_path / "r.html", "T", ["<p>x</p>"])
+    assert path.exists()
+    assert "<p>x</p>" in path.read_text()
+
+
+def test_benchmark_sections_render_both_kinds():
+    from repro.app import BenchmarkBrowser, benchmark_sections
+    from tests.app.test_benchmark_frame import make_benchmark, make_efficiency
+
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark())
+    browser.add_efficiency(make_efficiency())
+    sections = benchmark_sections(browser, "ukdale", "kettle")
+    assert len(sections) == 3  # detection, localization, labels
+    assert "detection" in sections[0]
+    assert "localization" in sections[1]
+    assert "Labels required" in sections[2]
+
+
+def test_benchmark_sections_without_efficiency():
+    from repro.app import BenchmarkBrowser, benchmark_sections
+    from tests.app.test_benchmark_frame import make_benchmark
+
+    browser = BenchmarkBrowser()
+    browser.add(make_benchmark())
+    sections = benchmark_sections(browser, "ukdale", "kettle")
+    assert len(sections) == 2

@@ -1,0 +1,61 @@
+"""Tests for SessionState."""
+
+import pytest
+
+from repro.app import SessionState
+
+
+def test_defaults_are_valid():
+    state = SessionState()
+    assert state.window == "12h"
+    assert state.position == 0
+
+
+def test_rejects_unknown_window():
+    with pytest.raises(ValueError):
+        SessionState(window="2h")
+    state = SessionState()
+    with pytest.raises(ValueError):
+        state.select_window("90m")
+
+
+def test_rejects_negative_position():
+    with pytest.raises(ValueError):
+        SessionState(position=-1)
+
+
+def test_select_window_resets_position():
+    state = SessionState(position=0)
+    state.advance(10, 5)
+    state.select_window("6h")
+    assert state.position == 0
+    assert state.window == "6h"
+
+
+def test_select_house_resets_position():
+    state = SessionState()
+    state.advance(10, 3)
+    state.select_house("house_2")
+    assert state.house_id == "house_2"
+    assert state.position == 0
+
+
+def test_advance_clamps_at_both_ends():
+    state = SessionState()
+    assert state.advance(5, -1) == 0
+    assert state.advance(5, 10) == 4
+    assert state.advance(5, 1) == 4
+
+
+def test_advance_requires_windows():
+    with pytest.raises(ValueError):
+        SessionState().advance(0)
+
+
+def test_toggle_appliance():
+    state = SessionState()
+    state.toggle_appliance("kettle")
+    assert state.selected_appliances == ["kettle"]
+    state.toggle_appliance("shower")
+    state.toggle_appliance("kettle")
+    assert state.selected_appliances == ["shower"]

@@ -1,0 +1,26 @@
+"""Tests for the (import-guarded) streamlit front end."""
+
+import pytest
+
+from repro.app import streamlit_app
+
+
+def test_module_imports_without_streamlit():
+    # The offline environment has no streamlit; the module must still
+    # import cleanly and expose the headless helpers.
+    assert hasattr(streamlit_app, "bootstrap_session")
+    assert hasattr(streamlit_app, "main")
+
+
+def test_require_streamlit_raises_clear_error():
+    if streamlit_app.st is not None:
+        pytest.skip("streamlit happens to be installed")
+    with pytest.raises(ImportError, match="pip install streamlit"):
+        streamlit_app.require_streamlit()
+
+
+def test_render_functions_guarded():
+    if streamlit_app.st is not None:
+        pytest.skip("streamlit happens to be installed")
+    with pytest.raises(ImportError):
+        streamlit_app.render_benchmark("results")

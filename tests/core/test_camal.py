@@ -1,0 +1,256 @@
+"""Tests for CamAL — the paper's §II.B six-step pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL, CamALConfig, remove_short_runs
+from repro.datasets import Standardizer, WindowSet
+from repro.models import ResNetEnsemble, TrainConfig
+from tests.models.test_training import synthetic_windows
+
+
+@pytest.fixture(scope="module")
+def trained_camal():
+    ws = synthetic_windows(n=60, t=32)
+    model = CamAL.train(
+        ws,
+        kernel_sizes=(3, 5),
+        n_filters=(4, 8, 8),
+        train_config=TrainConfig(epochs=6, lr=2e-3, patience=None, seed=0),
+    )
+    return model, ws
+
+
+def untrained_camal(config=None):
+    ens = ResNetEnsemble((3, 5), n_filters=(4, 8, 8), seed=0)
+    ens.eval()
+    return CamAL(ens, Standardizer(), config)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CamALConfig(detection_threshold=0.0)
+    with pytest.raises(ValueError):
+        CamALConfig(status_threshold=1.5)
+    with pytest.raises(ValueError):
+        CamALConfig(cam_floor=1.0)
+    with pytest.raises(ValueError):
+        CamALConfig(smooth_window=-1)
+
+
+def test_result_shapes(trained_camal):
+    model, ws = trained_camal
+    result = model.localize(ws.x[:5])
+    assert result.probabilities.shape == (5,)
+    assert result.detected.shape == (5,)
+    assert result.cam.shape == (5, ws.window_length)
+    assert result.attention.shape == (5, ws.window_length)
+    assert result.status.shape == (5, ws.window_length)
+    assert set(result.member_probabilities) == {0, 1}
+
+
+def test_cam_and_attention_in_unit_interval(trained_camal):
+    model, ws = trained_camal
+    result = model.localize(ws.x)
+    assert result.cam.min() >= 0.0 and result.cam.max() <= 1.0
+    assert result.attention.min() >= 0.0 and result.attention.max() <= 1.0
+
+
+def test_status_is_binary_and_gated_by_detection(trained_camal):
+    """Paper step 6 + step 2: no detection → all-OFF status."""
+    model, ws = trained_camal
+    result = model.localize(ws.x)
+    assert set(np.unique(result.status)).issubset({0.0, 1.0})
+    undetected = ~result.detected
+    if undetected.any():
+        np.testing.assert_array_equal(result.status[undetected], 0.0)
+
+
+def test_detection_recovers_weak_labels(trained_camal):
+    model, ws = trained_camal
+    probs = model.detect(ws.x)
+    acc = np.mean((probs > 0.5) == (ws.y_weak > 0.5))
+    assert acc > 0.85
+
+
+def test_localization_overlaps_ground_truth(trained_camal):
+    """The synthetic activations are obvious; CamAL must localize most
+    of their mass despite training only on weak labels."""
+    model, ws = trained_camal
+    status = model.predict_status(ws.x)
+    tp = (status * ws.y_strong).sum()
+    recall = tp / max(ws.y_strong.sum(), 1)
+    assert recall > 0.6
+    fp = (status * (1 - ws.y_strong)).sum()
+    precision = tp / max(tp + fp, 1)
+    assert precision > 0.2
+
+
+def test_training_never_reads_strong_labels():
+    """Scrambling y_strong must not change the trained model —
+    the weak-supervision guarantee of the paper."""
+    ws = synthetic_windows(n=40, t=32, seed=1)
+    scrambled = WindowSet(
+        x=ws.x,
+        x_watts=ws.x_watts,
+        y_weak=ws.y_weak,
+        y_strong=np.random.default_rng(0).permutation(ws.y_strong.ravel()).reshape(
+            ws.y_strong.shape
+        ),
+        house_ids=ws.house_ids,
+        starts=ws.starts,
+        appliance=ws.appliance,
+        scaler=ws.scaler,
+    )
+    cfg = TrainConfig(epochs=2, patience=None, seed=5)
+    a = CamAL.train(ws, kernel_sizes=(3,), n_filters=(2, 4, 4),
+                    train_config=cfg, seed=7)
+    b = CamAL.train(scrambled, kernel_sizes=(3,), n_filters=(2, 4, 4),
+                    train_config=cfg, seed=7)
+    np.testing.assert_allclose(a.detect(ws.x), b.detect(ws.x))
+
+
+def test_localize_watts_equivalent_to_standardized(trained_camal):
+    model, ws = trained_camal
+    via_watts = model.localize_watts(ws.x_watts[:4])
+    via_std = model.localize(ws.x[:4])
+    np.testing.assert_allclose(via_watts.status, via_std.status)
+    np.testing.assert_allclose(
+        via_watts.probabilities, via_std.probabilities
+    )
+
+
+def test_input_validation():
+    model = untrained_camal()
+    with pytest.raises(ValueError, match="expected"):
+        model.localize(np.zeros((2, 32)))
+    with pytest.raises(ValueError, match="expected"):
+        model.localize_watts(np.zeros((2, 1, 32)))
+
+
+def test_min_on_duration_removes_blips(trained_camal):
+    model, ws = trained_camal
+    strict = CamAL(
+        model.ensemble, model.scaler, CamALConfig(min_on_duration=3)
+    )
+    base_status = model.predict_status(ws.x)
+    strict_status = strict.predict_status(ws.x)
+    # Post-processed status is a subset of the raw status.
+    assert np.all(strict_status <= base_status + 1e-12)
+
+
+def test_cam_floor_reduces_active_area(trained_camal):
+    model, ws = trained_camal
+    floored = CamAL(
+        model.ensemble, model.scaler, CamALConfig(cam_floor=0.6)
+    )
+    assert floored.predict_status(ws.x).sum() <= model.predict_status(ws.x).sum()
+
+
+def test_smoothing_produces_smoother_cam(trained_camal):
+    model, ws = trained_camal
+    smooth = CamAL(
+        model.ensemble, model.scaler, CamALConfig(smooth_window=5)
+    )
+    raw_cam = model.localize(ws.x[:3]).cam
+    smooth_cam = smooth.localize(ws.x[:3]).cam
+    tv = lambda c: np.abs(np.diff(c, axis=1)).sum()  # noqa: E731
+    assert tv(smooth_cam) < tv(raw_cam)
+
+
+def test_remove_short_runs_basic():
+    status = np.array([[0, 1, 0, 1, 1, 1, 0, 1, 1, 0]], dtype=float)
+    out = remove_short_runs(status, 2)
+    np.testing.assert_array_equal(out, [[0, 0, 0, 1, 1, 1, 0, 1, 1, 0]])
+
+
+def test_remove_short_runs_handles_edges():
+    status = np.array([[1, 0, 0, 0, 1]], dtype=float)
+    out = remove_short_runs(status, 2)
+    np.testing.assert_array_equal(out, [[0, 0, 0, 0, 0]])
+
+
+def test_remove_short_runs_noop_below_two():
+    status = np.array([[0, 1, 0]], dtype=float)
+    np.testing.assert_array_equal(remove_short_runs(status, 1), status)
+
+
+def test_remove_short_runs_rejects_1d():
+    with pytest.raises(ValueError):
+        remove_short_runs(np.zeros(4), 2)
+
+
+def test_recommended_config_per_appliance():
+    from repro.core import CamALConfig, recommended_config
+
+    assert recommended_config("kettle").cam_floor == 0.5
+    assert recommended_config("dishwasher") == CamALConfig()
+    assert recommended_config("unknown_appliance") == CamALConfig()
+
+
+def test_calibrate_picks_better_threshold(trained_camal):
+    model, ws = trained_camal
+    calibrated = model.calibrate(ws)
+    assert 0.0 < calibrated.config.detection_threshold < 1.0
+    # Shares weights; only the config changed.
+    assert calibrated.ensemble is model.ensemble
+
+    def bacc(m):
+        pred = m.detect(ws.x) > m.config.detection_threshold
+        truth = ws.y_weak > 0.5
+        pos = max(truth.sum(), 1)
+        neg = max((~truth).sum(), 1)
+        return 0.5 * ((pred & truth).sum() / pos + (~pred & ~truth).sum() / neg)
+
+    assert bacc(calibrated) >= bacc(model) - 1e-9
+
+
+def test_calibrate_rejects_bad_thresholds(trained_camal):
+    model, ws = trained_camal
+    with pytest.raises(ValueError):
+        model.calibrate(ws, thresholds=np.array([0.0, 0.5]))
+
+
+def test_calibrate_preserves_other_config_fields(trained_camal):
+    model, ws = trained_camal
+    tuned = CamAL(model.ensemble, model.scaler, CamALConfig(cam_floor=0.3))
+    calibrated = tuned.calibrate(ws)
+    assert calibrated.config.cam_floor == 0.3
+
+
+def test_uncertainty_is_member_disagreement(trained_camal):
+    model, ws = trained_camal
+    result = model.localize(ws.x[:6])
+    assert result.uncertainty.shape == (6,)
+    manual = np.std(
+        [result.member_probabilities[k] for k in sorted(result.member_probabilities)],
+        axis=0,
+    )
+    np.testing.assert_allclose(result.uncertainty, manual)
+    assert np.all(result.uncertainty >= 0)
+    assert np.all(result.uncertainty <= 0.5 + 1e-12)
+
+
+def test_constant_window_does_not_crash(trained_camal):
+    """A flat aggregate (vacant house) must produce a clean all-OFF or
+    all-ON decision, never NaN."""
+    model, ws = trained_camal
+    flat = np.full((2, ws.window_length), 100.0)
+    result = model.localize_watts(flat)
+    assert np.all(np.isfinite(result.probabilities))
+    assert np.all(np.isfinite(result.cam))
+    assert set(np.unique(result.status)).issubset({0.0, 1.0})
+
+
+def test_single_window_batch(trained_camal):
+    model, ws = trained_camal
+    result = model.localize(ws.x[:1])
+    assert result.status.shape == (1, ws.window_length)
+
+
+def test_repr_names_the_architecture(trained_camal):
+    model, _ = trained_camal
+    text = repr(model)
+    assert "CamAL" in text
+    assert "members=2" in text
+    assert "kernels=[3,5]" in text

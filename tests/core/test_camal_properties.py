@@ -1,0 +1,102 @@
+"""Property-based invariants of the CamAL pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CamAL, CamALConfig
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+from repro.models.ensemble import normalize_cam
+
+
+def make_model(seed=0, kernels=(3, 5), config=None):
+    ensemble = ResNetEnsemble(kernels, n_filters=(4, 8, 8), seed=seed)
+    ensemble.eval()
+    return CamAL(ensemble, Standardizer(mean=0.0, std=1.0), config)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=10, deadline=None)
+def test_pipeline_outputs_respect_ranges(seed):
+    model = make_model(seed % 5)
+    x = np.random.default_rng(seed).normal(size=(3, 1, 24))
+    result = model.localize(x)
+    assert np.all((result.probabilities >= 0) & (result.probabilities <= 1))
+    assert np.all((result.cam >= 0) & (result.cam <= 1))
+    assert np.all((result.attention >= 0) & (result.attention <= 1))
+    assert set(np.unique(result.status)).issubset({0.0, 1.0})
+    assert np.all(result.uncertainty >= 0)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=10, deadline=None)
+def test_status_only_where_detected(seed):
+    model = make_model(seed % 5)
+    x = np.random.default_rng(seed).normal(size=(4, 1, 24))
+    result = model.localize(x)
+    for i in range(4):
+        if not result.detected[i]:
+            assert result.status[i].sum() == 0
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_batch_localization_equals_per_window(seed):
+    """Localizing a batch must equal localizing each window alone —
+    no cross-window leakage (BatchNorm must be in eval mode)."""
+    model = make_model(seed % 3)
+    x = np.random.default_rng(seed).normal(size=(3, 1, 20))
+    batch = model.localize(x)
+    for i in range(3):
+        single = model.localize(x[i : i + 1])
+        np.testing.assert_allclose(
+            single.probabilities, batch.probabilities[i : i + 1], atol=1e-12
+        )
+        np.testing.assert_allclose(
+            single.status[0], batch.status[i], atol=1e-12
+        )
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_member_order_does_not_change_ensemble_outputs(seed):
+    """Averaging is symmetric: reversing the member list is a no-op."""
+    rng = np.random.default_rng(seed)
+    model = make_model(seed % 3, kernels=(3, 5, 7))
+    reversed_ensemble = ResNetEnsemble((7, 5, 3), n_filters=(4, 8, 8))
+    # Copy weights member-by-member, reversed.
+    for source, target in zip(
+        model.ensemble.members, reversed(list(reversed_ensemble.members))
+    ):
+        target.load_state_dict(source.state_dict())
+    reversed_ensemble.eval()
+    other = CamAL(reversed_ensemble, model.scaler)
+    x = rng.normal(size=(2, 1, 16))
+    np.testing.assert_allclose(
+        model.localize(x).probabilities, other.localize(x).probabilities
+    )
+    np.testing.assert_allclose(model.localize(x).cam, other.localize(x).cam)
+
+
+@given(
+    seed=st.integers(0, 100),
+    floor_small=st.floats(0.05, 0.4),
+    floor_big=st.floats(0.5, 0.9),
+)
+@settings(max_examples=10, deadline=None)
+def test_higher_cam_floor_never_adds_on_time(seed, floor_small, floor_big):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(3, 1, 20))
+    small = make_model(seed % 3, config=CamALConfig(cam_floor=floor_small))
+    big = make_model(seed % 3, config=CamALConfig(cam_floor=floor_big))
+    assert big.predict_status(x).sum() <= small.predict_status(x).sum() + 1e-9
+
+
+@given(seed=st.integers(0, 300))
+@settings(max_examples=20, deadline=None)
+def test_normalize_cam_idempotent(seed):
+    cam = np.random.default_rng(seed).normal(size=(3, 15))
+    once = normalize_cam(cam)
+    np.testing.assert_allclose(normalize_cam(once), once, atol=1e-12)

@@ -1,0 +1,86 @@
+"""Tests for the multi-appliance model bundle."""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL, MultiApplianceCamAL, recommended_config
+from repro.datasets import Standardizer, build_dataset
+from repro.models import ResNetEnsemble, TrainConfig
+
+
+def toy_model(seed=0):
+    ensemble = ResNetEnsemble((3,), n_filters=(4, 8, 8), seed=seed)
+    ensemble.eval()
+    return CamAL(ensemble, Standardizer(mean=200.0, std=300.0))
+
+
+def test_container_protocol():
+    bundle = MultiApplianceCamAL({"kettle": toy_model()})
+    assert len(bundle) == 1
+    assert "kettle" in bundle
+    assert "shower" not in bundle
+    assert bundle.appliances == ["kettle"]
+    assert bundle.get("kettle") is bundle.as_dict()["kettle"]
+
+
+def test_get_unknown_appliance():
+    bundle = MultiApplianceCamAL()
+    with pytest.raises(KeyError, match="no model"):
+        bundle.get("kettle")
+
+
+def test_add_model():
+    bundle = MultiApplianceCamAL()
+    bundle.add("shower", toy_model())
+    assert "shower" in bundle
+
+
+def test_train_builds_one_model_per_appliance():
+    dataset = build_dataset("ukdale", seed=0, n_houses=3, days_per_house=(2, 3))
+    bundle = MultiApplianceCamAL.train(
+        dataset,
+        appliances=("kettle", "shower"),
+        window=64,
+        stride=64,
+        kernel_sizes=(3,),
+        n_filters=(4, 8, 8),
+        train_config=TrainConfig(epochs=2, seed=0),
+    )
+    assert set(bundle.appliances) == {"kettle", "shower"}
+    # Recommended configs applied (kettle gets the cam floor).
+    assert bundle.get("kettle").config == recommended_config("kettle")
+
+
+def test_train_requires_appliances():
+    dataset = build_dataset("ukdale", seed=0, n_houses=2, days_per_house=(2, 2))
+    with pytest.raises(ValueError):
+        MultiApplianceCamAL.train(dataset, appliances=())
+
+
+def test_localize_series_covers_all_appliances():
+    bundle = MultiApplianceCamAL(
+        {"kettle": toy_model(0), "shower": toy_model(1)}
+    )
+    series = np.random.default_rng(0).uniform(0, 500, 256)
+    results = bundle.localize_series(series, window_length=64)
+    assert set(results) == {"kettle", "shower"}
+    for localization in results.values():
+        assert localization.status.shape == series.shape
+
+
+def test_save_load_roundtrip(tmp_path):
+    bundle = MultiApplianceCamAL(
+        {"kettle": toy_model(0), "shower": toy_model(1)}
+    )
+    bundle.save_dir(tmp_path / "models")
+    loaded = MultiApplianceCamAL.load_dir(tmp_path / "models")
+    assert set(loaded.appliances) == {"kettle", "shower"}
+    x = np.random.default_rng(2).normal(size=(2, 1, 64))
+    np.testing.assert_allclose(
+        loaded.get("kettle").detect(x), bundle.get("kettle").detect(x)
+    )
+
+
+def test_load_requires_index(tmp_path):
+    with pytest.raises(FileNotFoundError, match="models.json"):
+        MultiApplianceCamAL.load_dir(tmp_path)

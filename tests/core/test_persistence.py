@@ -1,0 +1,74 @@
+"""Tests for CamAL checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL, CamALConfig, load_camal, save_camal
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+
+
+def make_model(config=None):
+    ensemble = ResNetEnsemble((3, 5), n_filters=(4, 8, 8), seed=7)
+    ensemble.eval()
+    scaler = Standardizer(mean=250.0, std=300.0)
+    return CamAL(ensemble, scaler, config)
+
+
+def test_roundtrip_preserves_predictions(tmp_path):
+    model = make_model()
+    x = np.random.default_rng(0).normal(size=(3, 1, 32))
+    expected = model.localize(x)
+    path = tmp_path / "camal.npz"
+    save_camal(path, model, appliance="kettle")
+    loaded, appliance = load_camal(path)
+    assert appliance == "kettle"
+    result = loaded.localize(x)
+    np.testing.assert_allclose(result.probabilities, expected.probabilities)
+    np.testing.assert_allclose(result.status, expected.status)
+    np.testing.assert_allclose(result.cam, expected.cam)
+
+
+def test_roundtrip_preserves_scaler(tmp_path):
+    model = make_model()
+    path = tmp_path / "camal.npz"
+    save_camal(path, model)
+    loaded, _ = load_camal(path)
+    assert loaded.scaler.mean == 250.0
+    assert loaded.scaler.std == 300.0
+
+
+def test_roundtrip_preserves_config(tmp_path):
+    config = CamALConfig(
+        detection_threshold=0.3,
+        cam_floor=0.2,
+        smooth_window=5,
+        min_on_duration=3,
+    )
+    model = make_model(config)
+    path = tmp_path / "camal.npz"
+    save_camal(path, model)
+    loaded, _ = load_camal(path)
+    assert loaded.config == config
+
+
+def test_roundtrip_preserves_architecture(tmp_path):
+    model = make_model()
+    path = tmp_path / "camal.npz"
+    save_camal(path, model)
+    loaded, _ = load_camal(path)
+    assert loaded.ensemble.kernel_sizes == (3, 5)
+    assert loaded.ensemble.n_filters == (4, 8, 8)
+
+
+def test_version_check(tmp_path):
+    from repro.nn.serialization import load_state, save_state
+
+    model = make_model()
+    path = tmp_path / "camal.npz"
+    save_camal(path, model)
+    state, meta = load_state(path)
+    meta["format_version"] = "999"
+    save_state(path, state, meta=meta)
+    with pytest.raises(ValueError, match="unsupported"):
+        load_camal(path)

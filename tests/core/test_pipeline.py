@@ -1,0 +1,111 @@
+"""Tests for sliding-window localization over full series."""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL, SlidingWindowLocalizer
+from repro.datasets import House, Standardizer
+from repro.models import ResNetEnsemble, TrainConfig
+from tests.models.test_training import synthetic_windows
+
+
+@pytest.fixture(scope="module")
+def model():
+    ws = synthetic_windows(n=60, t=32)
+    return CamAL.train(
+        ws,
+        kernel_sizes=(3, 5),
+        n_filters=(4, 8, 8),
+        train_config=TrainConfig(epochs=5, lr=2e-3, patience=None, seed=0),
+    )
+
+
+def make_series(n=160, seed=0, spikes=((40, 6), (100, 5))):
+    rng = np.random.default_rng(seed)
+    series = rng.normal(100.0, 10.0, size=n)
+    for start, length in spikes:
+        series[start : start + length] += 2000.0
+    return series
+
+
+def test_series_outputs_are_full_length(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    series = make_series()
+    result = loc.localize_series(series, "kettle")
+    assert result.status.shape == series.shape
+    assert result.probability.shape == series.shape
+    assert result.cam.shape == series.shape
+    assert result.covered_fraction == 1.0
+
+
+def test_localization_hits_the_spikes(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    series = make_series()
+    result = loc.localize_series(series, "kettle")
+    assert result.status[40:46].sum() >= 3  # most of spike 1 found
+    assert result.status[100:105].sum() >= 3
+    # Quiet region stays mostly off.
+    assert result.status[0:32].mean() < 0.5
+
+
+def test_uncovered_remainder_is_nan(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    series = make_series(n=70)  # 2 full windows + 6 uncovered samples
+    result = loc.localize_series(series)
+    assert np.isnan(result.probability[64:]).all()
+    assert (result.status[64:] == 0).all()
+    assert result.covered_fraction == pytest.approx(64 / 70)
+
+
+def test_missing_data_windows_are_skipped(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    series = make_series()
+    series[40] = np.nan  # kills the window [32, 64)
+    result = loc.localize_series(series)
+    assert np.isnan(result.probability[32:64]).all()
+    assert not np.isnan(result.probability[:32]).any()
+
+
+def test_overlapping_windows_vote(model):
+    loc = SlidingWindowLocalizer(model, window_length=32, stride=16)
+    series = make_series()
+    result = loc.localize_series(series)
+    # Interior samples are covered by 2 windows; probabilities averaged.
+    assert result.covered_fraction == 1.0
+    assert np.isfinite(result.probability[48])
+
+
+def test_localize_house_uses_aggregate(model):
+    house = House(
+        house_id="h",
+        step_s=60.0,
+        aggregate=make_series(),
+        submeters={},
+        possession={},
+    )
+    result = loc = SlidingWindowLocalizer(model, 32).localize_house(
+        house, "kettle"
+    )
+    assert result.appliance == "kettle"
+    assert result.status.shape == house.aggregate.shape
+
+
+def test_window_probabilities_align_with_starts(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    result = loc.localize_series(make_series(n=96))
+    assert len(result.window_starts) == 3
+    assert len(result.window_probabilities) == 3
+
+
+def test_invalid_construction(model):
+    with pytest.raises(ValueError):
+        SlidingWindowLocalizer(model, window_length=1)
+    with pytest.raises(ValueError):
+        SlidingWindowLocalizer(model, window_length=32, stride=0)
+
+
+def test_empty_when_series_shorter_than_window(model):
+    loc = SlidingWindowLocalizer(model, window_length=32)
+    result = loc.localize_series(np.zeros(10))
+    assert result.covered_fraction == 0.0
+    assert (result.status == 0).all()

@@ -1,0 +1,162 @@
+"""Tests for appliance signature models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    APPLIANCE_NAMES,
+    APPLIANCES,
+    ApplianceSpec,
+    TimeOfDayPreference,
+    get_appliance_spec,
+    render_activation,
+    simulate_appliance,
+    simulate_appliance_day,
+)
+
+
+def test_catalogue_contains_the_papers_five_appliances():
+    assert set(APPLIANCE_NAMES) == {
+        "kettle", "microwave", "dishwasher", "washing_machine", "shower",
+    }
+
+
+def test_get_appliance_spec_unknown_name():
+    with pytest.raises(KeyError, match="unknown appliance"):
+        get_appliance_spec("toaster")
+
+
+@pytest.mark.parametrize("name", APPLIANCE_NAMES)
+def test_rendered_activation_is_nonnegative_and_finite(name):
+    rng = np.random.default_rng(0)
+    spec = APPLIANCES[name]
+    trace = render_activation(spec, 50, 60.0, rng)
+    assert trace.shape == (50,)
+    assert np.all(np.isfinite(trace))
+    assert np.all(trace >= 0)
+
+
+def test_kettle_is_short_and_high_power():
+    rng = np.random.default_rng(1)
+    spec = APPLIANCES["kettle"]
+    trace = render_activation(spec, 3, 60.0, rng)
+    assert trace.max() > 1500  # kettles draw kilowatts
+
+
+def test_shower_power_exceeds_kettle_power():
+    rng = np.random.default_rng(2)
+    kettle = render_activation(APPLIANCES["kettle"], 5, 60.0, rng).max()
+    shower = render_activation(APPLIANCES["shower"], 5, 60.0, rng).max()
+    assert shower > kettle
+
+
+def test_microwave_duty_cycles():
+    rng = np.random.default_rng(3)
+    spec = APPLIANCES["microwave"]
+    trace = render_activation(spec, 40, 30.0, rng)
+    # Cyclic profile alternates between peak and ~12% of peak.
+    assert trace.max() > 3.0 * trace.min()
+
+
+def test_dishwasher_has_distinct_phases():
+    rng = np.random.default_rng(4)
+    spec = APPLIANCES["dishwasher"]
+    trace = render_activation(spec, 120, 60.0, rng)
+    heating = trace[:20].mean()
+    circulation = trace[30:50].mean()
+    assert heating > 5.0 * circulation  # heater vs circulation pump
+
+
+def test_washing_machine_spin_phase_is_oscillatory():
+    rng = np.random.default_rng(5)
+    spec = APPLIANCES["washing_machine"]
+    trace = render_activation(spec, 100, 60.0, rng)
+    spin = trace[82:98]
+    assert spin.std() > 0.2 * spin.mean()
+
+
+def test_day_simulation_shape_and_idle_majority():
+    rng = np.random.default_rng(6)
+    day = simulate_appliance_day(APPLIANCES["kettle"], 1440, 60.0, rng)
+    assert day.shape == (1440,)
+    # A kettle runs a few minutes a day; the signal is mostly zero.
+    assert np.mean(day == 0) > 0.9
+
+
+def test_multi_day_simulation_length():
+    rng = np.random.default_rng(7)
+    trace = simulate_appliance(APPLIANCES["microwave"], 3, 60.0, rng)
+    assert trace.shape == (3 * 1440,)
+
+
+def test_usage_rate_roughly_matches_spec():
+    rng = np.random.default_rng(8)
+    spec = APPLIANCES["kettle"]
+    trace = simulate_appliance(spec, 60, 60.0, rng)
+    on = trace > spec.on_threshold_w
+    # Count activation onsets.
+    onsets = np.sum(on[1:] & ~on[:-1]) + int(on[0])
+    per_day = onsets / 60
+    assert 1.0 < per_day < 5.0  # spec says 3/day with Poisson + overlap rejection
+
+
+def test_time_of_day_preference_is_respected():
+    rng = np.random.default_rng(9)
+    spec = APPLIANCES["shower"]  # strong morning peak at 7.2 h
+    trace = simulate_appliance(spec, 120, 60.0, rng)
+    on = trace > spec.on_threshold_w
+    hours = (np.arange(len(trace)) % 1440) / 60.0
+    morning = on[(hours >= 5) & (hours < 10)].sum()
+    night = on[(hours >= 0) & (hours < 5)].sum()
+    assert morning > 3 * max(night, 1)
+
+
+def test_preference_validation():
+    with pytest.raises(ValueError, match="equal length"):
+        TimeOfDayPreference((7.0,), (1.0, 2.0), (1.0,))
+    with pytest.raises(ValueError, match="sum to 1"):
+        TimeOfDayPreference((7.0, 19.0), (1.0, 1.0), (0.5, 0.6))
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="profile"):
+        ApplianceSpec("x", 1.0, (60, 120), (100, 200), profile="sawtooth")
+    with pytest.raises(ValueError, match="phases"):
+        ApplianceSpec("x", 1.0, (60, 120), (100, 200), profile="multi_phase")
+    with pytest.raises(ValueError, match="duration"):
+        ApplianceSpec("x", 1.0, (120, 60), (100, 200))
+    with pytest.raises(ValueError, match="power"):
+        ApplianceSpec("x", 1.0, (60, 120), (200, 100))
+
+
+def test_render_rejects_empty_activation():
+    with pytest.raises(ValueError):
+        render_activation(APPLIANCES["kettle"], 0, 60.0, np.random.default_rng(0))
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_generation_is_seed_deterministic(seed):
+    a = simulate_appliance(APPLIANCES["kettle"], 2, 60.0, np.random.default_rng(seed))
+    b = simulate_appliance(APPLIANCES["kettle"], 2, 60.0, np.random.default_rng(seed))
+    np.testing.assert_array_equal(a, b)
+
+
+def test_rate_multipliers_scale_usage():
+    spec = APPLIANCES["kettle"]
+    rng = np.random.default_rng(0)
+    quiet = simulate_appliance(
+        spec, 30, 60.0, rng, rate_multipliers=np.zeros(30)
+    )
+    np.testing.assert_array_equal(quiet, 0.0)
+
+
+def test_rate_multipliers_validated():
+    spec = APPLIANCES["kettle"]
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        simulate_appliance(spec, 5, 60.0, rng, rate_multipliers=np.ones(3))
+    with pytest.raises(ValueError):
+        simulate_appliance_day(spec, 1440, 60.0, rng, rate_multiplier=-1.0)

@@ -1,0 +1,109 @@
+"""Tests for dataset profiles and the top-level builder."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    PROFILES,
+    DatasetProfile,
+    build_dataset,
+    get_profile,
+)
+
+
+def test_profiles_cover_the_three_papers_datasets():
+    assert set(PROFILES) == {"ukdale", "refit", "ideal"}
+
+
+def test_get_profile_unknown():
+    with pytest.raises(KeyError, match="unknown dataset profile"):
+        get_profile("redd")
+
+
+def test_ideal_profile_uses_possession_labels():
+    assert get_profile("ideal").label_source == "possession"
+    assert get_profile("ukdale").label_source == "submeter"
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        DatasetProfile("x", 1, (5, 10), 60.0, 10.0, 0.1, "submeter")
+    with pytest.raises(ValueError):
+        DatasetProfile("x", 3, (10, 5), 60.0, 10.0, 0.1, "submeter")
+    with pytest.raises(ValueError):
+        DatasetProfile("x", 3, (5, 10), 60.0, 10.0, 0.1, "oracle")
+
+
+def test_build_resamples_to_one_minute_by_default():
+    ds = build_dataset("ukdale", seed=0, n_houses=2, days_per_house=(2, 2))
+    assert ds.step_s == 60.0  # native 30 s resampled to 1 min
+
+
+def test_build_native_rate_when_requested():
+    ds = build_dataset(
+        "ukdale", seed=0, n_houses=2, days_per_house=(2, 2), resample_to_s=None
+    )
+    assert ds.step_s == 30.0
+
+
+def test_build_is_deterministic():
+    a = build_dataset("refit", seed=5, n_houses=2, days_per_house=(2, 2))
+    b = build_dataset("refit", seed=5, n_houses=2, days_per_house=(2, 2))
+    for ha, hb in zip(a.houses, b.houses):
+        np.testing.assert_array_equal(ha.aggregate, hb.aggregate)
+
+
+def test_build_seed_changes_data():
+    a = build_dataset("refit", seed=1, n_houses=2, days_per_house=(2, 2))
+    b = build_dataset("refit", seed=2, n_houses=2, days_per_house=(2, 2))
+    assert not np.array_equal(a.houses[0].aggregate, b.houses[0].aggregate)
+
+
+def test_build_respects_overrides():
+    ds = build_dataset("ideal", seed=0, n_houses=3, days_per_house=(2, 2))
+    assert len(ds.houses) == 3
+    assert all(h.duration_days == pytest.approx(2.0) for h in ds.houses)
+
+
+def test_build_rejects_zero_houses():
+    with pytest.raises(ValueError):
+        build_dataset("ukdale", n_houses=0)
+
+
+def test_house_ids_are_namespaced_by_profile():
+    ds = build_dataset("ideal", seed=0, n_houses=2, days_per_house=(2, 2))
+    assert ds.house_ids == ["ideal_house_1", "ideal_house_2"]
+
+
+def test_balanced_ownership_guarantees_both_classes():
+    from repro.datasets import APPLIANCES
+    from repro.datasets.build import draw_balanced_ownership
+
+    rng = np.random.default_rng(0)
+    ownership = draw_balanced_ownership(APPLIANCES, 8, rng)
+    assert len(ownership) == 8
+    for name in APPLIANCES:
+        owners = sum(o[name] for o in ownership)
+        assert 1 <= owners <= 7, name
+
+
+def test_balanced_ownership_respects_penetration_on_average():
+    from repro.datasets import APPLIANCES
+    from repro.datasets.build import draw_balanced_ownership
+
+    rng = np.random.default_rng(1)
+    counts = {name: 0 for name in APPLIANCES}
+    trials = 40
+    for _ in range(trials):
+        for house in draw_balanced_ownership(APPLIANCES, 10, rng):
+            for name, owned in house.items():
+                counts[name] += owned
+    # Shower (55% penetration) must come out rarer than kettle (95%).
+    assert counts["shower"] < counts["kettle"]
+
+
+def test_built_dataset_has_mixed_possession():
+    ds = build_dataset("ideal", seed=0, n_houses=6, days_per_house=(2, 2))
+    for appliance in ("dishwasher", "shower", "kettle"):
+        owners = [h.possession[appliance] for h in ds.houses]
+        assert any(owners) and not all(owners), appliance

@@ -1,0 +1,129 @@
+"""Tests for CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    House,
+    SmartMeterDataset,
+    dataset_from_dir,
+    dataset_to_dir,
+    house_from_csv,
+    house_to_csv,
+)
+
+
+def make_house(house_id="h1", with_nan=True):
+    rng = np.random.default_rng(0)
+    aggregate = rng.uniform(50, 500, 100)
+    if with_nan:
+        aggregate[10:13] = np.nan
+    kettle = np.zeros(100)
+    kettle[40:43] = 2500.0
+    return House(
+        house_id=house_id,
+        step_s=60.0,
+        aggregate=aggregate,
+        submeters={"kettle": kettle, "shower": np.zeros(100)},
+        possession={"kettle": True, "shower": False},
+    )
+
+
+def test_house_roundtrip(tmp_path):
+    house = make_house()
+    path = tmp_path / "house.csv"
+    house_to_csv(house, path)
+    loaded = house_from_csv(path, possession=house.possession)
+    np.testing.assert_allclose(loaded.aggregate, house.aggregate)
+    np.testing.assert_allclose(
+        loaded.submeters["kettle"], house.submeters["kettle"]
+    )
+    assert loaded.possession == house.possession
+
+
+def test_nan_round_trips_as_empty_cell(tmp_path):
+    house = make_house()
+    path = tmp_path / "house.csv"
+    house_to_csv(house, path)
+    text = path.read_text()
+    assert "nan" not in text.lower()
+    loaded = house_from_csv(path)
+    assert np.isnan(loaded.aggregate[10:13]).all()
+
+
+def test_house_id_defaults_to_filename(tmp_path):
+    house = make_house()
+    path = tmp_path / "my_upload.csv"
+    house_to_csv(house, path)
+    loaded = house_from_csv(path)
+    assert loaded.house_id == "my_upload"
+
+
+def test_possession_inferred_from_power(tmp_path):
+    house = make_house()
+    path = tmp_path / "house.csv"
+    house_to_csv(house, path)
+    loaded = house_from_csv(path)  # no possession passed
+    assert loaded.possession == {"kettle": True, "shower": False}
+
+
+def test_aggregate_only_upload(tmp_path):
+    path = tmp_path / "upload.csv"
+    path.write_text("aggregate\n100.0\n200.0\n\n300.0\n")
+    loaded = house_from_csv(path)
+    assert loaded.n_steps == 3
+    assert loaded.submeters == {}
+
+
+def test_rejects_missing_aggregate_column(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("power\n1.0\n")
+    with pytest.raises(ValueError, match="aggregate"):
+        house_from_csv(path)
+
+
+def test_rejects_empty_file(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        house_from_csv(path)
+    path.write_text("aggregate\n")
+    with pytest.raises(ValueError, match="no data rows"):
+        house_from_csv(path)
+
+
+def test_dataset_roundtrip(tmp_path):
+    dataset = SmartMeterDataset(
+        "toy",
+        [make_house("a", with_nan=False), make_house("b", with_nan=False)],
+        60.0,
+        label_source="possession",
+    )
+    dataset_to_dir(dataset, tmp_path / "out")
+    loaded = dataset_from_dir(tmp_path / "out")
+    assert loaded.name == "toy"
+    assert loaded.label_source == "possession"
+    assert loaded.house_ids == ["a", "b"]
+    np.testing.assert_allclose(
+        loaded.houses[0].aggregate, dataset.houses[0].aggregate
+    )
+    assert loaded.houses[0].possession == dataset.houses[0].possession
+
+
+def test_dataset_from_dir_requires_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError, match="manifest"):
+        dataset_from_dir(tmp_path)
+
+
+def test_loaded_dataset_feeds_the_pipeline(tmp_path):
+    """An uploaded dataset must be windowable like a built-in one."""
+    from repro.datasets import make_windows
+
+    dataset = SmartMeterDataset(
+        "toy", [make_house("a", with_nan=False)], 60.0
+    )
+    dataset_to_dir(dataset, tmp_path / "d")
+    loaded = dataset_from_dir(tmp_path / "d")
+    ws = make_windows(loaded, "kettle", 50)
+    assert len(ws) == 2
+    assert ws.y_weak[0] == 1.0  # kettle event in the first window

@@ -1,0 +1,62 @@
+"""Tests for label derivation and label accounting."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    count_strong_labels,
+    count_weak_labels,
+    strong_labels,
+    weak_label_from_strong,
+    weak_labels_per_window,
+)
+
+
+def test_strong_labels_threshold_from_spec():
+    # Kettle threshold is 200 W.
+    submeter = np.array([0.0, 150.0, 2500.0, 300.0])
+    out = strong_labels(submeter, "kettle")
+    np.testing.assert_array_equal(out, [0, 0, 1, 1])
+
+
+def test_strong_labels_custom_threshold():
+    out = strong_labels(np.array([5.0, 50.0]), "kettle", on_threshold_w=10.0)
+    np.testing.assert_array_equal(out, [0, 1])
+
+
+def test_strong_labels_treat_nan_as_off():
+    out = strong_labels(np.array([np.nan, 3000.0]), "kettle")
+    np.testing.assert_array_equal(out, [0, 1])
+
+
+def test_weak_label_from_strong():
+    assert weak_label_from_strong(np.zeros(5)) == 0.0
+    assert weak_label_from_strong(np.array([0, 0, 1, 0])) == 1.0
+
+
+def test_weak_labels_per_window():
+    windows = np.array([[0, 0, 0], [0, 1, 0], [1, 1, 1]], dtype=float)
+    np.testing.assert_array_equal(weak_labels_per_window(windows), [0, 1, 1])
+
+
+def test_weak_labels_reject_1d():
+    with pytest.raises(ValueError):
+        weak_labels_per_window(np.zeros(5))
+
+
+def test_label_counting_ratio_is_window_length():
+    """Strong supervision costs window_length × more labels — the basis
+    of the paper's 5200× claim."""
+    n_windows, window_length = 100, 720
+    strong = count_strong_labels(n_windows, window_length)
+    weak = count_weak_labels(n_windows)
+    assert strong == weak * window_length
+
+
+def test_label_counting_validation():
+    with pytest.raises(ValueError):
+        count_strong_labels(-1, 10)
+    with pytest.raises(ValueError):
+        count_strong_labels(1, 0)
+    with pytest.raises(ValueError):
+        count_weak_labels(-1)

@@ -1,0 +1,95 @@
+"""Tests for resampling to the common 1-minute frequency."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    House,
+    SmartMeterDataset,
+    resample_dataset,
+    resample_house,
+    resample_mean,
+)
+
+
+def test_block_mean_values():
+    out = resample_mean(np.array([1.0, 3.0, 5.0, 7.0]), 2)
+    np.testing.assert_allclose(out, [2.0, 6.0])
+
+
+def test_trailing_remainder_dropped():
+    out = resample_mean(np.arange(7, dtype=float), 3)
+    assert out.shape == (2,)
+
+
+def test_factor_one_is_copy():
+    x = np.arange(4, dtype=float)
+    out = resample_mean(x, 1)
+    np.testing.assert_array_equal(out, x)
+    out[0] = 99
+    assert x[0] == 0  # copy, not view
+
+
+def test_nan_propagates_to_block():
+    series = np.array([1.0, np.nan, 3.0, 3.0])
+    out = resample_mean(series, 2)
+    assert np.isnan(out[0])
+    assert out[1] == 3.0
+
+
+def test_energy_is_conserved_in_the_mean():
+    rng = np.random.default_rng(0)
+    series = rng.uniform(0, 100, 600)
+    out = resample_mean(series, 6)
+    assert out.mean() == pytest.approx(series.mean())
+
+
+def test_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        resample_mean(np.zeros(10), 0)
+    with pytest.raises(ValueError):
+        resample_mean(np.zeros((2, 5)), 2)
+    with pytest.raises(ValueError, match="too short"):
+        resample_mean(np.zeros(3), 5)
+
+
+def make_house(step_s=30.0, n=120):
+    return House(
+        house_id="h",
+        step_s=step_s,
+        aggregate=np.arange(n, dtype=float),
+        submeters={"kettle": np.ones(n)},
+        possession={"kettle": True},
+    )
+
+
+def test_resample_house_adjusts_all_channels():
+    house = resample_house(make_house(), 60.0)
+    assert house.step_s == 60.0
+    assert house.n_steps == 60
+    assert house.submeters["kettle"].shape == (60,)
+    assert house.possession == {"kettle": True}
+
+
+def test_resample_house_rejects_upsampling():
+    with pytest.raises(ValueError, match="upsample"):
+        resample_house(make_house(step_s=60.0), 30.0)
+
+
+def test_resample_house_rejects_non_integer_ratio():
+    with pytest.raises(ValueError, match="integer multiple"):
+        resample_house(make_house(step_s=45.0), 60.0)
+
+
+def test_resample_dataset_noop_at_target_rate():
+    ds = SmartMeterDataset("d", [make_house(step_s=60.0)], 60.0)
+    assert resample_dataset(ds, 60.0) is ds
+
+
+def test_resample_dataset_converts_every_house():
+    ds = SmartMeterDataset(
+        "d", [make_house(), make_house()], 30.0
+    )
+    out = resample_dataset(ds, 60.0)
+    assert out.step_s == 60.0
+    assert all(h.step_s == 60.0 for h in out.houses)

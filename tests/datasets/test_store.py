@@ -1,0 +1,127 @@
+"""Tests for House / SmartMeterDataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import House, SmartMeterDataset
+
+
+def make_house(house_id="h1", n=100, step_s=60.0):
+    rng = np.random.default_rng(hash(house_id) % 2**32)
+    return House(
+        house_id=house_id,
+        step_s=step_s,
+        aggregate=rng.uniform(0, 500, n),
+        submeters={"kettle": np.zeros(n)},
+        possession={"kettle": True},
+    )
+
+
+def test_house_properties():
+    house = make_house(n=2880)
+    assert house.n_steps == 2880
+    assert house.duration_days == pytest.approx(2.0)
+    assert house.appliances == ("kettle",)
+
+
+def test_house_hours_index():
+    house = make_house(n=120)
+    hours = house.hours_index()
+    assert hours[0] == 0
+    assert hours[60] == pytest.approx(1.0)
+
+
+def test_house_rejects_mismatched_submeter():
+    with pytest.raises(ValueError, match="does not match"):
+        House(
+            house_id="h",
+            step_s=60.0,
+            aggregate=np.zeros(10),
+            submeters={"kettle": np.zeros(11)},
+        )
+
+
+def test_house_rejects_2d_aggregate():
+    with pytest.raises(ValueError, match="1-D"):
+        House(house_id="h", step_s=60.0, aggregate=np.zeros((2, 5)))
+
+
+def test_dataset_get_house():
+    ds = SmartMeterDataset("d", [make_house("a"), make_house("b")], 60.0)
+    assert ds.get_house("b").house_id == "b"
+    with pytest.raises(KeyError, match="no house"):
+        ds.get_house("zzz")
+
+
+def test_dataset_rejects_step_mismatch():
+    with pytest.raises(ValueError, match="sampled at"):
+        SmartMeterDataset("d", [make_house("a", step_s=30.0)], 60.0)
+
+
+def test_dataset_rejects_empty():
+    with pytest.raises(ValueError, match="at least one house"):
+        SmartMeterDataset("d", [], 60.0)
+
+
+def test_dataset_rejects_unknown_label_source():
+    with pytest.raises(ValueError, match="label source"):
+        SmartMeterDataset("d", [make_house()], 60.0, label_source="oracle")
+
+
+def test_split_houses_is_disjoint_and_complete():
+    houses = [make_house(f"h{i}") for i in range(10)]
+    ds = SmartMeterDataset("d", houses, 60.0)
+    train, test = ds.split_houses(0.3, rng=np.random.default_rng(0))
+    train_ids = set(train.house_ids)
+    test_ids = set(test.house_ids)
+    assert train_ids.isdisjoint(test_ids)
+    assert train_ids | test_ids == {f"h{i}" for i in range(10)}
+    assert len(test_ids) == 3
+
+
+def test_split_preserves_label_source():
+    houses = [make_house(f"h{i}") for i in range(4)]
+    ds = SmartMeterDataset("d", houses, 60.0, label_source="possession")
+    train, test = ds.split_houses(0.5)
+    assert train.label_source == "possession"
+    assert test.label_source == "possession"
+
+
+def test_split_requires_valid_fraction():
+    ds = SmartMeterDataset("d", [make_house("a"), make_house("b")], 60.0)
+    with pytest.raises(ValueError):
+        ds.split_houses(0.0)
+    with pytest.raises(ValueError):
+        ds.split_houses(0.99)  # would leave no training house
+
+
+def make_house_owning(house_id, owns):
+    import numpy as np
+
+    return House(
+        house_id=house_id,
+        step_s=60.0,
+        aggregate=np.zeros(10),
+        submeters={"dishwasher": np.zeros(10)},
+        possession={"dishwasher": owns},
+    )
+
+
+def test_stratified_split_puts_owners_on_both_sides():
+    houses = [make_house_owning(f"h{i}", i < 3) for i in range(8)]
+    ds = SmartMeterDataset("d", houses, 60.0)
+    for seed in range(10):
+        train, test = ds.split_houses(
+            0.3, rng=np.random.default_rng(seed), stratify_by="dishwasher"
+        )
+        train_owns = [h.possession["dishwasher"] for h in train.houses]
+        test_owns = [h.possession["dishwasher"] for h in test.houses]
+        assert any(train_owns), f"seed {seed}: no owner left for training"
+        assert any(test_owns), f"seed {seed}: no owner held out"
+
+
+def test_stratified_split_requires_an_owner():
+    houses = [make_house_owning(f"h{i}", False) for i in range(4)]
+    ds = SmartMeterDataset("d", houses, 60.0)
+    with pytest.raises(ValueError, match="no house owns"):
+        ds.split_houses(0.5, stratify_by="dishwasher")

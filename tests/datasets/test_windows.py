@@ -1,0 +1,157 @@
+"""Tests for subsequence extraction, standardization, and WindowSet."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    Standardizer,
+    build_dataset,
+    extract_windows,
+    make_windows,
+    window_samples,
+)
+
+
+def test_window_samples_resolves_gui_options():
+    assert window_samples("6h") == 360
+    assert window_samples("12h") == 720
+    assert window_samples("1day") == 1440
+
+
+def test_window_samples_respects_step():
+    assert window_samples("6h", step_s=30.0) == 720
+
+
+def test_window_samples_accepts_int():
+    assert window_samples(128) == 128
+
+
+def test_window_samples_rejects_unknown():
+    with pytest.raises(KeyError, match="unknown window"):
+        window_samples("2h")
+    with pytest.raises(ValueError):
+        window_samples(1)
+
+
+def test_extract_windows_shapes_and_starts():
+    windows, starts = extract_windows(np.arange(10, dtype=float), 4, 3)
+    assert windows.shape == (3, 4)
+    np.testing.assert_array_equal(starts, [0, 3, 6])
+
+
+def test_extract_windows_default_stride_is_non_overlapping():
+    windows, starts = extract_windows(np.arange(12, dtype=float), 4)
+    np.testing.assert_array_equal(starts, [0, 4, 8])
+
+
+def test_extract_windows_drops_nan_windows():
+    series = np.arange(12, dtype=float)
+    series[5] = np.nan
+    windows, starts = extract_windows(series, 4)
+    # Window starting at 4 contains the NaN and must be omitted.
+    np.testing.assert_array_equal(starts, [0, 8])
+    assert not np.isnan(windows).any()
+
+
+def test_extract_windows_short_series_yields_empty():
+    windows, starts = extract_windows(np.zeros(3), 10)
+    assert windows.shape == (0, 10)
+    assert len(starts) == 0
+
+
+def test_standardizer_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    data = rng.normal(50, 10, size=(20, 30))
+    scaler = Standardizer.fit(data)
+    z = scaler.transform(data)
+    assert z.mean() == pytest.approx(0.0, abs=1e-10)
+    assert z.std() == pytest.approx(1.0, rel=1e-6)
+
+
+def test_standardizer_inverse_roundtrip():
+    rng = np.random.default_rng(1)
+    data = rng.uniform(0, 100, size=(5, 10))
+    scaler = Standardizer.fit(data)
+    np.testing.assert_allclose(scaler.inverse(scaler.transform(data)), data)
+
+
+def test_standardizer_ignores_nan_when_fitting():
+    data = np.array([[1.0, np.nan, 3.0]])
+    scaler = Standardizer.fit(data)
+    assert scaler.mean == pytest.approx(2.0)
+
+
+def test_standardizer_rejects_all_nan():
+    with pytest.raises(ValueError):
+        Standardizer.fit(np.full((2, 2), np.nan))
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return build_dataset("ukdale", seed=0, n_houses=3, days_per_house=(3, 4))
+
+
+def test_make_windows_shapes(small_dataset):
+    ws = make_windows(small_dataset, "kettle", "6h")
+    assert ws.x.shape == (len(ws), 1, 360)
+    assert ws.x_watts.shape == (len(ws), 360)
+    assert ws.y_strong.shape == (len(ws), 360)
+    assert ws.y_weak.shape == (len(ws),)
+    assert len(ws.house_ids) == len(ws)
+
+
+def test_make_windows_weak_labels_match_strong_any(small_dataset):
+    ws = make_windows(small_dataset, "kettle", "6h")
+    np.testing.assert_array_equal(
+        ws.y_weak, (ws.y_strong > 0.5).any(axis=1).astype(float)
+    )
+
+
+def test_possession_labels_used_for_ideal_profile():
+    ds = build_dataset("ideal", seed=3, n_houses=4, days_per_house=(2, 2))
+    ws = make_windows(ds, "shower", "1day")
+    owners = {
+        h.house_id: h.possession["shower"] for h in ds.houses
+    }
+    for label, house_id in zip(ws.y_weak, ws.house_ids):
+        assert label == float(owners[house_id])
+
+
+def test_shared_scaler_between_train_and_test(small_dataset):
+    train, test = small_dataset.split_houses(0.34, rng=np.random.default_rng(0))
+    ws_train = make_windows(train, "kettle", "6h")
+    ws_test = make_windows(test, "kettle", "6h", scaler=ws_train.scaler)
+    assert ws_test.scaler is ws_train.scaler
+    # Test windows transformed with train statistics, not their own.
+    recovered = ws_train.scaler.inverse(ws_test.x[:, 0, :])
+    np.testing.assert_allclose(recovered, ws_test.x_watts, atol=1e-8)
+
+
+def test_window_subset_preserves_consistency(small_dataset):
+    ws = make_windows(small_dataset, "kettle", "6h")
+    sub = ws.subset(np.array([0, 2]))
+    assert len(sub) == 2
+    np.testing.assert_array_equal(sub.x[1], ws.x[2])
+    assert sub.house_ids == [ws.house_ids[0], ws.house_ids[2]]
+
+
+def test_positive_fraction_bounds(small_dataset):
+    ws = make_windows(small_dataset, "kettle", "6h")
+    assert 0.0 <= ws.positive_fraction <= 1.0
+
+
+def test_make_windows_unknown_appliance(small_dataset):
+    with pytest.raises(KeyError, match="no submeter"):
+        make_windows(small_dataset, "sauna", "6h")
+
+
+@given(stride=st.integers(min_value=1, max_value=8), length=st.integers(2, 10))
+@settings(max_examples=25, deadline=None)
+def test_extract_windows_property_starts_are_spaced_by_stride(stride, length):
+    series = np.arange(50, dtype=float)
+    _, starts = extract_windows(series, length, stride)
+    if len(starts) > 1:
+        assert np.all(np.diff(starts) == stride)
+    assert np.all(starts + length <= len(series))

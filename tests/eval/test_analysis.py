@@ -1,0 +1,110 @@
+"""Tests for threshold sweeps, calibration, and bootstrap CIs."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    best_threshold,
+    bootstrap_metric,
+    expected_calibration_error,
+    threshold_sweep,
+)
+
+
+def separable_problem(n=200, seed=0, noise: float = 0.0):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n).astype(float)
+    probs = np.clip(0.7 * y + 0.15 + 0.1 * rng.random(n), 0, 1)
+    if noise:
+        flips = rng.random(n) < noise
+        y = np.where(flips, 1.0 - y, y)
+    return y, probs
+
+
+def test_sweep_covers_thresholds():
+    y, probs = separable_problem()
+    points = threshold_sweep(y, probs)
+    assert len(points) == 19
+    assert points[0].threshold == pytest.approx(0.05)
+    assert points[-1].threshold == pytest.approx(0.95)
+
+
+def test_sweep_recall_is_monotone_nonincreasing():
+    y, probs = separable_problem()
+    recalls = [p.metrics.recall for p in threshold_sweep(y, probs)]
+    assert all(a >= b - 1e-12 for a, b in zip(recalls, recalls[1:]))
+
+
+def test_sweep_validates_inputs():
+    with pytest.raises(ValueError):
+        threshold_sweep(np.zeros(3), np.zeros(4))
+    with pytest.raises(ValueError):
+        threshold_sweep(np.zeros(3), np.zeros(3), thresholds=np.array([0.0]))
+
+
+def test_best_threshold_maximizes_metric():
+    y, probs = separable_problem()
+    best = best_threshold(y, probs, metric="f1")
+    sweep = threshold_sweep(y, probs)
+    assert best.metrics.f1 == max(p.metrics.f1 for p in sweep)
+
+
+def test_best_threshold_tie_break_prefers_half():
+    y = np.array([1.0, 0.0])
+    probs = np.array([0.9, 0.1])  # every threshold is perfect
+    best = best_threshold(y, probs)
+    assert abs(best.threshold - 0.5) < 0.06
+
+
+def test_ece_perfectly_calibrated_is_small():
+    rng = np.random.default_rng(1)
+    probs = rng.random(20000)
+    y = (rng.random(20000) < probs).astype(float)
+    assert expected_calibration_error(y, probs) < 0.02
+
+
+def test_ece_overconfident_is_large():
+    y = np.array([0.0, 1.0] * 50)
+    probs = np.full(100, 0.99)  # says "sure" but is right half the time
+    assert expected_calibration_error(y, probs) > 0.4
+
+
+def test_ece_validation():
+    with pytest.raises(ValueError):
+        expected_calibration_error(np.zeros(3), np.zeros(3), n_bins=0)
+    with pytest.raises(ValueError):
+        expected_calibration_error(np.zeros(2), np.array([0.5, 1.5]))
+    with pytest.raises(ValueError):
+        expected_calibration_error(np.array([]), np.array([]))
+
+
+def test_bootstrap_interval_contains_point():
+    y, probs = separable_problem()
+    pred = probs > 0.5
+    point, low, high = bootstrap_metric(y, pred, n_resamples=200)
+    assert low <= point <= high
+    assert 0.0 <= low <= high <= 1.0
+
+
+def test_bootstrap_shrinks_with_sample_size():
+    y_small, probs_small = separable_problem(50, seed=2, noise=0.15)
+    y_big, probs_big = separable_problem(2000, seed=2, noise=0.15)
+    _, lo_s, hi_s = bootstrap_metric(y_small, probs_small > 0.5, n_resamples=200)
+    _, lo_b, hi_b = bootstrap_metric(y_big, probs_big > 0.5, n_resamples=200)
+    assert (hi_b - lo_b) < (hi_s - lo_s)
+
+
+def test_bootstrap_is_seed_deterministic():
+    y, probs = separable_problem()
+    a = bootstrap_metric(y, probs > 0.5, rng=np.random.default_rng(5))
+    b = bootstrap_metric(y, probs > 0.5, rng=np.random.default_rng(5))
+    assert a == b
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ValueError):
+        bootstrap_metric(np.zeros(5), np.zeros(5), confidence=1.5)
+    with pytest.raises(ValueError):
+        bootstrap_metric(np.zeros(5), np.zeros(5), n_resamples=3)
+    with pytest.raises(ValueError):
+        bootstrap_metric(np.zeros(1), np.zeros(1))

@@ -1,0 +1,100 @@
+"""Tests for the benchmark runner (integration-level, small models)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import BenchmarkRunner, format_benchmark
+from repro.models import TrainConfig
+from tests.models.test_training import synthetic_windows
+
+FAST = TrainConfig(epochs=3, lr=2e-3, batch_size=16, patience=None, seed=0)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    train = synthetic_windows(n=50, t=32, seed=0)
+    test = synthetic_windows(n=30, t=32, seed=99)
+    return BenchmarkRunner(
+        train,
+        test,
+        train_config=FAST,
+        camal_kernel_sizes=(3, 5),
+        camal_filters=(4, 8, 8),
+        dataset_name="synthetic",
+    )
+
+
+def test_run_camal_result_fields(runner):
+    result = runner.run_camal()
+    assert result.method == "camal"
+    assert result.supervision == "weak"
+    assert result.labels_used == 50  # one weak label per window
+    assert result.train_seconds > 0
+    assert 0.0 <= result.detection.f1 <= 1.0
+    assert 0.0 <= result.localization.f1 <= 1.0
+
+
+def test_run_strong_baseline_label_accounting(runner):
+    result = runner.run_baseline("seq2seq_cnn")
+    assert result.supervision == "strong"
+    assert result.labels_used == 50 * 32  # one label per timestep
+
+
+def test_run_weak_baseline_label_accounting(runner):
+    result = runner.run_baseline("mil")
+    assert result.supervision == "weak"
+    assert result.labels_used == 50
+
+
+def test_run_all_includes_camal_plus_requested(runner):
+    result = runner.run_all(["mil"])
+    assert result.methods == ["camal", "mil"]
+    assert result.dataset == "synthetic"
+    assert result.appliance == "kettle"
+    assert result.n_train_windows == 50
+    assert result.n_test_windows == 30
+
+
+def test_benchmark_result_get_and_rows(runner):
+    result = runner.run_all(["mil"])
+    assert result.get("camal").method == "camal"
+    with pytest.raises(KeyError):
+        result.get("transformer")
+    rows = result.to_rows("detection")
+    assert len(rows) == 2
+    assert {"method", "supervision", "labels", "f1"} <= set(rows[0])
+    with pytest.raises(ValueError):
+        result.to_rows("calibration")
+
+
+def test_to_dict_is_json_ready(runner):
+    import json
+
+    result = runner.run_all(["mil"])
+    payload = json.dumps(result.to_dict())
+    assert "camal" in payload
+
+
+def test_format_benchmark_renders_table(runner):
+    result = runner.run_all(["mil"])
+    text = format_benchmark(result, "localization")
+    assert "CamAL" in text
+    assert "MIL (weak)" in text
+    assert "balanced_accuracy" in text
+
+
+def test_camal_beats_mil_on_easy_synthetic(runner):
+    """Direction check on trivially easy data: CamAL's localization must
+    dominate the MIL weak baseline (the paper's headline direction)."""
+    camal = runner.run_camal()
+    mil = runner.run_baseline("mil")
+    assert camal.localization.f1 > mil.localization.f1
+
+
+def test_runner_validates_inputs():
+    train = synthetic_windows(n=10, t=32)
+    with pytest.raises(ValueError, match="non-empty"):
+        BenchmarkRunner(train, train.subset(np.array([], dtype=int)))
+    test_other = synthetic_windows(n=10, t=16)
+    with pytest.raises(ValueError, match="lengths differ"):
+        BenchmarkRunner(train, test_other)

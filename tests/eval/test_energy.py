@@ -1,0 +1,81 @@
+"""Tests for per-appliance energy estimation."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EnergyEstimate, energy_kwh, estimate_energy
+
+
+def test_energy_kwh_basic():
+    # 1000 W for 60 samples of 60 s = 1 kWh
+    assert energy_kwh(np.full(60, 1000.0), 60.0) == pytest.approx(1.0)
+
+
+def test_energy_kwh_nan_is_zero_draw():
+    power = np.array([1000.0, np.nan, 1000.0])
+    assert energy_kwh(power, 3600.0) == pytest.approx(2.0)
+
+
+def test_energy_kwh_validates_step():
+    with pytest.raises(ValueError):
+        energy_kwh(np.ones(3), 0.0)
+
+
+def test_estimate_from_status_and_typical_power():
+    status = np.zeros(120)
+    status[:60] = 1.0  # one hour ON at 1-min sampling
+    aggregate = np.full(120, 3000.0)
+    estimate = estimate_energy(
+        "kettle", status, aggregate, typical_power_w=2400.0
+    )
+    assert estimate.estimated_kwh == pytest.approx(2.4)
+    assert estimate.aggregate_share_kwh == pytest.approx(3.0)
+    assert estimate.true_kwh is None
+
+
+def test_default_typical_power_from_catalogue():
+    status = np.ones(60)
+    aggregate = np.zeros(60)
+    estimate = estimate_energy("kettle", status, aggregate)
+    # Kettle spec: 1800-3000 W constant → midpoint 2400 W for 1 h.
+    assert estimate.estimated_kwh == pytest.approx(2.4)
+
+
+def test_multi_phase_typical_power_is_below_peak():
+    status = np.ones(60)
+    aggregate = np.zeros(60)
+    dishwasher = estimate_energy("dishwasher", status, aggregate)
+    kettle = estimate_energy("kettle", status, aggregate)
+    assert dishwasher.estimated_kwh < kettle.estimated_kwh
+
+
+def test_error_reporting_against_submeter():
+    status = np.ones(60)
+    aggregate = np.full(60, 2500.0)
+    submeter = np.full(60, 2000.0)  # truth: 2 kWh
+    estimate = estimate_energy(
+        "kettle", status, aggregate, submeter_w=submeter,
+        typical_power_w=2400.0,
+    )
+    assert estimate.true_kwh == pytest.approx(2.0)
+    assert estimate.absolute_error_kwh == pytest.approx(0.4)
+    assert estimate.relative_error == pytest.approx(0.2)
+
+
+def test_relative_error_none_for_zero_truth():
+    estimate = EnergyEstimate("kettle", 1.0, 1.0, 0.0)
+    assert estimate.relative_error is None
+
+
+def test_validates_shapes_and_power():
+    with pytest.raises(ValueError):
+        estimate_energy("kettle", np.ones(5), np.ones(6))
+    with pytest.raises(ValueError):
+        estimate_energy(
+            "kettle", np.ones(5), np.ones(5), typical_power_w=-1.0
+        )
+
+
+def test_unknown_appliance_raises():
+    with pytest.raises(KeyError):
+        estimate_energy("sauna", np.ones(5), np.ones(5))

@@ -1,0 +1,112 @@
+"""Tests for event-level evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import Event, event_metrics, extract_events, match_events
+
+
+def test_event_validation():
+    with pytest.raises(ValueError):
+        Event(5, 5)
+    assert Event(2, 6).duration == 4
+
+
+def test_event_overlap():
+    assert Event(0, 5).overlap(Event(3, 8)) == 2
+    assert Event(0, 5).overlap(Event(5, 8)) == 0
+
+
+def test_extract_events_basic():
+    status = np.array([0, 1, 1, 0, 0, 1, 0, 1, 1, 1])
+    events = extract_events(status)
+    assert events == [Event(1, 3), Event(5, 6), Event(7, 10)]
+
+
+def test_extract_events_edges():
+    assert extract_events(np.ones(4)) == [Event(0, 4)]
+    assert extract_events(np.zeros(4)) == []
+
+
+def test_extract_events_rejects_2d():
+    with pytest.raises(ValueError):
+        extract_events(np.zeros((2, 3)))
+
+
+def test_match_events_one_to_one():
+    true_events = [Event(0, 10), Event(20, 30)]
+    pred_events = [Event(2, 8), Event(21, 25), Event(26, 29)]
+    pairs = match_events(true_events, pred_events)
+    # Each true event matches at most one prediction.
+    assert len(pairs) == 2
+    assert (0, 0) in pairs
+
+
+def test_match_events_prefers_larger_overlap():
+    true_events = [Event(0, 10)]
+    pred_events = [Event(8, 12), Event(0, 9)]
+    pairs = match_events(true_events, pred_events)
+    assert pairs == [(0, 1)]
+
+
+def test_match_events_tolerance():
+    true_events = [Event(10, 20)]
+    pred_events = [Event(21, 25)]  # misses by 1 sample
+    assert match_events(true_events, pred_events) == []
+    assert match_events(true_events, pred_events, tolerance=2) == [(0, 0)]
+
+
+def test_match_events_rejects_negative_tolerance():
+    with pytest.raises(ValueError):
+        match_events([], [], tolerance=-1)
+
+
+def test_event_metrics_perfect():
+    status = np.array([[0, 1, 1, 0, 1, 0]])
+    scores = event_metrics(status, status)
+    assert scores["event_f1"] == 1.0
+    assert scores["n_true_events"] == 2
+
+
+def test_event_metrics_counts_false_positives():
+    truth = np.array([[0, 1, 1, 0, 0, 0]])
+    pred = np.array([[0, 1, 1, 0, 1, 0]])
+    scores = event_metrics(truth, pred)
+    assert scores["event_recall"] == 1.0
+    assert scores["event_precision"] == 0.5
+
+
+def test_event_metrics_is_boundary_tolerant_unlike_timestep_f1():
+    """A 2-sample boundary shift on a long event keeps event-F1 at 1."""
+    truth = np.zeros((1, 100))
+    truth[0, 20:60] = 1
+    pred = np.zeros((1, 100))
+    pred[0, 22:62] = 1
+    scores = event_metrics(truth, pred)
+    assert scores["event_f1"] == 1.0
+
+
+def test_event_metrics_shape_mismatch():
+    with pytest.raises(ValueError):
+        event_metrics(np.zeros((1, 4)), np.zeros((1, 5)))
+
+
+def test_event_metrics_empty_predictions():
+    truth = np.array([[0, 1, 0]])
+    scores = event_metrics(truth, np.zeros((1, 3)))
+    assert scores["event_f1"] == 0.0
+    assert scores["event_precision"] == 0.0
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_extract_events_roundtrip(seed):
+    """Painting extracted events back reproduces the binary series."""
+    rng = np.random.default_rng(seed)
+    status = (rng.random(40) > 0.6).astype(float)
+    rebuilt = np.zeros_like(status)
+    for event in extract_events(status):
+        rebuilt[event.start : event.end] = 1.0
+    np.testing.assert_array_equal(rebuilt, status)

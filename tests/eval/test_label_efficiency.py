@@ -1,0 +1,160 @@
+"""Tests for the Fig. 3 label-efficiency sweep."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    EfficiencyCurve,
+    EfficiencyPoint,
+    LabelEfficiencyResult,
+    LabelEfficiencySweep,
+    format_efficiency,
+    stratified_subsample,
+)
+from repro.models import TrainConfig
+from tests.models.test_training import synthetic_windows
+
+FAST = TrainConfig(epochs=3, lr=2e-3, batch_size=16, patience=None, seed=0)
+
+
+def make_curve(points):
+    curve = EfficiencyCurve("m", "M", "weak")
+    curve.points = [EfficiencyPoint(l, w, f) for l, w, f in points]
+    return curve
+
+
+def test_curve_best_and_reach():
+    curve = make_curve([(10, 10, 0.3), (100, 100, 0.6), (1000, 1000, 0.62)])
+    assert curve.best_f1 == 0.62
+    assert curve.labels_to_reach(0.5) == 100
+    assert curve.labels_to_reach(0.9) is None
+    assert curve.f1_at_or_below(100) == 0.6
+    assert curve.f1_at_or_below(5) == 0.0
+
+
+def test_crossover_ratio():
+    result = LabelEfficiencyResult("d", "a", 32)
+    result.curves["camal"] = make_curve([(10, 10, 0.5), (100, 100, 0.5)])
+    result.curves["strong"] = make_curve(
+        [(320, 10, 0.2), (3200, 100, 0.45), (32000, 1000, 0.55)]
+    )
+    # CamAL reaches its best (0.5) at 10 labels; strong needs 32000.
+    assert result.crossover_ratio("strong") == pytest.approx(3200.0)
+
+
+def test_crossover_none_when_unreachable():
+    result = LabelEfficiencyResult("d", "a", 32)
+    result.curves["camal"] = make_curve([(10, 10, 0.9)])
+    result.curves["strong"] = make_curve([(320, 10, 0.2)])
+    assert result.crossover_ratio("strong") is None
+
+
+def test_weak_gap():
+    result = LabelEfficiencyResult("d", "a", 32)
+    result.curves["camal"] = make_curve([(10, 10, 0.66)])
+    result.curves["mil"] = make_curve([(10, 10, 0.3)])
+    assert result.weak_gap() == pytest.approx(2.2)
+
+
+def test_weak_gap_none_when_weak_is_zero():
+    result = LabelEfficiencyResult("d", "a", 32)
+    result.curves["camal"] = make_curve([(10, 10, 0.5)])
+    result.curves["mil"] = make_curve([(10, 10, 0.0)])
+    assert result.weak_gap() is None
+
+
+def test_get_unknown_curve():
+    result = LabelEfficiencyResult("d", "a", 32)
+    with pytest.raises(KeyError):
+        result.get("camal")
+
+
+def test_stratified_subsample_preserves_balance():
+    ws = synthetic_windows(n=60, t=32)  # 50% positive
+    rng = np.random.default_rng(0)
+    sub = stratified_subsample(ws, 20, rng)
+    assert len(sub) == 20
+    assert 0.3 <= sub.positive_fraction <= 0.7
+
+
+def test_stratified_subsample_guarantees_both_classes():
+    ws = synthetic_windows(n=60, t=32)
+    rng = np.random.default_rng(1)
+    for n in (2, 3, 5):
+        sub = stratified_subsample(ws, n, rng)
+        assert 0.0 < sub.positive_fraction < 1.0
+
+
+def test_stratified_subsample_validates_n():
+    ws = synthetic_windows(n=10, t=32)
+    rng = np.random.default_rng(2)
+    with pytest.raises(ValueError):
+        stratified_subsample(ws, 0, rng)
+    with pytest.raises(ValueError):
+        stratified_subsample(ws, 11, rng)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    train = synthetic_windows(n=48, t=32, seed=0)
+    test = synthetic_windows(n=24, t=32, seed=7)
+    sweep = LabelEfficiencySweep(
+        train,
+        test,
+        budgets=[16, 48 * 32],
+        methods=["mil", "seq2seq_cnn"],
+        train_config=FAST,
+        camal_kernel_sizes=(3,),
+        camal_filters=(4, 8, 8),
+        min_windows=4,
+        seed=0,
+        dataset_name="synthetic",
+    )
+    return sweep.run()
+
+
+def test_sweep_produces_all_curves(sweep_result):
+    assert set(sweep_result.curves) == {"camal", "mil", "seq2seq_cnn"}
+
+
+def test_weak_methods_get_more_points_than_strong(sweep_result):
+    """At budget 16 the strong method affords 0 windows (16 // 32) and is
+    skipped; weak methods train on 16 windows."""
+    assert len(sweep_result.get("camal").points) == 2
+    assert len(sweep_result.get("seq2seq_cnn").points) == 1
+
+
+def test_strong_labels_scale_with_window_length(sweep_result):
+    point = sweep_result.get("seq2seq_cnn").points[0]
+    assert point.labels == point.windows * 32
+
+
+def test_points_report_bounded_f1(sweep_result):
+    for curve in sweep_result.curves.values():
+        for point in curve.points:
+            assert 0.0 <= point.f1 <= 1.0
+            assert 0.0 <= point.detection_f1 <= 1.0
+
+
+def test_format_efficiency_renders(sweep_result):
+    text = format_efficiency(sweep_result)
+    assert "CamAL" in text
+    assert "labels" in text
+
+
+def test_to_dict_roundtrips_via_json(sweep_result, tmp_path):
+    import json
+
+    from repro.eval import load_json, save_json
+
+    path = tmp_path / "fig3.json"
+    save_json(sweep_result, path)
+    loaded = load_json(path)
+    assert loaded == json.loads(json.dumps(sweep_result.to_dict()))
+    assert "camal" in loaded["curves"]
+
+
+def test_sweep_rejects_bad_budget():
+    train = synthetic_windows(n=10, t=32)
+    with pytest.raises(ValueError):
+        LabelEfficiencySweep(train, train, budgets=[0])

@@ -1,0 +1,67 @@
+"""Tests for leave-one-house-out cross validation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import build_dataset
+from repro.eval import LOHOFold, LOHOResult, Metrics, leave_one_house_out
+from repro.models import TrainConfig
+
+
+def metrics(f1):
+    return Metrics(accuracy=f1, balanced_accuracy=f1, precision=f1,
+                   recall=f1, f1=f1)
+
+
+def test_summary_mean_std():
+    result = LOHOResult(appliance="kettle")
+    result.folds = [
+        LOHOFold("a", metrics(0.8), metrics(0.6), 10, 5),
+        LOHOFold("b", metrics(0.6), metrics(0.4), 10, 5),
+    ]
+    mean, std = result.summary("localization", "f1")
+    assert mean == pytest.approx(0.5)
+    assert std == pytest.approx(0.1)
+    mean_det, _ = result.summary("detection", "f1")
+    assert mean_det == pytest.approx(0.7)
+
+
+def test_summary_requires_folds():
+    with pytest.raises(ValueError):
+        LOHOResult("kettle").summary()
+
+
+def test_to_rows_structure():
+    result = LOHOResult(appliance="kettle")
+    result.folds = [LOHOFold("a", metrics(0.8), metrics(0.6), 10, 5)]
+    rows = result.to_rows()
+    assert rows[0]["held_out"] == "a"
+    assert rows[0]["loc_f1"] == 0.6
+
+
+@pytest.mark.slow
+def test_loho_runs_over_small_dataset():
+    dataset = build_dataset("ukdale", seed=0, n_houses=4, days_per_house=(3, 4))
+    result = leave_one_house_out(
+        dataset,
+        "kettle",
+        window=64,
+        stride=64,
+        kernel_sizes=(5,),
+        n_filters=(4, 8, 8),
+        train_config=TrainConfig(epochs=3, seed=0),
+    )
+    assert 1 <= len(result.folds) <= 4
+    held = [fold.house_id for fold in result.folds]
+    assert len(held) == len(set(held))  # each house at most once
+    mean, std = result.summary("detection", "balanced_accuracy")
+    assert 0.0 <= mean <= 1.0
+    assert std >= 0.0
+
+
+def test_loho_requires_two_houses():
+    dataset = build_dataset("ukdale", seed=0, n_houses=2, days_per_house=(2, 2))
+    solo = dataset
+    solo.houses[:] = solo.houses[:1]
+    with pytest.raises(ValueError, match="at least 2"):
+        leave_one_house_out(solo, "kettle", window=64)

@@ -1,0 +1,143 @@
+"""Tests for the metric suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    METRIC_NAMES,
+    compute_metrics,
+    confusion_counts,
+    detection_metrics,
+    localization_metrics,
+)
+
+
+def test_metric_names_match_the_paper():
+    assert METRIC_NAMES == (
+        "accuracy", "balanced_accuracy", "precision", "recall", "f1",
+    )
+
+
+def test_confusion_counts_basic():
+    c = confusion_counts([1, 1, 0, 0, 1], [1, 0, 0, 1, 1])
+    assert (c.tp, c.fp, c.tn, c.fn) == (2, 1, 1, 1)
+    assert c.total == 5
+
+
+def test_confusion_counts_rejects_mismatch():
+    with pytest.raises(ValueError):
+        confusion_counts([1, 0], [1])
+    with pytest.raises(ValueError):
+        confusion_counts([], [])
+
+
+def test_perfect_prediction_scores_one():
+    y = np.array([1, 0, 1, 0, 1])
+    m = compute_metrics(y, y)
+    assert all(m.get(name) == 1.0 for name in METRIC_NAMES)
+
+
+def test_inverted_prediction_scores_zero():
+    y = np.array([1, 0, 1, 0])
+    m = compute_metrics(y, 1 - y)
+    assert m.accuracy == 0.0
+    assert m.precision == 0.0
+    assert m.recall == 0.0
+    assert m.f1 == 0.0
+
+
+def test_all_negative_predictions_with_no_positives():
+    m = compute_metrics(np.zeros(10), np.zeros(10))
+    assert m.accuracy == 1.0
+    assert m.precision == 0.0  # 0/0 convention
+    assert m.recall == 0.0
+    assert m.balanced_accuracy == 0.5
+
+
+def test_known_values():
+    y_true = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+    y_pred = np.array([1, 1, 1, 0, 1, 0, 0, 0, 0, 0])
+    m = compute_metrics(y_true, y_pred)
+    assert m.accuracy == pytest.approx(0.8)
+    assert m.precision == pytest.approx(0.75)
+    assert m.recall == pytest.approx(0.75)
+    assert m.f1 == pytest.approx(0.75)
+    assert m.balanced_accuracy == pytest.approx(0.5 * (0.75 + 5 / 6))
+
+
+def test_balanced_accuracy_ignores_class_skew():
+    """A majority-class predictor gets high accuracy but bacc 0.5."""
+    y_true = np.array([1] + [0] * 99)
+    y_pred = np.zeros(100)
+    m = compute_metrics(y_true, y_pred)
+    assert m.accuracy == 0.99
+    assert m.balanced_accuracy == 0.5
+
+
+def test_detection_metrics_threshold():
+    y = np.array([1, 0, 1])
+    probs = np.array([0.9, 0.4, 0.2])
+    m = detection_metrics(y, probs)
+    assert m.recall == pytest.approx(0.5)
+    m_low = detection_metrics(y, probs, threshold=0.1)
+    assert m_low.recall == 1.0
+
+
+def test_detection_metrics_rejects_2d():
+    with pytest.raises(ValueError):
+        detection_metrics(np.zeros(2), np.zeros((2, 3)))
+
+
+def test_localization_metrics_flatten_stacks():
+    y_true = np.array([[1, 0], [0, 1]])
+    y_pred = np.array([[1, 0], [0, 0]])
+    m = localization_metrics(y_true, y_pred)
+    assert m.recall == pytest.approx(0.5)
+    assert m.precision == 1.0
+
+
+def test_localization_metrics_reject_shape_mismatch():
+    with pytest.raises(ValueError):
+        localization_metrics(np.zeros((2, 3)), np.zeros((2, 4)))
+    with pytest.raises(ValueError):
+        localization_metrics(np.zeros(6), np.zeros(6))
+
+
+def test_metrics_get_unknown_name():
+    m = compute_metrics(np.array([1, 0]), np.array([1, 0]))
+    with pytest.raises(KeyError):
+        m.get("auc")
+
+
+def test_as_dict_roundtrip():
+    m = compute_metrics(np.array([1, 0, 1]), np.array([1, 1, 1]))
+    d = m.as_dict()
+    assert set(d) == set(METRIC_NAMES)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_metrics_are_bounded(n, seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, 2, n)
+    y_pred = rng.integers(0, 2, n)
+    m = compute_metrics(y_true, y_pred)
+    for name in METRIC_NAMES:
+        assert 0.0 <= m.get(name) <= 1.0
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_f1_is_harmonic_mean(seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, 2, 50)
+    y_pred = rng.integers(0, 2, 50)
+    m = compute_metrics(y_true, y_pred)
+    if m.precision + m.recall > 0:
+        expected = 2 * m.precision * m.recall / (m.precision + m.recall)
+        assert m.f1 == pytest.approx(expected)

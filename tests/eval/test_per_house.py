@@ -1,0 +1,56 @@
+"""Tests for the per-household breakdown."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Standardizer, WindowSet
+from repro.eval import per_house_detection, per_house_localization
+
+
+def make_windows():
+    n, t = 8, 10
+    x_watts = np.zeros((n, t))
+    y_weak = np.array([1, 1, 0, 0, 1, 0, 1, 0], dtype=float)
+    y_strong = np.zeros((n, t))
+    y_strong[y_weak > 0.5, 2:5] = 1.0
+    return WindowSet(
+        x=x_watts[:, None, :],
+        x_watts=x_watts,
+        y_weak=y_weak,
+        y_strong=y_strong,
+        house_ids=["a"] * 4 + ["b"] * 4,
+        starts=np.zeros(n, dtype=np.int64),
+        appliance="kettle",
+        scaler=Standardizer(),
+    )
+
+
+def test_detection_groups_by_house():
+    ws = make_windows()
+    probs = ws.y_weak.copy()
+    probs[4] = 0.0  # one miss, in house b
+    result = per_house_detection(ws, probs)
+    assert set(result) == {"a", "b"}
+    assert result["a"].recall == 1.0
+    assert result["b"].recall == 0.5
+
+
+def test_localization_groups_by_house():
+    ws = make_windows()
+    status = ws.y_strong.copy()
+    status[0] = 0.0  # miss one window entirely, in house a
+    result = per_house_localization(ws, status)
+    assert result["b"].f1 == 1.0
+    assert result["a"].f1 < 1.0
+
+
+def test_detection_validates_shapes():
+    ws = make_windows()
+    with pytest.raises(ValueError):
+        per_house_detection(ws, np.zeros(3))
+
+
+def test_localization_validates_shapes():
+    ws = make_windows()
+    with pytest.raises(ValueError):
+        per_house_localization(ws, np.zeros((2, 10)))

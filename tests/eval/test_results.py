@@ -1,0 +1,58 @@
+"""Tests for result formatting and persistence."""
+
+import pytest
+
+from repro.eval import format_table
+
+
+def test_format_table_alignment():
+    rows = [
+        {"method": "CamAL", "f1": 0.66},
+        {"method": "MIL", "f1": 0.3},
+    ]
+    text = format_table(rows)
+    lines = text.splitlines()
+    assert lines[0].startswith("method")
+    assert "0.660" in text
+    assert "0.300" in text
+    assert len(lines) == 4  # header, rule, 2 rows
+
+
+def test_format_table_respects_column_selection():
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+def test_format_table_empty():
+    assert format_table([]) == "(no rows)"
+
+
+def test_format_table_missing_cells_blank():
+    rows = [{"a": 1}, {"a": 2, "b": "x"}]
+    text = format_table(rows, columns=["a", "b"])
+    assert "x" in text
+
+
+def test_format_table_floats_are_three_decimals():
+    text = format_table([{"v": 0.123456}])
+    assert "0.123" in text
+    assert "0.1234" not in text
+
+
+def test_format_loho_includes_summary():
+    from repro.eval import LOHOFold, LOHOResult, Metrics, format_loho
+
+    def metrics(f1):
+        return Metrics(accuracy=f1, balanced_accuracy=f1, precision=f1,
+                       recall=f1, f1=f1)
+
+    result = LOHOResult(appliance="kettle")
+    result.folds = [
+        LOHOFold("a", metrics(0.8), metrics(0.6), 10, 5),
+        LOHOFold("b", metrics(0.6), metrics(0.4), 12, 6),
+    ]
+    text = format_loho(result)
+    assert "Leave-one-house-out" in text
+    assert "2 folds" in text
+    assert "0.500 ± 0.100" in text

@@ -1,0 +1,115 @@
+"""Tests for typical-usage profiling."""
+
+import numpy as np
+import pytest
+
+from repro.eval import usage_profile
+
+
+def day_status(events=((420, 425), (1100, 1105))):
+    """One day at 1-min sampling with the given ON spans."""
+    status = np.zeros(1440)
+    for start, end in events:
+        status[start:end] = 1.0
+    return status
+
+
+def test_events_per_day():
+    profile = usage_profile("kettle", day_status())
+    assert profile.events_per_day == pytest.approx(2.0)
+
+
+def test_mean_duration_minutes():
+    profile = usage_profile("kettle", day_status(((0, 4), (100, 108))))
+    assert profile.mean_duration_min == pytest.approx(6.0)
+
+
+def test_power_and_energy_over_on_samples():
+    status = day_status(((0, 60),))  # one hour ON
+    power = np.zeros(1440)
+    power[0:60] = 2400.0
+    profile = usage_profile("kettle", status, power_w=power)
+    assert profile.mean_power_w == pytest.approx(2400.0)
+    assert profile.total_energy_kwh == pytest.approx(2.4)
+
+
+def test_peak_hour_matches_activity():
+    status = day_status(((7 * 60, 7 * 60 + 30),))
+    profile = usage_profile("shower", status)
+    assert profile.peak_hour == 7
+
+
+def test_unused_appliance_profile():
+    profile = usage_profile("dishwasher", np.zeros(1440))
+    assert profile.events_per_day == 0
+    assert profile.peak_hour is None
+    assert "no activations" in profile.describe()
+
+
+def test_describe_mentions_key_numbers():
+    status = day_status(((420, 425),))
+    power = np.zeros(1440)
+    power[420:425] = 2000.0
+    text = usage_profile("kettle", status, power_w=power).describe()
+    assert "kettle" in text
+    assert "uses/day" in text
+    assert "peak use around 7:00" in text
+
+
+def test_multi_day_rates():
+    status = np.concatenate([day_status(), day_status(), np.zeros(1440)])
+    profile = usage_profile("kettle", status)
+    assert profile.events_per_day == pytest.approx(4 / 3)
+
+
+def test_nan_power_treated_as_zero():
+    status = day_status(((0, 10),))
+    power = np.full(1440, np.nan)
+    profile = usage_profile("kettle", status, power_w=power)
+    assert profile.total_energy_kwh == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        usage_profile("kettle", np.zeros((2, 10)))
+    with pytest.raises(ValueError):
+        usage_profile("kettle", np.zeros(10), step_s=0)
+    with pytest.raises(ValueError):
+        usage_profile("kettle", np.zeros(10), power_w=np.zeros(5))
+
+
+def test_merge_close_events_fuses_fragments():
+    from repro.eval import merge_close_events
+    from repro.eval.events import Event
+
+    events = [Event(0, 10), Event(12, 20), Event(50, 60)]
+    merged = merge_close_events(events, merge_gap=5)
+    assert merged == [Event(0, 20), Event(50, 60)]
+
+
+def test_merge_gap_zero_is_noop():
+    from repro.eval import merge_close_events
+    from repro.eval.events import Event
+
+    events = [Event(0, 10), Event(11, 20)]
+    assert merge_close_events(events, 0) == events
+
+
+def test_merge_gap_negative_rejected():
+    from repro.eval import merge_close_events
+
+    with pytest.raises(ValueError):
+        merge_close_events([], -1)
+
+
+def test_usage_profile_with_merge_gap_counts_cycles_not_fragments():
+    status = np.zeros(1440)
+    # A fragmented 90-min cycle: three ON chunks with short dips.
+    status[600:630] = 1.0
+    status[640:660] = 1.0
+    status[668:690] = 1.0
+    fragmented = usage_profile("washing_machine", status)
+    merged = usage_profile("washing_machine", status, merge_gap=15)
+    assert fragmented.events_per_day == pytest.approx(3.0)
+    assert merged.events_per_day == pytest.approx(1.0)
+    assert merged.mean_duration_min == pytest.approx(90.0)

@@ -1,0 +1,118 @@
+"""Tests for training-time augmentation."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    AugmentConfig,
+    TrainConfig,
+    augment_batch,
+    jitter,
+    scale,
+    time_mask,
+)
+from repro.models import ResNetTSC, train_classifier
+from tests.models.test_training import synthetic_windows
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_jitter_adds_noise_of_requested_scale():
+    x = np.zeros((4, 1, 100))
+    out = jitter(x, 0.5, rng())
+    assert out.std() == pytest.approx(0.5, rel=0.2)
+
+
+def test_jitter_zero_is_copy():
+    x = np.ones((2, 1, 10))
+    out = jitter(x, 0.0, rng())
+    np.testing.assert_array_equal(out, x)
+    out[0] = 99
+    assert x[0, 0, 0] == 1.0
+
+
+def test_scale_applies_per_window_factor():
+    x = np.ones((3, 1, 10))
+    out = scale(x, (2.0, 2.0), rng())
+    np.testing.assert_allclose(out, 2.0)
+
+
+def test_scale_factors_differ_between_windows():
+    x = np.ones((8, 1, 10))
+    out = scale(x, (0.5, 1.5), rng())
+    per_window = out[:, 0, 0]
+    assert per_window.std() > 0
+    # Constant within each window.
+    np.testing.assert_allclose(out.std(axis=2), 0.0, atol=1e-12)
+
+
+def test_time_mask_blanks_a_span_with_window_mean():
+    x = np.arange(40, dtype=float).reshape(1, 1, 40)
+    out = time_mask(x, probability=1.0, max_fraction=0.25, rng=rng())
+    masked = np.flatnonzero(out[0, 0] != x[0, 0])
+    assert 1 <= len(masked) <= 10
+    np.testing.assert_allclose(out[0, 0, masked], x[0].mean())
+
+
+def test_time_mask_zero_probability_is_identity():
+    x = np.random.default_rng(1).normal(size=(3, 1, 20))
+    np.testing.assert_array_equal(
+        time_mask(x, 0.0, 0.5, rng()), x
+    )
+
+
+def test_augment_batch_preserves_shape_and_is_seeded():
+    x = np.random.default_rng(2).normal(size=(5, 1, 30))
+    config = AugmentConfig()
+    a = augment_batch(x, config, np.random.default_rng(3))
+    b = augment_batch(x, config, np.random.default_rng(3))
+    assert a.shape == x.shape
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, x)
+
+
+def test_augment_config_validation():
+    with pytest.raises(ValueError):
+        AugmentConfig(jitter_std=-1.0)
+    with pytest.raises(ValueError):
+        AugmentConfig(scale_range=(1.5, 0.5))
+    with pytest.raises(ValueError):
+        AugmentConfig(mask_probability=1.5)
+    with pytest.raises(ValueError):
+        AugmentConfig(mask_max_fraction=1.0)
+
+
+def test_augment_batch_rejects_2d():
+    with pytest.raises(ValueError):
+        augment_batch(np.zeros((3, 10)), AugmentConfig(), rng())
+
+
+def test_training_with_augmentation_still_learns():
+    ws = synthetic_windows(n=60, t=32)
+    model = ResNetTSC(
+        kernel_size=5, n_filters=(4, 8, 8), rng=np.random.default_rng(4)
+    )
+    config = TrainConfig(
+        epochs=6, lr=2e-3, patience=None, seed=0, augment=AugmentConfig()
+    )
+    train_classifier(model, ws, config)
+    acc = np.mean((model.predict_proba(ws.x) > 0.5) == (ws.y_weak > 0.5))
+    assert acc > 0.85
+
+
+def test_augmentation_changes_training_trajectory():
+    ws = synthetic_windows(n=40, t=32)
+
+    def final_loss(augment):
+        model = ResNetTSC(
+            kernel_size=3, n_filters=(2, 4, 4), rng=np.random.default_rng(5)
+        )
+        config = TrainConfig(
+            epochs=2, patience=None, seed=3, augment=augment
+        )
+        history = train_classifier(model, ws, config)
+        return history.train_loss[-1]
+
+    assert final_loss(None) != final_loss(AugmentConfig(jitter_std=0.3))

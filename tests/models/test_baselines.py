@@ -1,0 +1,138 @@
+"""Tests for the six NILM baselines."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BiGRUSeq2Seq,
+    DAENILM,
+    MILPoolingDetector,
+    Seq2PointCNN,
+    Seq2SeqCNN,
+    UNetNILM,
+)
+from repro.nn import BCEWithLogitsLoss, MSELoss, check_module_gradients
+
+SEQ2SEQ_CLASSES = [Seq2SeqCNN, Seq2PointCNN, DAENILM, UNetNILM, BiGRUSeq2Seq]
+
+
+@pytest.mark.parametrize("cls", SEQ2SEQ_CLASSES)
+def test_seq2seq_output_shape(cls):
+    model = cls(rng=np.random.default_rng(0))
+    out = model(np.zeros((3, 1, 64)))
+    assert out.shape == (3, 64)
+
+
+@pytest.mark.parametrize("cls", SEQ2SEQ_CLASSES)
+def test_seq2seq_status_predictions_are_binary(cls):
+    model = cls(rng=np.random.default_rng(1))
+    status = model.predict_status(np.random.default_rng(2).normal(size=(2, 1, 64)))
+    assert set(np.unique(status)).issubset({0.0, 1.0})
+
+
+@pytest.mark.parametrize("cls", SEQ2SEQ_CLASSES)
+def test_seq2seq_proba_in_unit_interval(cls):
+    model = cls(rng=np.random.default_rng(3))
+    probs = model.predict_status_proba(
+        np.random.default_rng(4).normal(size=(2, 1, 64))
+    )
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+@pytest.mark.parametrize("cls", SEQ2SEQ_CLASSES)
+def test_seq2seq_backward_runs_and_populates_grads(cls):
+    model = cls(rng=np.random.default_rng(5))
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(2, 1, 64))
+    y = (rng.random((2, 64)) > 0.8).astype(float)
+    loss = BCEWithLogitsLoss()
+    loss(model(x), y)
+    model.backward(loss.backward())
+    grads = [np.abs(p.grad).sum() for p in model.parameters()]
+    assert sum(g > 0 for g in grads) > len(grads) * 0.5
+
+
+def test_unet_gradients_match_finite_differences():
+    """Skip-connection backward is hand-written — verify it exactly."""
+    model = UNetNILM(base_filters=2, rng=np.random.default_rng(7))
+    rng = np.random.default_rng(8)
+    x = rng.normal(size=(1, 1, 16))
+    y = rng.normal(size=(1, 16))
+    check_module_gradients(model, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_bigru_gradients_match_finite_differences():
+    model = BiGRUSeq2Seq(
+        conv_filters=2, hidden_size=2, rng=np.random.default_rng(9)
+    )
+    rng = np.random.default_rng(10)
+    x = rng.normal(size=(1, 1, 8))
+    y = rng.normal(size=(1, 8))
+    check_module_gradients(model, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_mil_gradients_match_finite_differences():
+    model = MILPoolingDetector(
+        n_filters=(2, 2), rng=np.random.default_rng(11)
+    )
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(2, 1, 10))
+    y = rng.normal(size=(2,))
+    check_module_gradients(model, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_dae_and_unet_reject_bad_lengths():
+    with pytest.raises(ValueError, match="divisible by 4"):
+        DAENILM(rng=np.random.default_rng(0))(np.zeros((1, 1, 63)))
+    with pytest.raises(ValueError, match="divisible by 4"):
+        UNetNILM(rng=np.random.default_rng(0))(np.zeros((1, 1, 62)))
+
+
+def test_seq2point_requires_odd_context():
+    with pytest.raises(ValueError, match="odd"):
+        Seq2PointCNN(context=30)
+
+
+def test_mil_window_probability_and_scores():
+    model = MILPoolingDetector(rng=np.random.default_rng(13))
+    x = np.random.default_rng(14).normal(size=(3, 1, 32))
+    probs = model.predict_proba(x)
+    scores = model.timestep_scores(x)
+    status = model.predict_status(x)
+    assert probs.shape == (3,)
+    assert np.all((probs >= 0) & (probs <= 1))
+    assert scores.shape == (3, 32)
+    assert status.shape == (3, 32)
+
+
+def test_mil_window_logit_tracks_strongest_evidence():
+    """The LSE-pooled logit must rise when one timestep's evidence rises."""
+    model = MILPoolingDetector(rng=np.random.default_rng(15))
+    x = np.zeros((1, 1, 32))
+    base = model(x)[0]
+    x_spike = x.copy()
+    x_spike[0, 0, 16] = 5.0
+    spiked = model(x_spike)[0]
+    assert spiked != pytest.approx(base)
+
+
+def test_bigru_lstm_variant():
+    model = BiGRUSeq2Seq(
+        conv_filters=4, hidden_size=4, rnn_type="lstm",
+        rng=np.random.default_rng(0),
+    )
+    out = model(np.zeros((2, 1, 32)))
+    assert out.shape == (2, 32)
+    with pytest.raises(ValueError, match="rnn_type"):
+        BiGRUSeq2Seq(rnn_type="elman")
+
+
+def test_bilstm_variant_gradients():
+    model = BiGRUSeq2Seq(
+        conv_filters=2, hidden_size=2, rnn_type="lstm",
+        rng=np.random.default_rng(1),
+    )
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(1, 1, 8))
+    y = rng.normal(size=(1, 8))
+    check_module_gradients(model, MSELoss(), x, y, atol=1e-4, rtol=1e-3)

@@ -1,0 +1,73 @@
+"""Tests for the adapter layers (squeeze/transpose/LSE pooling)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LSEPool1d, SqueezeChannel, TransposeCT, TransposeTC
+from repro.nn import MSELoss, check_module_gradients
+
+
+def test_squeeze_shape_and_gradients():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(3, 1, 10))
+    layer = SqueezeChannel()
+    assert layer(x).shape == (3, 10)
+    y = rng.normal(size=(3, 10))
+    check_module_gradients(layer, MSELoss(), x, y)
+
+
+def test_squeeze_rejects_multichannel():
+    with pytest.raises(ValueError):
+        SqueezeChannel()(np.zeros((2, 3, 5)))
+
+
+def test_transpose_roundtrip():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(2, 4, 6))
+    out = TransposeCT()(TransposeTC()(x))
+    np.testing.assert_array_equal(out, x)
+
+
+def test_transpose_gradients():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(2, 3, 4))
+    layer = TransposeTC()
+    y = rng.normal(size=(2, 4, 3))
+    check_module_gradients(layer, MSELoss(), x, y)
+
+
+def test_lse_pool_between_mean_and_max():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(4, 20))
+    out = LSEPool1d(3.0)(x)
+    assert np.all(out <= x.max(axis=1) + 1e-12)
+    assert np.all(out >= x.mean(axis=1) - 1e-12)
+
+
+def test_lse_pool_high_temperature_approaches_max():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(3, 15))
+    out = LSEPool1d(200.0)(x)
+    np.testing.assert_allclose(out, x.max(axis=1), atol=0.05)
+
+
+def test_lse_pool_gradients():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=(3, 8))
+    layer = LSEPool1d(3.0)
+    y = rng.normal(size=(3,))
+    check_module_gradients(layer, MSELoss(), x, y)
+
+
+def test_lse_pool_gradient_is_softmax_weighted():
+    x = np.array([[0.0, 10.0, 0.0]])
+    layer = LSEPool1d(5.0)
+    layer(x)
+    grad = layer.backward(np.ones(1))
+    # Nearly all gradient mass on the dominant timestep.
+    assert grad[0, 1] > 0.99
+
+
+def test_lse_pool_rejects_bad_temperature():
+    with pytest.raises(ValueError):
+        LSEPool1d(0.0)

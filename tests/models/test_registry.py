@@ -1,0 +1,54 @@
+"""Tests for the model registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    BASELINES,
+    MILPoolingDetector,
+    ModelSpec,
+    get_baseline_spec,
+    list_baselines,
+)
+
+
+def test_registry_has_six_baselines():
+    assert len(BASELINES) == 6
+
+
+def test_five_strong_one_weak():
+    strong = [s for s in BASELINES.values() if s.supervision == "strong"]
+    weak = [s for s in BASELINES.values() if s.supervision == "weak"]
+    assert len(strong) == 5
+    assert len(weak) == 1
+    assert weak[0].name == "mil"
+
+
+def test_factories_build_models():
+    for spec in BASELINES.values():
+        model = spec.factory(np.random.default_rng(0))
+        assert hasattr(model, "predict_status")
+
+
+def test_weak_factory_builds_mil():
+    model = get_baseline_spec("mil").factory(np.random.default_rng(0))
+    assert isinstance(model, MILPoolingDetector)
+
+
+def test_list_baselines_order_is_stable():
+    assert list_baselines() == list(BASELINES)
+
+
+def test_get_baseline_spec_unknown():
+    with pytest.raises(KeyError, match="unknown baseline"):
+        get_baseline_spec("transformer")
+
+
+def test_spec_validates_supervision():
+    with pytest.raises(ValueError):
+        ModelSpec("x", "semi", lambda rng: None, "X")
+
+
+def test_display_names_are_unique():
+    names = [s.display_name for s in BASELINES.values()]
+    assert len(names) == len(set(names))

@@ -1,0 +1,120 @@
+"""Tests for the TSC ResNet and its CAM extraction."""
+
+import numpy as np
+import pytest
+
+from repro.models import ResidualBlock, ResNetTSC
+from repro.nn import CrossEntropyLoss, MSELoss, check_module_gradients
+
+
+def small_resnet(k=5, seed=0):
+    return ResNetTSC(
+        kernel_size=k, n_filters=(4, 8, 8), rng=np.random.default_rng(seed)
+    )
+
+
+def test_logit_shape():
+    model = small_resnet()
+    out = model(np.zeros((3, 1, 40)))
+    assert out.shape == (3, 2)
+
+
+def test_feature_maps_preserve_length():
+    """Same-padding stride-1 convs keep time alignment — the property CAM
+    localization depends on."""
+    model = small_resnet(k=15)
+    features = model.forward_features(np.zeros((2, 1, 37)))
+    assert features.shape == (2, 8, 37)
+
+
+def test_cam_shape_matches_input_length():
+    model = small_resnet()
+    x = np.random.default_rng(1).normal(size=(2, 1, 50))
+    cam = model.class_activation_map(x)
+    assert cam.shape == (2, 50)
+
+
+def test_cam_equals_weighted_feature_sum():
+    model = small_resnet()
+    x = np.random.default_rng(2).normal(size=(1, 1, 30))
+    features = model.forward_features(x)
+    cam = model.class_activation_map()
+    manual = np.tensordot(model.fc.weight.data[1], features[0], axes=(0, 0))
+    np.testing.assert_allclose(cam[0], manual)
+
+
+def test_cam_uses_requested_class():
+    model = small_resnet()
+    x = np.random.default_rng(3).normal(size=(1, 1, 30))
+    cam0 = model.class_activation_map(x, class_index=0)
+    cam1 = model.class_activation_map(x, class_index=1)
+    assert not np.allclose(cam0, cam1)
+
+
+def test_cam_without_forward_raises():
+    model = small_resnet()
+    with pytest.raises(RuntimeError, match="no cached features"):
+        model.class_activation_map()
+
+
+def test_cam_rejects_bad_class():
+    model = small_resnet()
+    with pytest.raises(ValueError):
+        model.class_activation_map(np.zeros((1, 1, 20)), class_index=5)
+
+
+def test_predict_proba_in_unit_interval():
+    model = small_resnet()
+    probs = model.predict_proba(np.random.default_rng(4).normal(size=(5, 1, 32)))
+    assert probs.shape == (5,)
+    assert np.all((probs >= 0) & (probs <= 1))
+
+
+def test_gradients_flow_through_whole_network():
+    model = ResNetTSC(
+        kernel_size=3, n_filters=(2, 3, 3), rng=np.random.default_rng(5)
+    )
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(2, 1, 12))
+    y = np.array([0, 1])
+    check_module_gradients(
+        model, CrossEntropyLoss(), x, y, atol=1e-4, rtol=1e-3
+    )
+
+
+def test_residual_block_gradients():
+    rng = np.random.default_rng(7)
+    block = ResidualBlock(2, 3, 3, rng)
+    x = rng.normal(size=(2, 2, 10))
+    y = rng.normal(size=(2, 3, 10))
+    check_module_gradients(block, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_identity_shortcut_when_channels_match():
+    rng = np.random.default_rng(8)
+    block = ResidualBlock(4, 4, 3, rng)
+    assert block.shortcut is None
+    x = rng.normal(size=(1, 4, 10))
+    y = rng.normal(size=(1, 4, 10))
+    check_module_gradients(block, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_kernel_size_is_recorded():
+    assert small_resnet(k=9).kernel_size == 9
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        ResNetTSC(kernel_size=0)
+    with pytest.raises(ValueError):
+        ResNetTSC(n_filters=(4, 8))
+
+
+def test_state_dict_roundtrip():
+    a = small_resnet(seed=1)
+    b = small_resnet(seed=2)
+    x = np.random.default_rng(9).normal(size=(2, 1, 24))
+    a.eval()
+    b.eval()
+    b.load_state_dict(a.state_dict())
+    np.testing.assert_allclose(a(x), b(x))

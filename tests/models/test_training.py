@@ -1,0 +1,144 @@
+"""Tests for training recipes (classifier / seq2seq / MIL / ensemble)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Standardizer, WindowSet
+from repro.models import (
+    MILPoolingDetector,
+    ResNetEnsemble,
+    ResNetTSC,
+    Seq2SeqCNN,
+    TrainConfig,
+    auto_pos_weight,
+    train_classifier,
+    train_ensemble,
+    train_mil,
+    train_seq2seq,
+)
+
+
+def synthetic_windows(n=60, t=32, seed=0):
+    """Half the windows contain an obvious rectangular activation."""
+    rng = np.random.default_rng(seed)
+    x_watts = rng.normal(100.0, 10.0, size=(n, t))
+    y_weak = np.zeros(n)
+    y_strong = np.zeros((n, t))
+    for i in range(0, n, 2):
+        start = int(rng.integers(4, t - 10))
+        length = int(rng.integers(4, 8))
+        x_watts[i, start : start + length] += 2000.0
+        y_strong[i, start : start + length] = 1.0
+        y_weak[i] = 1.0
+    scaler = Standardizer.fit(x_watts)
+    return WindowSet(
+        x=scaler.transform(x_watts)[:, None, :],
+        x_watts=x_watts,
+        y_weak=y_weak,
+        y_strong=y_strong,
+        house_ids=["h"] * n,
+        starts=np.zeros(n, dtype=np.int64),
+        appliance="kettle",
+        scaler=scaler,
+    )
+
+
+FAST = TrainConfig(epochs=6, lr=2e-3, batch_size=16, patience=None, seed=0)
+
+
+def test_auto_pos_weight_ratio():
+    y = np.array([1, 0, 0, 0])
+    assert auto_pos_weight(y) == pytest.approx(3.0)
+
+
+def test_auto_pos_weight_cap():
+    y = np.zeros(1000)
+    y[0] = 1
+    assert auto_pos_weight(y, cap=20.0) == 20.0
+
+
+def test_auto_pos_weight_no_positives():
+    assert auto_pos_weight(np.zeros(10), cap=15.0) == 15.0
+
+
+def test_train_classifier_learns_synthetic_detection():
+    ws = synthetic_windows()
+    model = ResNetTSC(
+        kernel_size=5, n_filters=(4, 8, 8), rng=np.random.default_rng(1)
+    )
+    history = train_classifier(model, ws, FAST)
+    assert history.train_loss[-1] < history.train_loss[0]
+    acc = np.mean((model.predict_proba(ws.x) > 0.5) == (ws.y_weak > 0.5))
+    assert acc > 0.85
+
+
+def test_train_seq2seq_learns_localization():
+    ws = synthetic_windows()
+    model = Seq2SeqCNN(n_filters=(4, 8), rng=np.random.default_rng(2))
+    history = train_seq2seq(model, ws, FAST)
+    assert history.train_loss[-1] < history.train_loss[0]
+    status = model.predict_status(ws.x)
+    # Strongly supervised on clean data: most activations recovered.
+    recall = (status * ws.y_strong).sum() / max(ws.y_strong.sum(), 1)
+    assert recall > 0.7
+
+
+def test_train_mil_learns_weak_detection():
+    ws = synthetic_windows()
+    model = MILPoolingDetector(
+        n_filters=(4, 4), rng=np.random.default_rng(3)
+    )
+    history = train_mil(model, ws, FAST)
+    assert history.train_loss[-1] < history.train_loss[0]
+    acc = np.mean((model.predict_proba(ws.x) > 0.5) == (ws.y_weak > 0.5))
+    assert acc > 0.8
+
+
+def test_train_ensemble_trains_all_members():
+    ws = synthetic_windows(n=40)
+    ens = ResNetEnsemble((3, 5), n_filters=(4, 8, 8), seed=4)
+    trained, histories = train_ensemble(ens, ws, FAST)
+    assert len(histories) == 2
+    assert trained is ens  # no selection requested
+
+
+def test_train_ensemble_with_selection_prunes():
+    ws = synthetic_windows(n=40)
+    ens = ResNetEnsemble((3, 5, 7), n_filters=(4, 8, 8), seed=5)
+    trained, histories = train_ensemble(ens, ws, FAST, select_top=2)
+    assert len(histories) == 3  # all were trained
+    assert len(trained) == 2  # but only 2 kept
+
+
+def test_train_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(val_fraction=0.0)
+
+
+def test_training_is_deterministic_given_seed():
+    ws = synthetic_windows(n=30)
+
+    def run():
+        model = ResNetTSC(
+            kernel_size=3, n_filters=(2, 4, 4), rng=np.random.default_rng(7)
+        )
+        train_classifier(model, ws, TrainConfig(epochs=2, seed=3))
+        return model.predict_proba(ws.x)
+
+    np.testing.assert_allclose(run(), run())
+
+
+def test_balanced_class_weights_inverse_frequency():
+    from repro.models.training import balanced_class_weights
+
+    weights = balanced_class_weights(np.array([1, 0, 0, 0]))
+    assert weights[0] == pytest.approx(4 / 6)
+    assert weights[1] == pytest.approx(4 / 2)
+
+
+def test_balanced_class_weights_handles_single_class():
+    from repro.models.training import balanced_class_weights
+
+    weights = balanced_class_weights(np.zeros(10, dtype=int), cap=20.0)
+    assert np.all(weights > 0)
+    assert np.all(weights <= 20.0)

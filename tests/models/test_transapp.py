@@ -1,0 +1,99 @@
+"""Tests for the TransApp-style transformer detector."""
+
+import numpy as np
+import pytest
+
+from repro.models import (
+    TrainConfig,
+    TransAppDetector,
+    get_baseline_spec,
+    list_baselines,
+    sinusoidal_positions,
+    train_classifier,
+)
+from repro.nn import CrossEntropyLoss, check_module_gradients
+from tests.models.test_training import synthetic_windows
+
+
+def small_transapp(seed=0, **kwargs):
+    defaults = dict(embed_dim=8, n_heads=2, n_blocks=1)
+    defaults.update(kwargs)
+    return TransAppDetector(rng=np.random.default_rng(seed), **defaults)
+
+
+def test_positional_encoding_shape_and_range():
+    enc = sinusoidal_positions(20, 8)
+    assert enc.shape == (20, 8)
+    assert np.all(np.abs(enc) <= 1.0)
+
+
+def test_positional_encoding_rows_differ():
+    enc = sinusoidal_positions(10, 8)
+    assert not np.allclose(enc[0], enc[5])
+
+
+def test_positional_encoding_validation():
+    with pytest.raises(ValueError):
+        sinusoidal_positions(0, 8)
+    with pytest.raises(ValueError):
+        sinusoidal_positions(10, 1)
+
+
+def test_logit_and_cam_shapes():
+    model = small_transapp()
+    x = np.random.default_rng(1).normal(size=(3, 1, 24))
+    assert model(x).shape == (3, 2)
+    assert model.class_activation_map().shape == (3, 24)
+    assert model.predict_status(x).shape == (3, 24)
+
+
+def test_features_preserve_time_alignment():
+    model = small_transapp()
+    features = model.forward_features(np.zeros((2, 1, 17)))
+    assert features.shape == (2, 8, 17)
+
+
+def test_gradients_match_finite_differences():
+    model = TransAppDetector(
+        embed_dim=4, n_heads=2, n_blocks=1, rng=np.random.default_rng(2)
+    )
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(2, 1, 8))
+    y = np.array([0, 1])
+    check_module_gradients(
+        model, CrossEntropyLoss(), x, y, atol=1e-4, rtol=1e-3
+    )
+
+
+def test_learns_synthetic_detection():
+    ws = synthetic_windows(n=60, t=32)
+    model = small_transapp(seed=1)
+    train_classifier(
+        model, ws, TrainConfig(epochs=25, lr=3e-3, patience=None, seed=0)
+    )
+    acc = np.mean((model.predict_proba(ws.x) > 0.5) == (ws.y_weak > 0.5))
+    assert acc > 0.85
+
+
+def test_registered_as_extra_baseline():
+    assert "transapp" not in list_baselines()  # not one of the paper's six
+    assert "transapp" in list_baselines(include_extras=True)
+    spec = get_baseline_spec("transapp")
+    assert spec.supervision == "weak"
+    assert spec.trainer == "classifier"
+
+
+def test_input_validation():
+    model = small_transapp()
+    with pytest.raises(ValueError):
+        model(np.zeros((2, 2, 16)))
+    with pytest.raises(ValueError):
+        model.class_activation_map(np.zeros((1, 1, 16)), class_index=7)
+    with pytest.raises(ValueError):
+        TransAppDetector(n_blocks=0)
+
+
+def test_cam_requires_forward():
+    model = small_transapp()
+    with pytest.raises(RuntimeError):
+        model.class_activation_map()

@@ -1,0 +1,42 @@
+"""Tests for activation layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LeakyReLU, MSELoss, ReLU, Sigmoid, Tanh, check_module_gradients
+
+
+@pytest.mark.parametrize("layer_cls", [ReLU, Sigmoid, Tanh, LeakyReLU])
+def test_gradients_match_finite_differences(layer_cls):
+    rng = np.random.default_rng(0)
+    layer = layer_cls()
+    # Keep values away from ReLU's kink at 0 for clean finite differences.
+    x = rng.normal(size=(3, 4)) + np.sign(rng.normal(size=(3, 4))) * 0.2
+    y = rng.normal(size=(3, 4))
+    check_module_gradients(layer, MSELoss(), x, y)
+
+
+def test_relu_forward():
+    out = ReLU()(np.array([[-2.0, 0.0, 3.0]]))
+    np.testing.assert_array_equal(out, [[0.0, 0.0, 3.0]])
+
+
+def test_leaky_relu_forward():
+    out = LeakyReLU(0.1)(np.array([[-2.0, 3.0]]))
+    np.testing.assert_allclose(out, [[-0.2, 3.0]])
+
+
+def test_sigmoid_range():
+    out = Sigmoid()(np.linspace(-50, 50, 11).reshape(1, -1))
+    assert np.all((out >= 0) & (out <= 1))
+
+
+def test_tanh_matches_numpy():
+    x = np.linspace(-3, 3, 7).reshape(1, -1)
+    np.testing.assert_allclose(Tanh()(x), np.tanh(x))
+
+
+def test_backward_before_forward_raises():
+    for layer in (ReLU(), Sigmoid(), Tanh(), LeakyReLU()):
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 1)))

@@ -1,0 +1,84 @@
+"""Tests for multi-head self-attention and the transformer block."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MSELoss,
+    MultiHeadSelfAttention,
+    TransformerEncoderBlock,
+    check_module_gradients,
+)
+from repro.nn import functional as F
+
+
+def test_output_shape():
+    attn = MultiHeadSelfAttention(8, n_heads=2, rng=np.random.default_rng(0))
+    out = attn(np.zeros((2, 6, 8)))
+    assert out.shape == (2, 6, 8)
+
+
+def test_rejects_indivisible_heads():
+    with pytest.raises(ValueError, match="divisible"):
+        MultiHeadSelfAttention(6, n_heads=4)
+
+
+def test_rejects_wrong_embed_dim():
+    attn = MultiHeadSelfAttention(8, n_heads=2)
+    with pytest.raises(ValueError):
+        attn(np.zeros((1, 4, 6)))
+
+
+def test_attention_gradients():
+    rng = np.random.default_rng(1)
+    attn = MultiHeadSelfAttention(4, n_heads=2, rng=rng)
+    x = rng.normal(size=(2, 4, 4))
+    y = rng.normal(size=(2, 4, 4))
+    check_module_gradients(attn, MSELoss(), x, y, atol=1e-5)
+
+
+def test_attention_weights_are_normalized():
+    attn = MultiHeadSelfAttention(4, n_heads=2, rng=np.random.default_rng(2))
+    attn(np.random.default_rng(3).normal(size=(1, 5, 4)))
+    weights = attn._cache["attn"]
+    np.testing.assert_allclose(weights.sum(axis=-1), 1.0)
+
+
+def test_attention_is_permutation_sensitive_through_values():
+    """Self-attention without positions is permutation-equivariant:
+    permuting the sequence permutes the output the same way."""
+    rng = np.random.default_rng(4)
+    attn = MultiHeadSelfAttention(4, n_heads=2, rng=rng)
+    x = rng.normal(size=(1, 5, 4))
+    perm = np.array([3, 1, 4, 0, 2])
+    out = attn(x)
+    out_perm = attn(x[:, perm, :])
+    np.testing.assert_allclose(out_perm, out[:, perm, :], atol=1e-10)
+
+
+def test_encoder_block_shape_and_gradients():
+    rng = np.random.default_rng(5)
+    block = TransformerEncoderBlock(4, n_heads=2, rng=rng)
+    x = rng.normal(size=(2, 3, 4))
+    assert block(x).shape == (2, 3, 4)
+    y = rng.normal(size=(2, 3, 4))
+    check_module_gradients(block, MSELoss(), x, y, atol=1e-4, rtol=1e-3)
+
+
+def test_encoder_block_residual_path():
+    """With zeroed projections the block must behave as identity."""
+    block = TransformerEncoderBlock(4, n_heads=2, rng=np.random.default_rng(6))
+    for layer in (block.attention.out_proj, block.ff2):
+        layer.weight.copy_(np.zeros_like(layer.weight.data))
+        layer.bias.copy_(np.zeros_like(layer.bias.data))
+    x = np.random.default_rng(7).normal(size=(1, 4, 4))
+    np.testing.assert_allclose(block(x), x)
+
+
+def test_backward_before_forward_raises():
+    attn = MultiHeadSelfAttention(4, n_heads=2)
+    with pytest.raises(RuntimeError):
+        attn.backward(np.zeros((1, 3, 4)))
+    block = TransformerEncoderBlock(4, n_heads=2)
+    with pytest.raises(RuntimeError):
+        block.backward(np.zeros((1, 3, 4)))

@@ -1,0 +1,122 @@
+"""Gradient and shape tests for Conv1d."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv1d, MSELoss, check_module_gradients
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_same_padding_preserves_length():
+    for k in (1, 3, 5, 7, 9, 15):
+        conv = Conv1d(2, 3, k, padding="same", rng=rng())
+        out = conv(np.zeros((1, 2, 40)))
+        assert out.shape == (1, 3, 40), f"kernel {k}"
+
+
+def test_valid_padding_output_length():
+    conv = Conv1d(1, 1, 4, padding=0, rng=rng())
+    out = conv(np.zeros((1, 1, 10)))
+    assert out.shape == (1, 1, 7)
+
+
+def test_strided_output_length():
+    conv = Conv1d(1, 2, 3, stride=2, padding=1, rng=rng())
+    out = conv(np.zeros((1, 1, 10)))
+    # L_out = (10 + 2*1 - 3)//2 + 1 = 5
+    assert out.shape == (1, 2, 5)
+
+
+def test_matches_manual_convolution():
+    conv = Conv1d(1, 1, 3, padding=0, bias=False, rng=rng())
+    conv.weight.copy_(np.array([[[1.0, 0.0, -1.0]]]))
+    x = np.array([[[1.0, 2.0, 4.0, 7.0, 11.0]]])
+    out = conv(x)
+    # cross-correlation: x[t] - x[t+2]
+    np.testing.assert_allclose(out[0, 0], [1 - 4, 2 - 7, 4 - 11])
+
+
+def test_bias_adds_per_channel():
+    conv = Conv1d(1, 2, 1, rng=rng())
+    conv.weight.copy_(np.zeros((2, 1, 1)))
+    conv.bias.copy_(np.array([1.5, -2.0]))
+    out = conv(np.zeros((1, 1, 4)))
+    np.testing.assert_allclose(out[0, 0], 1.5)
+    np.testing.assert_allclose(out[0, 1], -2.0)
+
+
+@pytest.mark.parametrize("kernel,stride,padding", [
+    (1, 1, "same"),
+    (3, 1, "same"),
+    (5, 1, "same"),
+    (3, 1, 0),
+    (3, 2, 1),
+    (4, 2, 2),
+    (7, 3, 3),
+])
+def test_gradients_match_finite_differences(kernel, stride, padding):
+    r = rng()
+    conv = Conv1d(2, 3, kernel, stride=stride, padding=padding, rng=r)
+    x = r.normal(size=(2, 2, 14))
+    y = r.normal(size=conv(x).shape)
+    check_module_gradients(conv, MSELoss(), x, y)
+
+
+def test_rejects_wrong_channel_count():
+    conv = Conv1d(3, 1, 3, rng=rng())
+    with pytest.raises(ValueError, match="expected input"):
+        conv(np.zeros((1, 2, 10)))
+
+
+def test_rejects_same_padding_with_stride():
+    with pytest.raises(ValueError, match="'same' padding"):
+        Conv1d(1, 1, 3, stride=2, padding="same")
+
+
+def test_rejects_too_short_input():
+    conv = Conv1d(1, 1, 9, padding=0, rng=rng())
+    with pytest.raises(ValueError, match="too short"):
+        conv(np.zeros((1, 1, 5)))
+
+
+def test_backward_before_forward_raises():
+    conv = Conv1d(1, 1, 3, rng=rng())
+    with pytest.raises(RuntimeError):
+        conv.backward(np.zeros((1, 1, 10)))
+
+
+def test_no_bias_mode_has_no_bias_parameter():
+    conv = Conv1d(1, 1, 3, bias=False, rng=rng())
+    assert [n for n, _ in conv.named_parameters()] == ["weight"]
+
+
+def test_dilated_same_padding_preserves_length():
+    conv = Conv1d(1, 2, 3, dilation=4, padding="same", rng=rng())
+    assert conv(np.zeros((1, 1, 30))).shape == (1, 2, 30)
+    assert conv.span == 9
+
+
+def test_dilated_convolution_matches_manual():
+    conv = Conv1d(1, 1, 3, dilation=2, padding=0, bias=False, rng=rng())
+    conv.weight.copy_(np.array([[[1.0, 0.0, -1.0]]]))
+    x = np.array([[[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]]])
+    out = conv(x)
+    # taps at offsets 0 and 4: x[t] - x[t+4]
+    np.testing.assert_allclose(out[0, 0], [1 - 16, 2 - 32])
+
+
+@pytest.mark.parametrize("dilation,stride", [(2, 1), (3, 1), (2, 2)])
+def test_dilated_gradients_match_finite_differences(dilation, stride):
+    r = rng()
+    conv = Conv1d(2, 2, 3, stride=stride, dilation=dilation, padding=2, rng=r)
+    x = r.normal(size=(2, 2, 14))
+    y = r.normal(size=conv(x).shape)
+    check_module_gradients(conv, MSELoss(), x, y)
+
+
+def test_dilation_validation():
+    with pytest.raises(ValueError):
+        Conv1d(1, 1, 3, dilation=0)

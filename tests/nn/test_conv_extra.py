@@ -1,0 +1,88 @@
+"""Tests for AvgPool1d and ConvTranspose1d."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AvgPool1d,
+    Conv1d,
+    ConvTranspose1d,
+    MSELoss,
+    check_module_gradients,
+)
+
+
+def test_avgpool_values():
+    x = np.array([[[1.0, 3.0, 5.0, 7.0]]])
+    out = AvgPool1d(2)(x)
+    np.testing.assert_allclose(out, [[[2.0, 6.0]]])
+
+
+def test_avgpool_drops_remainder():
+    out = AvgPool1d(3)(np.zeros((1, 2, 8)))
+    assert out.shape == (1, 2, 2)
+
+
+def test_avgpool_gradients():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 2, 9))
+    y = rng.normal(size=(2, 2, 4))
+    check_module_gradients(AvgPool1d(2), MSELoss(), x, y)
+
+
+def test_avgpool_rejects_short_input():
+    with pytest.raises(ValueError):
+        AvgPool1d(4)(np.zeros((1, 1, 3)))
+
+
+def test_convtranspose_output_length():
+    ct = ConvTranspose1d(1, 1, kernel_size=4, stride=2, padding=1)
+    assert ct.output_length(6) == 12
+    assert ct(np.zeros((1, 1, 6))).shape == (1, 1, 12)
+
+
+def test_convtranspose_is_adjoint_of_conv():
+    """<conv(x), y> == <x, convT(y)> when they share a weight."""
+    rng = np.random.default_rng(1)
+    conv = Conv1d(2, 3, 4, stride=2, padding=1, bias=False, rng=rng)
+    ct = ConvTranspose1d(3, 2, 4, stride=2, padding=1, bias=False, rng=rng)
+    # conv weight is (out=3, in=2, k); the adjoint's weight layout is
+    # (in=3, out=2, k) — the same array, axes already aligned.
+    ct.weight.copy_(conv.weight.data)
+    x = rng.normal(size=(2, 2, 8))
+    y = rng.normal(size=conv(x).shape)
+    lhs = float(np.sum(conv(x) * y))
+    rhs = float(np.sum(x * ct(y)))
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+@pytest.mark.parametrize("kernel,stride,padding", [
+    (3, 1, 0),
+    (4, 2, 1),
+    (5, 3, 2),
+])
+def test_convtranspose_gradients(kernel, stride, padding):
+    rng = np.random.default_rng(2)
+    ct = ConvTranspose1d(2, 3, kernel, stride=stride, padding=padding, rng=rng)
+    x = rng.normal(size=(2, 2, 5))
+    y = rng.normal(size=ct(x).shape)
+    check_module_gradients(ct, MSELoss(), x, y)
+
+
+def test_convtranspose_upsamples_learnably():
+    """A unit kernel with stride 2 interleaves the input with zeros."""
+    ct = ConvTranspose1d(1, 1, kernel_size=1, stride=2, bias=False)
+    ct.weight.copy_(np.ones((1, 1, 1)))
+    x = np.array([[[1.0, 2.0, 3.0]]])
+    out = ct(x)
+    np.testing.assert_allclose(out, [[[1.0, 0.0, 2.0, 0.0, 3.0]]])
+
+
+def test_convtranspose_validation():
+    with pytest.raises(ValueError):
+        ConvTranspose1d(1, 1, kernel_size=0)
+    with pytest.raises(ValueError):
+        ConvTranspose1d(1, 1, kernel_size=3, padding=3)
+    ct = ConvTranspose1d(2, 1, 3)
+    with pytest.raises(ValueError):
+        ct(np.zeros((1, 3, 5)))

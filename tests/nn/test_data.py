@@ -1,0 +1,94 @@
+"""Tests for ArrayDataset / DataLoader / train_val_split."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ArrayDataset, DataLoader, train_val_split
+
+
+def make_dataset(n=10):
+    x = np.arange(n * 2, dtype=float).reshape(n, 2)
+    y = np.arange(n)
+    return ArrayDataset(x, y)
+
+
+def test_dataset_length_and_indexing():
+    ds = make_dataset(5)
+    assert len(ds) == 5
+    x, y = ds[np.array([0, 2])]
+    assert x.shape == (2, 2)
+    np.testing.assert_array_equal(y, [0, 2])
+
+
+def test_dataset_rejects_mismatched_lengths():
+    with pytest.raises(ValueError, match="leading dimension"):
+        ArrayDataset(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_loader_batch_count_with_partial_batch():
+    loader = DataLoader(make_dataset(10), batch_size=3)
+    assert len(loader) == 4
+    sizes = [len(x) for x, _ in loader]
+    assert sizes == [3, 3, 3, 1]
+
+
+def test_loader_drop_last():
+    loader = DataLoader(make_dataset(10), batch_size=3, drop_last=True)
+    assert len(loader) == 3
+    sizes = [len(x) for x, _ in loader]
+    assert sizes == [3, 3, 3]
+
+
+def test_loader_without_shuffle_preserves_order():
+    loader = DataLoader(make_dataset(6), batch_size=2)
+    ys = np.concatenate([y for _, y in loader])
+    np.testing.assert_array_equal(ys, np.arange(6))
+
+
+def test_loader_shuffle_covers_all_samples():
+    loader = DataLoader(
+        make_dataset(20), batch_size=4, shuffle=True, rng=np.random.default_rng(0)
+    )
+    ys = np.concatenate([y for _, y in loader])
+    assert sorted(ys.tolist()) == list(range(20))
+    assert not np.array_equal(ys, np.arange(20))  # actually shuffled
+
+
+def test_loader_shuffle_is_seed_deterministic():
+    def collect(seed):
+        loader = DataLoader(
+            make_dataset(20), batch_size=5, shuffle=True,
+            rng=np.random.default_rng(seed),
+        )
+        return np.concatenate([y for _, y in loader])
+
+    np.testing.assert_array_equal(collect(3), collect(3))
+
+
+def test_loader_reshuffles_each_epoch():
+    loader = DataLoader(
+        make_dataset(30), batch_size=30, shuffle=True,
+        rng=np.random.default_rng(1),
+    )
+    first = next(iter(loader))[1]
+    second = next(iter(loader))[1]
+    assert not np.array_equal(first, second)
+
+
+def test_split_sizes_and_disjointness():
+    ds = make_dataset(10)
+    train, val = train_val_split(ds, 0.3, rng=np.random.default_rng(0))
+    assert len(train) == 7
+    assert len(val) == 3
+    seen = set(train.arrays[1].tolist()) | set(val.arrays[1].tolist())
+    assert seen == set(range(10))
+
+
+def test_split_rejects_empty_side():
+    with pytest.raises(ValueError, match="empty side"):
+        train_val_split(make_dataset(3), 0.01)
+
+
+def test_split_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        train_val_split(make_dataset(10), 1.5)

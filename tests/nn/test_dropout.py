@@ -1,0 +1,56 @@
+"""Tests for inverted dropout."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout
+
+
+def test_identity_in_eval_mode():
+    drop = Dropout(0.5, rng=np.random.default_rng(0))
+    drop.eval()
+    x = np.ones((4, 4))
+    np.testing.assert_array_equal(drop(x), x)
+
+
+def test_zero_probability_is_identity_even_in_training():
+    drop = Dropout(0.0)
+    x = np.ones((4, 4))
+    np.testing.assert_array_equal(drop(x), x)
+
+
+def test_training_mode_zeroes_and_rescales():
+    drop = Dropout(0.5, rng=np.random.default_rng(1))
+    x = np.ones((1000,))
+    out = drop(x)
+    zeros = np.sum(out == 0)
+    kept = out[out != 0]
+    assert 400 < zeros < 600  # roughly half dropped
+    np.testing.assert_allclose(kept, 2.0)  # inverted scaling 1/(1-p)
+
+
+def test_expected_value_preserved():
+    drop = Dropout(0.3, rng=np.random.default_rng(2))
+    x = np.ones((20000,))
+    assert drop(x).mean() == pytest.approx(1.0, abs=0.02)
+
+
+def test_backward_applies_same_mask():
+    drop = Dropout(0.5, rng=np.random.default_rng(3))
+    x = np.ones((100,))
+    out = drop(x)
+    grad = drop.backward(np.ones((100,)))
+    np.testing.assert_array_equal(grad == 0, out == 0)
+
+
+def test_rejects_invalid_probability():
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+    with pytest.raises(ValueError):
+        Dropout(-0.1)
+
+
+def test_mask_is_reproducible_with_seeded_rng():
+    a = Dropout(0.5, rng=np.random.default_rng(7))(np.ones(50))
+    b = Dropout(0.5, rng=np.random.default_rng(7))(np.ones(50))
+    np.testing.assert_array_equal(a, b)

@@ -1,0 +1,49 @@
+"""Tests for the Linear layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, MSELoss, check_module_gradients
+
+
+def test_forward_matches_matmul():
+    rng = np.random.default_rng(0)
+    lin = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(4, 3))
+    np.testing.assert_allclose(lin(x), x @ lin.weight.data.T + lin.bias.data)
+
+
+def test_supports_arbitrary_leading_dims():
+    rng = np.random.default_rng(1)
+    lin = Linear(3, 5, rng=rng)
+    out = lin(rng.normal(size=(2, 7, 3)))
+    assert out.shape == (2, 7, 5)
+
+
+def test_gradients_2d():
+    rng = np.random.default_rng(2)
+    lin = Linear(4, 3, rng=rng)
+    x = rng.normal(size=(5, 4))
+    y = rng.normal(size=(5, 3))
+    check_module_gradients(lin, MSELoss(), x, y)
+
+
+def test_gradients_3d():
+    rng = np.random.default_rng(3)
+    lin = Linear(3, 2, rng=rng)
+    x = rng.normal(size=(2, 4, 3))
+    y = rng.normal(size=(2, 4, 2))
+    check_module_gradients(lin, MSELoss(), x, y)
+
+
+def test_rejects_wrong_trailing_dim():
+    lin = Linear(3, 2)
+    with pytest.raises(ValueError, match="trailing dim"):
+        lin(np.zeros((2, 4)))
+
+
+def test_no_bias_variant():
+    lin = Linear(3, 2, bias=False)
+    assert [n for n, _ in lin.named_parameters()] == ["weight"]
+    out = lin(np.zeros((1, 3)))
+    np.testing.assert_array_equal(out, 0.0)

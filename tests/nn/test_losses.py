@@ -1,0 +1,186 @@
+"""Tests for loss functions, including analytic-vs-numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BCEWithLogitsLoss, CrossEntropyLoss, MSELoss
+from repro.nn import functional as F
+
+
+def numeric_grad(loss, pred, target, eps=1e-6):
+    grad = np.zeros_like(pred)
+    flat = pred.reshape(-1)
+    flat_grad = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        plus = loss(pred, target)
+        flat[i] = orig - eps
+        minus = loss(pred, target)
+        flat[i] = orig
+        flat_grad[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def test_mse_value():
+    loss = MSELoss()
+    value = loss(np.array([1.0, 2.0]), np.array([0.0, 0.0]))
+    assert value == pytest.approx(2.5)
+
+
+def test_mse_gradient():
+    rng = np.random.default_rng(0)
+    pred = rng.normal(size=(3, 4))
+    target = rng.normal(size=(3, 4))
+    loss = MSELoss()
+    loss(pred, target)
+    np.testing.assert_allclose(
+        loss.backward(), numeric_grad(MSELoss(), pred, target), atol=1e-6
+    )
+
+
+def test_mse_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        MSELoss()(np.zeros(3), np.zeros(4))
+
+
+def test_bce_matches_naive_formula():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=10)
+    targets = rng.integers(0, 2, size=10).astype(float)
+    probs = F.sigmoid(logits)
+    naive = -np.mean(targets * np.log(probs) + (1 - targets) * np.log(1 - probs))
+    assert BCEWithLogitsLoss()(logits, targets) == pytest.approx(naive)
+
+
+def test_bce_is_stable_for_extreme_logits():
+    logits = np.array([-1e4, 1e4])
+    targets = np.array([0.0, 1.0])
+    assert BCEWithLogitsLoss()(logits, targets) == pytest.approx(0.0, abs=1e-12)
+    logits_bad = np.array([1e4, -1e4])
+    value = BCEWithLogitsLoss()(logits_bad, targets)
+    assert np.isfinite(value) and value > 100
+
+
+def test_bce_gradient():
+    rng = np.random.default_rng(2)
+    logits = rng.normal(size=(8,))
+    targets = rng.integers(0, 2, size=8).astype(float)
+    loss = BCEWithLogitsLoss()
+    loss(logits, targets)
+    np.testing.assert_allclose(
+        loss.backward(), numeric_grad(BCEWithLogitsLoss(), logits, targets),
+        atol=1e-6,
+    )
+
+
+def test_bce_pos_weight_scales_positive_term():
+    logits = np.array([0.0])
+    assert BCEWithLogitsLoss(pos_weight=3.0)(logits, np.array([1.0])) == (
+        pytest.approx(3.0 * BCEWithLogitsLoss()(logits, np.array([1.0])))
+    )
+    # Negative targets are unaffected by pos_weight.
+    assert BCEWithLogitsLoss(pos_weight=3.0)(logits, np.array([0.0])) == (
+        pytest.approx(BCEWithLogitsLoss()(logits, np.array([0.0])))
+    )
+
+
+def test_bce_pos_weight_gradient():
+    rng = np.random.default_rng(3)
+    logits = rng.normal(size=(6,))
+    targets = rng.integers(0, 2, size=6).astype(float)
+    loss = BCEWithLogitsLoss(pos_weight=4.0)
+    loss(logits, targets)
+    np.testing.assert_allclose(
+        loss.backward(),
+        numeric_grad(BCEWithLogitsLoss(pos_weight=4.0), logits, targets),
+        atol=1e-6,
+    )
+
+
+def test_bce_supports_sequence_shapes():
+    rng = np.random.default_rng(4)
+    logits = rng.normal(size=(2, 30))
+    targets = rng.integers(0, 2, size=(2, 30)).astype(float)
+    loss = BCEWithLogitsLoss()
+    value = loss(logits, targets)
+    assert np.isfinite(value)
+    assert loss.backward().shape == logits.shape
+
+
+def test_cross_entropy_matches_log_softmax():
+    rng = np.random.default_rng(5)
+    logits = rng.normal(size=(4, 3))
+    targets = np.array([0, 1, 2, 1])
+    expected = -np.mean(
+        F.log_softmax(logits, axis=1)[np.arange(4), targets]
+    )
+    assert CrossEntropyLoss()(logits, targets) == pytest.approx(expected)
+
+
+def test_cross_entropy_gradient():
+    rng = np.random.default_rng(6)
+    logits = rng.normal(size=(5, 3))
+    targets = rng.integers(0, 3, size=5)
+    loss = CrossEntropyLoss()
+    loss(logits, targets)
+    np.testing.assert_allclose(
+        loss.backward(), numeric_grad(CrossEntropyLoss(), logits, targets),
+        atol=1e-6,
+    )
+
+
+def test_cross_entropy_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        CrossEntropyLoss()(np.zeros((2, 3, 4)), np.zeros(2, dtype=int))
+    with pytest.raises(ValueError):
+        CrossEntropyLoss()(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+def test_backward_before_forward_raises():
+    for loss in (MSELoss(), BCEWithLogitsLoss(), CrossEntropyLoss()):
+        with pytest.raises(RuntimeError):
+            loss.backward()
+
+
+def test_weighted_cross_entropy_matches_manual():
+    logits = np.array([[2.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    targets = np.array([0, 1, 1])
+    weights = np.array([1.0, 3.0])
+    loss = CrossEntropyLoss(class_weights=weights)
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(3), targets]
+    sample_w = weights[targets]
+    expected = -np.sum(sample_w * picked) / sample_w.sum()
+    assert loss(logits, targets) == pytest.approx(expected)
+
+
+def test_weighted_cross_entropy_gradient():
+    rng = np.random.default_rng(7)
+    logits = rng.normal(size=(5, 3))
+    targets = rng.integers(0, 3, size=5)
+    weights = np.array([1.0, 2.5, 0.5])
+    loss = CrossEntropyLoss(class_weights=weights)
+    loss(logits, targets)
+    np.testing.assert_allclose(
+        loss.backward(),
+        numeric_grad(CrossEntropyLoss(class_weights=weights), logits, targets),
+        atol=1e-6,
+    )
+
+
+def test_uniform_weights_equal_unweighted():
+    rng = np.random.default_rng(8)
+    logits = rng.normal(size=(4, 2))
+    targets = rng.integers(0, 2, size=4)
+    weighted = CrossEntropyLoss(class_weights=np.ones(2))(logits, targets)
+    plain = CrossEntropyLoss()(logits, targets)
+    assert weighted == pytest.approx(plain)
+
+
+def test_cross_entropy_rejects_bad_weights():
+    with pytest.raises(ValueError):
+        CrossEntropyLoss(class_weights=np.array([1.0, -1.0]))
+    loss = CrossEntropyLoss(class_weights=np.ones(3))
+    with pytest.raises(ValueError, match="class weights"):
+        loss(np.zeros((2, 2)), np.array([0, 1]))

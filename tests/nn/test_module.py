@@ -1,0 +1,100 @@
+"""Unit tests for Module registration, traversal, mode, and state dicts."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm1d, Linear, Module, Parameter, ReLU, Sequential
+
+
+def make_model(rng=None):
+    rng = rng or np.random.default_rng(0)
+    return Sequential(Linear(4, 8, rng=rng), ReLU(), Linear(8, 2, rng=rng))
+
+
+def test_parameters_are_registered_recursively():
+    model = make_model()
+    names = [name for name, _ in model.named_parameters()]
+    assert names == ["0.weight", "0.bias", "2.weight", "2.bias"]
+
+
+def test_num_parameters_counts_scalars():
+    model = make_model()
+    assert model.num_parameters() == 4 * 8 + 8 + 8 * 2 + 2
+
+
+def test_train_eval_propagates_to_children():
+    model = make_model()
+    assert model.training
+    model.eval()
+    assert not model.training
+    assert all(not child.training for child in model.children())
+    model.train()
+    assert all(child.training for child in model.children())
+
+
+def test_zero_grad_clears_all():
+    model = make_model()
+    for p in model.parameters():
+        p.accumulate_grad(np.ones_like(p.data))
+    model.zero_grad()
+    assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+def test_state_dict_roundtrip_restores_weights():
+    rng = np.random.default_rng(1)
+    model_a = make_model(rng)
+    model_b = make_model(np.random.default_rng(2))
+    x = rng.normal(size=(3, 4))
+    assert not np.allclose(model_a(x), model_b(x))
+    model_b.load_state_dict(model_a.state_dict())
+    np.testing.assert_allclose(model_a(x), model_b(x))
+
+
+def test_state_dict_includes_buffers():
+    bn = BatchNorm1d(3)
+    state = bn.state_dict()
+    assert "running_mean" in state
+    assert "running_var" in state
+
+
+def test_load_state_dict_rejects_missing_keys():
+    model = make_model()
+    state = model.state_dict()
+    state.pop("0.bias")
+    with pytest.raises(KeyError, match="missing"):
+        model.load_state_dict(state)
+
+
+def test_load_state_dict_rejects_unexpected_keys():
+    model = make_model()
+    state = model.state_dict()
+    state["bogus"] = np.zeros(1)
+    with pytest.raises(KeyError, match="unexpected"):
+        model.load_state_dict(state)
+
+
+def test_buffer_roundtrip_through_state_dict():
+    bn_a = BatchNorm1d(2)
+    x = np.random.default_rng(0).normal(size=(16, 2, 10)) * 3 + 1
+    bn_a.train()
+    bn_a(x)
+    bn_b = BatchNorm1d(2)
+    bn_b.load_state_dict(bn_a.state_dict())
+    np.testing.assert_allclose(bn_b.running_mean, bn_a.running_mean)
+    np.testing.assert_allclose(bn_b.running_var, bn_a.running_var)
+
+
+def test_named_modules_walks_tree():
+    model = make_model()
+    names = [name for name, _ in model.named_modules()]
+    assert names == ["", "0", "1", "2"]
+
+
+def test_custom_module_parameter_registration():
+    class Custom(Module):
+        def __init__(self):
+            super().__init__()
+            self.scale = Parameter(np.ones(1))
+
+    c = Custom()
+    assert [n for n, _ in c.named_parameters()] == ["scale"]

@@ -1,0 +1,57 @@
+"""Unit tests for the Parameter container."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+def test_data_is_float64():
+    p = Parameter(np.array([1, 2, 3], dtype=np.int32))
+    assert p.data.dtype == np.float64
+
+
+def test_grad_starts_at_zero_with_matching_shape():
+    p = Parameter(np.ones((2, 3)))
+    assert p.grad.shape == (2, 3)
+    assert np.all(p.grad == 0)
+
+
+def test_accumulate_grad_adds():
+    p = Parameter(np.zeros(3))
+    p.accumulate_grad(np.array([1.0, 2.0, 3.0]))
+    p.accumulate_grad(np.array([1.0, 1.0, 1.0]))
+    np.testing.assert_allclose(p.grad, [2.0, 3.0, 4.0])
+
+
+def test_accumulate_grad_rejects_shape_mismatch():
+    p = Parameter(np.zeros(3))
+    with pytest.raises(ValueError, match="gradient shape"):
+        p.accumulate_grad(np.zeros((3, 1)))
+
+
+def test_frozen_parameter_ignores_gradients():
+    p = Parameter(np.zeros(2), requires_grad=False)
+    p.accumulate_grad(np.ones(2))
+    assert np.all(p.grad == 0)
+
+
+def test_zero_grad_resets():
+    p = Parameter(np.zeros(2))
+    p.accumulate_grad(np.ones(2))
+    p.zero_grad()
+    assert np.all(p.grad == 0)
+
+
+def test_copy_validates_shape():
+    p = Parameter(np.zeros((2, 2)))
+    p.copy_(np.ones((2, 2)))
+    assert np.all(p.data == 1)
+    with pytest.raises(ValueError, match="cannot load"):
+        p.copy_(np.ones(4))
+
+
+def test_shape_and_size_properties():
+    p = Parameter(np.zeros((4, 5)))
+    assert p.shape == (4, 5)
+    assert p.size == 20

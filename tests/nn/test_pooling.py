@@ -1,0 +1,94 @@
+"""Tests for pooling, upsampling, and flatten layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Flatten,
+    GlobalAvgPool1d,
+    MaxPool1d,
+    MSELoss,
+    Upsample1d,
+    check_module_gradients,
+)
+
+
+def test_gap_averages_over_time():
+    x = np.arange(12, dtype=float).reshape(1, 2, 6)
+    out = GlobalAvgPool1d()(x)
+    np.testing.assert_allclose(out, [[2.5, 8.5]])
+
+
+def test_gap_gradients():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 7))
+    y = rng.normal(size=(2, 3))
+    check_module_gradients(GlobalAvgPool1d(), MSELoss(), x, y)
+
+
+def test_maxpool_forward_picks_window_max():
+    x = np.array([[[1.0, 5.0, 2.0, 3.0, 9.0, 0.0]]])
+    out = MaxPool1d(2)(x)
+    np.testing.assert_allclose(out, [[[5.0, 3.0, 9.0]]])
+
+
+def test_maxpool_drops_trailing_remainder():
+    out = MaxPool1d(3)(np.zeros((1, 1, 8)))
+    assert out.shape == (1, 1, 2)
+
+
+def test_maxpool_gradients_route_to_argmax():
+    x = np.array([[[1.0, 5.0, 2.0, 3.0]]])
+    pool = MaxPool1d(2)
+    pool(x)
+    dx = pool.backward(np.array([[[10.0, 20.0]]]))
+    np.testing.assert_allclose(dx, [[[0.0, 10.0, 0.0, 20.0]]])
+
+
+def test_maxpool_finite_difference_gradients():
+    rng = np.random.default_rng(1)
+    # Distinct values keep the argmax stable under the fd perturbation.
+    x = rng.permutation(24).astype(float).reshape(2, 2, 6)
+    pool = MaxPool1d(2)
+    y = rng.normal(size=(2, 2, 3))
+    check_module_gradients(pool, MSELoss(), x, y)
+
+
+def test_upsample_repeats_values():
+    x = np.array([[[1.0, 2.0]]])
+    out = Upsample1d(3)(x)
+    np.testing.assert_allclose(out, [[[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]]])
+
+
+def test_upsample_gradients():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(2, 2, 4))
+    up = Upsample1d(2)
+    y = rng.normal(size=(2, 2, 8))
+    check_module_gradients(up, MSELoss(), x, y)
+
+
+def test_maxpool_then_upsample_restores_length():
+    x = np.random.default_rng(3).normal(size=(1, 2, 12))
+    restored = Upsample1d(4)(MaxPool1d(4)(x))
+    assert restored.shape == x.shape
+
+
+def test_flatten_roundtrip():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(3, 2, 5))
+    flat = Flatten()
+    out = flat(x)
+    assert out.shape == (3, 10)
+    y = rng.normal(size=(3, 10))
+    check_module_gradients(flat, MSELoss(), x, y)
+
+
+def test_gap_rejects_2d_input():
+    with pytest.raises(ValueError):
+        GlobalAvgPool1d()(np.zeros((2, 3)))
+
+
+def test_maxpool_rejects_too_short_input():
+    with pytest.raises(ValueError, match="shorter"):
+        MaxPool1d(5)(np.zeros((1, 1, 3)))

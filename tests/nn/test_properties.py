@@ -1,0 +1,162 @@
+"""Property-based invariants of the nn framework (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+
+
+@given(
+    seed=st.integers(0, 1000),
+    kernel=st.sampled_from([3, 5, 7]),
+    shift=st.integers(1, 5),
+)
+@settings(max_examples=20, deadline=None)
+def test_conv_same_padding_translation_equivariance(seed, kernel, shift):
+    """Shifting the input shifts the output (away from the borders)."""
+    rng = np.random.default_rng(seed)
+    conv = nn.Conv1d(1, 2, kernel, padding="same", rng=rng)
+    x = rng.normal(size=(1, 1, 40))
+    shifted = np.roll(x, shift, axis=2)
+    out = conv(x)
+    out_shifted = conv(shifted)
+    margin = kernel + shift
+    np.testing.assert_allclose(
+        out_shifted[:, :, margin:-margin],
+        np.roll(out, shift, axis=2)[:, :, margin:-margin],
+        atol=1e-10,
+    )
+
+
+@given(seed=st.integers(0, 1000), scale=st.floats(0.5, 20.0))
+@settings(max_examples=20, deadline=None)
+def test_batchnorm_training_output_is_scale_invariant(seed, scale):
+    """BN removes per-channel affine scaling of the batch (up to the
+    epsilon in the variance denominator, which breaks exact invariance)."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(8, 2, 10))
+    bn_a = nn.BatchNorm1d(2)
+    bn_b = nn.BatchNorm1d(2)
+    np.testing.assert_allclose(bn_a(x), bn_b(x * scale), atol=1e-3)
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_softmax_invariant_to_constant_shift(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(4, 6))
+    np.testing.assert_allclose(
+        F.softmax(x), F.softmax(x + 123.0), atol=1e-12
+    )
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=15, deadline=None)
+def test_gap_commutes_with_channel_permutation(seed):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(2, 5, 8))
+    perm = rng.permutation(5)
+    gap = nn.GlobalAvgPool1d()
+    np.testing.assert_allclose(gap(x)[:, perm], gap(x[:, perm, :]))
+
+
+@given(seed=st.integers(0, 500), n=st.integers(2, 6))
+@settings(max_examples=15, deadline=None)
+def test_sequential_backward_chains_gradients(seed, n):
+    """A chain of linear layers equals one matrix product; gradients of
+    the chain must match the analytic product gradient."""
+    rng = np.random.default_rng(seed)
+    layers = [nn.Linear(3, 3, bias=False, rng=rng) for _ in range(n)]
+    chain = nn.Sequential(*layers)
+    x = rng.normal(size=(2, 3))
+    product = np.eye(3)
+    for layer in layers:
+        product = layer.weight.data @ product
+    np.testing.assert_allclose(chain(x), x @ product.T, atol=1e-10)
+    grad_out = rng.normal(size=(2, 3))
+    grad_in = chain.backward(grad_out)
+    np.testing.assert_allclose(grad_in, grad_out @ product, atol=1e-10)
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_adam_step_is_bounded_by_lr(seed):
+    """Per-coordinate Adam updates are bounded by O(lr) regardless of
+    gradient magnitude (the trust-region property). Early bias
+    correction can push a single step slightly above lr, hence the
+    2x-per-step allowance."""
+    rng = np.random.default_rng(seed)
+    p = nn.Parameter(rng.normal(size=20))
+    before = p.data.copy()
+    opt = nn.Adam([p], lr=0.01)
+    for _ in range(5):
+        opt.zero_grad()
+        p.accumulate_grad(rng.normal(size=20) * 100)
+        opt.step()
+    assert np.max(np.abs(p.data - before)) < 2 * 5 * 0.01
+
+
+@given(
+    seed=st.integers(0, 500),
+    pos_weight=st.floats(1.0, 10.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_bce_loss_is_nonnegative(seed, pos_weight):
+    rng = np.random.default_rng(seed)
+    logits = rng.normal(size=30) * 5
+    targets = rng.integers(0, 2, 30).astype(float)
+    assert nn.BCEWithLogitsLoss(pos_weight)(logits, targets) >= 0.0
+
+
+@given(seed=st.integers(0, 500))
+@settings(max_examples=10, deadline=None)
+def test_state_dict_roundtrip_is_identity(seed):
+    rng = np.random.default_rng(seed)
+    model = nn.Sequential(
+        nn.Conv1d(1, 3, 3, rng=rng),
+        nn.BatchNorm1d(3),
+        nn.ReLU(),
+        nn.GlobalAvgPool1d(),
+        nn.Linear(3, 2, rng=rng),
+    )
+    model(rng.normal(size=(4, 1, 16)))  # populate BN stats
+    model.eval()
+    x = rng.normal(size=(2, 1, 16))
+    expected = model(x)
+    clone = nn.Sequential(
+        nn.Conv1d(1, 3, 3),
+        nn.BatchNorm1d(3),
+        nn.ReLU(),
+        nn.GlobalAvgPool1d(),
+        nn.Linear(3, 2),
+    )
+    clone.eval()
+    clone.load_state_dict(model.state_dict())
+    np.testing.assert_allclose(clone(x), expected)
+
+
+def test_gradient_accumulation_equals_sum_of_batches():
+    """Two backward passes without zero_grad accumulate exactly."""
+    rng = np.random.default_rng(0)
+    layer = nn.Linear(4, 2, rng=rng)
+    loss = nn.MSELoss()
+    x1, y1 = rng.normal(size=(3, 4)), rng.normal(size=(3, 2))
+    x2, y2 = rng.normal(size=(3, 4)), rng.normal(size=(3, 2))
+
+    def grad_for(x, y):
+        layer.zero_grad()
+        loss(layer(x), y)
+        layer.backward(loss.backward())
+        return layer.weight.grad.copy()
+
+    g1 = grad_for(x1, y1)
+    g2 = grad_for(x2, y2)
+    layer.zero_grad()
+    loss(layer(x1), y1)
+    layer.backward(loss.backward())
+    loss(layer(x2), y2)
+    layer.backward(loss.backward())
+    np.testing.assert_allclose(layer.weight.grad, g1 + g2, atol=1e-12)

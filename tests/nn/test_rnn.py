@@ -1,0 +1,137 @@
+"""Tests for GRU / BiGRU including full BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, BiGRU, MSELoss, check_module_gradients
+
+
+def test_output_shape():
+    gru = GRU(3, 5, rng=np.random.default_rng(0))
+    out = gru(np.zeros((2, 7, 3)))
+    assert out.shape == (2, 7, 5)
+
+
+def test_bigru_output_concatenates_directions():
+    gru = BiGRU(3, 5, rng=np.random.default_rng(0))
+    out = gru(np.zeros((2, 7, 3)))
+    assert out.shape == (2, 7, 10)
+
+
+def test_gradients_match_finite_differences():
+    rng = np.random.default_rng(1)
+    gru = GRU(2, 3, rng=rng)
+    x = rng.normal(size=(2, 5, 2))
+    y = rng.normal(size=(2, 5, 3))
+    check_module_gradients(gru, MSELoss(), x, y, atol=1e-5)
+
+
+def test_reverse_gradients_match_finite_differences():
+    rng = np.random.default_rng(2)
+    gru = GRU(2, 3, reverse=True, rng=rng)
+    x = rng.normal(size=(2, 4, 2))
+    y = rng.normal(size=(2, 4, 3))
+    check_module_gradients(gru, MSELoss(), x, y, atol=1e-5)
+
+
+def test_bigru_gradients_match_finite_differences():
+    rng = np.random.default_rng(3)
+    gru = BiGRU(2, 2, rng=rng)
+    x = rng.normal(size=(2, 4, 2))
+    y = rng.normal(size=(2, 4, 4))
+    check_module_gradients(gru, MSELoss(), x, y, atol=1e-5)
+
+
+def test_reverse_direction_mirrors_forward():
+    """Running the reversed GRU on a flipped sequence must equal flipping
+    the forward GRU's output on the original sequence."""
+    rng = np.random.default_rng(4)
+    fwd = GRU(2, 3, rng=np.random.default_rng(5))
+    bwd = GRU(2, 3, reverse=True, rng=np.random.default_rng(5))
+    bwd.load_state_dict(fwd.state_dict())
+    x = rng.normal(size=(1, 6, 2))
+    np.testing.assert_allclose(bwd(x), fwd(x[:, ::-1, :])[:, ::-1, :])
+
+
+def test_first_timestep_depends_only_on_first_input():
+    rng = np.random.default_rng(6)
+    gru = GRU(2, 3, rng=rng)
+    x1 = rng.normal(size=(1, 5, 2))
+    x2 = x1.copy()
+    x2[:, 1:, :] += 10.0  # perturb everything after t=0
+    np.testing.assert_allclose(gru(x1)[:, 0], gru(x2)[:, 0])
+
+
+def test_rejects_wrong_input_size():
+    gru = GRU(3, 4)
+    with pytest.raises(ValueError, match="expected input"):
+        gru(np.zeros((1, 5, 2)))
+
+
+def test_hidden_states_bounded_by_tanh():
+    rng = np.random.default_rng(7)
+    gru = GRU(1, 4, rng=rng)
+    out = gru(rng.normal(size=(2, 50, 1)) * 100)
+    assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+
+def test_lstm_output_shape():
+    from repro.nn import LSTM
+
+    lstm = LSTM(3, 5, rng=np.random.default_rng(0))
+    assert lstm(np.zeros((2, 7, 3))).shape == (2, 7, 5)
+
+
+def test_lstm_gradients_match_finite_differences():
+    from repro.nn import LSTM
+
+    rng = np.random.default_rng(1)
+    lstm = LSTM(2, 3, rng=rng)
+    x = rng.normal(size=(2, 4, 2))
+    y = rng.normal(size=(2, 4, 3))
+    check_module_gradients(lstm, MSELoss(), x, y, atol=1e-5)
+
+
+def test_bilstm_gradients_match_finite_differences():
+    from repro.nn import BiLSTM
+
+    rng = np.random.default_rng(2)
+    bi = BiLSTM(2, 2, rng=rng)
+    x = rng.normal(size=(1, 4, 2))
+    y = rng.normal(size=(1, 4, 4))
+    check_module_gradients(bi, MSELoss(), x, y, atol=1e-5)
+
+
+def test_lstm_reverse_mirrors_forward():
+    from repro.nn import LSTM
+
+    rng = np.random.default_rng(3)
+    fwd = LSTM(2, 3, rng=np.random.default_rng(4))
+    bwd = LSTM(2, 3, reverse=True, rng=np.random.default_rng(4))
+    bwd.load_state_dict(fwd.state_dict())
+    x = rng.normal(size=(1, 6, 2))
+    np.testing.assert_allclose(bwd(x), fwd(x[:, ::-1, :])[:, ::-1, :])
+
+
+def test_lstm_forget_bias_initialized_to_one():
+    from repro.nn import LSTM
+
+    lstm = LSTM(2, 4)
+    np.testing.assert_array_equal(lstm.b_ih.data[4:8], 1.0)
+    np.testing.assert_array_equal(lstm.b_ih.data[:4], 0.0)
+
+
+def test_lstm_hidden_states_bounded():
+    from repro.nn import LSTM
+
+    rng = np.random.default_rng(5)
+    lstm = LSTM(1, 4, rng=rng)
+    out = lstm(rng.normal(size=(2, 40, 1)) * 100)
+    assert np.all(np.abs(out) <= 1.0 + 1e-12)
+
+
+def test_lstm_rejects_wrong_input_size():
+    from repro.nn import LSTM
+
+    with pytest.raises(ValueError):
+        LSTM(3, 4)(np.zeros((1, 5, 2)))

@@ -1,0 +1,103 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    CosineAnnealingLR,
+    Parameter,
+    ReduceLROnPlateau,
+    StepLR,
+)
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+def test_step_lr_decays_at_boundaries():
+    opt = make_opt()
+    sched = StepLR(opt, step_size=2, gamma=0.1)
+    lrs = []
+    for _ in range(5):
+        sched.step()
+        lrs.append(opt.lr)
+    np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01])
+
+
+def test_cosine_reaches_eta_min_at_t_max():
+    opt = make_opt()
+    sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.001)
+    for _ in range(10):
+        sched.step()
+    assert opt.lr == pytest.approx(0.001)
+
+
+def test_cosine_is_monotone_decreasing():
+    opt = make_opt()
+    sched = CosineAnnealingLR(opt, t_max=8)
+    prev = opt.lr
+    for _ in range(8):
+        sched.step()
+        assert opt.lr <= prev + 1e-12
+        prev = opt.lr
+
+
+def test_cosine_clamps_after_t_max():
+    opt = make_opt()
+    sched = CosineAnnealingLR(opt, t_max=3, eta_min=0.0)
+    for _ in range(10):
+        sched.step()
+    assert opt.lr == pytest.approx(0.0, abs=1e-12)
+
+
+def test_plateau_reduces_after_patience():
+    opt = make_opt()
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=2)
+    sched.step(1.0)  # best
+    sched.step(1.0)  # bad 1
+    sched.step(1.0)  # bad 2
+    assert opt.lr == 1.0
+    sched.step(1.0)  # bad 3 > patience → reduce
+    assert opt.lr == 0.5
+
+
+def test_plateau_resets_on_improvement():
+    opt = make_opt()
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=1)
+    sched.step(1.0)
+    sched.step(1.1)  # worse
+    sched.step(0.5)  # improvement resets counter
+    sched.step(0.6)
+    assert opt.lr == 1.0
+
+
+def test_plateau_max_mode():
+    opt = make_opt()
+    sched = ReduceLROnPlateau(opt, factor=0.5, patience=0, mode="max")
+    sched.step(0.5)
+    sched.step(0.6)  # improvement in max mode
+    assert opt.lr == 1.0
+    sched.step(0.4)  # worse → immediate reduce with patience 0
+    assert opt.lr == 0.5
+
+
+def test_plateau_respects_min_lr():
+    opt = make_opt(lr=0.01)
+    sched = ReduceLROnPlateau(opt, factor=0.1, patience=0, min_lr=0.005)
+    sched.step(1.0)
+    sched.step(2.0)
+    assert opt.lr == 0.005
+
+
+def test_invalid_arguments_rejected():
+    opt = make_opt()
+    with pytest.raises(ValueError):
+        StepLR(opt, step_size=0)
+    with pytest.raises(ValueError):
+        CosineAnnealingLR(opt, t_max=0)
+    with pytest.raises(ValueError):
+        ReduceLROnPlateau(opt, factor=1.5)
+    with pytest.raises(ValueError):
+        ReduceLROnPlateau(opt, mode="median")

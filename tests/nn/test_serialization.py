@@ -1,0 +1,65 @@
+"""Tests for npz checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm1d,
+    Linear,
+    ReLU,
+    Sequential,
+    load_into_module,
+    load_state,
+    save_module,
+    save_state,
+)
+
+
+def make_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 6, rng=rng), BatchNorm1d(6), ReLU(), Linear(6, 2, rng=rng))
+
+
+def test_roundtrip_restores_outputs(tmp_path):
+    model = make_model(1)
+    x = np.random.default_rng(2).normal(size=(8, 4))
+    model(x)  # populate BN running stats
+    model.eval()
+    expected = model(x)
+    path = tmp_path / "ckpt.npz"
+    save_module(path, model)
+    other = make_model(99)
+    other.eval()
+    assert not np.allclose(other(x), expected)
+    load_into_module(path, other)
+    np.testing.assert_allclose(other(x), expected)
+
+
+def test_metadata_roundtrip(tmp_path):
+    model = make_model()
+    path = tmp_path / "ckpt.npz"
+    save_module(path, model, meta={"appliance": "kettle", "kernel": 7})
+    _, meta = load_state(path)
+    assert meta == {"appliance": "kettle", "kernel": "7"}
+
+
+def test_state_keys_preserved(tmp_path):
+    model = make_model()
+    path = tmp_path / "ckpt.npz"
+    save_module(path, model)
+    state, _ = load_state(path)
+    assert set(state) == set(model.state_dict())
+
+
+def test_save_state_rejects_reserved_prefix(tmp_path):
+    with pytest.raises(ValueError, match="collides"):
+        save_state(tmp_path / "x.npz", {"__meta__oops": np.zeros(1)})
+
+
+def test_load_into_wrong_architecture_fails(tmp_path):
+    model = make_model()
+    path = tmp_path / "ckpt.npz"
+    save_module(path, model)
+    other = Sequential(Linear(4, 3))
+    with pytest.raises(KeyError):
+        load_into_module(path, other)

@@ -1,0 +1,179 @@
+"""Tests for the Trainer loop: learning, early stopping, best-weight restore."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ArrayDataset,
+    BCEWithLogitsLoss,
+    DataLoader,
+    Flatten,
+    Linear,
+    MSELoss,
+    ReLU,
+    Sequential,
+    Trainer,
+    train_val_split,
+)
+
+
+def linear_problem(n=200, seed=0):
+    """y = X w + noise — learnable by a single Linear layer."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 3))
+    w = np.array([1.0, -2.0, 0.5])
+    y = (x @ w + 0.01 * rng.normal(size=n)).reshape(-1, 1)
+    return ArrayDataset(x, y)
+
+
+def test_trainer_fits_linear_regression():
+    ds = linear_problem()
+    train, val = train_val_split(ds, 0.2, rng=np.random.default_rng(1))
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(2)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.05),
+        max_epochs=100, patience=10,
+    )
+    history = trainer.fit(
+        DataLoader(train, batch_size=32, shuffle=True),
+        DataLoader(val, batch_size=32),
+    )
+    assert history.val_loss[-1] < 0.01 or min(history.val_loss) < 0.01
+    learned = model[0].weight.data.ravel()
+    np.testing.assert_allclose(learned, [1.0, -2.0, 0.5], atol=0.05)
+
+
+def test_trainer_learns_binary_classification():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(300, 2))
+    y = (x[:, 0] + x[:, 1] > 0).astype(float).reshape(-1, 1)
+    ds = ArrayDataset(x, y)
+    train, val = train_val_split(ds, 0.2, rng=rng)
+    model = Sequential(
+        Linear(2, 8, rng=np.random.default_rng(4)),
+        ReLU(),
+        Linear(8, 1, rng=np.random.default_rng(5)),
+    )
+    trainer = Trainer(
+        model, BCEWithLogitsLoss(), Adam(model.parameters(), lr=0.05),
+        max_epochs=60, patience=15,
+    )
+    trainer.fit(DataLoader(train, batch_size=32, shuffle=True),
+                DataLoader(val, batch_size=64))
+    logits = model(val.arrays[0])
+    acc = np.mean((logits > 0).astype(float) == val.arrays[1])
+    assert acc > 0.95
+
+
+def test_early_stopping_triggers():
+    ds = linear_problem(50)
+    train, val = train_val_split(ds, 0.2, rng=np.random.default_rng(6))
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(7)))
+    # Absurd learning rate → validation loss diverges immediately.
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=50.0),
+        max_epochs=100, patience=2,
+    )
+    history = trainer.fit(
+        DataLoader(train, batch_size=16), DataLoader(val, batch_size=16)
+    )
+    assert history.stopped_early
+    assert history.epochs_run < 100
+
+
+def test_best_weights_restored_after_divergence():
+    ds = linear_problem(80)
+    train, val = train_val_split(ds, 0.25, rng=np.random.default_rng(8))
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(9)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=5.0),
+        max_epochs=30, patience=5,
+    )
+    history = trainer.fit(
+        DataLoader(train, batch_size=16), DataLoader(val, batch_size=16)
+    )
+    # Model must be at its best-epoch weights, not the last (worse) epoch.
+    restored_loss = MSELoss()(model(val.arrays[0]), val.arrays[1])
+    assert restored_loss == pytest.approx(min(history.val_loss), rel=0.3)
+
+
+def test_model_left_in_eval_mode():
+    ds = linear_problem(40)
+    model = Sequential(Linear(3, 1))
+    trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01),
+                      max_epochs=1, patience=None)
+    trainer.fit(DataLoader(ds, batch_size=8))
+    assert not model.training
+
+
+def test_training_without_validation_runs_all_epochs():
+    ds = linear_problem(40)
+    model = Sequential(Linear(3, 1))
+    trainer = Trainer(model, MSELoss(), Adam(model.parameters(), lr=0.01),
+                      max_epochs=5, patience=3)
+    history = trainer.fit(DataLoader(ds, batch_size=8))
+    assert history.epochs_run == 5
+    assert history.val_loss == []
+
+
+def test_target_transform_applied():
+    ds = linear_problem(40)
+    model = Sequential(Linear(3, 1), Flatten())
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.05),
+        max_epochs=5, patience=None,
+        target_transform=lambda y: y.reshape(len(y), 1),
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=8))
+    assert len(history.train_loss) == 5
+
+
+def test_invalid_configuration_rejected():
+    model = Sequential(Linear(3, 1))
+    opt = Adam(model.parameters(), lr=0.01)
+    with pytest.raises(ValueError):
+        Trainer(model, MSELoss(), opt, max_epochs=0)
+    with pytest.raises(ValueError):
+        Trainer(model, MSELoss(), opt, patience=0)
+
+
+def test_divergence_guard_stops_training():
+    """A NaN loss stops the loop and flags the history."""
+
+    class ExplodingLoss(MSELoss):
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def forward(self, prediction, target):
+            self.calls += 1
+            value = super().forward(prediction, target)
+            if self.calls > 3:
+                self._cache = (np.full_like(prediction, np.nan), prediction.size)
+                return float("nan")
+            return value
+
+    ds = linear_problem(64)
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(0)))
+    trainer = Trainer(
+        model, ExplodingLoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=50, patience=None,
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=32))
+    assert history.diverged
+    assert history.epochs_run < 50
+    assert not np.isfinite(history.train_loss[-1])
+    # Weights stay finite: the NaN epoch's updates may be garbage but
+    # the guard prevents further damage.
+
+
+def test_history_not_flagged_on_healthy_run():
+    ds = linear_problem(64)
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(1)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=3, patience=None,
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=32))
+    assert not history.diverged
