@@ -23,6 +23,7 @@ from ..models import TrainConfig, list_baselines
 from .render import (
     ascii_series,
     benchmark_sections,
+    profile_sections,
     render_window_view,
     write_report,
 )
@@ -96,6 +97,28 @@ def build_parser() -> argparse.ArgumentParser:
         "energy", help="per-appliance energy report for a held-out house"
     )
     common(energy)
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace a representative CamAL workload (spans, layers, metrics)",
+    )
+    common(profile)
+    profile.add_argument("--window", default="1day", choices=["6h", "12h", "1day"])
+    profile.add_argument(
+        "--repeats", type=int, default=2,
+        help="localize the window this many times (averages layer costs)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=10, help="slowest layers to show"
+    )
+    profile.add_argument(
+        "--json", action="store_true",
+        help="emit the full profile payload as JSON on stdout",
+    )
+    profile.add_argument(
+        "--out", default=None, metavar="HTML",
+        help="also write a standalone HTML observability panel",
+    )
     return parser
 
 
@@ -306,6 +329,79 @@ def cmd_energy(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Trace a representative CamAL inference workload.
+
+    Builds a seeded synthetic house, takes one window of its aggregate
+    (1 day by default), and runs CamAL localization under the tracer
+    with per-layer profiling attached — no training, so it finishes in
+    seconds while exercising the exact inference hot path. Prints the
+    nested span tree (all six paper stages), the slowest layers, and
+    the metric summaries; ``--json`` emits the same payload as JSON.
+    """
+    import json
+
+    from .. import obs
+    from ..core import CamAL, recommended_config
+    from ..datasets import Standardizer, build_dataset
+    from ..models import ResNetEnsemble
+    from ..obs.report import ascii_report
+
+    samples = {"6h": 360, "12h": 720, "1day": 1440}[args.window]
+    kernels = (5, 9) if args.fast else (5, 7, 9, 15)
+    days = samples // 1440 + 2
+    dataset = build_dataset(
+        args.profile, seed=args.seed, n_houses=1,
+        days_per_house=(days, days + 1),
+    )
+    aggregate = np.nan_to_num(dataset.houses[0].aggregate, nan=0.0)
+    watts = np.tile(aggregate, max(samples // len(aggregate) + 1, 1))[
+        :samples
+    ][None, :]
+    ensemble = ResNetEnsemble(kernels, n_filters=(8, 16, 16), seed=args.seed)
+    ensemble.eval()
+    model = CamAL(
+        ensemble, Standardizer.fit(watts), recommended_config(args.appliance)
+    )
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        with ensemble.profile() as prof:
+            for _ in range(max(args.repeats, 1)):
+                model.localize_watts(watts)
+        payload = {
+            "workload": {
+                "profile": args.profile,
+                "appliance": args.appliance,
+                "window": args.window,
+                "samples": samples,
+                "repeats": max(args.repeats, 1),
+                "members": len(ensemble),
+                "seed": args.seed,
+            },
+            "spans": obs.tracer.to_dicts(),
+            "layers": prof.stats(),
+            "metrics": obs.registry.snapshot(),
+        }
+    finally:
+        if not was_enabled:
+            obs.disable()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(ascii_report(payload, top=args.top))
+    if args.out:
+        path = write_report(
+            args.out,
+            f"DeviceScope — profile ({args.profile} / {args.window})",
+            profile_sections(payload),
+        )
+        if not args.json:
+            print(f"\nobservability panel written to {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -316,6 +412,7 @@ def main(argv: list[str] | None = None) -> int:
         "report": cmd_report,
         "upload": cmd_upload,
         "energy": cmd_energy,
+        "profile": cmd_profile,
     }
     return handlers[args.command](args)
 

@@ -23,6 +23,7 @@ __all__ = [
     "render_table",
     "render_report",
     "write_report",
+    "profile_sections",
 ]
 
 _BLOCKS = " ▁▂▃▄▅▆▇█"
@@ -189,6 +190,55 @@ def write_report(path: str, title: str, sections: list[str]) -> Path:
     target = Path(path)
     target.write_text(render_report(title, sections), encoding="utf-8")
     return target
+
+
+def profile_sections(payload: dict) -> list[str]:
+    """Observability panel: span tree, layer timings, metric summaries.
+
+    ``payload`` is the ``devicescope profile --json`` structure. The
+    span tree keeps its ASCII rendering (a ``<pre>`` block preserves the
+    indentation); tables reuse :func:`render_table`.
+    """
+    from ..obs.report import format_span_tree, metric_rows
+
+    sections: list[str] = []
+    workload = payload.get("workload") or {}
+    if workload:
+        sections.append(
+            "<h2>Profiled workload</h2>" + render_table([workload])
+        )
+    spans = payload.get("spans") or []
+    if spans:
+        sections.append(
+            "<h2>Span tree (latest run)</h2><pre>"
+            + html.escape(format_span_tree(spans[-1]))
+            + "</pre>"
+        )
+    layers = payload.get("layers") or []
+    if layers:
+        columns = ["layer", "name", "calls", "forward_s", "backward_s", "total_s"]
+        sections.append(
+            "<h2>Per-layer timings</h2>" + render_table(layers, columns)
+        )
+    metrics = payload.get("metrics") or {}
+    rows = metric_rows(metrics)
+    if rows:
+        hist_rows = [r for r in rows if r["type"] == "histogram"]
+        scalar_rows = [r for r in rows if r["type"] != "histogram"]
+        if hist_rows:
+            sections.append(
+                "<h2>Metric distributions</h2>"
+                + render_table(
+                    hist_rows,
+                    ["metric", "labels", "count", "mean", "min", "max"],
+                )
+            )
+        if scalar_rows:
+            sections.append(
+                "<h2>Counters and gauges</h2>"
+                + render_table(scalar_rows, ["metric", "type", "labels", "value"])
+            )
+    return sections
 
 
 def benchmark_sections(browser, dataset: str, appliance: str) -> list[str]:

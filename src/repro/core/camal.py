@@ -28,8 +28,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..datasets import Standardizer, WindowSet
 from ..models import ResNetEnsemble, TrainConfig, train_ensemble
+from ..models.ensemble import normalize_cam
 from ..nn import functional as F
 
 __all__ = [
@@ -203,26 +205,81 @@ class CamAL:
 
     def detect(self, x: np.ndarray) -> np.ndarray:
         """Step 1-2: ensemble detection probabilities ``(N,)``."""
-        return self.ensemble.predict_proba(self._validate(x))
+        x = self._validate(x)
+        with obs.span("camal.detect", n_windows=x.shape[0]):
+            probabilities = self.ensemble.predict_proba(x)
+        self._record_detection(probabilities)
+        return probabilities
+
+    def _record_detection(self, probabilities: np.ndarray) -> None:
+        if not obs.enabled():
+            return
+        obs.registry.histogram(
+            "camal.detection_probability",
+            help="ensemble detection probability per window",
+            buckets=obs.PROBABILITY_BUCKETS,
+        ).observe_many(probabilities)
+
+    def _record_cam_stats(self, cam: np.ndarray) -> None:
+        if not obs.enabled():
+            return
+        registry = obs.registry
+        registry.histogram(
+            "camal.cam_mean",
+            help="per-window mean of the averaged normalized CAM",
+            buckets=obs.PROBABILITY_BUCKETS,
+        ).observe_many(cam.mean(axis=-1))
+        registry.histogram(
+            "camal.cam_max",
+            help="per-window peak of the averaged normalized CAM",
+            buckets=obs.PROBABILITY_BUCKETS,
+        ).observe_many(cam.max(axis=-1))
 
     def localize(self, x: np.ndarray) -> CamALResult:
-        """Run the full six-step pipeline on standardized windows."""
+        """Run the full six-step pipeline on standardized windows.
+
+        Each paper stage runs under its own :mod:`repro.obs` span
+        (``camal.ensemble_forward`` … ``camal.threshold``) so
+        ``devicescope profile`` can show where inference time goes.
+        """
         x = self._validate(x)
         cfg = self.config
-        probabilities = self.ensemble.predict_proba(x)  # step 1
-        detected = probabilities > cfg.detection_threshold  # step 2
-        cam = self.ensemble.normalized_cams(x)  # steps 3-4
-        if cfg.cam_floor > 0.0:
-            cam = np.where(cam >= cfg.cam_floor, cam, 0.0)
-        if cfg.smooth_window > 1:
-            cam = _moving_average(cam, cfg.smooth_window)
-        attention = F.sigmoid(cam * x[:, 0, :])  # step 5
-        status = (attention > cfg.status_threshold).astype(np.float64)  # step 6
-        status[~detected] = 0.0  # no detection → no localization
-        if cfg.min_on_duration > 1:
-            status = remove_short_runs(status, cfg.min_on_duration)
-        member_probabilities = self.ensemble.member_probas(x)
-        uncertainty = np.std(list(member_probabilities.values()), axis=0)
+        with obs.span(
+            "camal.localize", n_windows=x.shape[0], window_length=x.shape[2]
+        ) as root:
+            with obs.span("camal.ensemble_forward"):  # step 1
+                probabilities = self.ensemble.predict_proba(x)
+            detected = probabilities > cfg.detection_threshold  # step 2
+            with obs.span("camal.cam_extraction"):  # step 3
+                raw_cams = self.ensemble.member_cams(x)
+            with obs.span("camal.cam_normalization"):  # step 4
+                cam = np.mean([normalize_cam(c) for c in raw_cams], axis=0)
+                if cfg.cam_floor > 0.0:
+                    cam = np.where(cam >= cfg.cam_floor, cam, 0.0)
+                if cfg.smooth_window > 1:
+                    cam = _moving_average(cam, cfg.smooth_window)
+            with obs.span("camal.mask"):  # step 5a: CAM ∘ x
+                masked = cam * x[:, 0, :]
+            with obs.span("camal.sigmoid"):  # step 5b
+                attention = F.sigmoid(masked)
+            with obs.span("camal.threshold"):  # step 6
+                status = (attention > cfg.status_threshold).astype(np.float64)
+                status[~detected] = 0.0  # no detection → no localization
+                if cfg.min_on_duration > 1:
+                    status = remove_short_runs(status, cfg.min_on_duration)
+            with obs.span("camal.member_probabilities"):
+                member_probabilities = self.ensemble.member_probas(x)
+                uncertainty = np.std(
+                    list(member_probabilities.values()), axis=0
+                )
+            root.set(detected=int(detected.sum()))
+        self._record_detection(probabilities)
+        self._record_cam_stats(cam)
+        if obs.enabled():
+            obs.registry.counter(
+                "camal.windows_localized_total",
+                help="windows run through CamAL.localize",
+            ).inc(x.shape[0])
         return CamALResult(
             probabilities=probabilities,
             detected=detected,

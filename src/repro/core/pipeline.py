@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..datasets import House, extract_windows
 from .camal import CamAL
 
@@ -58,30 +59,43 @@ class SlidingWindowLocalizer:
         """Localize over one aggregate watt series."""
         aggregate = np.asarray(aggregate, dtype=np.float64)
         n = len(aggregate)
-        windows, starts = extract_windows(aggregate, self.window_length, self.stride)
-        status = np.zeros(n)
-        probability = np.full(n, np.nan)
-        cam = np.full(n, np.nan)
-        counts = np.zeros(n)
-        window_probs = np.empty(len(starts))
-        if len(starts):
-            result = self.model.localize_watts(windows)
-            window_probs = result.probabilities
-            for i, start in enumerate(starts):
-                span = slice(start, start + self.window_length)
-                # Overlapping windows vote; average probabilities/CAMs and
-                # OR the statuses.
-                prev_p = np.nan_to_num(probability[span], nan=0.0)
-                prev_c = np.nan_to_num(cam[span], nan=0.0)
-                probability[span] = prev_p + result.probabilities[i]
-                cam[span] = prev_c + result.cam[i]
-                status[span] = np.maximum(status[span], result.status[i])
-                counts[span] += 1
-            covered = counts > 0
-            probability[covered] /= counts[covered]
-            cam[covered] /= counts[covered]
-            probability[~covered] = np.nan
-            cam[~covered] = np.nan
+        with obs.span(
+            "pipeline.localize_series", n_samples=n, appliance=appliance
+        ) as root:
+            with obs.span("pipeline.extract_windows"):
+                windows, starts = extract_windows(
+                    aggregate, self.window_length, self.stride
+                )
+            root.set(n_windows=len(starts))
+            status = np.zeros(n)
+            probability = np.full(n, np.nan)
+            cam = np.full(n, np.nan)
+            counts = np.zeros(n)
+            window_probs = np.empty(len(starts))
+            if len(starts):
+                result = self.model.localize_watts(windows)
+                window_probs = result.probabilities
+                with obs.span("pipeline.stitch"):
+                    for i, start in enumerate(starts):
+                        span = slice(start, start + self.window_length)
+                        # Overlapping windows vote; average
+                        # probabilities/CAMs and OR the statuses.
+                        prev_p = np.nan_to_num(probability[span], nan=0.0)
+                        prev_c = np.nan_to_num(cam[span], nan=0.0)
+                        probability[span] = prev_p + result.probabilities[i]
+                        cam[span] = prev_c + result.cam[i]
+                        status[span] = np.maximum(status[span], result.status[i])
+                        counts[span] += 1
+                    covered = counts > 0
+                    probability[covered] /= counts[covered]
+                    cam[covered] /= counts[covered]
+                    probability[~covered] = np.nan
+                    cam[~covered] = np.nan
+        if obs.enabled():
+            obs.registry.counter(
+                "pipeline.windows_total",
+                help="windows processed by the sliding-window localizer",
+            ).inc(len(starts))
         return SeriesLocalization(
             appliance=appliance,
             status=status,

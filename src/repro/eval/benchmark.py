@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core import CamAL, CamALConfig
 from ..datasets import WindowSet, count_strong_labels, count_weak_labels
 from ..models import (
@@ -192,20 +193,43 @@ class BenchmarkRunner:
             train_seconds=train_seconds,
         )
 
+    def _record_timings(
+        self, method: str, train_seconds: float, eval_seconds: float
+    ) -> None:
+        if obs.enabled():
+            obs.registry.histogram(
+                "benchmark.train_seconds", help="per-method training wall time"
+            ).observe(train_seconds, method=method)
+            obs.registry.histogram(
+                "benchmark.eval_seconds", help="per-method inference wall time"
+            ).observe(eval_seconds, method=method)
+        obs.log.event(
+            "benchmark.method",
+            method=method,
+            train_seconds=train_seconds,
+            eval_seconds=eval_seconds,
+        )
+
     def run_camal(self, train_windows: WindowSet | None = None) -> MethodResult:
         """Train and score CamAL (weak supervision)."""
         windows = train_windows or self.train_windows
         start = time.perf_counter()
-        model = CamAL.train(
-            windows,
-            kernel_sizes=self.camal_kernel_sizes,
-            n_filters=self.camal_filters,
-            train_config=self.train_config,
-            config=self.camal_config,
-            seed=self.seed,
-        )
+        with obs.span("benchmark.train", method=CAMAL_NAME, n_windows=len(windows)):
+            model = CamAL.train(
+                windows,
+                kernel_sizes=self.camal_kernel_sizes,
+                n_filters=self.camal_filters,
+                train_config=self.train_config,
+                config=self.camal_config,
+                seed=self.seed,
+            )
         elapsed = time.perf_counter() - start
-        result = model.localize(self.test_windows.x)
+        eval_start = time.perf_counter()
+        with obs.span("benchmark.eval", method=CAMAL_NAME):
+            result = model.localize(self.test_windows.x)
+        self._record_timings(
+            CAMAL_NAME, elapsed, time.perf_counter() - eval_start
+        )
         return self._evaluate(
             CAMAL_NAME,
             "CamAL",
@@ -229,18 +253,22 @@ class BenchmarkRunner:
             "classifier": train_classifier,
         }
         start = time.perf_counter()
-        trainers[spec.trainer](model, windows, self.train_config)
+        with obs.span("benchmark.train", method=name, n_windows=len(windows)):
+            trainers[spec.trainer](model, windows, self.train_config)
         elapsed = time.perf_counter() - start
-        status = model.predict_status(self.test_windows.x)
-        if spec.supervision == "strong":
-            # Detection is derived: the window's max ON probability.
-            probabilities = model.predict_status_proba(
-                self.test_windows.x
-            ).max(axis=1)
-            labels = count_strong_labels(len(windows), windows.window_length)
-        else:
-            probabilities = model.predict_proba(self.test_windows.x)
-            labels = count_weak_labels(len(windows))
+        eval_start = time.perf_counter()
+        with obs.span("benchmark.eval", method=name):
+            status = model.predict_status(self.test_windows.x)
+            if spec.supervision == "strong":
+                # Detection is derived: the window's max ON probability.
+                probabilities = model.predict_status_proba(
+                    self.test_windows.x
+                ).max(axis=1)
+                labels = count_strong_labels(len(windows), windows.window_length)
+            else:
+                probabilities = model.predict_proba(self.test_windows.x)
+                labels = count_weak_labels(len(windows))
+        self._record_timings(name, elapsed, time.perf_counter() - eval_start)
         return self._evaluate(
             name,
             spec.display_name,

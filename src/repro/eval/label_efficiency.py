@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..datasets import WindowSet
 from ..models import TrainConfig, get_baseline_spec
 from .benchmark import CAMAL_NAME, BenchmarkRunner
@@ -251,7 +252,12 @@ class LabelEfficiencySweep:
         return n_windows * self.train_windows.window_length
 
     def run(self, verbose: bool = False) -> LabelEfficiencyResult:
-        """Sweep every method over every budget."""
+        """Sweep every method over every budget.
+
+        Progress goes through :mod:`repro.obs.log` — one
+        ``label_efficiency.point`` event per trained (method, budget)
+        pair, written to stderr only when ``verbose`` is set.
+        """
         result = LabelEfficiencyResult(
             dataset=self.dataset_name,
             appliance=self.train_windows.appliance,
@@ -261,35 +267,43 @@ class LabelEfficiencySweep:
         for name in self.methods:
             spec = get_baseline_spec(name)
             specs.append((name, spec.display_name, spec.supervision))
-        for name, display, supervision in specs:
-            curve = EfficiencyCurve(name, display, supervision)
-            seen_window_counts: set[int] = set()
-            for i, budget in enumerate(self.budgets):
-                n_windows = self._windows_for_budget(supervision, budget)
-                if n_windows < self.min_windows:
-                    continue
-                if n_windows in seen_window_counts:
-                    continue  # same effective training set; skip retrain
-                seen_window_counts.add(n_windows)
-                rng = np.random.default_rng(self.seed + 1000 + i)
-                subsample = stratified_subsample(
-                    self.train_windows, n_windows, rng
-                )
-                if name == CAMAL_NAME:
-                    method_result = self.runner.run_camal(subsample)
-                else:
-                    method_result = self.runner.run_baseline(name, subsample)
-                point = EfficiencyPoint(
-                    labels=self._labels_consumed(supervision, n_windows),
-                    windows=n_windows,
-                    f1=method_result.localization.f1,
-                    detection_f1=method_result.detection.f1,
-                )
-                curve.points.append(point)
-                if verbose:  # pragma: no cover - logging only
-                    print(
-                        f"{display:12s} labels={point.labels:>8d} "
-                        f"windows={n_windows:>5d} locF1={point.f1:.3f}"
+        with obs.span(
+            "label_efficiency.run",
+            methods=len(specs),
+            budgets=len(self.budgets),
+        ):
+            for name, display, supervision in specs:
+                curve = EfficiencyCurve(name, display, supervision)
+                seen_window_counts: set[int] = set()
+                for i, budget in enumerate(self.budgets):
+                    n_windows = self._windows_for_budget(supervision, budget)
+                    if n_windows < self.min_windows:
+                        continue
+                    if n_windows in seen_window_counts:
+                        continue  # same effective training set; skip retrain
+                    seen_window_counts.add(n_windows)
+                    rng = np.random.default_rng(self.seed + 1000 + i)
+                    subsample = stratified_subsample(
+                        self.train_windows, n_windows, rng
                     )
-            result.curves[name] = curve
+                    if name == CAMAL_NAME:
+                        method_result = self.runner.run_camal(subsample)
+                    else:
+                        method_result = self.runner.run_baseline(name, subsample)
+                    point = EfficiencyPoint(
+                        labels=self._labels_consumed(supervision, n_windows),
+                        windows=n_windows,
+                        f1=method_result.localization.f1,
+                        detection_f1=method_result.detection.f1,
+                    )
+                    curve.points.append(point)
+                    obs.log.event(
+                        "label_efficiency.point",
+                        _force=verbose,
+                        method=display,
+                        labels=point.labels,
+                        windows=n_windows,
+                        loc_f1=round(point.f1, 4),
+                    )
+                result.curves[name] = curve
         return result

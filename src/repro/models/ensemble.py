@@ -103,13 +103,20 @@ class ResNetEnsemble(nn.Module):
 
     # -- paper §II.B steps 3-4: averaged normalized CAM ---------------------
 
+    def member_cams(self, x: np.ndarray) -> np.ndarray:
+        """Raw (un-normalized) class-1 CAMs stacked per member, ``(M, N, L)``.
+
+        Separated from :meth:`normalized_cams` so CamAL can trace CAM
+        extraction and normalization as distinct stages.
+        """
+        return np.stack(
+            [member.class_activation_map(x) for member in self.members]
+        )
+
     def normalized_cams(self, x: np.ndarray) -> np.ndarray:
         """Average of per-member min-max normalized class-1 CAMs, ``(N, L)``."""
-        cams = [
-            normalize_cam(member.class_activation_map(x))
-            for member in self.members
-        ]
-        return np.mean(cams, axis=0)
+        cams = self.member_cams(x)
+        return np.mean([normalize_cam(cam) for cam in cams], axis=0)
 
     # -- member selection (paper: "selected the networks that best
     #    detected specific appliances") ---------------------------------------

@@ -23,7 +23,7 @@ from .linear import Linear
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, Loss, MSELoss
 from .module import Module
 from .norm import BatchNorm1d, LayerNorm
-from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm
+from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm, global_grad_norm
 from .parameter import Parameter
 from .pooling import Flatten, GlobalAvgPool1d, MaxPool1d, Upsample1d
 from .rnn import GRU, LSTM, BiGRU, BiLSTM
@@ -67,6 +67,7 @@ __all__ = [
     "Adam",
     "AdamW",
     "clip_grad_norm",
+    "global_grad_norm",
     "StepLR",
     "CosineAnnealingLR",
     "ReduceLROnPlateau",

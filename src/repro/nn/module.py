@@ -103,6 +103,24 @@ class Module:
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.forward(x)
 
+    # -- profiling -----------------------------------------------------------
+
+    def profile(self, registry=None) -> "object":
+        """Opt-in per-layer forward/backward timing (context manager).
+
+        Returns a :class:`repro.obs.ModuleProfiler` that, while entered,
+        shadows every submodule's ``forward``/``backward`` with timing
+        wrappers — layer code is untouched and the wrappers are removed
+        on exit::
+
+            with model.profile() as prof:
+                model(x)
+            print(prof.table(top=5))
+        """
+        from ..obs.profiler import ModuleProfiler
+
+        return ModuleProfiler(self, registry=registry)
+
     # -- (de)serialization -----------------------------------------------------
 
     def state_dict(self) -> "OrderedDict[str, np.ndarray]":

@@ -6,7 +6,16 @@ import numpy as np
 
 from .parameter import Parameter
 
-__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm"]
+__all__ = ["Optimizer", "SGD", "Adam", "AdamW", "clip_grad_norm", "global_grad_norm"]
+
+
+def global_grad_norm(parameters: list[Parameter]) -> float:
+    """Global L2 norm of all trainable gradients (no mutation)."""
+    total = 0.0
+    for param in parameters:
+        if param.requires_grad:
+            total += float(np.sum(param.grad**2))
+    return float(np.sqrt(total))
 
 
 def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
@@ -16,11 +25,7 @@ def clip_grad_norm(parameters: list[Parameter], max_norm: float) -> float:
     """
     if max_norm <= 0:
         raise ValueError("max_norm must be positive")
-    total = 0.0
-    for param in parameters:
-        if param.requires_grad:
-            total += float(np.sum(param.grad**2))
-    norm = float(np.sqrt(total))
+    norm = global_grad_norm(parameters)
     if norm > max_norm:
         scale = max_norm / (norm + 1e-12)
         for param in parameters:

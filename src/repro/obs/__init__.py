@@ -1,0 +1,101 @@
+"""``repro.obs`` — tracing, metrics, structured logging, and profiling.
+
+The observability layer behind every hot path in the repo (DESIGN.md
+§3): CamAL's six inference stages, the trainer's epoch loop, the
+sliding-window pipeline, and the benchmark harnesses all emit spans,
+metrics, and events through the module-level singletons here.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable()                       # collection is off by default
+    model.localize(x)                  # hot paths now record spans/metrics
+    print(obs.tracer.find("camal.localize"))
+    print(obs.report.format_metrics(obs.registry.snapshot()))
+    obs.disable()
+
+Design rules:
+
+* **Zero cost when disabled** (the default): ``obs.span()`` returns a
+  shared no-op context manager, metric call sites guard on
+  ``obs.enabled()``, and ``obs.log.event`` records nothing.
+* **No stdout from library code**: events go to an in-memory buffer and
+  (when verbose) stderr; stdout belongs to the CLI.
+* **Plain-dict exports everywhere** (``registry.snapshot()``,
+  ``tracer.to_dicts()``) so ``devicescope profile --json`` round-trips
+  through ``json.loads``.
+"""
+
+from __future__ import annotations
+
+from . import log, report
+from .config import (
+    disable,
+    enable,
+    enabled,
+    enabled_scope,
+    is_quiet,
+    is_verbose,
+    set_enabled,
+    set_quiet,
+    set_verbose,
+)
+from .metrics import (
+    DEFAULT_TIME_BUCKETS,
+    PROBABILITY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+from .profiler import ModuleProfiler
+from .tracing import NOOP_SPAN, Span, Tracer
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "set_enabled",
+    "enabled_scope",
+    "is_verbose",
+    "set_verbose",
+    "is_quiet",
+    "set_quiet",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "exponential_buckets",
+    "linear_buckets",
+    "DEFAULT_TIME_BUCKETS",
+    "PROBABILITY_BUCKETS",
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "ModuleProfiler",
+    "registry",
+    "tracer",
+    "span",
+    "log",
+    "report",
+    "reset",
+]
+
+#: Process-wide metrics registry used by the built-in instrumentation.
+registry = MetricsRegistry()
+
+#: Process-wide tracer used by the built-in instrumentation.
+tracer = Tracer()
+
+#: ``obs.span("name", **attrs)`` — open a span on the global tracer.
+span = tracer.span
+
+
+def reset() -> None:
+    """Clear all recorded data (metrics, spans, events); flags unchanged."""
+    registry.reset()
+    tracer.reset()
+    log.reset()

@@ -1,0 +1,337 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+Prometheus-flavoured but in-process: metrics hold labelled series
+(``histogram.observe(0.3, method="camal")``), a :class:`MetricsRegistry`
+owns named metrics, and :meth:`MetricsRegistry.snapshot` returns a plain
+JSON-serializable dict for reports and the ``devicescope profile
+--json`` export. All mutation is lock-protected so training threads and
+a reporting thread can share a registry.
+
+Histograms use *fixed* bucket edges chosen at construction time — the
+default is an exponential ladder suited to wall-clock seconds (10 µs up
+to ~84 s), matching the tracer's unit.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "exponential_buckets",
+    "linear_buckets",
+    "DEFAULT_TIME_BUCKETS",
+    "PROBABILITY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+def exponential_buckets(
+    start: float = 1e-5, factor: float = 2.0, count: int = 24
+) -> tuple[float, ...]:
+    """``count`` bucket edges growing geometrically from ``start``."""
+    if start <= 0:
+        raise ValueError("start must be positive")
+    if factor <= 1.0:
+        raise ValueError("factor must be > 1")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start * factor**i for i in range(count))
+
+
+def linear_buckets(start: float, width: float, count: int) -> tuple[float, ...]:
+    """``count`` evenly spaced bucket edges starting at ``start``."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    return tuple(start + width * i for i in range(count))
+
+
+#: Default histogram edges: 10 µs … ~84 s, doubling (wall-clock seconds).
+DEFAULT_TIME_BUCKETS = exponential_buckets(1e-5, 2.0, 24)
+
+#: Edges for probability-valued observations (detection, CAM stats).
+PROBABILITY_BUCKETS = linear_buckets(0.0, 0.1, 11)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared name/help/lock plumbing for the three metric types."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def snapshot(self) -> dict:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class Counter(_Metric):
+    """Monotonically increasing count, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, value: float = 1.0, **labels: object) -> None:
+        if value < 0:
+            raise ValueError("counters only go up")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in self._values.items()
+            ]
+        return {"type": self.kind, "help": self.help, "series": series}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+class Gauge(_Metric):
+    """Last-write-wins scalar, one series per label set."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def add(self, delta: float, **labels: object) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + float(delta)
+
+    def value(self, **labels: object) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), float("nan"))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(key), "value": value}
+                for key, value in self._values.items()
+            ]
+        return {"type": self.kind, "help": self.help, "series": series}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+@dataclass
+class _HistogramSeries:
+    """One label set's accumulated distribution."""
+
+    counts: np.ndarray  # len(edges) + 1 buckets; last is overflow
+    total: float = 0.0
+    count: int = 0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution of observations.
+
+    Bucket ``i`` counts values ``v`` with ``edges[i-1] < v <= edges[i]``
+    (the first bucket catches everything up to ``edges[0]``, the last
+    everything above ``edges[-1]``).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ):
+        super().__init__(name, help)
+        edges = tuple(float(e) for e in (buckets or DEFAULT_TIME_BUCKETS))
+        if len(edges) < 1:
+            raise ValueError("need at least one bucket edge")
+        if any(nxt <= prev for prev, nxt in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.edges = edges
+        self._edge_array = np.asarray(edges, dtype=np.float64)
+        self._series: dict[_LabelKey, _HistogramSeries] = {}
+
+    def _get_series(self, key: _LabelKey) -> _HistogramSeries:
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(
+                counts=np.zeros(len(self.edges) + 1, dtype=np.int64)
+            )
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: object) -> None:
+        self.observe_many(np.asarray([value], dtype=np.float64), **labels)
+
+    def observe_many(self, values: np.ndarray, **labels: object) -> None:
+        """Vectorized ingest of an array of observations."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self._edge_array, values, side="left")
+        bucket_counts = np.bincount(idx, minlength=len(self.edges) + 1)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._get_series(key)
+            series.counts += bucket_counts
+            series.total += float(values.sum())
+            series.count += int(values.size)
+            series.min = min(series.min, float(values.min()))
+            series.max = max(series.max, float(values.max()))
+
+    def series(self, **labels: object) -> dict | None:
+        """Snapshot of one label set (None when never observed)."""
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return None
+            return self._series_dict(series)
+
+    def _series_dict(self, series: _HistogramSeries) -> dict:
+        return {
+            "buckets": series.counts.tolist(),
+            "count": series.count,
+            "sum": series.total,
+            "mean": series.total / series.count if series.count else 0.0,
+            "min": series.min if series.count else 0.0,
+            "max": series.max if series.count else 0.0,
+        }
+
+    def quantile(self, q: float, **labels: object) -> float:
+        """Bucket-resolution quantile estimate (upper edge of the bucket
+        holding the ``q``-th observation; overflow clamps to the last
+        finite edge)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None or series.count == 0:
+                return float("nan")
+            target = q * series.count
+            cumulative = np.cumsum(series.counts)
+            bucket = int(np.searchsorted(cumulative, target, side="left"))
+        return self.edges[min(bucket, len(self.edges) - 1)]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            series = [
+                {"labels": dict(key), **self._series_dict(value)}
+                for key, value in self._series.items()
+            ]
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "edges": list(self.edges),
+            "series": series,
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create semantics.
+
+    Re-registering a name with the same type returns the existing
+    metric; a type clash raises. ``snapshot()``/``reset()`` walk every
+    registered metric.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def snapshot(self) -> dict:
+        """All metrics as one plain JSON-serializable dict."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: metric.snapshot() for name, metric in sorted(metrics.items())}
+
+    def reset(self) -> None:
+        """Zero every series (metric objects stay registered)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop every registered metric entirely."""
+        with self._lock:
+            self._metrics.clear()

@@ -1,0 +1,156 @@
+"""Per-layer forward/backward timing for :class:`repro.nn.Module` trees.
+
+The nn framework dispatches ``forward``/``backward`` through instance
+attribute lookup (``self.forward(x)`` inside ``Module.__call__``;
+composite models call ``child.backward(...)`` directly), so a profiler
+can shadow the class methods with timing wrappers on each *instance* —
+no layer code changes, fully reversible, opt-in::
+
+    with model.profile() as prof:
+        out = model(x)
+        model.backward(grad)
+    print(prof.table(top=10))
+
+Timings land in histograms keyed by layer class and dotted module name
+(``nn.forward_seconds{layer="Conv1d", name="block1.conv"}``), in a
+dedicated :class:`~repro.obs.metrics.MetricsRegistry` by default.
+Parent-module times include their children (a call tree, not self-time);
+the table marks leaf layers, where the budget actually goes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from .metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..nn.module import Module
+
+__all__ = ["ModuleProfiler"]
+
+FORWARD_METRIC = "nn.forward_seconds"
+BACKWARD_METRIC = "nn.backward_seconds"
+
+
+class ModuleProfiler:
+    """Context manager that instruments every submodule of a tree."""
+
+    def __init__(
+        self,
+        module: "Module",
+        registry: MetricsRegistry | None = None,
+    ):
+        self.module = module
+        self.registry = registry or MetricsRegistry()
+        self._forward = self.registry.histogram(
+            FORWARD_METRIC,
+            help="per-layer forward wall time",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        self._backward = self.registry.histogram(
+            BACKWARD_METRIC,
+            help="per-layer backward wall time",
+            buckets=DEFAULT_TIME_BUCKETS,
+        )
+        # (module, attr, previous instance attr or None)
+        self._wrapped: list[tuple[object, str, object | None]] = []
+
+    # -- attach / detach ---------------------------------------------------
+
+    def attach(self) -> "ModuleProfiler":
+        if self._wrapped:
+            raise RuntimeError("profiler already attached")
+        seen: set[int] = set()
+        for name, module in self.module.named_modules():
+            if id(module) in seen:
+                continue  # shared submodule: time it once
+            seen.add(id(module))
+            label = name or "<root>"
+            layer = type(module).__name__
+            self._wrap(module, "forward", self._forward, layer, label)
+            self._wrap(module, "backward", self._backward, layer, label)
+        return self
+
+    def _wrap(self, module, attr: str, histogram, layer: str, label: str):
+        previous = module.__dict__.get(attr)
+        original = getattr(module, attr)
+
+        def timed(*args, **kwargs):
+            t0 = time.perf_counter()
+            out = original(*args, **kwargs)
+            histogram.observe(
+                time.perf_counter() - t0, layer=layer, name=label
+            )
+            return out
+
+        object.__setattr__(module, attr, timed)
+        self._wrapped.append((module, attr, previous))
+
+    def detach(self) -> None:
+        for module, attr, previous in reversed(self._wrapped):
+            if previous is None:
+                object.__delattr__(module, attr)
+            else:  # restore whatever instance attr we shadowed
+                object.__setattr__(module, attr, previous)
+        self._wrapped.clear()
+
+    def __enter__(self) -> "ModuleProfiler":
+        return self.attach()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.detach()
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> list[dict]:
+        """Per-layer rows sorted by total (forward + backward) time."""
+        per_layer: dict[tuple[str, str], dict] = {}
+        leaf_names = {
+            (name or "<root>")
+            for name, module in self.module.named_modules()
+            if not module._modules
+        }
+        for metric, key in ((self._forward, "forward"), (self._backward, "backward")):
+            for entry in metric.snapshot()["series"]:
+                labels = entry["labels"]
+                row_key = (labels.get("layer", "?"), labels.get("name", "?"))
+                row = per_layer.setdefault(
+                    row_key,
+                    {
+                        "layer": row_key[0],
+                        "name": row_key[1],
+                        "leaf": row_key[1] in leaf_names,
+                        "calls": 0,
+                        "forward_s": 0.0,
+                        "backward_s": 0.0,
+                    },
+                )
+                row[f"{key}_s"] += entry["sum"]
+                if key == "forward":
+                    row["calls"] = entry["count"]
+        rows = list(per_layer.values())
+        for row in rows:
+            row["total_s"] = row["forward_s"] + row["backward_s"]
+            row["mean_forward_s"] = (
+                row["forward_s"] / row["calls"] if row["calls"] else 0.0
+            )
+        rows.sort(key=lambda r: r["total_s"], reverse=True)
+        return rows
+
+    def top(self, k: int = 10, leaves_only: bool = True) -> list[dict]:
+        """The ``k`` slowest layers (leaf layers by default)."""
+        rows = self.stats()
+        if leaves_only:
+            rows = [row for row in rows if row["leaf"]]
+        return rows[: max(k, 0)]
+
+    def table(self, top: int = 10, leaves_only: bool = True) -> str:
+        """ASCII per-layer timing table."""
+        from .report import format_layer_table
+
+        return format_layer_table(self.top(top, leaves_only=leaves_only))
+
+    def to_dict(self) -> dict:
+        return {"layers": self.stats(), "metrics": self.registry.snapshot()}

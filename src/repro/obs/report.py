@@ -1,0 +1,159 @@
+"""ASCII rendering of traces, layer timings, and metric summaries.
+
+These formatters feed the ``devicescope profile`` subcommand and the
+HTML observability panel in :mod:`repro.app.render`. They accept the
+plain-dict exports (``Span.to_dict()``, ``ModuleProfiler.stats()``,
+``MetricsRegistry.snapshot()``) so a ``--json`` dump renders the same
+way after a round trip.
+"""
+
+from __future__ import annotations
+
+from .tracing import Span
+
+__all__ = [
+    "format_span_tree",
+    "format_layer_table",
+    "metric_rows",
+    "format_metrics",
+    "ascii_report",
+]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds * 1e6:7.1f}µs"
+
+
+def _fmt_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def format_span_tree(span: Span | dict, total_s: float | None = None) -> str:
+    """One span tree as an indented ASCII outline with durations and
+    percent-of-root."""
+    if isinstance(span, Span):
+        span = span.to_dict()
+    lines: list[str] = []
+    root_total = total_s if total_s is not None else max(span.get("duration_s", 0.0), 1e-12)
+
+    def walk(node: dict, prefix: str, is_last: bool, is_root: bool) -> None:
+        duration = node.get("duration_s", 0.0)
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        pct = 100.0 * duration / root_total
+        line = (
+            f"{_fmt_seconds(duration)} {pct:5.1f}%  "
+            f"{prefix}{connector}{node['name']}"
+        )
+        attrs = node.get("attrs") or {}
+        if attrs:
+            inline = ", ".join(f"{k}={v}" for k, v in attrs.items())
+            line += f"  [{inline}]"
+        if node.get("alloc_bytes") is not None:
+            line += f"  (+{_fmt_bytes(node['alloc_bytes'])})"
+        if node.get("error"):
+            line += f"  !! {node['error']}"
+        lines.append(line)
+        children = node.get("children") or []
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    walk(span, "", True, True)
+    return "\n".join(lines)
+
+
+def format_layer_table(rows: list[dict]) -> str:
+    """``ModuleProfiler.stats()`` rows as a fixed-width table."""
+    if not rows:
+        return "(no layer timings recorded)"
+    header = (
+        f"{'layer':<22} {'name':<28} {'calls':>6} "
+        f"{'forward':>10} {'backward':>10} {'total':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['layer']:<22} {row['name']:<28} {row['calls']:>6d} "
+            f"{_fmt_seconds(row['forward_s']):>10} "
+            f"{_fmt_seconds(row['backward_s']):>10} "
+            f"{_fmt_seconds(row['total_s']):>10}"
+        )
+    return "\n".join(lines)
+
+
+def metric_rows(snapshot: dict) -> list[dict]:
+    """Flatten a registry snapshot into one row per labelled series."""
+    rows: list[dict] = []
+    for name, metric in snapshot.items():
+        for series in metric.get("series", []):
+            labels = series.get("labels", {})
+            label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            row = {"metric": name, "type": metric["type"], "labels": label_text}
+            if metric["type"] == "histogram":
+                row.update(
+                    count=series["count"],
+                    mean=series["mean"],
+                    min=series["min"],
+                    max=series["max"],
+                    sum=series["sum"],
+                )
+            else:
+                row["value"] = series["value"]
+            rows.append(row)
+    return rows
+
+
+def format_metrics(snapshot: dict) -> str:
+    """Registry snapshot as an ASCII summary table."""
+    rows = metric_rows(snapshot)
+    if not rows:
+        return "(no metrics recorded)"
+    header = (
+        f"{'metric':<34} {'type':<10} {'labels':<28} "
+        f"{'count':>7} {'mean':>12} {'max':>12}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if row["type"] == "histogram":
+            count = f"{row['count']:d}"
+            mean = f"{row['mean']:.6g}"
+            peak = f"{row['max']:.6g}"
+        else:
+            count, mean, peak = "-", f"{row['value']:.6g}", "-"
+        lines.append(
+            f"{row['metric']:<34} {row['type']:<10} {row['labels']:<28} "
+            f"{count:>7} {mean:>12} {peak:>12}"
+        )
+    return "\n".join(lines)
+
+
+def ascii_report(payload: dict, top: int = 10) -> str:
+    """Full profile report: span trees + layer table + metric summary.
+
+    ``payload`` is the ``devicescope profile --json`` structure
+    (``spans`` / ``layers`` / ``metrics`` keys, all optional).
+    """
+    sections: list[str] = []
+    spans = payload.get("spans") or []
+    if spans:
+        sections.append("== span tree (latest run) ==")
+        sections.append(format_span_tree(spans[-1]))
+    layers = payload.get("layers") or []
+    if layers:
+        sections.append(f"== top {top} slowest layers ==")
+        leaves = [row for row in layers if row.get("leaf", True)]
+        sections.append(format_layer_table((leaves or layers)[:top]))
+    metrics = payload.get("metrics") or {}
+    if metrics:
+        sections.append("== metrics ==")
+        sections.append(format_metrics(metrics))
+    return "\n\n".join(sections) if sections else "(nothing recorded)"

@@ -98,3 +98,62 @@ def test_energy_fast_command(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "estimated_kwh" in out
+
+
+CAMAL_STAGES = [
+    "camal.ensemble_forward",
+    "camal.cam_extraction",
+    "camal.cam_normalization",
+    "camal.mask",
+    "camal.sigmoid",
+    "camal.threshold",
+]
+
+
+def test_profile_fast_prints_span_tree_and_layers(capsys):
+    code = main(["profile", "--fast", "--repeats", "1", "--seed", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    for stage in CAMAL_STAGES:
+        assert stage in out
+    assert "camal.localize" in out
+    assert "Conv1d" in out  # per-layer timing table
+    assert "camal.detection_probability" in out  # metric summaries
+
+
+def test_profile_json_round_trips(capsys):
+    import json
+
+    code = main([
+        "profile", "--fast", "--repeats", "1", "--seed", "1",
+        "--window", "6h", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload"]["window"] == "6h"
+    localize = next(
+        s for s in payload["spans"] if s["name"] == "camal.localize"
+    )
+    child_names = [c["name"] for c in localize["children"]]
+    assert set(CAMAL_STAGES) <= set(child_names)
+    assert payload["layers"] and payload["layers"][0]["total_s"] >= 0.0
+    assert "camal.windows_localized_total" in payload["metrics"]
+
+
+def test_profile_leaves_observability_disabled(capsys):
+    from repro import obs
+
+    assert main(["profile", "--fast", "--repeats", "1"]) == 0
+    capsys.readouterr()
+    assert not obs.enabled()
+
+
+def test_profile_writes_html_panel(tmp_path, capsys):
+    out_path = tmp_path / "profile.html"
+    code = main([
+        "profile", "--fast", "--repeats", "1", "--out", str(out_path)
+    ])
+    assert code == 0
+    html = out_path.read_text()
+    assert "camal.localize" in html
+    assert "Conv1d" in html

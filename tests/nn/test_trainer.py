@@ -177,3 +177,53 @@ def test_history_not_flagged_on_healthy_run():
     )
     history = trainer.fit(DataLoader(ds, batch_size=32))
     assert not history.diverged
+
+
+def test_history_records_epoch_seconds_and_grad_norm():
+    ds = linear_problem(64)
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(2)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=4, patience=None,
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=16))
+    assert len(history.epoch_seconds) == history.epochs_run == 4
+    assert all(s >= 0.0 for s in history.epoch_seconds)
+    assert len(history.grad_norm) == 4
+    assert all(np.isfinite(g) and g >= 0.0 for g in history.grad_norm)
+
+
+def test_grad_norm_recorded_without_clipping():
+    ds = linear_problem(64)
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(3)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=2, patience=None, grad_clip=None,
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=16))
+    assert len(history.grad_norm) == 2
+    assert all(g > 0.0 for g in history.grad_norm)
+
+
+def test_stop_reason_reflects_outcome():
+    ds = linear_problem(50)
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(4)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=3, patience=None,
+    )
+    history = trainer.fit(DataLoader(ds, batch_size=16))
+    assert history.stop_reason == "max_epochs"
+
+    train, val = train_val_split(ds, 0.2, rng=np.random.default_rng(5))
+    model = Sequential(Linear(3, 1, rng=np.random.default_rng(6)))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=50.0),
+        max_epochs=100, patience=2,
+    )
+    history = trainer.fit(
+        DataLoader(train, batch_size=16), DataLoader(val, batch_size=16)
+    )
+    assert history.stop_reason == "early_stopping"
+    # seconds are recorded for every epoch that actually ran
+    assert len(history.epoch_seconds) == history.epochs_run

@@ -1,0 +1,16 @@
+"""Every obs test leaves the global observability state pristine."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    yield
+    obs.disable()
+    obs.set_verbose(False)
+    obs.set_quiet(False)
+    obs.log.set_stream(None)
+    obs.reset()
+    obs.registry.clear()

@@ -1,0 +1,80 @@
+"""Structured log emitter: recording, verbosity, quiet override."""
+
+import io
+
+from repro import obs
+
+
+def test_events_recorded_only_when_enabled():
+    obs.log.event("e1", a=1)
+    assert obs.log.events() == []
+    obs.enable()
+    obs.log.event("e2", b=2)
+    records = obs.log.events("e2")
+    assert len(records) == 1
+    assert records[0]["b"] == 2
+
+
+def test_nothing_written_by_default():
+    stream = io.StringIO()
+    obs.log.set_stream(stream)
+    obs.enable()
+    obs.log.event("quiet.by.default", x=1)
+    assert stream.getvalue() == ""
+
+
+def test_verbose_writes_formatted_line():
+    stream = io.StringIO()
+    obs.log.set_stream(stream)
+    obs.set_verbose(True)
+    obs.log.event("trainer.epoch", epoch=3, train_loss=0.125)
+    assert stream.getvalue() == "trainer.epoch epoch=3 train_loss=0.125\n"
+
+
+def test_force_writes_even_when_not_verbose():
+    stream = io.StringIO()
+    obs.log.set_stream(stream)
+    obs.log.event("forced", _force=True, n=1)
+    assert "forced n=1" in stream.getvalue()
+
+
+def test_quiet_overrides_force_and_verbose():
+    stream = io.StringIO()
+    obs.log.set_stream(stream)
+    obs.set_verbose(True)
+    obs.set_quiet(True)
+    obs.log.event("silenced", _force=True)
+    assert stream.getvalue() == ""
+
+
+def test_filter_by_name_and_reset():
+    obs.enable()
+    obs.log.event("a")
+    obs.log.event("b")
+    obs.log.event("a")
+    assert len(obs.log.events("a")) == 2
+    assert len(obs.log.events()) == 3
+    obs.log.reset()
+    assert obs.log.events() == []
+
+
+def test_trainer_emits_epoch_events():
+    import numpy as np
+
+    from repro.nn import Adam, ArrayDataset, DataLoader, Linear, MSELoss, Sequential, Trainer
+
+    obs.enable()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(32, 3))
+    y = x.sum(axis=1, keepdims=True)
+    model = Sequential(Linear(3, 1, rng=rng))
+    trainer = Trainer(
+        model, MSELoss(), Adam(model.parameters(), lr=0.01),
+        max_epochs=2, patience=None,
+    )
+    trainer.fit(DataLoader(ArrayDataset(x, y), batch_size=16))
+    epochs = obs.log.events("trainer.epoch")
+    assert len(epochs) == 2
+    assert {"epoch", "train_loss", "grad_norm", "seconds", "lr"} <= set(epochs[0])
+    done = obs.log.events("trainer.fit.done")
+    assert done and done[0]["reason"] == "max_epochs"

@@ -1,0 +1,164 @@
+"""Metrics primitives: buckets, labelled series, registry semantics."""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_buckets,
+    linear_buckets,
+)
+
+
+class TestBuckets:
+    def test_exponential_edges(self):
+        edges = exponential_buckets(1e-3, 2.0, 5)
+        np.testing.assert_allclose(edges, [1e-3, 2e-3, 4e-3, 8e-3, 16e-3])
+
+    def test_linear_edges(self):
+        assert linear_buckets(0.0, 0.25, 5) == (0.0, 0.25, 0.5, 0.75, 1.0)
+
+    def test_invalid_bucket_specs_rejected(self):
+        with pytest.raises(ValueError):
+            exponential_buckets(start=0.0)
+        with pytest.raises(ValueError):
+            exponential_buckets(factor=1.0)
+        with pytest.raises(ValueError):
+            linear_buckets(0.0, -1.0, 3)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0, 2.0))
+
+    def test_default_buckets_cover_microseconds_to_minutes(self):
+        assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(1e-5)
+        assert DEFAULT_TIME_BUCKETS[-1] > 60.0
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("requests")
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labelled_series_are_independent(self):
+        c = Counter("requests")
+        c.inc(method="camal")
+        c.inc(3, method="mil")
+        assert c.value(method="camal") == 1
+        assert c.value(method="mil") == 3
+        assert c.value(method="unseen") == 0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_last_write_wins(self):
+        g = Gauge("queue_depth")
+        g.set(5)
+        g.set(2)
+        assert g.value() == 2
+
+    def test_add(self):
+        g = Gauge("temp")
+        g.add(1.5)
+        g.add(-0.5)
+        assert g.value() == pytest.approx(1.0)
+
+
+class TestHistogram:
+    def test_values_land_in_expected_buckets(self):
+        h = Histogram("latency", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        series = h.series()
+        # buckets: <=0.1, (0.1,1], (1,10], overflow
+        assert series["buckets"] == [1, 2, 1, 1]
+        assert series["count"] == 5
+        assert series["min"] == pytest.approx(0.05)
+        assert series["max"] == pytest.approx(50.0)
+        assert series["mean"] == pytest.approx(sum((0.05, 0.5, 0.5, 5.0, 50.0)) / 5)
+
+    def test_observe_many_vectorized(self):
+        h = Histogram("p", buckets=linear_buckets(0.0, 0.25, 5))
+        h.observe_many(np.linspace(0, 1, 101))
+        assert h.series()["count"] == 101
+
+    def test_nan_observations_dropped(self):
+        h = Histogram("p", buckets=(1.0,))
+        h.observe_many(np.array([0.5, np.nan, np.inf]))
+        assert h.series()["count"] == 1
+
+    def test_unobserved_series_is_none(self):
+        assert Histogram("h").series(method="x") is None
+
+    def test_quantile_estimate(self):
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+        h.observe_many(np.full(90, 0.005))
+        h.observe_many(np.full(10, 0.5))
+        assert h.quantile(0.5) == pytest.approx(0.01)
+        assert h.quantile(0.99) == pytest.approx(1.0)
+        assert np.isnan(Histogram("empty").quantile(0.5))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ValueError):
+            reg.histogram("a")
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="a counter").inc(2, method="camal")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        snapshot = json.loads(json.dumps(reg.snapshot()))
+        assert snapshot["c"]["type"] == "counter"
+        assert snapshot["c"]["series"][0]["labels"] == {"method": "camal"}
+        assert snapshot["h"]["edges"] == [1.0, 2.0]
+        assert snapshot["h"]["series"][0]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_metrics(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        c.inc(5)
+        reg.reset()
+        assert reg.get("c") is c
+        assert c.value() == 0
+
+    def test_clear_drops_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c")
+        reg.clear()
+        assert reg.names() == []
+
+    def test_thread_safety_under_concurrent_increments(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("hits")
+        hist = reg.histogram("obs", buckets=(0.5,))
+
+        def work():
+            for _ in range(500):
+                counter.inc(worker="w")
+                hist.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value(worker="w") == 4000
+        assert hist.series()["count"] == 4000

@@ -1,0 +1,94 @@
+"""ModuleProfiler: per-layer timing via reversible instance shadowing."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.obs.profiler import ModuleProfiler
+
+
+def small_model(seed: int = 0) -> nn.Sequential:
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Linear(4, 8, rng=rng),
+        nn.ReLU(),
+        nn.Linear(8, 2, rng=rng),
+    )
+
+
+def test_profile_records_forward_and_backward_per_layer():
+    model = small_model()
+    x = np.random.default_rng(1).normal(size=(5, 4))
+    with model.profile() as prof:
+        out = model(x)
+        model.backward(np.ones_like(out))
+        model(x)
+    rows = {row["name"]: row for row in prof.stats()}
+    # root + the three children, each timed
+    assert "<root>" in rows
+    linear_rows = [r for r in rows.values() if r["layer"] == "Linear"]
+    assert len(linear_rows) == 2
+    for row in linear_rows:
+        assert row["calls"] == 2  # two forward passes
+        assert row["leaf"] is True
+        assert row["forward_s"] >= 0.0
+        assert row["backward_s"] >= 0.0
+    assert rows["<root>"]["leaf"] is False
+    # parent time includes children, so root dominates
+    assert rows["<root>"]["total_s"] >= max(r["total_s"] for r in linear_rows)
+
+
+def test_wrappers_removed_after_exit():
+    model = small_model()
+    modules = [m for _, m in model.named_modules()]
+    with model.profile():
+        assert all("forward" in m.__dict__ for m in modules)
+        assert all("backward" in m.__dict__ for m in modules)
+    assert all("forward" not in m.__dict__ for m in modules)
+    assert all("backward" not in m.__dict__ for m in modules)
+    # the model still works through normal class dispatch
+    out = model(np.zeros((2, 4)))
+    assert out.shape == (2, 2)
+
+
+def test_profiled_outputs_match_unprofiled():
+    model = small_model()
+    x = np.random.default_rng(2).normal(size=(3, 4))
+    plain = model(x)
+    with model.profile():
+        profiled = model(x)
+    np.testing.assert_array_equal(plain, profiled)
+
+
+def test_double_attach_rejected():
+    model = small_model()
+    prof = ModuleProfiler(model).attach()
+    try:
+        with pytest.raises(RuntimeError):
+            prof.attach()
+    finally:
+        prof.detach()
+
+
+def test_top_filters_to_leaves():
+    model = small_model()
+    with model.profile() as prof:
+        out = model(np.zeros((2, 4)))
+        model.backward(np.ones_like(out))
+    top = prof.top(k=2)
+    assert len(top) == 2
+    assert all(row["leaf"] for row in top)
+    table = prof.table(top=3)
+    assert "Linear" in table and "layer" in table
+
+
+def test_uses_private_registry_by_default():
+    from repro import obs
+
+    model = small_model()
+    with model.profile() as prof:
+        model(np.zeros((1, 4)))
+    assert obs.registry.get("nn.forward_seconds") is None
+    assert prof.registry.get("nn.forward_seconds") is not None
+    payload = prof.to_dict()
+    assert payload["layers"] and "metrics" in payload
