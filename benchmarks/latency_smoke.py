@@ -1,0 +1,72 @@
+"""CI latency smoke: the fast path must never be slower than legacy.
+
+A deliberately tiny configuration (small ensemble, 3 timed rounds, one
+1-day window) so CI can catch a fast-path regression in seconds without
+running the full latency bench. Exits nonzero if the single-pass fast
+path is slower than the legacy three-pass pipeline, or if the two paths
+disagree numerically.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/latency_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import CamAL
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+
+ROUNDS = 3
+SAMPLES = 1440  # one day at 1-minute sampling
+N_FILTERS = (4, 8, 8)  # quick mode — shape matters, scale does not
+
+
+def median_seconds(fn, rounds: int = ROUNDS) -> float:
+    fn()  # warm-up (einsum path selection, allocator)
+    times = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(np.median(times))
+
+
+def main() -> int:
+    ensemble = ResNetEnsemble((5, 7, 9, 15), n_filters=N_FILTERS, seed=0)
+    ensemble.eval()
+    scaler = Standardizer(mean=300.0, std=400.0)
+    fast = CamAL(ensemble, scaler)
+    legacy = CamAL(ensemble, scaler, fast_path=False)
+    watts = np.random.default_rng(0).uniform(0, 3000, size=(1, SAMPLES))
+
+    fast_result = fast.localize_watts(watts)
+    legacy_result = legacy.localize_watts(watts)
+    if not np.array_equal(fast_result.status, legacy_result.status) or not (
+        np.array_equal(fast_result.probabilities, legacy_result.probabilities)
+    ):
+        print("FAIL: fast path disagrees with legacy pipeline")
+        return 1
+
+    fast_s = median_seconds(lambda: fast.localize_watts(watts))
+    legacy_s = median_seconds(lambda: legacy.localize_watts(watts))
+    speedup = legacy_s / fast_s
+    print(
+        f"1-day window, {len(ensemble)} members, filters={N_FILTERS}: "
+        f"fast={fast_s * 1e3:.1f} ms  legacy={legacy_s * 1e3:.1f} ms  "
+        f"speedup={speedup:.2f}x"
+    )
+    if fast_s > legacy_s:
+        print("FAIL: fast path is slower than the legacy pipeline")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

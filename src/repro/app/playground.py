@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core import CamAL
+from ..core import CamAL, ResultCache, window_key
 from ..datasets import (
     SmartMeterDataset,
     get_appliance_spec,
@@ -82,17 +82,29 @@ class Playground:
         model can still be browsed as ground truth but not predicted.
     state:
         Optional shared session state (created fresh otherwise).
+    cache:
+        Result memoization for Prev/Next navigation — revisiting a
+        window re-renders from the cached :class:`CamALResult` instead
+        of re-running the ensemble. Pass an explicit
+        :class:`~repro.core.ResultCache` to share one across frames, or
+        ``None`` to disable caching entirely.
     """
+
+    _NO_CACHE = object()  # sentinel: "use the default cache"
 
     def __init__(
         self,
         dataset: SmartMeterDataset,
         models: dict[str, CamAL] | None = None,
         state: SessionState | None = None,
+        cache: ResultCache | None | object = _NO_CACHE,
     ):
         self.dataset = dataset
         self.models = dict(models or {})
         self.state = state or SessionState(dataset_name=dataset.name)
+        if cache is Playground._NO_CACHE:
+            cache = ResultCache(maxsize=256, name="playground")
+        self.cache = cache
         if not self.state.house_id:
             self.state.house_id = dataset.house_ids[0]
 
@@ -188,7 +200,14 @@ class Playground:
                 ground_truth_watts=truth_watts,
                 ground_truth_status=truth_status,
             )
-        result = self.models[appliance].localize_watts(watts[None, :])
+        model = self.models[appliance]
+        if self.cache is not None:
+            key = window_key(appliance, watts, model.fingerprint())
+            result = self.cache.get_or_compute(
+                key, lambda: model.localize_watts(watts[None, :])
+            )
+        else:
+            result = model.localize_watts(watts[None, :])
         return AppliancePrediction(
             appliance=appliance,
             probability=float(result.probabilities[0]),

@@ -9,9 +9,9 @@ to ingest results.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-from ..core import CamAL
+from ..core import CamAL, ResultCache
 from ..datasets import SmartMeterDataset, build_dataset, make_windows
 from ..models import TrainConfig
 from .benchmark_frame import BenchmarkBrowser
@@ -30,6 +30,12 @@ class DeviceScope:
     models: dict[str, CamAL]
     playground: Playground
     benchmarks: BenchmarkBrowser
+    #: Session-wide localization memo — Prev/Next re-renders hit this
+    #: instead of re-running the ensemble (hit/miss counters surface
+    #: through ``repro.obs`` when enabled).
+    cache: ResultCache = field(
+        default_factory=lambda: ResultCache(maxsize=256, name="session")
+    )
 
     @classmethod
     def bootstrap(
@@ -72,7 +78,8 @@ class DeviceScope:
                 train_config=config,
                 seed=seed,
             )
-        playground = Playground(browse_ds, models)
+        cache = ResultCache(maxsize=256, name="session")
+        playground = Playground(browse_ds, models, cache=cache)
         return cls(
             dataset_name=dataset.name,
             train_dataset=train_ds,
@@ -80,4 +87,5 @@ class DeviceScope:
             models=models,
             playground=playground,
             benchmarks=BenchmarkBrowser(),
+            cache=cache,
         )

@@ -5,6 +5,7 @@ detects the appliance from window-level labels, and Class Activation
 Maps turned into an attention mask localize it per timestep.
 """
 
+from .cache import ResultCache, window_key
 from .camal import (
     CamAL,
     CamALConfig,
@@ -30,4 +31,6 @@ __all__ = [
     "MultiApplianceCamAL",
     "save_camal",
     "load_camal",
+    "ResultCache",
+    "window_key",
 ]

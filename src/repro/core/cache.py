@@ -1,0 +1,148 @@
+"""Result memoization for interactive inference.
+
+DeviceScope's Playground re-renders the *same* window constantly: Prev /
+Next navigation revisits positions, toggling an appliance re-requests the
+others, and the Streamlit front-end re-runs its script top to bottom on
+every widget event. :class:`ResultCache` is a small thread-safe LRU that
+keys localization results on the **model fingerprint plus a digest of the
+window bytes**, so revisits render without touching the ensemble.
+
+Invalidation rules (also documented in DESIGN.md "Inference fast path"):
+
+* The key must include the model's identity/config — use
+  :meth:`repro.core.CamAL.fingerprint`, which covers model swaps,
+  calibration, and pruning. The window bytes alone are NOT a valid key.
+* Retraining an ensemble **in place** is invisible to the fingerprint;
+  call :meth:`ResultCache.clear` after any in-place weight mutation.
+
+Hit/miss totals are exported through :mod:`repro.obs` (counters
+``app.result_cache_hits_total`` / ``app.result_cache_misses_total``,
+labelled by cache name) whenever observability is enabled; local counters
+are always maintained for tests and the app's diagnostics pane.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["ResultCache", "window_key"]
+
+
+def window_key(
+    appliance: str, watts: np.ndarray, fingerprint: Hashable = ()
+) -> tuple:
+    """Cache key for one appliance × model × window combination.
+
+    The window enters as a blake2b digest of its raw bytes (plus shape,
+    so transposed/reshaped views of the same buffer never collide), which
+    keeps keys small regardless of window length.
+    """
+    watts = np.ascontiguousarray(watts)
+    digest = hashlib.blake2b(watts.tobytes(), digest_size=16).hexdigest()
+    return (appliance, fingerprint, watts.shape, str(watts.dtype), digest)
+
+
+class ResultCache:
+    """Thread-safe LRU cache with obs-exported hit/miss counters.
+
+    Values are returned by reference — a hit yields the *same* object
+    that was stored, which is exactly what the app wants (rendered
+    arrays are read-only by convention).
+    """
+
+    def __init__(self, maxsize: int = 128, name: str = "result_cache"):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    _MISS = object()
+
+    def get(self, key: Hashable, default=None):
+        """Look up ``key``, recording a hit or miss."""
+        with self._lock:
+            value = self._entries.get(key, self._MISS)
+            if value is self._MISS:
+                self.misses += 1
+                hit = False
+                value = default
+            else:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                hit = True
+        self._record(hit)
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        """Insert/refresh ``key``, evicting the least recently used."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
+        """Return the cached value for ``key`` or compute-and-store it.
+
+        ``compute`` runs outside the lock, so a slow localization does
+        not serialize unrelated lookups; concurrent misses on the same
+        key may compute twice (last write wins) — acceptable for a
+        memoization cache of deterministic results.
+        """
+        value = self.get(key, self._MISS)
+        if value is not self._MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss totals are preserved)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Plain-dict snapshot for reports and the app's diagnostics."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / max(self.hits + self.misses, 1),
+            }
+
+    def _record(self, hit: bool) -> None:
+        if not obs.enabled():
+            return
+        name = (
+            "app.result_cache_hits_total"
+            if hit
+            else "app.result_cache_misses_total"
+        )
+        help_text = (
+            "result-cache lookups served from memory"
+            if hit
+            else "result-cache lookups that recomputed"
+        )
+        obs.registry.counter(name, help=help_text).inc(cache=self.name)

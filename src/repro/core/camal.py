@@ -33,6 +33,7 @@ from ..datasets import Standardizer, WindowSet
 from ..models import ResNetEnsemble, TrainConfig, train_ensemble
 from ..models.ensemble import normalize_cam
 from ..nn import functional as F
+from ..nn.module import inference_mode
 
 __all__ = [
     "CamALConfig",
@@ -47,37 +48,71 @@ def remove_short_runs(status: np.ndarray, min_length: int) -> np.ndarray:
     """Zero out ON runs shorter than ``min_length`` samples.
 
     Works row-wise on a ``(N, T)`` binary stack. ``min_length <= 1`` is a
-    no-op.
+    no-op. Fully vectorized: run boundaries come from a diff over the
+    padded mask flattened row-major (the padding column guarantees runs
+    never span rows), and short runs are erased with one boundary-delta
+    cumsum instead of a Python loop per run.
     """
     status = np.asarray(status, dtype=np.float64)
     if status.ndim != 2:
         raise ValueError(f"expected (N, T) status, got shape {status.shape}")
-    if min_length <= 1:
-        return status.copy()
     out = status.copy()
-    for row in out:
-        on = row > 0.5
-        # Run boundaries via diff of the padded mask.
-        padded = np.concatenate([[False], on, [False]])
-        starts = np.flatnonzero(padded[1:] & ~padded[:-1])
-        ends = np.flatnonzero(~padded[1:] & padded[:-1])
-        for start, end in zip(starts, ends):
-            if end - start < min_length:
-                row[start:end] = 0.0
+    if min_length <= 1:
+        return out
+    n, t = out.shape
+    padded = np.zeros((n, t + 2), dtype=bool)
+    padded[:, 1:-1] = out > 0.5
+    # starts[i, j] / ends[i, j]: a run of row i begins / ends (exclusive)
+    # at sample j; both land in [0, t].
+    starts = padded[:, 1:] & ~padded[:, :-1]
+    ends = ~padded[:, 1:] & padded[:, :-1]
+    flat_starts = np.flatnonzero(starts.ravel())
+    flat_ends = np.flatnonzero(ends.ravel())
+    short = (flat_ends - flat_starts) < min_length
+    if short.any():
+        # Boundary deltas over the flattened (n, t + 1) grid: +1 at each
+        # short run's start, -1 at its end; the running sum is positive
+        # exactly inside short runs (they cancel before any row boundary).
+        delta = np.zeros(n * (t + 1) + 1, dtype=np.int64)
+        np.add.at(delta, flat_starts[short], 1)
+        np.add.at(delta, flat_ends[short], -1)
+        in_short = np.cumsum(delta[:-1]).reshape(n, t + 1)[:, :t] > 0
+        out[in_short] = 0.0
     return out
 
 
 def _moving_average(x: np.ndarray, window: int) -> np.ndarray:
-    """Centered moving average along the last axis (edge-padded)."""
+    """Centered moving average along the last axis (edge-padded).
+
+    Cumsum-based sliding sums — O(T) per row regardless of ``window``,
+    with no per-row Python dispatch.
+    """
     if window <= 1:
         return x
-    kernel = np.ones(window) / window
     pad = window // 2
     padded = np.pad(x, [(0, 0)] * (x.ndim - 1) + [(pad, pad)], mode="edge")
-    out = np.apply_along_axis(
-        lambda row: np.convolve(row, kernel, mode="valid"), -1, padded
-    )
+    cumsum = np.cumsum(padded, axis=-1, dtype=np.float64)
+    zero = np.zeros(cumsum.shape[:-1] + (1,), dtype=np.float64)
+    cumsum = np.concatenate([zero, cumsum], axis=-1)
+    out = (cumsum[..., window:] - cumsum[..., :-window]) / window
     return out[..., : x.shape[-1]]
+
+
+def _concat_results(parts: list["CamALResult"]) -> "CamALResult":
+    """Stitch per-chunk :class:`CamALResult` pieces back into one batch."""
+    member_keys = list(parts[0].member_probabilities)
+    return CamALResult(
+        probabilities=np.concatenate([p.probabilities for p in parts]),
+        detected=np.concatenate([p.detected for p in parts]),
+        cam=np.concatenate([p.cam for p in parts], axis=0),
+        attention=np.concatenate([p.attention for p in parts], axis=0),
+        status=np.concatenate([p.status for p in parts], axis=0),
+        member_probabilities={
+            key: np.concatenate([p.member_probabilities[key] for p in parts])
+            for key in member_keys
+        },
+        uncertainty=np.concatenate([p.uncertainty for p in parts]),
+    )
 
 
 @dataclass(frozen=True)
@@ -156,6 +191,20 @@ class CamAL:
         and to run the attention step in standardized space.
     config:
         Inference configuration.
+    fast_path:
+        Derive detection probabilities, per-member probabilities, and
+        CAMs from a *single* backbone pass per member under
+        :func:`repro.nn.inference_mode` (default). ``False`` keeps the
+        legacy three-pass pipeline — numerically identical, retained for
+        equivalence tests and latency benchmarking.
+    chunk_size:
+        Fast-path batches larger than this many windows are processed in
+        chunks to bound peak memory (the backbone's intermediates scale
+        with ``N * T``); results are concatenated.
+    workers:
+        Optional thread fan-out across ensemble members on the fast
+        path (numpy kernels release the GIL). ``None``/``1`` stays
+        sequential.
     """
 
     def __init__(
@@ -163,10 +212,18 @@ class CamAL:
         ensemble: ResNetEnsemble,
         scaler: Standardizer,
         config: CamALConfig | None = None,
+        fast_path: bool = True,
+        chunk_size: int = 1024,
+        workers: int | None = None,
     ):
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
         self.ensemble = ensemble
         self.scaler = scaler
         self.config = config or CamALConfig()
+        self.fast_path = fast_path
+        self.chunk_size = chunk_size
+        self.workers = workers
 
     # -- training ----------------------------------------------------------
 
@@ -207,9 +264,25 @@ class CamAL:
         """Step 1-2: ensemble detection probabilities ``(N,)``."""
         x = self._validate(x)
         with obs.span("camal.detect", n_windows=x.shape[0]):
-            probabilities = self.ensemble.predict_proba(x)
+            if self.fast_path:
+                with inference_mode():
+                    probabilities = np.concatenate(
+                        [
+                            self.ensemble.predict_proba(chunk)
+                            for chunk in self._chunks(x)
+                        ]
+                    )
+            else:
+                probabilities = self.ensemble.predict_proba(x)
         self._record_detection(probabilities)
         return probabilities
+
+    def _chunks(self, x: np.ndarray):
+        if x.shape[0] <= self.chunk_size:
+            yield x
+            return
+        for start in range(0, x.shape[0], self.chunk_size):
+            yield x[start : start + self.chunk_size]
 
     def _record_detection(self, probabilities: np.ndarray) -> None:
         if not obs.enabled():
@@ -240,46 +313,100 @@ class CamAL:
 
         Each paper stage runs under its own :mod:`repro.obs` span
         (``camal.ensemble_forward`` … ``camal.threshold``) so
-        ``devicescope profile`` can show where inference time goes.
+        ``devicescope profile`` can show where inference time goes. On
+        the fast path (the default) detection probabilities and CAMs
+        share one backbone pass per member, batches larger than
+        ``chunk_size`` are processed in chunks, and no layer retains
+        backward caches; the legacy path reruns the backbone per
+        consumer, exactly as the paper pseudo-code reads.
         """
         x = self._validate(x)
-        cfg = self.config
         with obs.span(
             "camal.localize", n_windows=x.shape[0], window_length=x.shape[2]
         ) as root:
-            with obs.span("camal.ensemble_forward"):  # step 1
-                probabilities = self.ensemble.predict_proba(x)
-            detected = probabilities > cfg.detection_threshold  # step 2
-            with obs.span("camal.cam_extraction"):  # step 3
-                raw_cams = self.ensemble.member_cams(x)
-            with obs.span("camal.cam_normalization"):  # step 4
-                cam = np.mean([normalize_cam(c) for c in raw_cams], axis=0)
-                if cfg.cam_floor > 0.0:
-                    cam = np.where(cam >= cfg.cam_floor, cam, 0.0)
-                if cfg.smooth_window > 1:
-                    cam = _moving_average(cam, cfg.smooth_window)
-            with obs.span("camal.mask"):  # step 5a: CAM ∘ x
-                masked = cam * x[:, 0, :]
-            with obs.span("camal.sigmoid"):  # step 5b
-                attention = F.sigmoid(masked)
-            with obs.span("camal.threshold"):  # step 6
-                status = (attention > cfg.status_threshold).astype(np.float64)
-                status[~detected] = 0.0  # no detection → no localization
-                if cfg.min_on_duration > 1:
-                    status = remove_short_runs(status, cfg.min_on_duration)
-            with obs.span("camal.member_probabilities"):
-                member_probabilities = self.ensemble.member_probas(x)
-                uncertainty = np.std(
-                    list(member_probabilities.values()), axis=0
-                )
-            root.set(detected=int(detected.sum()))
-        self._record_detection(probabilities)
-        self._record_cam_stats(cam)
+            if self.fast_path:
+                parts = [self._localize_fast(chunk) for chunk in self._chunks(x)]
+                result = parts[0] if len(parts) == 1 else _concat_results(parts)
+            else:
+                result = self._localize_legacy(x)
+            root.set(detected=int(result.detected.sum()))
+        self._record_detection(result.probabilities)
+        self._record_cam_stats(result.cam)
         if obs.enabled():
             obs.registry.counter(
                 "camal.windows_localized_total",
                 help="windows run through CamAL.localize",
             ).inc(x.shape[0])
+        return result
+
+    def _localize_fast(self, x: np.ndarray) -> CamALResult:
+        """Single-sweep pipeline: steps 1+3 fused into one backbone pass."""
+        cfg = self.config
+        with inference_mode():
+            with obs.span("camal.ensemble_forward"):  # steps 1 & 3a fused
+                outputs = self.ensemble.member_outputs(x, workers=self.workers)
+                member_probabilities = {
+                    i: F.softmax(logits, axis=1)[:, 1]
+                    for i, (_, logits) in enumerate(outputs)
+                }
+                probabilities = np.mean(
+                    list(member_probabilities.values()), axis=0
+                )
+            detected = probabilities > cfg.detection_threshold  # step 2
+            with obs.span("camal.cam_extraction"):  # step 3b: w_1 · features
+                raw_cams = np.stack(
+                    [
+                        member.cam_from_features(features)
+                        for member, (features, _) in zip(
+                            self.ensemble.members, outputs
+                        )
+                    ]
+                )
+        return self._finish(
+            x, probabilities, detected, raw_cams, member_probabilities
+        )
+
+    def _localize_legacy(self, x: np.ndarray) -> CamALResult:
+        """The pre-fast-path pipeline: one backbone pass per consumer."""
+        cfg = self.config
+        with obs.span("camal.ensemble_forward"):  # step 1
+            probabilities = self.ensemble.predict_proba(x)
+        detected = probabilities > cfg.detection_threshold  # step 2
+        with obs.span("camal.cam_extraction"):  # step 3
+            raw_cams = self.ensemble.member_cams(x)
+        with obs.span("camal.member_probabilities"):
+            member_probabilities = self.ensemble.member_probas(x)
+        return self._finish(
+            x, probabilities, detected, raw_cams, member_probabilities
+        )
+
+    def _finish(
+        self,
+        x: np.ndarray,
+        probabilities: np.ndarray,
+        detected: np.ndarray,
+        raw_cams: np.ndarray,
+        member_probabilities: dict,
+    ) -> CamALResult:
+        """Steps 4-6, shared verbatim by the fast and legacy paths."""
+        cfg = self.config
+        with obs.span("camal.cam_normalization"):  # step 4
+            cam = np.mean([normalize_cam(c) for c in raw_cams], axis=0)
+            if cfg.cam_floor > 0.0:
+                cam = np.where(cam >= cfg.cam_floor, cam, 0.0)
+            if cfg.smooth_window > 1:
+                cam = _moving_average(cam, cfg.smooth_window)
+        with obs.span("camal.mask"):  # step 5a: CAM ∘ x
+            masked = cam * x[:, 0, :]
+        with obs.span("camal.sigmoid"):  # step 5b
+            attention = F.sigmoid(masked)
+        with obs.span("camal.threshold"):  # step 6
+            status = (attention > cfg.status_threshold).astype(np.float64)
+            status[~detected] = 0.0  # no detection → no localization
+            if cfg.min_on_duration > 1:
+                status = remove_short_runs(status, cfg.min_on_duration)
+        with obs.span("camal.member_probabilities"):
+            uncertainty = np.std(list(member_probabilities.values()), axis=0)
         return CamALResult(
             probabilities=probabilities,
             detected=detected,
@@ -293,6 +420,25 @@ class CamAL:
     def predict_status(self, x: np.ndarray) -> np.ndarray:
         """Binary per-timestep status ``(N, T)`` (baseline-compatible API)."""
         return self.localize(x).status
+
+    # -- caching support ------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """Hashable identity for result caching.
+
+        Combines the ensemble object identity with the architecture and
+        inference config, so cached results invalidate when a model is
+        swapped (retrain, :meth:`calibrate`, pruning) — not merely when
+        the window changes. In-place weight mutation of the *same*
+        ensemble object is not detectable; callers retraining in place
+        must clear their caches (see DESIGN.md "Inference fast path").
+        """
+        return (
+            id(self.ensemble),
+            self.ensemble.kernel_sizes,
+            self.ensemble.n_filters,
+            self.config,
+        )
 
     # -- threshold calibration ----------------------------------------------
 
@@ -335,7 +481,14 @@ class CamAL:
             smooth_window=self.config.smooth_window,
             min_on_duration=self.config.min_on_duration,
         )
-        return CamAL(self.ensemble, self.scaler, config)
+        return CamAL(
+            self.ensemble,
+            self.scaler,
+            config,
+            fast_path=self.fast_path,
+            chunk_size=self.chunk_size,
+            workers=self.workers,
+        )
 
     def __repr__(self) -> str:
         kernels = ",".join(str(k) for k in self.ensemble.kernel_sizes)

@@ -35,7 +35,7 @@ def grad_cam(
             f"class_index {class_index} out of range "
             f"[0, {model.num_classes})"
         )
-    features = model.forward_features(np.asarray(x, dtype=np.float64))
+    features, _ = model.forward_features(np.asarray(x, dtype=np.float64))
     length = features.shape[2]
     alpha = model.fc.weight.data[class_index] / length  # (C,)
     cam = np.einsum("ncl,c->nl", features, alpha)

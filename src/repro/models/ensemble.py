@@ -8,9 +8,13 @@ a small-kernel member sees spikes, a large-kernel member sees cycles.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 
 from .. import nn
+from ..nn import functional as F
+from ..nn.module import inference_mode
 from .resnet import ResNetTSC
 
 __all__ = ["DEFAULT_KERNEL_SIZES", "normalize_cam", "ResNetEnsemble"]
@@ -100,6 +104,59 @@ class ResNetEnsemble(nn.Module):
         return {
             i: member.predict_proba(x) for i, member in enumerate(self.members)
         }
+
+    # -- single-pass fast path (detection + CAM from one backbone sweep) ---
+
+    def member_outputs(
+        self, x: np.ndarray, workers: int | None = None
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """One ``(features, logits)`` pair per member, one backbone pass each.
+
+        This is the primitive behind the inference fast path: everything
+        CamAL needs — detection probabilities, per-member probabilities,
+        and CAMs — derives from these pairs, so the ResNet backbone runs
+        exactly once per member instead of once per consumer.
+
+        ``workers > 1`` fans members out across a thread pool. numpy's
+        einsum/matmul kernels release the GIL, so distinct members make
+        real parallel progress; results are returned in member order
+        regardless of completion order.
+        """
+        members = list(self.members)
+        if workers is None or workers <= 1 or len(members) <= 1:
+            return [member.forward_features(x) for member in members]
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(members))
+        ) as pool:
+            return list(
+                pool.map(lambda member: member.forward_features(x), members)
+            )
+
+    def predict_with_cams(
+        self, x: np.ndarray, workers: int | None = None
+    ) -> tuple[np.ndarray, dict[int, np.ndarray], np.ndarray]:
+        """Fused detection + localization from a single ensemble sweep.
+
+        Returns ``(avg_proba, member_probas, normalized_cam_avg)`` —
+        numerically identical to calling :meth:`predict_proba`,
+        :meth:`member_probas`, and :meth:`normalized_cams` separately,
+        but with one backbone pass per member instead of three. Runs
+        under :func:`repro.nn.inference_mode`, so no layer retains
+        backward caches.
+        """
+        with inference_mode():
+            outputs = self.member_outputs(x, workers=workers)
+        member_probas = {
+            i: F.softmax(logits, axis=1)[:, 1]
+            for i, (_, logits) in enumerate(outputs)
+        }
+        avg_proba = np.mean(list(member_probas.values()), axis=0)
+        cams = [
+            member.cam_from_features(features)
+            for member, (features, _) in zip(self.members, outputs)
+        ]
+        cam_avg = np.mean([normalize_cam(cam) for cam in cams], axis=0)
+        return avg_proba, member_probas, cam_avg
 
     # -- paper §II.B steps 3-4: averaged normalized CAM ---------------------
 

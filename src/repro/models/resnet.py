@@ -17,6 +17,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
+from ..nn.module import is_inference
 
 __all__ = ["ResidualBlock", "ResNetTSC"]
 
@@ -60,13 +61,16 @@ class ResidualBlock(nn.Module):
         main = self.main(x)
         residual = self.shortcut(x) if self.shortcut is not None else x
         pre = main + residual
-        self._relu_mask = pre > 0
-        return np.where(self._relu_mask, pre, 0.0)
+        mask = pre > 0
+        if not is_inference():
+            self._relu_mask = mask
+        return np.where(mask, pre, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._relu_mask is None:
             raise RuntimeError("backward called before forward")
         grad_pre = grad_output * self._relu_mask
+        self._relu_mask = None
         grad_input = self.main.backward(grad_pre)
         if self.shortcut is not None:
             grad_input = grad_input + self.shortcut.backward(grad_pre)
@@ -117,17 +121,29 @@ class ResNetTSC(nn.Module):
         self.fc = nn.Linear(f3, num_classes, rng=rng)
         self._features: np.ndarray | None = None
 
-    def forward_features(self, x: np.ndarray) -> np.ndarray:
-        """Final feature maps ``(N, C, L)`` — the CAM building blocks."""
+    def forward_features(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One backbone pass → ``(features, logits)``.
+
+        ``features`` are the final feature maps ``(N, C, L)`` — the CAM
+        building blocks — and ``logits`` the ``(N, num_classes)`` head
+        output. Detection probability and localization both derive from
+        this single sweep; that is the inference fast path's contract
+        (DESIGN.md "Inference fast path").
+        """
         h = self.block1(x)
         h = self.block2(h)
         h = self.block3(h)
-        self._features = h
-        return h
+        logits = self.fc(self.gap(h))
+        # Cache for class_activation_map(None); never retained on the
+        # inference fast path, where callers hold the returned features.
+        self._features = None if is_inference() else h
+        return h, logits
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        features = self.forward_features(x)
-        return self.fc(self.gap(features))
+        _, logits = self.forward_features(x)
+        return logits
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad = self.fc.backward(grad_output)
@@ -143,6 +159,23 @@ class ResNetTSC(nn.Module):
         logits = self.forward(x)
         return F.softmax(logits, axis=1)[:, 1]
 
+    def cam_from_features(
+        self, features: np.ndarray, class_index: int = 1
+    ) -> np.ndarray:
+        """CAM ``(N, L)`` from already-computed feature maps.
+
+        The cheap half of CAM extraction — an einsum against the final
+        linear layer's weight row — split out so the fused ensemble path
+        can reuse the features of the detection forward pass.
+        """
+        if not 0 <= class_index < self.num_classes:
+            raise ValueError(
+                f"class_index {class_index} out of range "
+                f"[0, {self.num_classes})"
+            )
+        weights = self.fc.weight.data[class_index]  # (C,)
+        return np.einsum("ncl,c->nl", features, weights)
+
     def class_activation_map(
         self, x: np.ndarray | None = None, class_index: int = 1
     ) -> np.ndarray:
@@ -153,17 +186,13 @@ class ResNetTSC(nn.Module):
         to (re)compute features, or ``None`` to reuse the cache from the
         latest forward pass.
         """
-        if not 0 <= class_index < self.num_classes:
-            raise ValueError(
-                f"class_index {class_index} out of range "
-                f"[0, {self.num_classes})"
-            )
         if x is not None:
-            self.forward_features(x)
-        if self._features is None:
+            features, _ = self.forward_features(x)
+        else:
+            features = self._features
+        if features is None:
             raise RuntimeError(
                 "no cached features: call forward/forward_features first "
                 "or pass x explicitly"
             )
-        weights = self.fc.weight.data[class_index]  # (C,)
-        return np.einsum("ncl,c->nl", self._features, weights)
+        return self.cam_from_features(features, class_index)

@@ -21,7 +21,7 @@ from .dropout import Dropout
 from .gradcheck import check_module_gradients
 from .linear import Linear
 from .losses import BCEWithLogitsLoss, CrossEntropyLoss, Loss, MSELoss
-from .module import Module
+from .module import Module, inference_mode, is_inference
 from .norm import BatchNorm1d, LayerNorm
 from .optim import SGD, Adam, AdamW, Optimizer, clip_grad_norm, global_grad_norm
 from .parameter import Parameter
@@ -35,6 +35,8 @@ __all__ = [
     "functional",
     "Parameter",
     "Module",
+    "inference_mode",
+    "is_inference",
     "Sequential",
     "ModuleList",
     "Conv1d",

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from . import functional as F
-from .module import Module
+from .module import Module, is_inference
 
 __all__ = ["ReLU", "LeakyReLU", "Sigmoid", "Tanh"]
 
@@ -18,13 +18,17 @@ class ReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        mask = x > 0
+        if not is_inference():
+            self._mask = mask
+        return np.where(mask, x, 0.0)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * self._mask
+        grad = grad_output * self._mask
+        self._mask = None
+        return grad
 
 
 class LeakyReLU(Module):
@@ -38,13 +42,17 @@ class LeakyReLU(Module):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, self.negative_slope * x)
+        mask = x > 0
+        if not is_inference():
+            self._mask = mask
+        return np.where(mask, x, self.negative_slope * x)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * np.where(self._mask, 1.0, self.negative_slope)
+        grad = grad_output * np.where(self._mask, 1.0, self.negative_slope)
+        self._mask = None
+        return grad
 
 
 class Sigmoid(Module):
@@ -55,13 +63,17 @@ class Sigmoid(Module):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = F.sigmoid(x)
-        return self._out
+        out = F.sigmoid(x)
+        if not is_inference():
+            self._out = out
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * self._out * (1.0 - self._out)
+        grad = grad_output * self._out * (1.0 - self._out)
+        self._out = None
+        return grad
 
 
 class Tanh(Module):
@@ -72,10 +84,14 @@ class Tanh(Module):
         self._out: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._out = np.tanh(x)
-        return self._out
+        out = np.tanh(x)
+        if not is_inference():
+            self._out = out
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._out is None:
             raise RuntimeError("backward called before forward")
-        return grad_output * (1.0 - self._out**2)
+        grad = grad_output * (1.0 - self._out**2)
+        self._out = None
+        return grad

@@ -6,7 +6,7 @@ import numpy as np
 
 from .functional import col2im1d, im2col1d
 from .init import he_uniform
-from .module import Module
+from .module import Module, is_inference
 from .parameter import Parameter
 
 __all__ = ["Conv1d"]
@@ -101,7 +101,10 @@ class Conv1d(Module):
         out = np.einsum("nclk,dck->ndl", cols, self.weight.data, optimize=True)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
-        self._cache = (cols, padded.shape[2], left, x.shape[2])
+        if not is_inference():
+            # The im2col tensor is K× the input size — never retain it on
+            # the inference fast path.
+            self._cache = (cols, padded.shape[2], left, x.shape[2])
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
@@ -119,4 +122,5 @@ class Conv1d(Module):
         dpadded = col2im1d(
             dcols, padded_len, self.kernel_size, self.stride, self.dilation
         )
+        self._cache = None
         return dpadded[:, :, left : left + in_len]

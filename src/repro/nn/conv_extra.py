@@ -12,7 +12,7 @@ import numpy as np
 
 from .functional import col2im1d, im2col1d
 from .init import he_uniform
-from .module import Module
+from .module import Module, is_inference
 from .parameter import Parameter
 
 __all__ = ["AvgPool1d", "ConvTranspose1d"]
@@ -38,16 +38,19 @@ class AvgPool1d(Module):
                 f"input length {length} shorter than pool size "
                 f"{self.kernel_size}"
             )
-        self._in_shape = x.shape
+        if not is_inference():
+            self._in_shape = x.shape
         trimmed = x[:, :, : l_out * self.kernel_size]
         return trimmed.reshape(n, c, l_out, self.kernel_size).mean(axis=3)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._in_shape is None:
             raise RuntimeError("backward called before forward")
-        n, c, length = self._in_shape
+        in_shape = self._in_shape
+        self._in_shape = None
+        n, c, length = in_shape
         l_out = grad_output.shape[2]
-        dx = np.zeros(self._in_shape, dtype=np.float64)
+        dx = np.zeros(in_shape, dtype=np.float64)
         spread = np.repeat(grad_output / self.kernel_size, self.kernel_size, axis=2)
         dx[:, :, : l_out * self.kernel_size] = spread
         return dx
@@ -108,13 +111,15 @@ class ConvTranspose1d(Module):
         out = out_full[:, :, self.padding : full_length - self.padding]
         if self.bias is not None:
             out = out + self.bias.data[None, :, None]
-        self._cache = (x, full_length)
+        if not is_inference():
+            self._cache = (x, full_length)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x, full_length = self._cache
+        self._cache = None
         grad_full = np.zeros(
             (grad_output.shape[0], self.out_channels, full_length)
         )

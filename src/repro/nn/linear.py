@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .init import glorot_uniform
-from .module import Module
+from .module import Module, is_inference
 from .parameter import Parameter
 
 __all__ = ["Linear"]
@@ -44,7 +44,8 @@ class Linear(Module):
             raise ValueError(
                 f"expected trailing dim {self.in_features}, got {x.shape[-1]}"
             )
-        self._cache = x
+        if not is_inference():
+            self._cache = x
         out = x @ self.weight.data.T
         if self.bias is not None:
             out = out + self.bias.data
@@ -54,6 +55,7 @@ class Linear(Module):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x = self._cache
+        self._cache = None
         flat_x = x.reshape(-1, self.in_features)
         flat_g = grad_output.reshape(-1, self.out_features)
         self.weight.accumulate_grad(flat_g.T @ flat_x)

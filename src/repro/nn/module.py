@@ -13,14 +13,62 @@ Map extraction.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Iterator
 
 import numpy as np
 
 from .parameter import Parameter
 
-__all__ = ["Module"]
+__all__ = ["Module", "inference_mode", "is_inference"]
+
+
+# -- inference mode ----------------------------------------------------------
+#
+# Layers cache whatever their backward pass needs (im2col columns, ReLU
+# masks, normalized activations, ...). On the inference hot path those
+# caches are pure overhead: CamAL never backpropagates when localizing a
+# window, yet every forward pass used to retain tensors several times the
+# size of the input. ``inference_mode()`` is a process-wide flag — layers
+# consult :func:`is_inference` and skip cache population entirely while
+# any thread holds the context open.
+#
+# The flag is deliberately process-wide rather than thread-local: the
+# ensemble fast path fans member forwards out across worker threads, and
+# those workers must inherit the caller's inference state. The trade-off
+# (a concurrent *training* step in another thread would also skip caches)
+# does not arise in this codebase — training and serving never share a
+# process window — and is documented in DESIGN.md.
+
+_inference_lock = threading.Lock()
+_inference_depth = 0
+
+
+def is_inference() -> bool:
+    """True while at least one :func:`inference_mode` context is open."""
+    return _inference_depth > 0
+
+
+@contextmanager
+def inference_mode():
+    """Disable backward caches for every layer forward run inside.
+
+    Re-entrant: nesting increments a depth counter, so helper APIs can
+    wrap themselves defensively without fighting an outer context. Under
+    inference mode a subsequent ``backward()`` raises the usual
+    "backward called before forward" error, exactly as if no forward had
+    happened.
+    """
+    global _inference_depth
+    with _inference_lock:
+        _inference_depth += 1
+    try:
+        yield
+    finally:
+        with _inference_lock:
+            _inference_depth -= 1
 
 
 class Module:
@@ -91,6 +139,36 @@ class Module:
     def zero_grad(self) -> None:
         for param in self.parameters():
             param.zero_grad()
+
+    # -- backward caches ---------------------------------------------------
+
+    #: Attribute names layers use for forward-pass caches. ``clear_caches``
+    #: resets any of these found on a module tree; layers also clear their
+    #: own entry at the end of ``backward()`` so gradients never pin the
+    #: (often input-sized) intermediates past their single use.
+    _CACHE_ATTRS = (
+        "_cache",
+        "_mask",
+        "_out",
+        "_relu_mask",
+        "_features",
+        "_length",
+        "_in_shape",
+        "_in_length",
+    )
+
+    def clear_caches(self) -> "Module":
+        """Drop every cached forward intermediate in this module tree.
+
+        Useful after an eval-mode forward that will never be followed by
+        ``backward()`` (prefer :func:`inference_mode`, which avoids the
+        allocation in the first place).
+        """
+        for _, module in self.named_modules():
+            for attr in self._CACHE_ATTRS:
+                if getattr(module, attr, None) is not None:
+                    object.__setattr__(module, attr, None)
+        return self
 
     # -- forward / backward --------------------------------------------------
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .module import Module
+from .module import Module, is_inference
 from .parameter import Parameter
 
 __all__ = ["BatchNorm1d", "LayerNorm"]
@@ -72,13 +72,15 @@ class BatchNorm1d(Module):
         out = self._expand(self.gamma.data, x.ndim) * x_hat + self._expand(
             self.beta.data, x.ndim
         )
-        self._cache = (x_hat, inv_std, axes, x.ndim, self.training)
+        if not is_inference():
+            self._cache = (x_hat, inv_std, axes, x.ndim, self.training)
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, inv_std, axes, ndim, was_training = self._cache
+        self._cache = None
         self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=axes))
         self.beta.accumulate_grad(grad_output.sum(axis=axes))
         dxhat = grad_output * self._expand(self.gamma.data, ndim)
@@ -115,13 +117,15 @@ class LayerNorm(Module):
         var = x.var(axis=-1, keepdims=True)
         inv_std = 1.0 / np.sqrt(var + self.eps)
         x_hat = (x - mean) * inv_std
-        self._cache = (x_hat, inv_std)
+        if not is_inference():
+            self._cache = (x_hat, inv_std)
         return self.gamma.data * x_hat + self.beta.data
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_hat, inv_std = self._cache
+        self._cache = None
         reduce_axes = tuple(range(grad_output.ndim - 1))
         self.gamma.accumulate_grad((grad_output * x_hat).sum(axis=reduce_axes))
         self.beta.accumulate_grad(grad_output.sum(axis=reduce_axes))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .module import Module
+from .module import Module, is_inference
 
 __all__ = ["GlobalAvgPool1d", "MaxPool1d", "Upsample1d", "Flatten"]
 
@@ -24,15 +24,16 @@ class GlobalAvgPool1d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(f"expected (N, C, L) input, got shape {x.shape}")
-        self._length = x.shape[2]
+        if not is_inference():
+            self._length = x.shape[2]
         return x.mean(axis=2)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._length is None:
             raise RuntimeError("backward called before forward")
-        return np.repeat(
-            grad_output[:, :, None] / self._length, self._length, axis=2
-        )
+        length = self._length
+        self._length = None
+        return np.repeat(grad_output[:, :, None] / length, length, axis=2)
 
 
 class MaxPool1d(Module):
@@ -60,14 +61,17 @@ class MaxPool1d(Module):
             )
         trimmed = x[:, :, : l_out * self.kernel_size]
         windows = trimmed.reshape(n, c, l_out, self.kernel_size)
-        argmax = windows.argmax(axis=3)
-        self._cache = (argmax, x.shape, l_out)
+        if not is_inference():
+            # argmax exists solely to route gradients — skip it entirely
+            # on the inference fast path.
+            self._cache = (windows.argmax(axis=3), x.shape, l_out)
         return windows.max(axis=3)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         argmax, in_shape, l_out = self._cache
+        self._cache = None
         n, c, length = in_shape
         dwindows = np.zeros((n, c, l_out, self.kernel_size), dtype=np.float64)
         ni, ci, li = np.ogrid[:n, :c, :l_out]
@@ -90,16 +94,17 @@ class Upsample1d(Module):
     def forward(self, x: np.ndarray) -> np.ndarray:
         if x.ndim != 3:
             raise ValueError(f"expected (N, C, L) input, got shape {x.shape}")
-        self._in_length = x.shape[2]
+        if not is_inference():
+            self._in_length = x.shape[2]
         return np.repeat(x, self.scale_factor, axis=2)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._in_length is None:
             raise RuntimeError("backward called before forward")
+        in_length = self._in_length
+        self._in_length = None
         n, c, l_out = grad_output.shape
-        return grad_output.reshape(n, c, self._in_length, self.scale_factor).sum(
-            axis=3
-        )
+        return grad_output.reshape(n, c, in_length, self.scale_factor).sum(axis=3)
 
 
 class Flatten(Module):
@@ -110,10 +115,13 @@ class Flatten(Module):
         self._in_shape: tuple[int, ...] | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._in_shape = x.shape
+        if not is_inference():
+            self._in_shape = x.shape
         return x.reshape(x.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._in_shape is None:
             raise RuntimeError("backward called before forward")
-        return grad_output.reshape(self._in_shape)
+        in_shape = self._in_shape
+        self._in_shape = None
+        return grad_output.reshape(in_shape)

@@ -168,3 +168,44 @@ def test_prediction_reports_uncertainty(dataset, model):
     pg.select_window("6h")
     pred = pg.view(["kettle"]).predictions["kettle"]
     assert 0.0 <= pred.uncertainty <= 0.5
+
+
+def test_prev_next_revisits_hit_the_result_cache(dataset, model):
+    """Navigating back to a window must serve the memoized localization."""
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    pg.state.selected_appliances = ["kettle"]  # next()/previous() render these
+    pg.view()  # position 0: miss + compute
+    pg.next()  # position 1: miss
+    pg.previous()  # back to position 0: pure hit
+    assert pg.cache.hits == 1
+    assert pg.cache.misses == 2
+
+
+def test_cached_view_renders_identically(dataset, model):
+    pg = Playground(dataset, {"kettle": model})
+    pg.select_window("6h")
+    first = pg.view(["kettle"]).predictions["kettle"]
+    second = pg.view(["kettle"]).predictions["kettle"]
+    np.testing.assert_array_equal(second.status, first.status)
+    np.testing.assert_array_equal(second.cam, first.cam)
+    assert second.probability == first.probability
+
+
+def test_cache_can_be_disabled(dataset, model):
+    pg = Playground(dataset, {"kettle": model}, cache=None)
+    pg.select_window("6h")
+    pg.view(["kettle"])
+    pg.view(["kettle"])  # recomputes silently; nothing to assert but shape
+    assert pg.cache is None
+
+
+def test_shared_cache_instance_is_used(dataset, model):
+    from repro.core import ResultCache
+
+    shared = ResultCache(maxsize=8, name="shared")
+    pg = Playground(dataset, {"kettle": model}, cache=shared)
+    pg.select_window("6h")
+    pg.view(["kettle"])
+    assert pg.cache is shared
+    assert shared.misses == 1 and len(shared) == 1

@@ -1,0 +1,176 @@
+"""Tests for the result LRU cache behind Prev/Next navigation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import ResultCache, window_key
+
+
+def test_put_get_roundtrip():
+    cache = ResultCache(maxsize=4)
+    cache.put("k", {"value": 1})
+    assert cache.get("k") == {"value": 1}
+    assert len(cache) == 1
+    assert "k" in cache
+
+
+def test_hit_returns_same_object():
+    """The app renders cached results by reference — identity matters."""
+    cache = ResultCache()
+    value = np.arange(5)
+    cache.put("k", value)
+    assert cache.get("k") is value
+    assert cache.get_or_compute("k", lambda: np.arange(5)) is value
+
+
+def test_miss_returns_default_and_counts():
+    cache = ResultCache()
+    assert cache.get("absent") is None
+    assert cache.get("absent", default=42) == 42
+    assert cache.misses == 2
+    assert cache.hits == 0
+
+
+def test_hit_miss_counters_and_stats():
+    cache = ResultCache(maxsize=2, name="test")
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("a")
+    cache.get("b")
+    stats = cache.stats()
+    assert stats["hits"] == 2
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == pytest.approx(2 / 3)
+    assert stats["name"] == "test"
+    assert stats["size"] == 1
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.get("a")  # refresh a — b becomes the eviction candidate
+    cache.put("c", 3)
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert len(cache) == 2
+
+
+def test_put_refreshes_recency():
+    cache = ResultCache(maxsize=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # re-put refreshes, does not duplicate
+    cache.put("c", 3)
+    assert cache.get("a") == 10
+    assert "b" not in cache
+
+
+def test_get_or_compute_computes_once():
+    cache = ResultCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return "value"
+
+    assert cache.get_or_compute("k", compute) == "value"
+    assert cache.get_or_compute("k", compute) == "value"
+    assert len(calls) == 1
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_clear_keeps_totals():
+    cache = ResultCache()
+    cache.put("k", 1)
+    cache.get("k")
+    cache.get("missing")
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_maxsize_validation():
+    with pytest.raises(ValueError):
+        ResultCache(maxsize=0)
+
+
+def test_thread_safety_under_contention():
+    cache = ResultCache(maxsize=8)
+
+    def worker(seed):
+        for i in range(200):
+            key = (seed + i) % 12
+            cache.get_or_compute(key, lambda k=key: k * 2)
+
+    threads = [threading.Thread(target=worker, args=(s,)) for s in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(cache) <= 8
+    assert cache.hits + cache.misses == 800
+
+
+def test_obs_counters_exported():
+    obs.reset()
+    obs.enable()
+    try:
+        cache = ResultCache(name="unit")
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("absent")
+        hits = obs.registry.counter("app.result_cache_hits_total")
+        misses = obs.registry.counter("app.result_cache_misses_total")
+        assert hits.value(cache="unit") == 1.0
+        assert misses.value(cache="unit") == 1.0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def test_disabled_obs_still_counts_locally():
+    assert not obs.enabled()
+    cache = ResultCache()
+    cache.get("absent")
+    assert cache.misses == 1
+
+
+# -- window_key ---------------------------------------------------------
+
+
+def test_window_key_stable_for_equal_windows():
+    watts = np.random.default_rng(0).normal(size=64)
+    assert window_key("kettle", watts) == window_key("kettle", watts.copy())
+
+
+def test_window_key_discriminates_content():
+    watts = np.random.default_rng(1).normal(size=64)
+    other = watts.copy()
+    other[3] += 1e-9
+    assert window_key("kettle", watts) != window_key("kettle", other)
+
+
+def test_window_key_discriminates_appliance_and_fingerprint():
+    watts = np.zeros(16)
+    assert window_key("kettle", watts) != window_key("microwave", watts)
+    assert window_key("kettle", watts, ("model-a",)) != window_key(
+        "kettle", watts, ("model-b",)
+    )
+
+
+def test_window_key_includes_shape_and_dtype():
+    flat = np.zeros(16)
+    assert window_key("k", flat) != window_key("k", flat.reshape(4, 4))
+    assert window_key("k", flat) != window_key("k", flat.astype(np.float32))
+
+
+def test_window_key_handles_noncontiguous_views():
+    base = np.random.default_rng(2).normal(size=(4, 32))
+    strided = base[:, ::2]  # non-contiguous view
+    assert window_key("k", strided) == window_key(
+        "k", np.ascontiguousarray(strided)
+    )

@@ -1,0 +1,207 @@
+"""Equivalence suite: the inference fast path vs the legacy pipeline.
+
+The fast path (one backbone pass per member under ``inference_mode``)
+must be **bit-identical** to the legacy three-pass pipeline — same
+numpy expressions, same reduction order. Chunked execution is the one
+sanctioned exception: BLAS may batch differently across chunk sizes, so
+chunked results are compared with ``allclose`` instead of bit-exact.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CamAL, CamALConfig
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+from repro.nn.module import Module
+
+
+def make_pair(kernel_sizes=(3, 5), seed=0, config=None, **fast_kwargs):
+    """Fast and legacy CamAL sharing one (untrained, eval'd) ensemble."""
+    ens = ResNetEnsemble(kernel_sizes, n_filters=(4, 8, 8), seed=seed)
+    ens.eval()
+    scaler = Standardizer()
+    fast = CamAL(ens, scaler, config, fast_path=True, **fast_kwargs)
+    legacy = CamAL(ens, scaler, config, fast_path=False)
+    return fast, legacy
+
+
+def windows(n, t, seed=0):
+    return np.random.default_rng(seed).normal(size=(n, 1, t))
+
+
+def assert_results_identical(a, b):
+    np.testing.assert_array_equal(a.probabilities, b.probabilities)
+    np.testing.assert_array_equal(a.detected, b.detected)
+    np.testing.assert_array_equal(a.cam, b.cam)
+    np.testing.assert_array_equal(a.attention, b.attention)
+    np.testing.assert_array_equal(a.status, b.status)
+    np.testing.assert_array_equal(a.uncertainty, b.uncertainty)
+    assert set(a.member_probabilities) == set(b.member_probabilities)
+    for key in a.member_probabilities:
+        np.testing.assert_array_equal(
+            a.member_probabilities[key], b.member_probabilities[key]
+        )
+
+
+@pytest.mark.parametrize("kernel_sizes", [(3,), (5,), (3, 5, 7, 9)])
+@pytest.mark.parametrize("length", [33, 64])
+def test_localize_bit_identical(kernel_sizes, length):
+    """Across kernel sizes, member counts (1 and 4), and odd lengths."""
+    fast, legacy = make_pair(kernel_sizes)
+    x = windows(4, length, seed=len(kernel_sizes))
+    assert_results_identical(fast.localize(x), legacy.localize(x))
+
+
+def test_localize_bit_identical_with_postprocessing():
+    config = CamALConfig(cam_floor=0.3, smooth_window=3, min_on_duration=2)
+    fast, legacy = make_pair(config=config)
+    x = windows(5, 40, seed=3)
+    assert_results_identical(fast.localize(x), legacy.localize(x))
+
+
+def test_detect_bit_identical():
+    fast, legacy = make_pair()
+    x = windows(6, 48, seed=4)
+    np.testing.assert_array_equal(fast.detect(x), legacy.detect(x))
+
+
+def test_predict_status_bit_identical():
+    fast, legacy = make_pair()
+    x = windows(3, 37, seed=5)
+    np.testing.assert_array_equal(
+        fast.predict_status(x), legacy.predict_status(x)
+    )
+
+
+def test_predict_with_cams_matches_separate_calls():
+    """The fused ensemble call against the three legacy accessors."""
+    ens = ResNetEnsemble((3, 5), n_filters=(4, 8, 8), seed=1)
+    ens.eval()
+    x = windows(4, 29, seed=6)
+    avg_proba, member_probas, cam_avg = ens.predict_with_cams(x)
+    np.testing.assert_array_equal(avg_proba, ens.predict_proba(x))
+    legacy_members = ens.member_probas(x)
+    assert set(member_probas) == set(legacy_members)
+    for key in member_probas:
+        np.testing.assert_array_equal(member_probas[key], legacy_members[key])
+    np.testing.assert_array_equal(cam_avg, ens.normalized_cams(x))
+
+
+def test_member_outputs_workers_bit_identical():
+    """Thread fan-out must not change results or their member order."""
+    ens = ResNetEnsemble((3, 5, 7), n_filters=(4, 8, 8), seed=2)
+    ens.eval()
+    x = windows(3, 31, seed=7)
+    sequential = ens.member_outputs(x)
+    threaded = ens.member_outputs(x, workers=3)
+    assert len(threaded) == len(sequential) == 3
+    for (f_seq, l_seq), (f_thr, l_thr) in zip(sequential, threaded):
+        np.testing.assert_array_equal(f_thr, f_seq)
+        np.testing.assert_array_equal(l_thr, l_seq)
+
+
+def test_localize_with_workers_matches_legacy():
+    fast, legacy = make_pair(kernel_sizes=(3, 5, 7), workers=2)
+    x = windows(4, 45, seed=8)
+    assert_results_identical(fast.localize(x), legacy.localize(x))
+
+
+def test_chunked_localize_allclose():
+    """Chunking changes BLAS batch shapes — allow last-ulp drift only."""
+    chunked, _ = make_pair(chunk_size=3)
+    unchunked, _ = make_pair(chunk_size=1024)
+    x = windows(8, 36, seed=9)
+    a = chunked.localize(x)
+    b = unchunked.localize(x)
+    np.testing.assert_allclose(a.probabilities, b.probabilities, atol=1e-12)
+    np.testing.assert_allclose(a.cam, b.cam, atol=1e-12)
+    np.testing.assert_allclose(a.attention, b.attention, atol=1e-12)
+    np.testing.assert_allclose(a.uncertainty, b.uncertainty, atol=1e-12)
+    # Hard decisions compare away from the thresholds, where an ulp of
+    # drift cannot flip them.
+    decisive = np.abs(b.probabilities - 0.5) > 1e-9
+    np.testing.assert_array_equal(a.detected[decisive], b.detected[decisive])
+    cell = (np.abs(b.attention - 0.5) > 1e-9) & decisive[:, None]
+    np.testing.assert_array_equal(a.status[cell], b.status[cell])
+
+
+def test_chunked_detect_allclose():
+    chunked, _ = make_pair(chunk_size=2)
+    unchunked, _ = make_pair(chunk_size=1024)
+    x = windows(7, 32, seed=10)
+    np.testing.assert_allclose(
+        chunked.detect(x), unchunked.detect(x), atol=1e-12
+    )
+
+
+def test_chunks_cover_batch_in_order():
+    model, _ = make_pair(chunk_size=3)
+    x = windows(8, 16, seed=11)
+    parts = list(model._chunks(x))
+    assert [p.shape[0] for p in parts] == [3, 3, 2]
+    np.testing.assert_array_equal(np.concatenate(parts), x)
+
+
+def test_chunk_size_validation():
+    ens = ResNetEnsemble((3,), n_filters=(4, 8, 8))
+    with pytest.raises(ValueError, match="chunk_size"):
+        CamAL(ens, Standardizer(), chunk_size=0)
+
+
+def test_fast_path_leaves_no_layer_caches():
+    fast, _ = make_pair()
+    fast.localize(windows(2, 24, seed=12))
+    leftovers = [
+        (name, attr)
+        for name, child in fast.ensemble.named_modules()
+        for attr in Module._CACHE_ATTRS
+        if getattr(child, attr, None) is not None
+    ]
+    assert leftovers == []
+
+
+def test_legacy_path_still_caches_features():
+    """The legacy path exists precisely because it keeps the old
+    cache-everything behaviour (class_activation_map needs it)."""
+    _, legacy = make_pair()
+    legacy.localize(windows(2, 24, seed=13))
+    assert any(
+        member._features is not None for member in legacy.ensemble.members
+    )
+
+
+def test_calibrate_preserves_fast_path_settings():
+    fast, _ = make_pair(chunk_size=7, workers=2)
+    # calibrate() needs labelled windows; fabricate a minimal WindowSet.
+    from repro.datasets import WindowSet
+
+    rng = np.random.default_rng(14)
+    x_watts = rng.normal(100.0, 10.0, size=(10, 32))
+    scaler = Standardizer.fit(x_watts)
+    ws = WindowSet(
+        x=scaler.transform(x_watts)[:, None, :],
+        x_watts=x_watts,
+        y_weak=(rng.random(10) > 0.5).astype(float),
+        y_strong=np.zeros((10, 32)),
+        house_ids=["h"] * 10,
+        starts=np.zeros(10, dtype=np.int64),
+        appliance="kettle",
+        scaler=scaler,
+    )
+    calibrated = fast.calibrate(ws)
+    assert calibrated.fast_path is True
+    assert calibrated.chunk_size == 7
+    assert calibrated.workers == 2
+
+
+def test_fingerprint_tracks_model_identity_and_config():
+    fast, legacy = make_pair()
+    assert fast.fingerprint() == legacy.fingerprint()  # same ensemble+config
+    other, _ = make_pair(seed=9)
+    assert fast.fingerprint() != other.fingerprint()  # different ensemble
+    retuned = CamAL(
+        fast.ensemble, fast.scaler, CamALConfig(detection_threshold=0.4)
+    )
+    assert fast.fingerprint() != retuned.fingerprint()  # different config
+    assert isinstance(hash(fast.fingerprint()), int)  # usable as cache key

@@ -23,8 +23,18 @@ def test_feature_maps_preserve_length():
     """Same-padding stride-1 convs keep time alignment — the property CAM
     localization depends on."""
     model = small_resnet(k=15)
-    features = model.forward_features(np.zeros((2, 1, 37)))
+    features, logits = model.forward_features(np.zeros((2, 1, 37)))
     assert features.shape == (2, 8, 37)
+    assert logits.shape == (2, 2)
+
+
+def test_forward_features_logits_match_forward():
+    """The single-pass contract: forward() is forward_features()'s logits."""
+    model = small_resnet()
+    model.eval()
+    x = np.random.default_rng(11).normal(size=(3, 1, 28))
+    _, logits = model.forward_features(x)
+    np.testing.assert_array_equal(logits, model(x))
 
 
 def test_cam_shape_matches_input_length():
@@ -37,7 +47,7 @@ def test_cam_shape_matches_input_length():
 def test_cam_equals_weighted_feature_sum():
     model = small_resnet()
     x = np.random.default_rng(2).normal(size=(1, 1, 30))
-    features = model.forward_features(x)
+    features, _ = model.forward_features(x)
     cam = model.class_activation_map()
     manual = np.tensordot(model.fc.weight.data[1], features[0], axes=(0, 0))
     np.testing.assert_allclose(cam[0], manual)
