@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..core import CamAL, ResultCache, window_key
 from ..datasets import (
     SmartMeterDataset,
@@ -26,6 +27,7 @@ from ..datasets import (
     strong_labels,
     window_samples,
 )
+from ..robust import RetriesExhausted, RobustError
 from .state import SessionState
 
 __all__ = ["AppliancePrediction", "WindowView", "Playground"]
@@ -44,6 +46,15 @@ class AppliancePrediction:
     ground_truth_watts: np.ndarray | None = None  # (T,) submeter power
     ground_truth_status: np.ndarray | None = None  # (T,) true binary status
     uncertainty: float = 0.0  # ensemble disagreement (std of member probs)
+    verdict: str = "ok"  # ok | repaired | degraded | failed
+
+    @property
+    def repaired(self) -> bool:
+        return self.verdict == "repaired"
+
+    @property
+    def degraded(self) -> bool:
+        return self.verdict in ("degraded", "failed")
 
 
 @dataclass
@@ -58,6 +69,7 @@ class WindowView:
     hours: np.ndarray  # (T,) hour-of-recording axis
     watts: np.ndarray  # (T,) aggregate power
     missing: bool  # window contains meter outages
+    degraded: bool = False  # the store read gave up; watts are a NaN stub
     predictions: dict[str, AppliancePrediction] = field(default_factory=dict)
 
     @property
@@ -158,7 +170,21 @@ class Playground:
         length = self.window_length
         position = min(self.state.position, self.n_windows - 1)
         start = position * length
-        watts = house.aggregate[start : start + length]
+        degraded = False
+        try:
+            # Fault-tolerant read: transient store failures are retried
+            # with backoff inside House.read_window.
+            watts = house.read_window(start, length)
+        except RetriesExhausted:
+            # The read kept failing — render a NaN stub so navigation
+            # stays alive instead of crashing the frame.
+            watts = np.full(length, np.nan)
+            degraded = True
+            if obs.enabled():
+                obs.registry.counter(
+                    "robust.view_read_giveups_total",
+                    help="playground window reads abandoned after retries",
+                ).inc()
         missing = bool(np.isnan(watts).any())
         view = WindowView(
             house_id=house.house_id,
@@ -169,6 +195,7 @@ class Playground:
             hours=house.hours_index()[start : start + length],
             watts=watts,
             missing=missing,
+            degraded=degraded,
         )
         for appliance in appliances:
             prediction = self._predict(house, appliance, watts, start, length)
@@ -187,27 +214,37 @@ class Playground:
         if appliance in house.submeters:
             truth_watts = house.submeters[appliance][start : start + length]
             truth_status = strong_labels(truth_watts, appliance)
-        if np.isnan(watts).any():
-            # The paper's pipeline omits windows with missing data.
-            nan_status = np.zeros(length)
-            return AppliancePrediction(
-                appliance=appliance,
-                probability=float("nan"),
-                detected=False,
-                status=nan_status,
-                cam=np.zeros(length),
-                member_probabilities={},
-                ground_truth_watts=truth_watts,
-                ground_truth_status=truth_status,
-            )
         model = self.models[appliance]
-        if self.cache is not None:
-            key = window_key(appliance, watts, model.fingerprint())
-            result = self.cache.get_or_compute(
-                key, lambda: model.localize_watts(watts[None, :])
+        compute = lambda: model.localize_watts(watts[None, :])
+        try:
+            if self.cache is not None:
+                # Degraded results must never become cache hits — a
+                # transient defect would otherwise replay forever.
+                key = window_key(appliance, watts, model.fingerprint())
+                result = self.cache.get_or_compute(
+                    key, compute, cache_if=lambda r: not r.any_degraded
+                )
+            else:
+                result = compute()
+        except (RobustError, OSError, TimeoutError):
+            # Localization itself failed (store fault, injected error).
+            # Degrade this one prediction; the view and the other
+            # appliances keep rendering. Nothing was cached: a raising
+            # compute stores no entry.
+            if obs.enabled():
+                obs.registry.counter(
+                    "robust.prediction_failures_total",
+                    help="playground predictions degraded by compute errors",
+                ).inc(appliance=appliance)
+            return self._unavailable(
+                appliance, length, truth_watts, truth_status, "failed"
             )
-        else:
-            result = model.localize_watts(watts[None, :])
+        if result.degraded[0]:
+            # The paper's pipeline omits windows with missing data; the
+            # robust layer reports *why* via the degraded verdict.
+            return self._unavailable(
+                appliance, length, truth_watts, truth_status, "degraded"
+            )
         return AppliancePrediction(
             appliance=appliance,
             probability=float(result.probabilities[0]),
@@ -220,6 +257,22 @@ class Playground:
             ground_truth_watts=truth_watts,
             ground_truth_status=truth_status,
             uncertainty=float(result.uncertainty[0]),
+            verdict="repaired" if result.repaired[0] else "ok",
+        )
+
+    @staticmethod
+    def _unavailable(appliance, length, truth_watts, truth_status, verdict):
+        """A no-prediction placeholder: detection off, status all-OFF."""
+        return AppliancePrediction(
+            appliance=appliance,
+            probability=float("nan"),
+            detected=False,
+            status=np.zeros(length),
+            cam=np.zeros(length),
+            member_probabilities={},
+            ground_truth_watts=truth_watts,
+            ground_truth_status=truth_status,
+            verdict=verdict,
         )
 
     # -- navigation (the Prev / Next buttons) ------------------------------

@@ -142,10 +142,23 @@ def render_window_view(view: WindowView) -> str:
         "<h3>Aggregate consumption (W)</h3>",
         svg_series(view.watts, color="#333333"),
     ]
-    if view.missing:
+    if view.degraded:
+        parts.append(
+            "<p><em>The meter store could not be read for this window "
+            "(retries exhausted); showing a placeholder.</em></p>"
+        )
+    elif view.missing:
         parts.append(
             "<p><em>This window contains missing meter data; "
             "predictions are unavailable (omitted subsequence).</em></p>"
+        )
+    repaired = sorted(
+        name for name, pred in view.predictions.items() if pred.repaired
+    )
+    if repaired:
+        parts.append(
+            "<p><em>Input defects repaired before localization for: "
+            f"{html.escape(', '.join(repaired))}.</em></p>"
         )
     if view.predictions:
         prob_rows = []

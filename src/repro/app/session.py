@@ -37,6 +37,14 @@ class DeviceScope:
         default_factory=lambda: ResultCache(maxsize=256, name="session")
     )
 
+    def health(self) -> dict:
+        """Session diagnostics: cache stats plus every ``robust.*``
+        counter recorded so far (empty when obs is disabled) — what the
+        GUI's diagnostics pane and ``devicescope faultcheck`` print."""
+        from ..robust import metrics_snapshot
+
+        return {"cache": self.cache.stats(), "robust": metrics_snapshot()}
+
     @classmethod
     def bootstrap(
         cls,

@@ -64,6 +64,7 @@ class ResultCache:
         self.name = name
         self.hits = 0
         self.misses = 0
+        self.rejected = 0  # computed values refused storage by cache_if
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
 
@@ -100,18 +101,40 @@ class ResultCache:
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
 
-    def get_or_compute(self, key: Hashable, compute: Callable[[], object]):
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], object],
+        cache_if: Callable[[object], bool] | None = None,
+    ):
         """Return the cached value for ``key`` or compute-and-store it.
 
         ``compute`` runs outside the lock, so a slow localization does
         not serialize unrelated lookups; concurrent misses on the same
         key may compute twice (last write wins) — acceptable for a
         memoization cache of deterministic results.
+
+        ``cache_if`` gates storage: when it returns False for the
+        computed value, the value is returned but **not** stored (and
+        counted under ``rejected``). The app uses this to keep results
+        of degraded/failed computations out of the cache — a transient
+        fault must not be replayed forever as a cache hit. A ``compute``
+        that raises stores nothing either: the exception propagates and
+        the key stays absent.
         """
         value = self.get(key, self._MISS)
         if value is not self._MISS:
             return value
         value = compute()
+        if cache_if is not None and not cache_if(value):
+            with self._lock:
+                self.rejected += 1
+            if obs.enabled():
+                obs.registry.counter(
+                    "app.result_cache_rejected_total",
+                    help="computed values refused storage (degraded/failed)",
+                ).inc(cache=self.name)
+            return value
         self.put(key, value)
         return value
 
@@ -129,6 +152,7 @@ class ResultCache:
                 "maxsize": self.maxsize,
                 "hits": self.hits,
                 "misses": self.misses,
+                "rejected": self.rejected,
                 "hit_rate": self.hits / max(self.hits + self.misses, 1),
             }
 

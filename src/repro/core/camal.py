@@ -34,6 +34,8 @@ from ..models import ResNetEnsemble, TrainConfig, train_ensemble
 from ..models.ensemble import normalize_cam
 from ..nn import functional as F
 from ..nn.module import inference_mode
+from ..robust import faults
+from ..robust.validate import Verdict, validate_window
 
 __all__ = [
     "CamALConfig",
@@ -112,6 +114,8 @@ def _concat_results(parts: list["CamALResult"]) -> "CamALResult":
             for key in member_keys
         },
         uncertainty=np.concatenate([p.uncertainty for p in parts]),
+        repaired=np.concatenate([p.repaired for p in parts]),
+        degraded=np.concatenate([p.degraded for p in parts]),
     )
 
 
@@ -177,6 +181,20 @@ class CamALResult:
     uncertainty: np.ndarray = field(default_factory=lambda: np.empty(0))
     # (N,) std of member probabilities — ensemble disagreement; high
     # values flag windows where the detection is not to be trusted.
+    repaired: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    # (N,) True where the input window had defects that the robust
+    # layer repaired (short NaN gaps interpolated, negatives clipped).
+    degraded: np.ndarray = field(default_factory=lambda: np.empty(0, bool))
+    # (N,) True where the window was unusable — no localization ran:
+    # probability is NaN, detected False, status all-OFF.
+
+    @property
+    def any_degraded(self) -> bool:
+        return bool(self.degraded.any()) if self.degraded.size else False
+
+    @property
+    def any_repaired(self) -> bool:
+        return bool(self.repaired.any()) if self.repaired.size else False
 
 
 class CamAL:
@@ -321,6 +339,7 @@ class CamAL:
         consumer, exactly as the paper pseudo-code reads.
         """
         x = self._validate(x)
+        faults.checkpoint("camal.localize")
         with obs.span(
             "camal.localize", n_windows=x.shape[0], window_length=x.shape[2]
         ) as root:
@@ -407,6 +426,7 @@ class CamAL:
                 status = remove_short_runs(status, cfg.min_on_duration)
         with obs.span("camal.member_probabilities"):
             uncertainty = np.std(list(member_probabilities.values()), axis=0)
+        n = len(probabilities)
         return CamALResult(
             probabilities=probabilities,
             detected=detected,
@@ -415,6 +435,8 @@ class CamAL:
             status=status,
             member_probabilities=member_probabilities,
             uncertainty=uncertainty,
+            repaired=np.zeros(n, dtype=bool),
+            degraded=np.zeros(n, dtype=bool),
         )
 
     def predict_status(self, x: np.ndarray) -> np.ndarray:
@@ -499,10 +521,105 @@ class CamAL:
 
     # -- watt-space conveniences (used by the app) -----------------------
 
-    def localize_watts(self, watts: np.ndarray) -> CamALResult:
-        """Accept raw watt windows ``(N, T)``; standardizes internally."""
+    def localize_watts(
+        self,
+        watts: np.ndarray,
+        validate: bool = True,
+        max_gap: int = 5,
+    ) -> CamALResult:
+        """Accept raw watt windows ``(N, T)``; standardizes internally.
+
+        With ``validate`` (the default) every window first runs through
+        :func:`repro.robust.validate_window`: short NaN gaps are
+        interpolated and negatives clipped (``result.repaired`` flags
+        those rows), while windows the repair budget cannot fix are
+        **degraded** instead of crashing or poisoning the batch — their
+        row comes back with ``probability`` NaN, ``detected`` False and
+        an all-OFF ``status``, and ``result.degraded`` marks them. Clean
+        batches short-circuit to the exact pre-validation numerics.
+        """
         watts = np.asarray(watts, dtype=np.float64)
         if watts.ndim != 2:
             raise ValueError(f"expected (N, T) watts, got shape {watts.shape}")
-        x = self.scaler.transform(watts)[:, None, :]
-        return self.localize(x)
+        if not validate:
+            return self.localize(self.scaler.transform(watts)[:, None, :])
+        rows = []
+        reports = []
+        for row in watts:
+            repaired_row, report = validate_window(row, max_gap=max_gap)
+            reports.append(report)
+            rows.append(row if repaired_row is None else repaired_row)
+        usable = np.array([r.usable for r in reports], dtype=bool)
+        repaired = np.array(
+            [r.verdict is Verdict.REPAIRED for r in reports], dtype=bool
+        )
+        if usable.all() and not repaired.any():  # clean batch — fast exit
+            return self.localize(self.scaler.transform(watts)[:, None, :])
+        self._record_robust(repaired, usable)
+        if usable.all():
+            cleaned = np.stack(rows)
+            result = self.localize(self.scaler.transform(cleaned)[:, None, :])
+            result.repaired = repaired
+            return result
+        return self._localize_partial(watts, rows, usable, repaired)
+
+    def _localize_partial(
+        self,
+        watts: np.ndarray,
+        rows: list,
+        usable: np.ndarray,
+        repaired: np.ndarray,
+    ) -> CamALResult:
+        """Run the model on the usable rows only; scatter into a
+        full-size result with degraded rows left at their defaults."""
+        n, t = watts.shape
+        index = np.flatnonzero(usable)
+        if index.size:
+            cleaned = np.stack([rows[i] for i in index])
+            core = self.localize(self.scaler.transform(cleaned)[:, None, :])
+            member_keys = list(core.member_probabilities)
+        else:
+            core = None
+            member_keys = list(range(len(self.ensemble)))
+        probabilities = np.full(n, np.nan)
+        detected = np.zeros(n, dtype=bool)
+        cam = np.zeros((n, t))
+        attention = np.full((n, t), np.nan)
+        status = np.zeros((n, t))
+        member_probabilities = {k: np.full(n, np.nan) for k in member_keys}
+        uncertainty = np.full(n, np.nan)
+        if core is not None:
+            probabilities[index] = core.probabilities
+            detected[index] = core.detected
+            cam[index] = core.cam
+            attention[index] = core.attention
+            status[index] = core.status
+            for key in member_keys:
+                member_probabilities[key][index] = core.member_probabilities[key]
+            uncertainty[index] = core.uncertainty
+        return CamALResult(
+            probabilities=probabilities,
+            detected=detected,
+            cam=cam,
+            attention=attention,
+            status=status,
+            member_probabilities=member_probabilities,
+            uncertainty=uncertainty,
+            repaired=repaired,
+            degraded=~usable,
+        )
+
+    def _record_robust(self, repaired: np.ndarray, usable: np.ndarray) -> None:
+        if not obs.enabled():
+            return
+        registry = obs.registry
+        if repaired.any():
+            registry.counter(
+                "robust.windows_repaired_total",
+                help="inference windows repaired before localization",
+            ).inc(int(repaired.sum()))
+        if (~usable).any():
+            registry.counter(
+                "robust.windows_degraded_total",
+                help="inference windows degraded to no-localization",
+            ).inc(int((~usable).sum()))

@@ -15,11 +15,21 @@ import os
 from ..datasets import Standardizer
 from ..models import ResNetEnsemble
 from ..nn.serialization import load_state, save_state
+from ..robust import faults
+from ..robust.retry import retriable
 from .camal import CamAL, CamALConfig
 
 __all__ = ["save_camal", "load_camal"]
 
 _FORMAT_VERSION = "1"
+
+
+@retriable(max_attempts=3, backoff=0.02, name="persistence.load")
+def _load_checkpoint(path: str | os.PathLike) -> tuple[dict, dict]:
+    """Checkpoint read with retry on transient I/O failures;
+    ``persistence.load`` is the fault site."""
+    faults.checkpoint("persistence.load")
+    return load_state(path)
 
 
 def save_camal(
@@ -55,9 +65,13 @@ def load_camal(path: str | os.PathLike) -> tuple[CamAL, str]:
     """Load a checkpoint written by :func:`save_camal`.
 
     Returns ``(model, appliance)``. The model is in eval mode, ready
-    for inference.
+    for inference. Transient read failures are retried with backoff
+    (:func:`repro.robust.retriable`); a persistently unreadable
+    checkpoint raises :class:`repro.robust.RetriesExhausted`.
     """
-    state, meta = load_state(path)
+    if not os.path.exists(path):  # permanent — skip the retry budget
+        raise FileNotFoundError(f"no such checkpoint: {path}")
+    state, meta = _load_checkpoint(path)
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(
             f"unsupported CamAL checkpoint version "

@@ -15,6 +15,8 @@ import numpy as np
 
 from .. import obs
 from ..datasets import House, extract_windows
+from ..robust.errors import RetriesExhausted
+from ..robust.validate import Verdict, validate_series
 from .camal import CamAL
 
 __all__ = ["SeriesLocalization", "SlidingWindowLocalizer"]
@@ -27,6 +29,9 @@ class SeriesLocalization:
     ``status`` and ``probability`` are aligned with the house's
     aggregate; samples not covered by any valid window (missing data or
     trailing remainder) are NaN in ``probability`` and 0 in ``status``.
+    ``repaired``/``degraded`` carry the robust layer's verdicts: the
+    input needed repair before localization, or parts of it (possibly
+    all of it, after a store read gave up) could not be localized.
     """
 
     appliance: str
@@ -35,6 +40,9 @@ class SeriesLocalization:
     cam: np.ndarray  # (n_steps,) stitched CAM, NaN = no cover
     window_starts: np.ndarray
     window_probabilities: np.ndarray
+    repaired: bool = False
+    degraded: bool = False
+    report: object = None  # ValidationReport of the input series, if any
 
     @property
     def covered_fraction(self) -> float:
@@ -42,9 +50,25 @@ class SeriesLocalization:
 
 
 class SlidingWindowLocalizer:
-    """Applies a trained :class:`CamAL` across a whole house recording."""
+    """Applies a trained :class:`CamAL` across a whole house recording.
 
-    def __init__(self, model: CamAL, window_length: int, stride: int | None = None):
+    ``repair=True`` runs the series through the robust validators
+    first: short NaN gaps are interpolated (so a brief meter dropout no
+    longer blanks a whole window) and negatives clipped, with the
+    outcome surfaced on :attr:`SeriesLocalization.repaired` /
+    ``degraded`` instead of silently changing coverage. A series the
+    validators reject outright — or a store read that keeps failing —
+    degrades to an empty localization rather than raising.
+    """
+
+    def __init__(
+        self,
+        model: CamAL,
+        window_length: int,
+        stride: int | None = None,
+        repair: bool = False,
+        max_gap: int = 5,
+    ):
         if window_length < 2:
             raise ValueError("window_length must be >= 2")
         self.model = model
@@ -52,12 +76,24 @@ class SlidingWindowLocalizer:
         self.stride = window_length if stride is None else stride
         if self.stride < 1:
             raise ValueError("stride must be >= 1")
+        self.repair = repair
+        self.max_gap = max_gap
 
     def localize_series(
         self, aggregate: np.ndarray, appliance: str = ""
     ) -> SeriesLocalization:
         """Localize over one aggregate watt series."""
         aggregate = np.asarray(aggregate, dtype=np.float64)
+        report = None
+        if self.repair:
+            repaired_series, report = validate_series(
+                aggregate, max_gap=self.max_gap
+            )
+            if repaired_series is None:  # rejected — degrade, don't crash
+                return self._empty(
+                    len(aggregate), appliance, degraded=True, report=report
+                )
+            aggregate = repaired_series
         n = len(aggregate)
         with obs.span(
             "pipeline.localize_series", n_samples=n, appliance=appliance
@@ -103,8 +139,41 @@ class SlidingWindowLocalizer:
             cam=cam,
             window_starts=starts,
             window_probabilities=window_probs,
+            repaired=report is not None and report.verdict is Verdict.REPAIRED,
+            degraded=report is not None
+            and report.verdict is Verdict.DEGRADED,
+            report=report,
+        )
+
+    def _empty(
+        self, n: int, appliance: str, degraded: bool, report=None
+    ) -> SeriesLocalization:
+        return SeriesLocalization(
+            appliance=appliance,
+            status=np.zeros(n),
+            probability=np.full(n, np.nan),
+            cam=np.full(n, np.nan),
+            window_starts=np.empty(0, dtype=np.int64),
+            window_probabilities=np.empty(0),
+            degraded=degraded,
+            report=report,
         )
 
     def localize_house(self, house: House, appliance: str) -> SeriesLocalization:
-        """Localize ``appliance`` across ``house``'s aggregate channel."""
-        return self.localize_series(house.aggregate, appliance)
+        """Localize ``appliance`` across ``house``'s aggregate channel.
+
+        The aggregate is fetched through the fault-tolerant store read
+        (transient failures retried with backoff); if the read gives up
+        entirely the house degrades to an empty localization instead of
+        propagating the error into the app.
+        """
+        try:
+            aggregate = house.read_window(0, house.n_steps)
+        except RetriesExhausted:
+            if obs.enabled():
+                obs.registry.counter(
+                    "robust.series_read_giveups_total",
+                    help="house reads abandoned after exhausting retries",
+                ).inc()
+            return self._empty(house.n_steps, appliance, degraded=True)
+        return self.localize_series(aggregate, appliance)

@@ -29,7 +29,12 @@ from .labels import (
     weak_labels_per_window,
 )
 from .profiles import PROFILES, DatasetProfile, get_profile
-from .resample import resample_dataset, resample_house, resample_mean
+from .resample import (
+    from_timestamps,
+    resample_dataset,
+    resample_house,
+    resample_mean,
+)
 from .store import House, SmartMeterDataset
 from .windows import (
     WINDOW_LENGTHS,
@@ -67,6 +72,7 @@ __all__ = [
     "resample_mean",
     "resample_house",
     "resample_dataset",
+    "from_timestamps",
     "strong_labels",
     "weak_label_from_strong",
     "weak_labels_per_window",

@@ -18,6 +18,9 @@ from pathlib import Path
 
 import numpy as np
 
+from ..robust import faults
+from ..robust.retry import retriable
+from ..robust.validate import validate_series
 from .store import House, SmartMeterDataset
 
 __all__ = [
@@ -28,6 +31,25 @@ __all__ = [
 ]
 
 _AGGREGATE_COLUMN = "aggregate"
+
+
+@retriable(max_attempts=3, backoff=0.02, name="io.read_csv")
+def _read_csv_rows(path: Path) -> tuple[list[str], list[list[float]]]:
+    """Read and parse one CSV (header + float rows) with retry on
+    transient I/O errors; ``io.read_csv`` is the fault site."""
+    faults.checkpoint("io.read_csv")
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = [
+            [float(cell) if cell != "" else np.nan for cell in row]
+            for row in reader
+            if row
+        ]
+    return header, rows
 
 
 def house_to_csv(house: House, path: str | os.PathLike) -> None:
@@ -50,36 +72,41 @@ def house_from_csv(
     house_id: str | None = None,
     step_s: float = 60.0,
     possession: dict[str, bool] | None = None,
+    repair: bool = False,
 ) -> House:
     """Load a house from CSV written by :func:`house_to_csv` (or any CSV
     with an ``aggregate`` column; empty cells become NaN).
 
     Possession defaults to "owns every appliance that ever draws power".
+    ``repair=True`` runs every channel through
+    :func:`repro.robust.validate_series` — short NaN gaps are
+    interpolated, negative readings clipped, ±inf neutralized — which is
+    what a real upload path wants; the default keeps raw bytes for
+    round-trip fidelity. Transient read errors are retried with backoff.
     """
     path = Path(path)
-    with open(path, newline="", encoding="utf-8") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path} is empty") from None
-        if _AGGREGATE_COLUMN not in header:
-            raise ValueError(
-                f"{path} has no {_AGGREGATE_COLUMN!r} column; "
-                f"found {header}"
-            )
-        rows = [
-            [float(cell) if cell != "" else np.nan for cell in row]
-            for row in reader
-            if row
-        ]
+    if not path.exists():  # permanent — don't burn the retry budget
+        raise FileNotFoundError(f"no such CSV: {path}")
+    header, rows = _read_csv_rows(path)
+    if _AGGREGATE_COLUMN not in header:
+        raise ValueError(
+            f"{path} has no {_AGGREGATE_COLUMN!r} column; "
+            f"found {header}"
+        )
     if not rows:
         raise ValueError(f"{path} has a header but no data rows")
     data = np.asarray(rows, dtype=np.float64)
     if data.shape[1] != len(header):
         raise ValueError(f"{path}: ragged rows")
+    data = faults.corrupt("io.read_csv", data)
     by_name = {name: data[:, i] for i, name in enumerate(header)}
     aggregate = by_name.pop(_AGGREGATE_COLUMN)
+    if repair:
+        aggregate = _repair_channel(aggregate, f"{path.stem}.aggregate")
+        by_name = {
+            name: _repair_channel(channel, f"{path.stem}.{name}")
+            for name, channel in by_name.items()
+        }
     if possession is None:
         possession = {
             name: bool(np.nan_to_num(channel).max() > 0)
@@ -92,6 +119,13 @@ def house_from_csv(
         submeters=by_name,
         possession=possession,
     )
+
+
+def _repair_channel(channel: np.ndarray, name: str) -> np.ndarray:
+    """Best-effort ingestion repair; unrepairable channels stay raw
+    (length must be preserved, so reject falls back to the original)."""
+    repaired, _report = validate_series(channel, name=name)
+    return channel if repaired is None else repaired
 
 
 def dataset_to_dir(dataset: SmartMeterDataset, directory: str | os.PathLike) -> None:
@@ -115,14 +149,26 @@ def dataset_to_dir(dataset: SmartMeterDataset, directory: str | os.PathLike) -> 
         json.dump(manifest, handle, indent=2)
 
 
-def dataset_from_dir(directory: str | os.PathLike) -> SmartMeterDataset:
-    """Rebuild a dataset from :func:`dataset_to_dir` output."""
+@retriable(max_attempts=3, backoff=0.02, name="io.read_manifest")
+def _read_manifest(manifest_path: Path) -> dict:
+    faults.checkpoint("io.read_manifest")
+    with open(manifest_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def dataset_from_dir(
+    directory: str | os.PathLike, repair: bool = False
+) -> SmartMeterDataset:
+    """Rebuild a dataset from :func:`dataset_to_dir` output.
+
+    Manifest and per-house reads retry on transient I/O errors;
+    ``repair`` is forwarded to :func:`house_from_csv`.
+    """
     directory = Path(directory)
     manifest_path = directory / "manifest.json"
     if not manifest_path.exists():
         raise FileNotFoundError(f"no manifest.json under {directory}")
-    with open(manifest_path, encoding="utf-8") as handle:
-        manifest = json.load(handle)
+    manifest = _read_manifest(manifest_path)
     houses = []
     for house_id, entry in manifest["houses"].items():
         houses.append(
@@ -131,6 +177,7 @@ def dataset_from_dir(directory: str | os.PathLike) -> SmartMeterDataset:
                 house_id=house_id,
                 step_s=float(manifest["step_s"]),
                 possession={k: bool(v) for k, v in entry["possession"].items()},
+                repair=repair,
             )
         )
     return SmartMeterDataset(

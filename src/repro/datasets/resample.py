@@ -10,9 +10,82 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from .store import House, SmartMeterDataset
 
-__all__ = ["resample_mean", "resample_house", "resample_dataset"]
+__all__ = [
+    "resample_mean",
+    "resample_house",
+    "resample_dataset",
+    "from_timestamps",
+]
+
+
+def from_timestamps(
+    timestamps_s: np.ndarray,
+    values: np.ndarray,
+    step_s: float,
+    start_s: float | None = None,
+    n_steps: int | None = None,
+) -> np.ndarray:
+    """Align irregular timestamped readings onto a regular grid.
+
+    Real meter feeds arrive with jitter, out-of-order delivery, and
+    duplicate timestamps (a retransmitted reading). Each reading is
+    snapped to the nearest grid slot ``round((t - start) / step)``;
+    slots with no reading are NaN (the downstream missing-data rule
+    sees the gap). **Duplicates resolve last-wins** in input order —
+    the retransmission is the authoritative reading — instead of the
+    naive scatter-add that would average or NaN-poison the row; each
+    collision bumps the ``robust.duplicate_timestamps_total`` obs
+    warning counter. Readings landing outside the grid are dropped and
+    counted under ``robust.dropped_readings_total``.
+    """
+    if step_s <= 0:
+        raise ValueError("step_s must be positive")
+    timestamps_s = np.asarray(timestamps_s, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if timestamps_s.ndim != 1 or timestamps_s.shape != values.shape:
+        raise ValueError("timestamps and values must be matching 1-D arrays")
+    if timestamps_s.size == 0:
+        raise ValueError("need at least one reading")
+    order = np.argsort(timestamps_s, kind="stable")  # stable → input order
+    if not np.array_equal(order, np.arange(len(order))):  # breaks ties
+        obs.warning(
+            "robust.unordered_timestamps_total",
+            help="timestamped reads that arrived out of order",
+        )
+    timestamps_s = timestamps_s[order]
+    values = values[order]
+    if start_s is None:
+        start_s = float(timestamps_s[0])
+    slots = np.round((timestamps_s - start_s) / step_s).astype(np.int64)
+    if n_steps is None:
+        n_steps = int(slots.max()) + 1 if (slots >= 0).any() else 1
+    in_range = (slots >= 0) & (slots < n_steps)
+    dropped = int((~in_range).sum())
+    if dropped:
+        obs.warning(
+            "robust.dropped_readings_total",
+            help="timestamped readings outside the target grid",
+        )
+        if obs.enabled() and dropped > 1:
+            obs.registry.counter("robust.dropped_readings_total").inc(dropped - 1)
+    slots, values = slots[in_range], values[in_range]
+    duplicates = len(slots) - len(np.unique(slots))
+    if duplicates:
+        obs.warning(
+            "robust.duplicate_timestamps_total",
+            help="readings snapped to an already-filled grid slot "
+            "(resolved last-wins)",
+        )
+        if obs.enabled() and duplicates > 1:
+            obs.registry.counter("robust.duplicate_timestamps_total").inc(
+                duplicates - 1
+            )
+    grid = np.full(n_steps, np.nan)
+    grid[slots] = values  # ascending stable order → last write wins
+    return grid
 
 
 def resample_mean(series: np.ndarray, factor: int) -> np.ndarray:

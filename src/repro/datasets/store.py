@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..robust import faults
+from ..robust.retry import retriable
+
 __all__ = ["House", "SmartMeterDataset"]
 
 
@@ -69,6 +72,21 @@ class House:
     def hours_index(self) -> np.ndarray:
         """Hour-of-recording for each sample (for display axes)."""
         return np.arange(self.n_steps) * self.step_s / 3600.0
+
+    @retriable(max_attempts=3, backoff=0.01, name="store.read")
+    def read_window(self, start: int, length: int) -> np.ndarray:
+        """One aggregate window via the fault-tolerant read path.
+
+        This is the store's "read" in production terms: the Playground
+        and the sliding-window pipeline fetch aggregate slices through
+        it rather than indexing :attr:`aggregate` directly, so transient
+        backend failures (simulated by the ``store.read`` fault site)
+        are retried with backoff, and injected NaN bursts flow into the
+        validators downstream. Always returns a copy.
+        """
+        faults.checkpoint("store.read")
+        window = np.array(self.aggregate[start : start + length])
+        return faults.corrupt("store.read", window)
 
 
 @dataclass

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..robust.validate import validate_series
 from .labels import strong_labels, weak_labels_per_window
 from .store import House, SmartMeterDataset
 
@@ -183,10 +184,23 @@ class WindowSet:
 
 
 def _house_windows(
-    house: House, appliance: str, length: int, stride: int | None
+    house: House,
+    appliance: str,
+    length: int,
+    stride: int | None,
+    repair: bool = False,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Aligned aggregate and status windows for one house."""
-    agg_windows, starts = extract_windows(house.aggregate, length, stride)
+    aggregate = house.aggregate
+    if repair:
+        # Interpolate short meter dropouts so their windows survive the
+        # missing-data omission; long gaps stay NaN and drop as before.
+        repaired, _report = validate_series(
+            aggregate, name=f"{house.house_id}.aggregate"
+        )
+        if repaired is not None:
+            aggregate = repaired
+    agg_windows, starts = extract_windows(aggregate, length, stride)
     if appliance not in house.submeters:
         raise KeyError(
             f"house {house.house_id} has no submeter for {appliance!r}"
@@ -206,6 +220,7 @@ def make_windows(
     window: str | int = "12h",
     stride: int | None = None,
     scaler: Standardizer | None = None,
+    repair: bool = False,
 ) -> WindowSet:
     """Build a :class:`WindowSet` over every house of ``dataset``.
 
@@ -213,12 +228,16 @@ def make_windows(
     activation for submetered datasets, the possession survey for
     IDEAL-style datasets. When ``scaler`` is None a new standardizer is
     fit on these windows (do that on the train split and pass the result
-    when windowing the test split).
+    when windowing the test split). ``repair=True`` interpolates short
+    NaN gaps in each aggregate first (see :mod:`repro.robust`), so a
+    brief meter dropout no longer discards a whole window.
     """
     length = window_samples(window, dataset.step_s)
     all_agg, all_status, all_starts, all_houses = [], [], [], []
     for house in dataset.houses:
-        agg, status, starts = _house_windows(house, appliance, length, stride)
+        agg, status, starts = _house_windows(
+            house, appliance, length, stride, repair=repair
+        )
         all_agg.append(agg)
         all_status.append(status)
         all_starts.append(starts)

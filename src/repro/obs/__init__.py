@@ -82,6 +82,7 @@ __all__ = [
     "log",
     "report",
     "reset",
+    "warning",
 ]
 
 #: Process-wide metrics registry used by the built-in instrumentation.
@@ -99,3 +100,17 @@ def reset() -> None:
     registry.reset()
     tracer.reset()
     log.reset()
+
+
+def warning(name: str, help: str = "", **labels: object) -> None:
+    """Bump a warning counter and record a matching log event.
+
+    The library's replacement for ``warnings.warn`` on data-quality
+    issues (duplicate timestamps, dropped readings, degraded windows):
+    countable, labelled, and silent unless observability is enabled —
+    so ``pytest -W error`` never trips on expected dirty-data paths.
+    """
+    if not enabled():
+        return
+    registry.counter(name, help=help).inc(**labels)
+    log.event(name, **labels)

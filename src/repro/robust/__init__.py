@@ -1,0 +1,72 @@
+"""``repro.robust`` — fault-tolerant ingestion and inference.
+
+Three pieces (DESIGN.md §8 "Robustness & failure semantics"):
+
+* :mod:`repro.robust.validate` — classify input defects (NaN gaps,
+  negative power, non-finite values, wrong shape/length) and repair,
+  degrade, or reject with typed errors.
+* :mod:`repro.robust.retry` — ``retriable(...)``: jittered exponential
+  backoff with an overall deadline, wrapped around the CSV/checkpoint/
+  store read paths.
+* :mod:`repro.robust.faults` — a deterministic fault-injection harness
+  (:class:`FaultPlan` + :func:`inject`) driving the failure-path test
+  suite and the ``devicescope faultcheck`` CLI smoke.
+
+All bookkeeping flows through :mod:`repro.obs` under the ``robust.*``
+metric prefix and is zero-cost when observability is disabled.
+"""
+
+from .. import obs
+from .errors import (
+    FaultInjected,
+    RetriesExhausted,
+    RobustError,
+    SeriesRejected,
+    ValidationError,
+    WindowRejected,
+)
+from .faults import FaultPlan, active, checkpoint, corrupt, inject
+from .retry import backoff_schedule, retriable
+from .validate import (
+    Defect,
+    ValidationReport,
+    Verdict,
+    ensure_series,
+    ensure_window,
+    validate_series,
+    validate_window,
+)
+
+__all__ = [
+    "RobustError",
+    "ValidationError",
+    "SeriesRejected",
+    "WindowRejected",
+    "RetriesExhausted",
+    "FaultInjected",
+    "Verdict",
+    "Defect",
+    "ValidationReport",
+    "validate_series",
+    "validate_window",
+    "ensure_series",
+    "ensure_window",
+    "retriable",
+    "backoff_schedule",
+    "FaultPlan",
+    "inject",
+    "active",
+    "checkpoint",
+    "corrupt",
+    "metrics_snapshot",
+]
+
+
+def metrics_snapshot() -> dict:
+    """Every ``robust.*`` metric currently in the obs registry, as a
+    plain dict (empty when nothing was recorded)."""
+    return {
+        name: metric
+        for name, metric in obs.registry.snapshot().items()
+        if name.startswith("robust.")
+    }

@@ -1,0 +1,55 @@
+"""Typed errors for the fault-tolerance layer.
+
+Every failure mode the robust layer can surface has its own exception
+type, so callers can distinguish "this input is garbage" (reject — fix
+the data) from "the backend flaked" (retry — or degrade gracefully).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RobustError",
+    "ValidationError",
+    "SeriesRejected",
+    "WindowRejected",
+    "RetriesExhausted",
+    "FaultInjected",
+]
+
+
+class RobustError(Exception):
+    """Base class for every error raised by :mod:`repro.robust`."""
+
+
+class ValidationError(RobustError, ValueError):
+    """An input failed validation and could not be repaired."""
+
+
+class SeriesRejected(ValidationError):
+    """A full recording is unusable (wrong shape/dtype, all NaN, ...)."""
+
+
+class WindowRejected(ValidationError):
+    """A single inference window is unusable."""
+
+
+class RetriesExhausted(RobustError, RuntimeError):
+    """A retriable operation kept failing past its attempt/time budget.
+
+    ``__cause__`` holds the last underlying exception; ``attempts`` and
+    ``elapsed_s`` record how much budget was burned before giving up.
+    """
+
+    def __init__(self, message: str, attempts: int = 0, elapsed_s: float = 0.0):
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed_s = elapsed_s
+
+
+class FaultInjected(OSError):
+    """Default error raised by the fault-injection harness.
+
+    Subclasses ``OSError`` so it matches the retry decorators' default
+    ``retry_on`` filter — an injected fault looks like a transient I/O
+    failure to the code under test.
+    """

@@ -1,0 +1,249 @@
+"""Deterministic fault injection for the ingestion/inference path.
+
+Library code exposes *fault sites* by calling :func:`checkpoint` (may
+raise an injected error or sleep an injected delay) and routing arrays
+through :func:`corrupt` (may overwrite a seeded fraction of samples
+with NaN). When no :class:`FaultPlan` is active both are near-free
+no-ops — a single module-global ``None`` check — so production code
+pays nothing.
+
+Instrumented sites (grep for the literals to find the call sites):
+
+========================  ====================================================
+``store.read``            :meth:`repro.datasets.House.read_window`
+``io.read_csv``           :func:`repro.datasets.house_from_csv`
+``io.read_manifest``      :func:`repro.datasets.dataset_from_dir`
+``persistence.load``      :func:`repro.core.load_camal`
+``camal.localize``        :meth:`repro.core.CamAL.localize`
+========================  ====================================================
+
+Determinism: each site keeps its own call counter inside the plan
+(checkpoints and corruptions are counted independently), faults fire at
+the exact call indices given via ``at``, and NaN bursts draw positions
+from ``numpy`` generators seeded by ``(plan seed, site, call index)`` —
+the same plan run twice produces byte-identical corruption.
+
+Usage::
+
+    plan = (
+        FaultPlan(seed=0)
+        .fail("store.read", at=0)                 # first read errors once
+        .nan_burst("store.read", at=1, fraction=0.02)
+        .slow("persistence.load", at=0, seconds=0.5)
+    )
+    with inject(plan):
+        run_workload()
+    print(plan.triggered)   # what actually fired, in order
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from .errors import FaultInjected
+
+__all__ = ["FaultPlan", "inject", "active", "checkpoint", "corrupt"]
+
+
+@dataclass
+class _Fault:
+    kind: str  # "error" | "slow" | "nan"
+    at: frozenset[int] | None  # call indices; None = every call
+    error: type[BaseException] | BaseException | None = None
+    seconds: float = 0.0
+    fraction: float = 0.02
+
+    def matches(self, index: int) -> bool:
+        return self.at is None or index in self.at
+
+
+def _indices(at) -> frozenset[int] | None:
+    if at is None:
+        return None
+    if isinstance(at, int):
+        return frozenset((at,))
+    return frozenset(int(i) for i in at)
+
+
+class FaultPlan:
+    """A deterministic script of faults keyed by site and call index.
+
+    ``at`` accepts an int, an iterable of ints, or ``None`` (every
+    call). Error/slow faults fire on :func:`checkpoint` calls; NaN
+    bursts fire on :func:`corrupt` calls — the two streams are counted
+    independently per site (a failed checkpoint never reaches its
+    corrupt call, so sharing one counter would skew indices).
+    """
+
+    def __init__(self, seed: int = 0, sleep=time.sleep):
+        self.seed = int(seed)
+        self._sleep = sleep
+        self._faults: dict[str, list[_Fault]] = {}
+        self._checkpoint_calls: dict[str, int] = {}
+        self._corrupt_calls: dict[str, int] = {}
+        #: Chronological record of every fault that actually fired:
+        #: ``{"site", "kind", "index", ...}`` dicts.
+        self.triggered: list[dict] = []
+
+    # -- authoring ---------------------------------------------------------
+
+    def fail(
+        self,
+        site: str,
+        at: int | list[int] | None = 0,
+        error: type[BaseException] | BaseException | None = None,
+    ) -> "FaultPlan":
+        """Raise ``error`` (default :class:`FaultInjected`) at ``site``."""
+        self._faults.setdefault(site, []).append(
+            _Fault("error", _indices(at), error=error)
+        )
+        return self
+
+    def slow(
+        self, site: str, at: int | list[int] | None = 0, seconds: float = 0.05
+    ) -> "FaultPlan":
+        """Sleep ``seconds`` before the call at ``site`` proceeds."""
+        if seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        self._faults.setdefault(site, []).append(
+            _Fault("slow", _indices(at), seconds=seconds)
+        )
+        return self
+
+    def nan_burst(
+        self,
+        site: str,
+        at: int | list[int] | None = 0,
+        fraction: float = 0.02,
+    ) -> "FaultPlan":
+        """Overwrite ``fraction`` of the array at ``site`` with NaN."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        self._faults.setdefault(site, []).append(
+            _Fault("nan", _indices(at), fraction=fraction)
+        )
+        return self
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def calls(self, site: str) -> tuple[int, int]:
+        """``(checkpoint_calls, corrupt_calls)`` seen at ``site``."""
+        return (
+            self._checkpoint_calls.get(site, 0),
+            self._corrupt_calls.get(site, 0),
+        )
+
+    def summary(self) -> dict:
+        """Plain-dict report for the ``faultcheck`` CLI and tests."""
+        by_kind: dict[str, int] = {}
+        for record in self.triggered:
+            by_kind[record["kind"]] = by_kind.get(record["kind"], 0) + 1
+        return {
+            "seed": self.seed,
+            "triggered": list(self.triggered),
+            "by_kind": by_kind,
+            "calls": {
+                site: self.calls(site)
+                for site in sorted(
+                    set(self._checkpoint_calls) | set(self._corrupt_calls)
+                )
+            },
+        }
+
+    def _record(self, site: str, kind: str, index: int, **extra) -> None:
+        self.triggered.append(
+            {"site": site, "kind": kind, "index": index, **extra}
+        )
+        if obs.enabled():
+            obs.registry.counter(
+                "robust.faults_injected_total",
+                help="faults fired by the injection harness",
+            ).inc(site=site, kind=kind)
+
+    # -- firing ------------------------------------------------------------
+
+    def _make_error(self, fault: _Fault, site: str, index: int) -> BaseException:
+        error = fault.error
+        if error is None:
+            return FaultInjected(f"injected fault at {site}[{index}]")
+        if isinstance(error, BaseException):
+            return error
+        return error(f"injected fault at {site}[{index}]")
+
+    def _on_checkpoint(self, site: str) -> None:
+        index = self._checkpoint_calls.get(site, 0)
+        self._checkpoint_calls[site] = index + 1
+        for fault in self._faults.get(site, ()):
+            if fault.kind == "slow" and fault.matches(index):
+                self._record(site, "slow", index, seconds=fault.seconds)
+                self._sleep(fault.seconds)
+        for fault in self._faults.get(site, ()):
+            if fault.kind == "error" and fault.matches(index):
+                self._record(site, "error", index)
+                raise self._make_error(fault, site, index)
+
+    def _burst_rng(self, site: str, index: int) -> np.random.Generator:
+        digest = hashlib.blake2b(
+            f"{self.seed}:{site}:{index}".encode(), digest_size=8
+        ).digest()
+        return np.random.default_rng(int.from_bytes(digest, "little"))
+
+    def _on_corrupt(self, site: str, values: np.ndarray) -> np.ndarray:
+        index = self._corrupt_calls.get(site, 0)
+        self._corrupt_calls[site] = index + 1
+        out = values
+        for fault in self._faults.get(site, ()):
+            if fault.kind != "nan" or not fault.matches(index):
+                continue
+            out = np.asarray(out, dtype=np.float64).copy()
+            if out.size == 0:
+                continue
+            n = max(1, int(round(fault.fraction * out.size)))
+            positions = self._burst_rng(site, index).choice(
+                out.size, size=min(n, out.size), replace=False
+            )
+            out.reshape(-1)[positions] = np.nan
+            self._record(site, "nan", index, samples=int(len(positions)))
+        return out
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The plan currently injected, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Activate ``plan`` for the duration of the block (re-entrant —
+    the previous plan, if any, is restored on exit)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def checkpoint(site: str) -> None:
+    """Fault site marker: may raise or sleep per the active plan."""
+    plan = _ACTIVE
+    if plan is not None:
+        plan._on_checkpoint(site)
+
+
+def corrupt(site: str, values: np.ndarray) -> np.ndarray:
+    """Fault site marker for data: may NaN-burst per the active plan."""
+    plan = _ACTIVE
+    if plan is None:
+        return values
+    return plan._on_corrupt(site, values)

@@ -1,0 +1,146 @@
+"""Retry with jittered exponential backoff and an overall deadline.
+
+``retriable`` hardens the repo's read paths (CSV ingestion, checkpoint
+loads, store reads) against transient failures: each failure of a
+``retry_on`` exception sleeps ``backoff * factor**(attempt-1)`` seconds
+(plus up to ``jitter`` relative random extra, so a fleet of workers
+retrying the same backend does not stampede in lockstep), until either
+an attempt succeeds, ``max_attempts`` is reached, or the ``timeout``
+deadline passes — then :class:`RetriesExhausted` is raised with the
+last error chained.
+
+Attempts, recoveries, and give-ups are counted through :mod:`repro.obs`
+(``robust.retry_attempts_total`` / ``robust.retry_recoveries_total`` /
+``robust.retry_giveups_total``, labelled by function) when observability
+is enabled.
+
+Testability: ``sleep``/``clock``/``rng`` are injectable per decorator,
+and the module-level defaults (``_sleep``, ``_clock``) can be
+monkeypatched to drive the schedule with a fake clock. The deadline is
+checked *between* attempts — a call that hangs forever is not preempted
+(no thread per call); pair with the fault harness's slow-call injection
+to test that path.
+"""
+
+from __future__ import annotations
+
+import functools
+import random
+import time
+from typing import Callable, Iterable
+
+from .. import obs
+from .errors import RetriesExhausted
+
+__all__ = ["retriable", "backoff_schedule"]
+
+# Module-level indirection so tests can monkeypatch time away.
+_sleep = time.sleep
+_clock = time.monotonic
+
+
+def backoff_schedule(
+    max_attempts: int,
+    backoff: float,
+    factor: float = 2.0,
+    max_backoff: float = 2.0,
+) -> list[float]:
+    """The jitter-free delays slept between attempts (length
+    ``max_attempts - 1``)."""
+    return [
+        min(backoff * factor**i, max_backoff) for i in range(max_attempts - 1)
+    ]
+
+
+def retriable(
+    max_attempts: int = 3,
+    backoff: float = 0.05,
+    factor: float = 2.0,
+    max_backoff: float = 2.0,
+    jitter: float = 0.1,
+    timeout: float | None = None,
+    retry_on: Iterable[type[BaseException]] = (OSError, TimeoutError),
+    name: str | None = None,
+    sleep: Callable[[float], None] | None = None,
+    clock: Callable[[], float] | None = None,
+    rng: random.Random | None = None,
+) -> Callable:
+    """Decorator factory: retry the wrapped callable on transient errors.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total tries (the first call included), >= 1.
+    backoff, factor, max_backoff:
+        Exponential schedule: sleep ``min(backoff * factor**k,
+        max_backoff)`` after the ``k``-th failure.
+    jitter:
+        Relative extra sleep in ``[0, jitter)`` drawn per retry.
+    timeout:
+        Overall wall-clock budget in seconds measured from the first
+        attempt; once exceeded no further attempts are made.
+    retry_on:
+        Exception types that trigger a retry; anything else propagates
+        immediately.
+    name:
+        Label used in error messages and obs counters (defaults to the
+        wrapped function's qualified name).
+    sleep, clock, rng:
+        Injection points for tests (default: real time and a seeded
+        ``random.Random`` per decorated function).
+    """
+    if max_attempts < 1:
+        raise ValueError("max_attempts must be >= 1")
+    if backoff < 0 or jitter < 0:
+        raise ValueError("backoff and jitter must be >= 0")
+    retry_types = tuple(retry_on)
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or getattr(fn, "__qualname__", repr(fn))
+        local_rng = rng or random.Random(0xB0FF)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            do_sleep = sleep or _sleep
+            now = clock or _clock
+            start = now()
+            last_error: BaseException | None = None
+            for attempt in range(1, max_attempts + 1):
+                try:
+                    result = fn(*args, **kwargs)
+                except retry_types as err:
+                    last_error = err
+                    _count("robust.retry_attempts_total", label)
+                    elapsed = now() - start
+                    out_of_budget = (
+                        attempt >= max_attempts
+                        or (timeout is not None and elapsed >= timeout)
+                    )
+                    if out_of_budget:
+                        _count("robust.retry_giveups_total", label)
+                        raise RetriesExhausted(
+                            f"{label} failed after {attempt} attempt(s) "
+                            f"in {elapsed:.3f}s: {err}",
+                            attempts=attempt,
+                            elapsed_s=elapsed,
+                        ) from err
+                    delay = min(backoff * factor ** (attempt - 1), max_backoff)
+                    delay *= 1.0 + jitter * local_rng.random()
+                    do_sleep(delay)
+                else:
+                    if attempt > 1:
+                        _count("robust.retry_recoveries_total", label)
+                    return result
+            raise AssertionError("unreachable")  # pragma: no cover
+
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+def _count(metric: str, label: str) -> None:
+    if obs.enabled():
+        obs.registry.counter(
+            metric, help="retry decorator bookkeeping"
+        ).inc(function=label)

@@ -1,0 +1,343 @@
+"""Input validation: classify defects, repair, degrade, or reject.
+
+Real smart-meter feeds are messy — NaN dropouts, negative readings from
+CT-clamp noise, truncated windows. The validators here implement the
+repair-vs-degrade-vs-reject policy documented in DESIGN.md §8:
+
+* **repair** — defects with an unambiguous fix are fixed in place on a
+  copy: ±inf → NaN, negative power clipped to 0, NaN runs up to
+  ``max_gap`` samples linearly interpolated (edge runs hold the nearest
+  finite value).
+* **degrade** — defects that cannot be repaired but leave the input
+  partially usable stay in the output (long NaN gaps in a series;
+  windows whose gaps exceed the repair budget). Callers skip the model
+  for degraded windows and surface the state instead of a traceback.
+* **reject** — inputs with no usable signal (wrong shape/dtype, all
+  NaN, too short) produce ``verdict == REJECTED`` and a ``None`` output;
+  :func:`ensure_series` / :func:`ensure_window` turn that into a typed
+  error for callers that prefer raising.
+
+Every validation outcome is counted through :mod:`repro.obs` (counters
+``robust.validation_verdicts_total``, ``robust.defects_total``,
+``robust.repairs_total``) whenever observability is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from .errors import SeriesRejected, WindowRejected
+
+__all__ = [
+    "Verdict",
+    "Defect",
+    "ValidationReport",
+    "validate_series",
+    "validate_window",
+    "ensure_series",
+    "ensure_window",
+    "nan_runs",
+]
+
+#: Default repair budget: NaN runs up to this many samples are
+#: interpolated (5 min at the paper's 1-min frequency).
+DEFAULT_MAX_GAP = 5
+
+#: Windows with more than this fraction of NaN are degraded outright —
+#: interpolating a third of a window would hallucinate consumption.
+DEFAULT_MAX_NAN_FRACTION = 0.1
+
+
+class Verdict(enum.Enum):
+    """Validation outcome, ordered by severity."""
+
+    OK = "ok"
+    REPAIRED = "repaired"
+    DEGRADED = "degraded"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One class of problem found in an input.
+
+    ``repaired`` tells whether the defect was fixed in the returned
+    array; ``count`` is the number of affected samples (or runs, for
+    gap defects).
+    """
+
+    kind: str
+    count: int = 1
+    repaired: bool = False
+    detail: str = ""
+
+
+@dataclass
+class ValidationReport:
+    """The verdict plus the defect inventory behind it."""
+
+    verdict: Verdict
+    defects: tuple[Defect, ...] = ()
+    name: str = "series"
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict is Verdict.OK
+
+    @property
+    def usable(self) -> bool:
+        """Safe to feed the model as-is (clean or fully repaired)."""
+        return self.verdict in (Verdict.OK, Verdict.REPAIRED)
+
+    @property
+    def rejected(self) -> bool:
+        return self.verdict is Verdict.REJECTED
+
+    def defect_kinds(self) -> tuple[str, ...]:
+        return tuple(d.kind for d in self.defects)
+
+    def describe(self) -> str:
+        inventory = ", ".join(
+            f"{d.kind}×{d.count}" + (" (repaired)" if d.repaired else "")
+            for d in self.defects
+        )
+        return f"{self.name}: {self.verdict.value}" + (
+            f" [{inventory}]" if inventory else ""
+        )
+
+
+def nan_runs(mask: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(starts, ends)`` of consecutive ``True`` runs in a 1-D mask
+    (ends exclusive)."""
+    mask = np.asarray(mask, dtype=bool)
+    padded = np.zeros(len(mask) + 2, dtype=bool)
+    padded[1:-1] = mask
+    starts = np.flatnonzero(padded[1:] & ~padded[:-1])
+    ends = np.flatnonzero(~padded[1:] & padded[:-1])
+    return starts, ends
+
+
+def _as_1d_float(values, name: str) -> tuple[np.ndarray | None, Defect | None]:
+    """Coerce to a 1-D float64 array or explain why that is impossible."""
+    try:
+        array = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as err:
+        return None, Defect("bad_dtype", detail=str(err))
+    if array.ndim != 1:
+        return None, Defect("not_1d", detail=f"shape {array.shape}")
+    if array.size < 2:
+        return None, Defect("too_short", detail=f"{array.size} samples")
+    return array, None
+
+
+def _repair_gaps(
+    values: np.ndarray, max_gap: int
+) -> tuple[np.ndarray, list[Defect]]:
+    """Interpolate short NaN runs; leave long runs in place.
+
+    Interior gaps are linearly interpolated between the flanking finite
+    samples; edge gaps hold the nearest finite value (``np.interp``
+    semantics). Returns the (possibly copied) array and defect records.
+    """
+    isnan = np.isnan(values)
+    if not isnan.any():
+        return values, []
+    starts, ends = nan_runs(isnan)
+    lengths = ends - starts
+    short = lengths <= max_gap
+    defects: list[Defect] = []
+    out = values
+    if short.any():
+        finite_idx = np.flatnonzero(~isnan)
+        filled = np.interp(np.arange(len(values)), finite_idx, values[finite_idx])
+        out = np.where(isnan, filled, values)
+        # Long runs stay NaN — the "omit subsequences with missing
+        # data" rule downstream must still see them.
+        for s, e in zip(starts[~short], ends[~short]):
+            out[s:e] = np.nan
+        defects.append(
+            Defect(
+                "nan_gap",
+                count=int(lengths[short].sum()),
+                repaired=True,
+                detail=f"{int(short.sum())} run(s) interpolated",
+            )
+        )
+    if (~short).any():
+        defects.append(
+            Defect(
+                "long_nan_gap",
+                count=int(lengths[~short].sum()),
+                repaired=False,
+                detail=f"{int((~short).sum())} run(s) > {max_gap} samples",
+            )
+        )
+    return out, defects
+
+
+def _record(report: ValidationReport) -> ValidationReport:
+    if obs.enabled():
+        registry = obs.registry
+        registry.counter(
+            "robust.validation_verdicts_total",
+            help="validation outcomes by verdict",
+        ).inc(verdict=report.verdict.value, name=report.name)
+        for defect in report.defects:
+            registry.counter(
+                "robust.defects_total",
+                help="input defects found by the validators",
+            ).inc(defect.count, kind=defect.kind)
+            if defect.repaired:
+                registry.counter(
+                    "robust.repairs_total",
+                    help="samples repaired by the validators",
+                ).inc(defect.count, kind=defect.kind)
+    return report
+
+
+def validate_series(
+    series,
+    *,
+    max_gap: int = DEFAULT_MAX_GAP,
+    clip_negative: bool = True,
+    name: str = "series",
+) -> tuple[np.ndarray | None, ValidationReport]:
+    """Classify and repair one full recording.
+
+    Returns ``(repaired, report)``. ``repaired`` is a new float64 array
+    (the input is never mutated) or ``None`` when the verdict is
+    :attr:`Verdict.REJECTED`. A :attr:`Verdict.DEGRADED` series still
+    has long NaN gaps — usable, but windows over the gaps will be
+    dropped downstream.
+    """
+    array, fatal = _as_1d_float(series, name)
+    if fatal is not None:
+        return None, _record(
+            ValidationReport(Verdict.REJECTED, (fatal,), name=name)
+        )
+    out = array.copy()
+    defects: list[Defect] = []
+    non_finite = np.isinf(out)
+    if non_finite.any():
+        out[non_finite] = np.nan
+        defects.append(
+            Defect("non_finite", count=int(non_finite.sum()), repaired=True)
+        )
+    if clip_negative:
+        negative = out < 0.0  # NaN compares False — untouched here
+        if negative.any():
+            out[negative] = 0.0
+            defects.append(
+                Defect("negative_power", count=int(negative.sum()), repaired=True)
+            )
+    if np.isnan(out).all():
+        defects.append(Defect("all_nan", count=out.size))
+        return None, _record(
+            ValidationReport(Verdict.REJECTED, tuple(defects), name=name)
+        )
+    out, gap_defects = _repair_gaps(out, max_gap)
+    defects.extend(gap_defects)
+    if any(not d.repaired for d in defects):
+        verdict = Verdict.DEGRADED
+    elif defects:
+        verdict = Verdict.REPAIRED
+    else:
+        verdict = Verdict.OK
+    return out, _record(ValidationReport(verdict, tuple(defects), name=name))
+
+
+def validate_window(
+    watts,
+    *,
+    expected_length: int | None = None,
+    max_gap: int = DEFAULT_MAX_GAP,
+    max_nan_fraction: float = DEFAULT_MAX_NAN_FRACTION,
+    clip_negative: bool = True,
+    name: str = "window",
+) -> tuple[np.ndarray | None, ValidationReport]:
+    """Classify and repair one inference window.
+
+    Stricter than :func:`validate_series`: a window either comes out
+    fully finite (``OK``/``REPAIRED`` — safe for the model) or is
+    ``DEGRADED`` (caller must skip localization and report
+    detection-unavailable) or ``REJECTED`` (wrong length/shape, all
+    NaN). Windows whose NaN fraction exceeds ``max_nan_fraction`` are
+    degraded without interpolation — repairing that much data would
+    fabricate consumption.
+    """
+    array, fatal = _as_1d_float(watts, name)
+    if fatal is not None:
+        return None, _record(
+            ValidationReport(Verdict.REJECTED, (fatal,), name=name)
+        )
+    if expected_length is not None and array.size != expected_length:
+        defect = Defect(
+            "length_mismatch",
+            detail=f"got {array.size}, expected {expected_length}",
+        )
+        return None, _record(
+            ValidationReport(Verdict.REJECTED, (defect,), name=name)
+        )
+    out = array.copy()
+    defects: list[Defect] = []
+    non_finite = np.isinf(out)
+    if non_finite.any():
+        out[non_finite] = np.nan
+        defects.append(
+            Defect("non_finite", count=int(non_finite.sum()), repaired=True)
+        )
+    if clip_negative:
+        negative = out < 0.0
+        if negative.any():
+            out[negative] = 0.0
+            defects.append(
+                Defect("negative_power", count=int(negative.sum()), repaired=True)
+            )
+    isnan = np.isnan(out)
+    n_nan = int(isnan.sum())
+    if n_nan == out.size:
+        defects.append(Defect("all_nan", count=n_nan))
+        return None, _record(
+            ValidationReport(Verdict.REJECTED, tuple(defects), name=name)
+        )
+    if n_nan > max_nan_fraction * out.size:
+        defects.append(
+            Defect(
+                "nan_excess",
+                count=n_nan,
+                detail=f"{n_nan}/{out.size} NaN exceeds the repair budget",
+            )
+        )
+        return out, _record(
+            ValidationReport(Verdict.DEGRADED, tuple(defects), name=name)
+        )
+    out, gap_defects = _repair_gaps(out, max_gap)
+    defects.extend(gap_defects)
+    if np.isnan(out).any():  # a long run survived the repair budget
+        verdict = Verdict.DEGRADED
+    elif defects:
+        verdict = Verdict.REPAIRED
+    else:
+        verdict = Verdict.OK
+    return out, _record(ValidationReport(verdict, tuple(defects), name=name))
+
+
+def ensure_series(series, **kwargs) -> tuple[np.ndarray, ValidationReport]:
+    """:func:`validate_series` that raises :class:`SeriesRejected`."""
+    repaired, report = validate_series(series, **kwargs)
+    if repaired is None:
+        raise SeriesRejected(report.describe())
+    return repaired, report
+
+
+def ensure_window(watts, **kwargs) -> tuple[np.ndarray, ValidationReport]:
+    """:func:`validate_window` that raises :class:`WindowRejected` on
+    reject *or* degrade — for callers that cannot run partially."""
+    repaired, report = validate_window(watts, **kwargs)
+    if repaired is None or not report.usable:
+        raise WindowRejected(report.describe())
+    return repaired, report

@@ -157,3 +157,20 @@ def test_profile_writes_html_panel(tmp_path, capsys):
     html = out_path.read_text()
     assert "camal.localize" in html
     assert "Conv1d" in html
+
+
+def test_faultcheck_passes_and_prints_checks(capsys):
+    code = main(["faultcheck", "--seed", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "faultcheck: PASS" in out
+    assert "pipeline completed under faults" in out
+    assert "[FAIL]" not in out
+
+
+def test_faultcheck_leaves_observability_disabled(capsys):
+    from repro import obs
+
+    assert main(["faultcheck"]) == 0
+    capsys.readouterr()
+    assert not obs.enabled()

@@ -83,6 +83,61 @@ def test_get_or_compute_computes_once():
     assert cache.hits == 1 and cache.misses == 1
 
 
+def test_cache_if_false_is_returned_but_not_stored():
+    """Degraded/failed results must never become cache hits."""
+    cache = ResultCache()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return {"degraded": True}
+
+    value = cache.get_or_compute("k", compute, cache_if=lambda v: False)
+    assert value == {"degraded": True}
+    assert "k" not in cache
+    assert cache.rejected == 1
+    # The next lookup recomputes — the rejection did not stick a value.
+    cache.get_or_compute("k", compute, cache_if=lambda v: False)
+    assert len(calls) == 2
+    assert cache.rejected == 2
+    assert cache.stats()["rejected"] == 2
+
+
+def test_cache_if_true_stores_normally():
+    cache = ResultCache()
+    cache.get_or_compute("k", lambda: "v", cache_if=lambda v: v == "v")
+    assert cache.get("k") == "v"
+    assert cache.rejected == 0
+
+
+def test_cache_if_predicate_sees_the_computed_value():
+    cache = ResultCache()
+    seen = []
+    cache.get_or_compute("k", lambda: 41, cache_if=lambda v: seen.append(v) or True)
+    assert seen == [41]
+
+
+def test_raising_compute_stores_nothing():
+    cache = ResultCache()
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute("k", lambda: (_ for _ in ()).throw(RuntimeError()))
+    assert "k" not in cache
+    assert cache.get_or_compute("k", lambda: "recovered") == "recovered"
+
+
+def test_cache_if_rejections_exported_to_obs():
+    obs.reset()
+    obs.enable()
+    try:
+        cache = ResultCache(name="unit")
+        cache.get_or_compute("k", lambda: 1, cache_if=lambda v: False)
+        rejected = obs.registry.counter("app.result_cache_rejected_total")
+        assert rejected.value(cache="unit") == 1.0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
 def test_clear_keeps_totals():
     cache = ResultCache()
     cache.put("k", 1)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import CamAL, CamALConfig
+from repro.core import CamAL, CamALConfig, remove_short_runs
 from repro.datasets import Standardizer
 from repro.models import ResNetEnsemble
 from repro.models.ensemble import normalize_cam
@@ -100,3 +100,80 @@ def test_normalize_cam_idempotent(seed):
     cam = np.random.default_rng(seed).normal(size=(3, 15))
     once = normalize_cam(cam)
     np.testing.assert_allclose(normalize_cam(once), once, atol=1e-12)
+
+
+# -- robust localization invariants (localize_watts validation path) ----
+
+
+@given(seed=st.integers(0, 200), n=st.integers(1, 4), t=st.integers(16, 48))
+@settings(max_examples=10, deadline=None)
+def test_localization_is_binary_and_length_preserving(seed, n, t):
+    """Whatever the input (clean, repairable, or degraded rows), the
+    status is binary and every output is batch- and length-aligned."""
+    model = make_model(seed % 5)
+    rng = np.random.default_rng(seed)
+    watts = rng.normal(100.0, 15.0, size=(n, t))
+    if n > 1:  # poison one row beyond repair
+        watts[1, : t // 2] = np.nan
+    result = model.localize_watts(watts)
+    assert result.status.shape == (n, t)
+    assert result.cam.shape == (n, t)
+    assert result.probabilities.shape == (n,)
+    assert result.repaired.shape == (n,)
+    assert result.degraded.shape == (n,)
+    assert set(np.unique(result.status)).issubset({0.0, 1.0})
+    for row in range(n):
+        if result.degraded[row]:
+            assert np.isnan(result.probabilities[row])
+            assert result.status[row].sum() == 0
+
+
+@given(seed=st.integers(0, 200), tail=st.integers(1, 5))
+@settings(max_examples=10, deadline=None)
+def test_localization_invariant_to_trailing_nan_repair(seed, tail):
+    """A short trailing NaN run repairs to a constant extension of the
+    last finite sample — localizing the defective window must equal
+    localizing the explicitly repaired one."""
+    model = make_model(seed % 5)
+    rng = np.random.default_rng(seed)
+    # 64 samples keeps the worst-case 5-NaN tail inside the 10% repair
+    # budget, so the run is repaired rather than degraded.
+    watts = rng.normal(100.0, 15.0, size=64)
+    defective = watts.copy()
+    defective[-tail:] = np.nan
+    repaired = watts.copy()
+    repaired[-tail:] = watts[-tail - 1]  # nearest-value hold
+    got = model.localize_watts(defective[None, :])
+    want = model.localize_watts(repaired[None, :])
+    assert got.repaired[0] and not got.degraded[0]
+    np.testing.assert_allclose(got.probabilities, want.probabilities)
+    np.testing.assert_array_equal(got.status, want.status)
+    np.testing.assert_allclose(got.cam, want.cam)
+
+
+@st.composite
+def binary_stacks(draw):
+    n = draw(st.integers(1, 3))
+    t = draw(st.integers(1, 40))
+    bits = draw(st.lists(st.integers(0, 1), min_size=n * t, max_size=n * t))
+    return np.array(bits, dtype=np.float64).reshape(n, t)
+
+
+def run_lengths(row):
+    """Lengths of the ON runs in one binary row."""
+    padded = np.concatenate([[0.0], row, [0.0]])
+    starts = np.flatnonzero((padded[1:] > 0.5) & (padded[:-1] <= 0.5))
+    ends = np.flatnonzero((padded[1:] <= 0.5) & (padded[:-1] > 0.5))
+    return ends - starts
+
+
+@given(status=binary_stacks(), min_length=st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_remove_short_runs_never_leaves_short_runs(status, min_length):
+    out = remove_short_runs(status, min_length)
+    for row in out:
+        assert all(length >= min_length for length in run_lengths(row))
+    # Only removes — never turns samples ON or lengthens a run.
+    assert np.all(out <= status)
+    # And idempotent: a second pass finds nothing left to erase.
+    np.testing.assert_array_equal(remove_short_runs(out, min_length), out)

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.datasets import (
     House,
     SmartMeterDataset,
+    from_timestamps,
     resample_dataset,
     resample_house,
     resample_mean,
@@ -93,3 +95,86 @@ def test_resample_dataset_converts_every_house():
     out = resample_dataset(ds, 60.0)
     assert out.step_s == 60.0
     assert all(h.step_s == 60.0 for h in out.houses)
+
+
+# -- from_timestamps: irregular feeds onto the regular grid -------------
+
+
+def test_from_timestamps_regular_feed_roundtrips():
+    t = np.arange(5) * 60.0
+    grid = from_timestamps(t, [1.0, 2.0, 3.0, 4.0, 5.0], 60.0)
+    np.testing.assert_array_equal(grid, [1.0, 2.0, 3.0, 4.0, 5.0])
+
+
+def test_from_timestamps_gaps_stay_nan():
+    grid = from_timestamps([0.0, 180.0], [1.0, 4.0], 60.0)
+    assert grid.shape == (4,)
+    np.testing.assert_array_equal(grid[[0, 3]], [1.0, 4.0])
+    assert np.isnan(grid[[1, 2]]).all()
+
+
+def test_from_timestamps_duplicates_resolve_last_wins():
+    """A retransmitted reading overwrites the first — no NaN rows, no
+    averaging."""
+    t = [0.0, 60.0, 60.0, 120.0]
+    grid = from_timestamps(t, [1.0, 2.0, 99.0, 3.0], 60.0)
+    np.testing.assert_array_equal(grid, [1.0, 99.0, 3.0])
+
+
+def test_from_timestamps_out_of_order_still_last_wins_by_input_order():
+    # The duplicate pair arrives out of order relative to other slots;
+    # within the tied timestamp, later input wins.
+    t = [120.0, 0.0, 60.0, 60.0]
+    grid = from_timestamps(t, [3.0, 1.0, 2.0, 99.0], 60.0, start_s=0.0)
+    np.testing.assert_array_equal(grid, [1.0, 99.0, 3.0])
+
+
+def test_from_timestamps_jitter_snaps_to_nearest_slot():
+    grid = from_timestamps([1.0, 62.0, 118.0], [1.0, 2.0, 3.0], 60.0,
+                           start_s=0.0)
+    np.testing.assert_array_equal(grid, [1.0, 2.0, 3.0])
+
+
+def test_from_timestamps_out_of_range_dropped():
+    grid = from_timestamps(
+        [0.0, 60.0, 600.0], [1.0, 2.0, 9.0], 60.0, start_s=0.0, n_steps=2
+    )
+    np.testing.assert_array_equal(grid, [1.0, 2.0])
+
+
+def test_from_timestamps_validates_inputs():
+    with pytest.raises(ValueError):
+        from_timestamps([0.0], [1.0], 0.0)
+    with pytest.raises(ValueError):
+        from_timestamps([0.0, 1.0], [1.0], 60.0)
+    with pytest.raises(ValueError):
+        from_timestamps([], [], 60.0)
+
+
+def test_from_timestamps_duplicate_counter_counts_collisions():
+    obs.enable()
+    obs.reset()
+    try:
+        t = [0.0, 0.0, 0.0, 60.0, 60.0]
+        from_timestamps(t, np.arange(5.0), 60.0)
+        counter = obs.registry.counter("robust.duplicate_timestamps_total")
+        assert counter.value() == 3  # five readings, two slots
+        dropped = from_timestamps(
+            [0.0, 300.0, 360.0], [1.0, 2.0, 3.0], 60.0, n_steps=2
+        )
+        assert obs.registry.counter(
+            "robust.dropped_readings_total"
+        ).value() == 2
+        assert len(dropped) == 2
+    finally:
+        obs.disable()
+        obs.reset()
+        obs.registry.clear()
+
+
+def test_from_timestamps_silent_when_obs_disabled():
+    assert not obs.enabled()
+    grid = from_timestamps([0.0, 0.0], [1.0, 2.0], 60.0)
+    np.testing.assert_array_equal(grid, [2.0])
+    counter = obs.registry.counter("robust.duplicate_timestamps_total")
+    assert counter.value() == 0

@@ -1,0 +1,13 @@
+"""Robust-layer tests leave the global obs state pristine."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    yield
+    obs.disable()
+    obs.reset()
+    obs.registry.clear()

@@ -1,0 +1,197 @@
+"""Fault-injection harness: determinism, targeting, lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.robust import (
+    FaultInjected,
+    FaultPlan,
+    active,
+    checkpoint,
+    corrupt,
+    inject,
+)
+
+
+class TestInactiveHarness:
+    def test_checkpoint_is_a_no_op(self):
+        assert active() is None
+        checkpoint("store.read")  # must not raise
+
+    def test_corrupt_returns_the_same_object(self):
+        values = np.arange(5.0)
+        assert corrupt("store.read", values) is values
+
+
+class TestErrorFaults:
+    def test_fires_at_the_chosen_index_only(self):
+        plan = FaultPlan().fail("store.read", at=1)
+        with inject(plan):
+            checkpoint("store.read")  # index 0: clean
+            with pytest.raises(FaultInjected):
+                checkpoint("store.read")  # index 1: boom
+            checkpoint("store.read")  # index 2: clean again
+
+    def test_default_error_is_an_oserror(self):
+        # So the retry decorator's default retry_on matches it.
+        plan = FaultPlan().fail("store.read", at=0)
+        with inject(plan):
+            with pytest.raises(OSError):
+                checkpoint("store.read")
+
+    def test_custom_error_type_and_instance(self):
+        plan = (
+            FaultPlan()
+            .fail("a", at=0, error=TimeoutError)
+            .fail("b", at=0, error=PermissionError("locked"))
+        )
+        with inject(plan):
+            with pytest.raises(TimeoutError):
+                checkpoint("a")
+            with pytest.raises(PermissionError, match="locked"):
+                checkpoint("b")
+
+    def test_at_none_fires_every_call(self):
+        plan = FaultPlan().fail("store.read", at=None)
+        with inject(plan):
+            for _ in range(3):
+                with pytest.raises(FaultInjected):
+                    checkpoint("store.read")
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan().fail("io.read_csv", at=0)
+        with inject(plan):
+            checkpoint("store.read")  # different site: clean
+            with pytest.raises(FaultInjected):
+                checkpoint("io.read_csv")
+
+
+class TestSlowFaults:
+    def test_slow_uses_the_injected_sleep(self):
+        slept = []
+        plan = FaultPlan(sleep=slept.append).slow(
+            "persistence.load", at=0, seconds=0.5
+        )
+        with inject(plan):
+            checkpoint("persistence.load")
+            checkpoint("persistence.load")
+        assert slept == [0.5]
+
+    def test_slow_then_error_on_same_call(self):
+        slept = []
+        plan = (
+            FaultPlan(sleep=slept.append)
+            .slow("s", at=0, seconds=0.1)
+            .fail("s", at=0)
+        )
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                checkpoint("s")
+        assert slept == [0.1]  # the delay happens before the error
+
+
+class TestNanBursts:
+    def test_burst_hits_the_requested_fraction(self):
+        plan = FaultPlan(seed=3).nan_burst("store.read", at=0, fraction=0.02)
+        values = np.zeros(1000)
+        with inject(plan):
+            out = corrupt("store.read", values)
+        assert int(np.isnan(out).sum()) == 20
+        assert not np.isnan(values).any()  # input untouched
+
+    def test_burst_is_deterministic_per_seed(self):
+        values = np.zeros(500)
+        outs = []
+        for _ in range(2):
+            plan = FaultPlan(seed=11).nan_burst("store.read", fraction=0.05)
+            with inject(plan):
+                outs.append(corrupt("store.read", values))
+        np.testing.assert_array_equal(np.isnan(outs[0]), np.isnan(outs[1]))
+
+    def test_different_seeds_differ(self):
+        values = np.zeros(500)
+        masks = []
+        for seed in (0, 1):
+            plan = FaultPlan(seed=seed).nan_burst("store.read", fraction=0.05)
+            with inject(plan):
+                masks.append(np.isnan(corrupt("store.read", values)))
+        assert not np.array_equal(masks[0], masks[1])
+
+    def test_burst_targets_call_index(self):
+        plan = FaultPlan().nan_burst("store.read", at=1, fraction=0.1)
+        values = np.zeros(100)
+        with inject(plan):
+            first = corrupt("store.read", values)
+            second = corrupt("store.read", values)
+        assert not np.isnan(first).any()
+        assert np.isnan(second).sum() == 10
+
+    def test_tiny_arrays_get_at_least_one_nan(self):
+        plan = FaultPlan().nan_burst("store.read", fraction=0.001)
+        with inject(plan):
+            out = corrupt("store.read", np.zeros(10))
+        assert np.isnan(out).sum() == 1
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan().nan_burst("s", fraction=0.0)
+        with pytest.raises(ValueError):
+            FaultPlan().nan_burst("s", fraction=1.5)
+
+
+class TestLifecycle:
+    def test_inject_restores_previous_plan(self):
+        outer = FaultPlan()
+        inner = FaultPlan()
+        with inject(outer):
+            assert active() is outer
+            with inject(inner):
+                assert active() is inner
+            assert active() is outer
+        assert active() is None
+
+    def test_plan_deactivated_even_after_error(self):
+        plan = FaultPlan().fail("s", at=0)
+        with pytest.raises(FaultInjected):
+            with inject(plan):
+                checkpoint("s")
+        assert active() is None
+
+    def test_triggered_records_in_order(self):
+        plan = (
+            FaultPlan(sleep=lambda s: None)
+            .fail("a", at=0)
+            .slow("b", at=0, seconds=0.2)
+            .nan_burst("c", at=0, fraction=0.5)
+        )
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                checkpoint("a")
+            checkpoint("b")
+            corrupt("c", np.zeros(10))
+        kinds = [record["kind"] for record in plan.triggered]
+        assert kinds == ["error", "slow", "nan"]
+        assert plan.triggered[0]["site"] == "a"
+        assert plan.triggered[2]["samples"] == 5
+
+    def test_calls_and_summary(self):
+        plan = FaultPlan().nan_burst("s", at=5, fraction=0.5)
+        with inject(plan):
+            checkpoint("s")
+            corrupt("s", np.zeros(4))
+            corrupt("s", np.zeros(4))
+        assert plan.calls("s") == (1, 2)
+        summary = plan.summary()
+        assert summary["by_kind"] == {}  # index 5 never reached
+        assert summary["calls"]["s"] == (1, 2)
+
+    def test_injection_counter_recorded(self):
+        obs.enable()
+        obs.reset()
+        plan = FaultPlan().fail("store.read", at=0)
+        with inject(plan):
+            with pytest.raises(FaultInjected):
+                checkpoint("store.read")
+        counter = obs.registry.counter("robust.faults_injected_total")
+        assert counter.value(site="store.read", kind="error") == 1

@@ -1,0 +1,184 @@
+"""Retry decorator: backoff schedule, deadline, counters — fake clock."""
+
+import random
+
+import pytest
+
+from repro import obs
+from repro.robust import RetriesExhausted, backoff_schedule, retriable
+
+
+class FakeClock:
+    """Manual monotonic clock; sleep() advances it and records delays."""
+
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class Flaky:
+    """Raises the scripted errors, then succeeds forever."""
+
+    def __init__(self, *errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return "ok"
+
+
+class TestBackoffSchedule:
+    def test_doubles_from_base(self):
+        assert backoff_schedule(4, 0.05) == [0.05, 0.1, 0.2]
+
+    def test_caps_at_max_backoff(self):
+        assert backoff_schedule(6, 0.5, max_backoff=1.0) == [
+            0.5, 1.0, 1.0, 1.0, 1.0,
+        ]
+
+    def test_single_attempt_never_sleeps(self):
+        assert backoff_schedule(1, 0.05) == []
+
+
+class TestRetriable:
+    def test_success_on_first_try_never_sleeps(self):
+        clock = FakeClock()
+        fn = retriable(sleep=clock.sleep, clock=clock)(Flaky())
+        assert fn() == "ok"
+        assert clock.sleeps == []
+
+    def test_recovers_after_transient_errors(self):
+        clock = FakeClock()
+        flaky = Flaky(OSError("1"), OSError("2"))
+        fn = retriable(max_attempts=3, sleep=clock.sleep, clock=clock)(flaky)
+        assert fn() == "ok"
+        assert flaky.calls == 3
+
+    def test_jitter_free_schedule_is_exact(self):
+        clock = FakeClock()
+        fn = retriable(
+            max_attempts=4,
+            backoff=0.05,
+            jitter=0.0,
+            sleep=clock.sleep,
+            clock=clock,
+        )(Flaky(OSError(), OSError(), OSError()))
+        assert fn() == "ok"
+        assert clock.sleeps == pytest.approx([0.05, 0.1, 0.2])
+
+    def test_jitter_stays_within_relative_bound(self):
+        clock = FakeClock()
+        fn = retriable(
+            max_attempts=4,
+            backoff=0.05,
+            jitter=0.1,
+            sleep=clock.sleep,
+            clock=clock,
+            rng=random.Random(7),
+        )(Flaky(OSError(), OSError(), OSError()))
+        fn()
+        for slept, base in zip(clock.sleeps, backoff_schedule(4, 0.05)):
+            assert base <= slept < base * 1.1
+
+    def test_gives_up_with_typed_error_and_chain(self):
+        clock = FakeClock()
+        original = OSError("disk on fire")
+        fn = retriable(max_attempts=2, sleep=clock.sleep, clock=clock)(
+            Flaky(OSError(), original)
+        )
+        with pytest.raises(RetriesExhausted) as info:
+            fn()
+        assert info.value.attempts == 2
+        assert info.value.__cause__ is original
+        assert isinstance(info.value, RuntimeError)  # catchable broadly
+
+    def test_deadline_stops_before_max_attempts(self):
+        clock = FakeClock()
+        flaky = Flaky(OSError(), OSError(), OSError(), OSError())
+
+        def slow_sleep(seconds):
+            clock.sleeps.append(seconds)
+            clock.advance(10.0)  # each backoff burns the whole budget
+
+        fn = retriable(
+            max_attempts=10, timeout=5.0, sleep=slow_sleep, clock=clock
+        )(flaky)
+        with pytest.raises(RetriesExhausted):
+            fn()
+        assert flaky.calls == 2  # first try + one retry, then deadline
+
+    def test_non_retryable_error_propagates_immediately(self):
+        clock = FakeClock()
+        flaky = Flaky(ValueError("bad input"))
+        fn = retriable(max_attempts=5, sleep=clock.sleep, clock=clock)(flaky)
+        with pytest.raises(ValueError):
+            fn()
+        assert flaky.calls == 1
+        assert clock.sleeps == []
+
+    def test_custom_retry_on(self):
+        clock = FakeClock()
+        fn = retriable(
+            retry_on=(KeyError,), sleep=clock.sleep, clock=clock
+        )(Flaky(KeyError("x")))
+        assert fn() == "ok"
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            retriable(max_attempts=0)
+        with pytest.raises(ValueError):
+            retriable(backoff=-1.0)
+
+    def test_wrapped_function_is_reachable(self):
+        def read():
+            return 1
+
+        wrapped = retriable()(read)
+        assert wrapped.__wrapped__ is read
+        assert wrapped.__name__ == "read"
+
+    def test_arguments_pass_through(self):
+        calls = []
+
+        @retriable(sleep=lambda s: None)
+        def fn(a, b=0):
+            calls.append((a, b))
+            return a + b
+
+        assert fn(1, b=2) == 3
+        assert calls == [(1, 2)]
+
+
+class TestRetryCounters:
+    def test_recovery_and_giveup_counters(self):
+        obs.enable()
+        obs.reset()
+        clock = FakeClock()
+        ok = retriable(
+            max_attempts=3, name="probe", sleep=clock.sleep, clock=clock
+        )(Flaky(OSError()))
+        ok()
+        bad = retriable(
+            max_attempts=2, name="probe", sleep=clock.sleep, clock=clock
+        )(Flaky(OSError(), OSError(), OSError()))
+        with pytest.raises(RetriesExhausted):
+            bad()
+        attempts = obs.registry.counter("robust.retry_attempts_total")
+        assert attempts.value(function="probe") == 3  # 1 + 2 failures
+        recoveries = obs.registry.counter("robust.retry_recoveries_total")
+        assert recoveries.value(function="probe") == 1
+        giveups = obs.registry.counter("robust.retry_giveups_total")
+        assert giveups.value(function="probe") == 1

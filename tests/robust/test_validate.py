@@ -1,0 +1,228 @@
+"""Validation verdicts: repair vs degrade vs reject, per defect class."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.robust import (
+    SeriesRejected,
+    Verdict,
+    WindowRejected,
+    ensure_series,
+    ensure_window,
+    validate_series,
+    validate_window,
+)
+from repro.robust.validate import nan_runs
+
+
+def clean(n=50, seed=0):
+    return np.random.default_rng(seed).uniform(50.0, 200.0, n)
+
+
+class TestNanRuns:
+    def test_finds_runs_with_exclusive_ends(self):
+        mask = np.array([0, 1, 1, 0, 0, 1, 0, 1], dtype=bool)
+        starts, ends = nan_runs(mask)
+        np.testing.assert_array_equal(starts, [1, 5, 7])
+        np.testing.assert_array_equal(ends, [3, 6, 8])
+
+    def test_empty_and_full_masks(self):
+        starts, ends = nan_runs(np.zeros(4, dtype=bool))
+        assert len(starts) == 0 and len(ends) == 0
+        starts, ends = nan_runs(np.ones(4, dtype=bool))
+        np.testing.assert_array_equal(starts, [0])
+        np.testing.assert_array_equal(ends, [4])
+
+
+class TestSeriesVerdicts:
+    def test_clean_series_is_ok_and_copied(self):
+        series = clean()
+        out, report = validate_series(series)
+        assert report.verdict is Verdict.OK
+        assert report.ok and report.usable and not report.rejected
+        np.testing.assert_array_equal(out, series)
+        assert out is not series  # never returns the input object
+
+    def test_short_gap_repaired_by_interpolation(self):
+        series = clean()
+        series[10:13] = np.nan
+        out, report = validate_series(series, max_gap=5)
+        assert report.verdict is Verdict.REPAIRED
+        assert not np.isnan(out).any()
+        # Linear between the flanking samples.
+        expected = np.interp([10, 11, 12], [9, 13], [series[9], series[13]])
+        np.testing.assert_allclose(out[10:13], expected)
+
+    def test_edge_gap_holds_nearest_value(self):
+        series = clean()
+        series[-3:] = np.nan
+        out, report = validate_series(series, max_gap=5)
+        assert report.verdict is Verdict.REPAIRED
+        np.testing.assert_allclose(out[-3:], series[-4])
+
+    def test_long_gap_degrades_and_stays_nan(self):
+        series = clean()
+        series[10:30] = np.nan
+        out, report = validate_series(series, max_gap=5)
+        assert report.verdict is Verdict.DEGRADED
+        assert report.usable is False
+        assert np.isnan(out[10:30]).all()
+
+    def test_mixed_gaps_repair_short_keep_long(self):
+        series = clean(100)
+        series[5:7] = np.nan  # short: repaired
+        series[40:60] = np.nan  # long: kept
+        out, report = validate_series(series, max_gap=5)
+        assert report.verdict is Verdict.DEGRADED
+        assert not np.isnan(out[5:7]).any()
+        assert np.isnan(out[40:60]).all()
+        assert set(report.defect_kinds()) == {"nan_gap", "long_nan_gap"}
+
+    def test_negatives_clipped_to_zero(self):
+        series = clean()
+        series[3] = -42.0
+        out, report = validate_series(series)
+        assert report.verdict is Verdict.REPAIRED
+        assert out[3] == 0.0
+        assert "negative_power" in report.defect_kinds()
+
+    def test_negative_clip_can_be_disabled(self):
+        series = clean()
+        series[3] = -42.0
+        out, report = validate_series(series, clip_negative=False)
+        assert report.verdict is Verdict.OK
+        assert out[3] == -42.0
+
+    def test_inf_becomes_nan_then_repaired(self):
+        series = clean()
+        series[7] = np.inf
+        out, report = validate_series(series)
+        assert report.verdict is Verdict.REPAIRED
+        assert np.isfinite(out[7])
+        assert "non_finite" in report.defect_kinds()
+
+    def test_input_is_never_mutated(self):
+        series = clean()
+        series[3] = -5.0
+        series[10:12] = np.nan
+        original = series.copy()
+        validate_series(series)
+        np.testing.assert_array_equal(
+            np.nan_to_num(series, nan=-999), np.nan_to_num(original, nan=-999)
+        )
+
+    @pytest.mark.parametrize(
+        "bad, kind",
+        [
+            (np.ones((3, 4)), "not_1d"),
+            (np.array([1.0]), "too_short"),
+            (["watt", "watt"], "bad_dtype"),
+            (np.full(10, np.nan), "all_nan"),
+        ],
+    )
+    def test_rejections(self, bad, kind):
+        out, report = validate_series(bad)
+        assert out is None
+        assert report.verdict is Verdict.REJECTED
+        assert kind in report.defect_kinds()
+
+    def test_repair_is_idempotent(self):
+        series = clean()
+        series[3] = -5.0
+        series[10:12] = np.nan
+        series[20] = np.inf
+        once, first = validate_series(series)
+        twice, second = validate_series(once)
+        assert first.verdict is Verdict.REPAIRED
+        assert second.verdict is Verdict.OK  # nothing left to fix
+        np.testing.assert_array_equal(twice, once)
+
+
+class TestWindowVerdicts:
+    def test_clean_window_ok(self):
+        out, report = validate_window(clean())
+        assert report.verdict is Verdict.OK
+        assert not np.isnan(out).any()
+
+    def test_short_gap_repaired(self):
+        watts = clean(100)
+        watts[50:53] = np.nan
+        out, report = validate_window(watts, max_gap=5)
+        assert report.verdict is Verdict.REPAIRED
+        assert not np.isnan(out).any()
+
+    def test_nan_excess_degrades_without_interpolation(self):
+        watts = clean(100)
+        watts[:20] = np.nan  # 20% NaN > 10% budget
+        out, report = validate_window(watts, max_nan_fraction=0.1)
+        assert report.verdict is Verdict.DEGRADED
+        assert np.isnan(out[:20]).all()  # nothing fabricated
+        assert "nan_excess" in report.defect_kinds()
+
+    def test_long_run_within_budget_still_degrades(self):
+        watts = clean(100)
+        watts[10:18] = np.nan  # 8% of samples but one 8-run > max_gap
+        out, report = validate_window(watts, max_gap=5, max_nan_fraction=0.1)
+        assert report.verdict is Verdict.DEGRADED
+        assert np.isnan(out[10:18]).all()
+
+    def test_length_mismatch_rejected(self):
+        out, report = validate_window(clean(99), expected_length=128)
+        assert out is None
+        assert report.verdict is Verdict.REJECTED
+        assert "length_mismatch" in report.defect_kinds()
+
+    def test_matching_length_accepted(self):
+        out, report = validate_window(clean(128), expected_length=128)
+        assert report.verdict is Verdict.OK
+
+    def test_all_nan_rejected(self):
+        out, report = validate_window(np.full(20, np.nan))
+        assert out is None
+        assert report.rejected
+
+
+class TestEnsureHelpers:
+    def test_ensure_series_raises_typed_error(self):
+        with pytest.raises(SeriesRejected):
+            ensure_series(np.full(10, np.nan))
+
+    def test_ensure_series_passes_repairs_through(self):
+        series = clean()
+        series[4] = np.nan
+        out, report = ensure_series(series)
+        assert report.verdict is Verdict.REPAIRED
+        assert not np.isnan(out).any()
+
+    def test_ensure_window_raises_on_degrade_too(self):
+        watts = clean(100)
+        watts[:30] = np.nan
+        with pytest.raises(WindowRejected):
+            ensure_window(watts)
+
+    def test_typed_errors_are_value_errors(self):
+        # Callers that catch ValueError (the repo's pre-robust contract)
+        # keep working.
+        with pytest.raises(ValueError):
+            ensure_window(np.full(10, np.nan))
+
+
+class TestValidationCounters:
+    def test_verdict_and_repair_counters(self):
+        obs.enable()
+        obs.reset()
+        series = clean()
+        series[3:5] = np.nan
+        validate_series(series, name="agg")
+        verdicts = obs.registry.counter("robust.validation_verdicts_total")
+        assert verdicts.value(verdict="repaired", name="agg") == 1
+        repairs = obs.registry.counter("robust.repairs_total")
+        assert repairs.value(kind="nan_gap") == 2
+
+    def test_disabled_obs_records_nothing(self):
+        assert not obs.enabled()
+        series = clean()
+        series[3:5] = np.nan
+        validate_series(series)
+        assert obs.registry.snapshot() == {}
