@@ -1,0 +1,118 @@
+"""Latency regression gate: the fast-path wins must not silently erode.
+
+Loads the stored fast-vs-legacy baseline
+(``benchmarks/results/BENCH_inference_latency.json``, persisted by the
+latency bench), re-measures both pipelines on the same three GUI window
+lengths, and fails (exit 1) if the fast path's p95 latency has
+regressed more than ``--tolerance`` (default 25%) against the baseline.
+
+Hardware normalization: the stored baseline was measured on a different
+machine than CI, so absolute seconds are not comparable. The gate
+therefore compares the fast path's *relative cost* — p95(fast) /
+p95(legacy), with the legacy three-pass pipeline re-measured on the
+same box as the yardstick — against the baseline's median-based ratio.
+A change that slows the fast path (say, accidental per-span overhead on
+the disabled obs path) raises the ratio and trips the gate; a uniformly
+slower machine does not.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/regression_gate.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import CamAL
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+
+DEFAULT_BASELINE = (
+    Path(__file__).resolve().parent / "results" / "BENCH_inference_latency.json"
+)
+
+
+def _times(fn, rounds: int, warmup: int = 2) -> np.ndarray:
+    for _ in range(warmup):
+        fn()
+    out = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - start)
+    return np.asarray(out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=DEFAULT_BASELINE,
+        help="stored BENCH_inference_latency.json",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=7,
+        help="timed rounds per window length (after 2 warm-ups)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed relative p95 regression vs the baseline ratio",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    n_filters = tuple(baseline["n_filters"])
+    ensemble = ResNetEnsemble((5, 7, 9, 15), n_filters=n_filters, seed=args.seed)
+    ensemble.eval()
+    scaler = Standardizer(mean=300.0, std=400.0)
+    fast = CamAL(ensemble, scaler)
+    legacy = CamAL(ensemble, scaler, fast_path=False)
+    rng = np.random.default_rng(args.seed)
+
+    failures: list[str] = []
+    print(
+        f"{'window':<8} {'fast p95':>10} {'legacy p95':>11} "
+        f"{'ratio':>7} {'baseline':>9} {'limit':>7}  verdict"
+    )
+    for entry in baseline["results"]:
+        samples = int(entry["samples"])
+        watts = rng.uniform(0, 3000, size=(1, samples))
+        fast_p95 = float(
+            np.percentile(_times(lambda: fast.localize_watts(watts), args.rounds), 95)
+        )
+        legacy_p95 = float(
+            np.percentile(
+                _times(lambda: legacy.localize_watts(watts), args.rounds), 95
+            )
+        )
+        ratio = fast_p95 / legacy_p95
+        baseline_ratio = entry["fast_median_s"] / entry["legacy_median_s"]
+        limit = baseline_ratio * (1.0 + args.tolerance)
+        ok = ratio <= limit
+        print(
+            f"{entry['window']:<8} {fast_p95 * 1e3:>8.1f}ms {legacy_p95 * 1e3:>9.1f}ms "
+            f"{ratio:>7.3f} {baseline_ratio:>9.3f} {limit:>7.3f}  "
+            f"{'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(entry["window"])
+
+    if failures:
+        print(
+            f"FAIL: fast-path p95 regressed >{args.tolerance:.0%} vs baseline "
+            f"on: {', '.join(failures)}"
+        )
+        return 1
+    print("OK: fast-path p95 within tolerance of the stored baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -108,6 +108,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of the first store read to overwrite with NaN",
     )
 
+    obs_cmd = sub.add_parser(
+        "obs",
+        help="drive a telemetry workload and export/watch the results",
+    )
+    common(obs_cmd)
+    obs_cmd.add_argument(
+        "--window", default="6h", choices=["6h", "12h", "1day"]
+    )
+    obs_cmd.add_argument(
+        "--requests", type=int, default=6,
+        help="Playground view requests to drive through the session",
+    )
+    obs_cmd.add_argument(
+        "--workers", type=int, default=2,
+        help="fast-path member fan-out threads (context propagation demo)",
+    )
+    obs_cmd.add_argument(
+        "--openmetrics", action="store_true",
+        help="print OpenMetrics text exposition on stdout (scrape-ready)",
+    )
+    obs_cmd.add_argument(
+        "--trace-out", default=None, metavar="JSON",
+        help="write the Chrome trace-event JSON (open in Perfetto)",
+    )
+    obs_cmd.add_argument(
+        "--jsonl-out", default=None, metavar="JSONL",
+        help="write structured log events as JSON Lines",
+    )
+    obs_cmd.add_argument(
+        "--watch", action="store_true",
+        help="render a live text dashboard while driving requests",
+    )
+    obs_cmd.add_argument(
+        "--interval", type=float, default=0.5,
+        help="seconds between --watch refreshes",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="trace a representative CamAL workload (spans, layers, metrics)",
@@ -428,6 +465,105 @@ def cmd_faultcheck(args) -> int:
     return 0 if not failed else 1
 
 
+def _telemetry_playground(args, workers: int):
+    """A training-free Playground (untrained ensemble over a seeded
+    synthetic dataset) — the shared workload behind ``obs``/``faultcheck``
+    style smokes: it exercises the exact serving hot path in seconds."""
+    from ..core import CamAL
+    from ..datasets import Standardizer, build_dataset
+    from ..models import ResNetEnsemble
+    from .playground import Playground
+
+    n_houses = 2 if args.fast else 3
+    dataset = build_dataset(
+        args.profile, seed=args.seed, n_houses=n_houses, days_per_house=(2, 3)
+    )
+    kernels = (5, 9) if args.fast else (5, 7, 9, 15)
+    ensemble = ResNetEnsemble(kernels, n_filters=(4, 8, 8), seed=args.seed)
+    ensemble.eval()
+    scaler = Standardizer.fit(
+        np.nan_to_num(dataset.houses[0].aggregate, nan=0.0)[None, :]
+    )
+    model = CamAL(ensemble, scaler, workers=workers)
+    playground = Playground(dataset, {args.appliance: model})
+    playground.state.selected_appliances = [args.appliance]
+    playground.select_window(args.window)
+    return playground
+
+
+def cmd_obs(args) -> int:
+    """Telemetry export and live health (DESIGN.md §9).
+
+    Drives ``--requests`` Playground views (Prev/Next style — revisits
+    hit the result cache) under ``obs.enable()`` with request scopes,
+    then exports: ``--openmetrics`` prints Prometheus/OpenMetrics text
+    on stdout, ``--trace-out`` writes Chrome trace-event JSON for
+    Perfetto, ``--jsonl-out`` ships the structured log, and ``--watch``
+    renders a compact dashboard after every request instead. With no
+    flags, prints the dashboard once at the end.
+    """
+    import json as json_mod
+    import time as time_mod
+
+    from .. import obs
+    from ..obs.report import format_dashboard
+
+    playground = _telemetry_playground(args, workers=max(args.workers, 1))
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    chatty = not args.openmetrics  # keep stdout scrape-clean otherwise
+    try:
+        n_requests = max(args.requests, 1)
+        for i in range(n_requests):
+            # Forward to the end, then bounce back: revisits exercise
+            # the result cache so hits/misses both show up attributed.
+            view = playground.view()
+            if view.has_next and i < n_requests // 2:
+                playground.state.advance(playground.n_windows, +1)
+            else:
+                playground.state.advance(playground.n_windows, -1)
+            if args.watch:
+                print(
+                    format_dashboard(
+                        obs.slo_tracker.snapshot(),
+                        obs.registry.snapshot(),
+                        playground.cache.stats()
+                        if playground.cache is not None
+                        else None,
+                    )
+                )
+                print()
+                if args.interval > 0 and i < n_requests - 1:
+                    time_mod.sleep(args.interval)
+        if args.trace_out:
+            with open(args.trace_out, "w") as fh:
+                json_mod.dump(obs.to_chrome_trace(obs.tracer), fh)
+            if chatty:
+                print(f"chrome trace written to {args.trace_out}")
+        if args.jsonl_out:
+            with open(args.jsonl_out, "w") as fh:
+                fh.write(obs.to_jsonl(obs.log.events()))
+            if chatty:
+                print(f"event log written to {args.jsonl_out}")
+        if args.openmetrics:
+            print(obs.to_openmetrics(obs.registry.snapshot()), end="")
+        elif not args.watch:
+            print(
+                format_dashboard(
+                    obs.slo_tracker.snapshot(),
+                    obs.registry.snapshot(),
+                    playground.cache.stats()
+                    if playground.cache is not None
+                    else None,
+                )
+            )
+    finally:
+        if not was_enabled:
+            obs.disable()
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Trace a representative CamAL inference workload.
 
@@ -513,6 +649,7 @@ def main(argv: list[str] | None = None) -> int:
         "energy": cmd_energy,
         "faultcheck": cmd_faultcheck,
         "profile": cmd_profile,
+        "obs": cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -160,15 +160,32 @@ class Playground:
 
     def view(self, appliances: list[str] | None = None) -> WindowView:
         """Render the current window with predictions for ``appliances``
-        (default: the session's selected appliances)."""
+        (default: the session's selected appliances).
+
+        The whole render runs inside an ``obs.request(kind="view")``
+        scope — every span, metric event, cache hit/miss, retry, and
+        warning it causes carries the same request id, and the request's
+        wall time feeds the session SLO tracker. A caller that already
+        opened a request (e.g. the CLI driving several views under one
+        scope) is joined, not shadowed.
+        """
         appliances = (
             appliances
             if appliances is not None
             else self.state.selected_appliances
         )
+        position = min(self.state.position, self.n_windows - 1)
+        with obs.request(
+            kind="view",
+            house=self.state.house_id,
+            window=self.state.window,
+            position=position,
+        ) as req:
+            return self._render_view(appliances, position, req)
+
+    def _render_view(self, appliances, position, req) -> WindowView:
         house = self.house
         length = self.window_length
-        position = min(self.state.position, self.n_windows - 1)
         start = position * length
         degraded = False
         try:
@@ -201,6 +218,8 @@ class Playground:
             prediction = self._predict(house, appliance, watts, start, length)
             if prediction is not None:
                 view.predictions[appliance] = prediction
+        if degraded or any(p.degraded for p in view.predictions.values()):
+            req.mark_degraded()
         return view
 
     def _predict(self, house, appliance, watts, start, length):

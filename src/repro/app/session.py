@@ -38,12 +38,20 @@ class DeviceScope:
     )
 
     def health(self) -> dict:
-        """Session diagnostics: cache stats plus every ``robust.*``
-        counter recorded so far (empty when obs is disabled) — what the
-        GUI's diagnostics pane and ``devicescope faultcheck`` print."""
+        """Session diagnostics in one dict: cache stats, every
+        ``robust.*`` counter recorded so far, and the rolling SLO rollup
+        over request latencies (attainment, p50/p95/p99, burn rate).
+        The robust/SLO sections are empty / zero-count when obs is
+        disabled — what the GUI's diagnostics pane, ``devicescope
+        faultcheck``, and ``devicescope obs --watch`` print."""
+        from .. import obs
         from ..robust import metrics_snapshot
 
-        return {"cache": self.cache.stats(), "robust": metrics_snapshot()}
+        return {
+            "cache": self.cache.stats(),
+            "robust": metrics_snapshot(),
+            "slo": obs.slo_tracker.snapshot(),
+        }
 
     @classmethod
     def bootstrap(

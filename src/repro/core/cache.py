@@ -170,3 +170,11 @@ class ResultCache:
             else "result-cache lookups that recomputed"
         )
         obs.registry.counter(name, help=help_text).inc(cache=self.name)
+        # Event-level attribution: inside an ``obs.request`` scope the
+        # record carries the request id, so a trace viewer can tell
+        # which click was served from memory and which recomputed.
+        obs.log.event(
+            "app.result_cache",
+            cache=self.name,
+            outcome="hit" if hit else "miss",
+        )

@@ -279,9 +279,15 @@ class CamAL:
         return x
 
     def detect(self, x: np.ndarray) -> np.ndarray:
-        """Step 1-2: ensemble detection probabilities ``(N,)``."""
+        """Step 1-2: ensemble detection probabilities ``(N,)``.
+
+        Runs inside a request scope (joining the caller's active
+        ``obs.request`` if any) so spans/metrics are attributable.
+        """
         x = self._validate(x)
-        with obs.span("camal.detect", n_windows=x.shape[0]):
+        with obs.request(kind="camal.detect"), obs.span(
+            "camal.detect", n_windows=x.shape[0]
+        ):
             if self.fast_path:
                 with inference_mode():
                     probabilities = np.concatenate(
@@ -340,7 +346,7 @@ class CamAL:
         """
         x = self._validate(x)
         faults.checkpoint("camal.localize")
-        with obs.span(
+        with obs.request(kind="camal.localize"), obs.span(
             "camal.localize", n_windows=x.shape[0], window_length=x.shape[2]
         ) as root:
             if self.fast_path:

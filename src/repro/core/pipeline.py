@@ -84,12 +84,19 @@ class SlidingWindowLocalizer:
     ) -> SeriesLocalization:
         """Localize over one aggregate watt series."""
         aggregate = np.asarray(aggregate, dtype=np.float64)
+        with obs.request(kind="localize_series", appliance=appliance) as req:
+            return self._localize_series(aggregate, appliance, req)
+
+    def _localize_series(
+        self, aggregate: np.ndarray, appliance: str, req
+    ) -> SeriesLocalization:
         report = None
         if self.repair:
             repaired_series, report = validate_series(
                 aggregate, max_gap=self.max_gap
             )
             if repaired_series is None:  # rejected — degrade, don't crash
+                req.mark_degraded()
                 return self._empty(
                     len(aggregate), appliance, degraded=True, report=report
                 )
@@ -132,6 +139,9 @@ class SlidingWindowLocalizer:
                 "pipeline.windows_total",
                 help="windows processed by the sliding-window localizer",
             ).inc(len(starts))
+        degraded = report is not None and report.verdict is Verdict.DEGRADED
+        if degraded:
+            req.mark_degraded()
         return SeriesLocalization(
             appliance=appliance,
             status=status,
@@ -140,8 +150,7 @@ class SlidingWindowLocalizer:
             window_starts=starts,
             window_probabilities=window_probs,
             repaired=report is not None and report.verdict is Verdict.REPAIRED,
-            degraded=report is not None
-            and report.verdict is Verdict.DEGRADED,
+            degraded=degraded,
             report=report,
         )
 
@@ -167,13 +176,17 @@ class SlidingWindowLocalizer:
         entirely the house degrades to an empty localization instead of
         propagating the error into the app.
         """
-        try:
-            aggregate = house.read_window(0, house.n_steps)
-        except RetriesExhausted:
-            if obs.enabled():
-                obs.registry.counter(
-                    "robust.series_read_giveups_total",
-                    help="house reads abandoned after exhausting retries",
-                ).inc()
-            return self._empty(house.n_steps, appliance, degraded=True)
-        return self.localize_series(aggregate, appliance)
+        with obs.request(
+            kind="localize_house", house=house.house_id, appliance=appliance
+        ) as req:
+            try:
+                aggregate = house.read_window(0, house.n_steps)
+            except RetriesExhausted:
+                if obs.enabled():
+                    obs.registry.counter(
+                        "robust.series_read_giveups_total",
+                        help="house reads abandoned after exhausting retries",
+                    ).inc()
+                req.mark_degraded()
+                return self._empty(house.n_steps, appliance, degraded=True)
+            return self.localize_series(aggregate, appliance)

@@ -8,11 +8,12 @@ a small-kernel member sees spikes, a large-kernel member sees cycles.
 
 from __future__ import annotations
 
+import contextvars
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from .. import nn
+from .. import nn, obs
 from ..nn import functional as F
 from ..nn.module import inference_mode
 from .resnet import ResNetTSC
@@ -120,17 +121,47 @@ class ResNetEnsemble(nn.Module):
         ``workers > 1`` fans members out across a thread pool. numpy's
         einsum/matmul kernels release the GIL, so distinct members make
         real parallel progress; results are returned in member order
-        regardless of completion order.
+        regardless of completion order. When observability is enabled,
+        each dispatched member runs inside a copy of the caller's
+        :mod:`contextvars` context, so worker-thread spans keep the
+        active ``obs.request`` id and parent span.
         """
         members = list(self.members)
         if workers is None or workers <= 1 or len(members) <= 1:
-            return [member.forward_features(x) for member in members]
+            return [
+                self._member_forward(i, member, x)
+                for i, member in enumerate(members)
+            ]
         with ThreadPoolExecutor(
             max_workers=min(workers, len(members))
         ) as pool:
+            if obs.enabled():
+                # Worker threads start from an empty context; one copy
+                # per task (a Context cannot be entered concurrently).
+                tasks = [
+                    (i, member, contextvars.copy_context())
+                    for i, member in enumerate(members)
+                ]
+                return list(
+                    pool.map(
+                        lambda task: task[2].run(
+                            self._member_forward, task[0], task[1], x
+                        ),
+                        tasks,
+                    )
+                )
             return list(
-                pool.map(lambda member: member.forward_features(x), members)
+                pool.map(
+                    lambda task: self._member_forward(task[0], task[1], x),
+                    enumerate(members),
+                )
             )
+
+    def _member_forward(
+        self, index: int, member: ResNetTSC, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        with obs.span("ensemble.member_forward", member=index):
+            return member.forward_features(x)
 
     def predict_with_cams(
         self, x: np.ndarray, workers: int | None = None

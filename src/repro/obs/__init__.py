@@ -1,7 +1,7 @@
-"""``repro.obs`` — tracing, metrics, structured logging, and profiling.
+"""``repro.obs`` — tracing, metrics, logging, profiling, and export.
 
 The observability layer behind every hot path in the repo (DESIGN.md
-§3): CamAL's six inference stages, the trainer's epoch loop, the
+§3, §9): CamAL's six inference stages, the trainer's epoch loop, the
 sliding-window pipeline, and the benchmark harnesses all emit spans,
 metrics, and events through the module-level singletons here.
 
@@ -10,21 +10,27 @@ Quick start::
     from repro import obs
 
     obs.enable()                       # collection is off by default
-    model.localize(x)                  # hot paths now record spans/metrics
+    with obs.request(kind="view"):     # request-scoped attribution
+        model.localize(x)              # hot paths now record spans/metrics
     print(obs.tracer.find("camal.localize"))
-    print(obs.report.format_metrics(obs.registry.snapshot()))
+    print(obs.to_openmetrics(obs.registry.snapshot()))
     obs.disable()
 
 Design rules:
 
 * **Zero cost when disabled** (the default): ``obs.span()`` returns a
-  shared no-op context manager, metric call sites guard on
-  ``obs.enabled()``, and ``obs.log.event`` records nothing.
+  shared no-op context manager, ``obs.request()`` yields a shared no-op
+  request, metric call sites guard on ``obs.enabled()``, and
+  ``obs.log.event`` records nothing.
+* **Bounded state**: the event buffer, the tracer's root store, and the
+  SLO window are ring buffers (defaults ~10k entries) so a long-lived
+  serving process cannot OOM from telemetry.
 * **No stdout from library code**: events go to an in-memory buffer and
   (when verbose) stderr; stdout belongs to the CLI.
 * **Plain-dict exports everywhere** (``registry.snapshot()``,
   ``tracer.to_dicts()``) so ``devicescope profile --json`` round-trips
-  through ``json.loads``.
+  through ``json.loads``; :mod:`repro.obs.export` renders the same
+  dicts as OpenMetrics text, Chrome trace-event JSON, and JSONL.
 """
 
 from __future__ import annotations
@@ -41,6 +47,8 @@ from .config import (
     set_quiet,
     set_verbose,
 )
+from .context import NOOP_REQUEST, RequestContext, current_request, request
+from .export import to_chrome_trace, to_jsonl, to_openmetrics
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
     PROBABILITY_BUCKETS,
@@ -52,7 +60,10 @@ from .metrics import (
     linear_buckets,
 )
 from .profiler import ModuleProfiler
+from .slo import SloTracker
+from .slo import tracker as slo_tracker
 from .tracing import NOOP_SPAN, Span, Tracer
+from . import context as _context
 
 __all__ = [
     "enabled",
@@ -76,6 +87,15 @@ __all__ = [
     "Tracer",
     "NOOP_SPAN",
     "ModuleProfiler",
+    "RequestContext",
+    "NOOP_REQUEST",
+    "request",
+    "current_request",
+    "SloTracker",
+    "slo_tracker",
+    "to_openmetrics",
+    "to_chrome_trace",
+    "to_jsonl",
     "registry",
     "tracer",
     "span",
@@ -96,10 +116,13 @@ span = tracer.span
 
 
 def reset() -> None:
-    """Clear all recorded data (metrics, spans, events); flags unchanged."""
+    """Clear all recorded data (metrics, spans, events, request ids,
+    SLO window); flags and ring-buffer capacities unchanged."""
     registry.reset()
     tracer.reset()
     log.reset()
+    _context.reset()
+    slo_tracker.reset()
 
 
 def warning(name: str, help: str = "", **labels: object) -> None:
@@ -109,8 +132,25 @@ def warning(name: str, help: str = "", **labels: object) -> None:
     issues (duplicate timestamps, dropped readings, degraded windows):
     countable, labelled, and silent unless observability is enabled —
     so ``pytest -W error`` never trips on expected dirty-data paths.
+
+    Inside an ``obs.request(...)`` scope, repeated emissions with the
+    same (name, labels) are **deduplicated in the event buffer**: the
+    first occurrence records an event and later ones bump that record's
+    ``count`` field (the counter metric still counts every call). PR 4's
+    per-row repair loop can fire hundreds of identical warnings on one
+    degraded window; one summarizing event per request is the useful
+    signal.
     """
     if not enabled():
         return
     registry.counter(name, help=help).inc(**labels)
+    ctx = current_request()
+    if ctx is not None:
+        key = (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+        record = ctx.warning_records.get(key)
+        if record is not None:
+            record["count"] = record.get("count", 1) + 1
+            return
+        ctx.warning_records[key] = log.event(name, **labels)
+        return
     log.event(name, **labels)

@@ -1,0 +1,171 @@
+"""Request-scoped telemetry context (``obs.request``).
+
+DeviceScope is interactive: one Prev/Next click triggers a full
+detect+localize pass, several cache lookups, and possibly retries and
+repairs. :class:`RequestContext` ties all of that telemetry back to the
+click that caused it — every span, event, and warning emitted inside an
+``obs.request(...)`` scope is stamped with the scope's ``request_id``.
+
+The context rides on :mod:`contextvars`, so it follows ``await``-style
+and thread-dispatched execution as long as the dispatcher copies the
+caller's context (``contextvars.copy_context()``) — which the fast-path
+worker fan-out in :meth:`repro.models.ResNetEnsemble.member_outputs`
+does.
+
+Semantics:
+
+* **Zero-cost when disabled**: ``obs.request(...)`` returns a shared
+  no-op context object and stamps nothing.
+* **Reuse, don't nest**: entering ``obs.request`` while a request is
+  already active *joins* the active request instead of allocating a new
+  id. Library layers (``Playground.view``, ``CamAL.localize``,
+  ``SlidingWindowLocalizer``) can therefore all declare request scopes;
+  the outermost caller wins and gets unified attribution.
+* **Latency + verdict recording**: when the outermost scope exits, the
+  request's wall time and outcome (``ok`` / ``degraded`` / ``error``)
+  are recorded into the ``obs.request_seconds`` histogram, the
+  ``obs.requests_total`` counter, a structured ``request`` log event,
+  and the global :class:`~repro.obs.slo.SloTracker`.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from . import config
+
+__all__ = [
+    "RequestContext",
+    "current_request",
+    "request",
+    "reset",
+    "NOOP_REQUEST",
+]
+
+#: Tuple-of-pairs key identifying one (name, labels) warning signature.
+_WarningKey = tuple
+
+
+@dataclass
+class RequestContext:
+    """One user-facing unit of work (a view render, a localize call)."""
+
+    request_id: str
+    kind: str
+    tags: dict = field(default_factory=dict)
+    outcome: str = "ok"  # ok | degraded | error
+    #: First log record per (warning name, labels) — repeats bump the
+    #: record's ``count`` instead of flooding the event buffer.
+    warning_records: dict[_WarningKey, dict] = field(default_factory=dict)
+
+    def mark_degraded(self) -> None:
+        """Downgrade the request verdict (errors are never overwritten)."""
+        if self.outcome == "ok":
+            self.outcome = "degraded"
+
+    def set_tags(self, **tags: object) -> None:
+        self.tags.update(tags)
+
+
+class _NoopRequest:
+    """Shared stand-in yielded while observability is disabled."""
+
+    __slots__ = ()
+    request_id = None
+    kind = ""
+    outcome = "ok"
+
+    def mark_degraded(self) -> None:
+        pass
+
+    def set_tags(self, **tags: object) -> None:
+        pass
+
+
+NOOP_REQUEST = _NoopRequest()
+
+_CURRENT: contextvars.ContextVar[RequestContext | None] = contextvars.ContextVar(
+    "repro_obs_request", default=None
+)
+
+_IDS = itertools.count(1)
+
+
+def current_request() -> RequestContext | None:
+    """The active :class:`RequestContext`, or None outside any scope."""
+    return _CURRENT.get()
+
+
+def new_request_id(kind: str) -> str:
+    """Deterministic per-process id: ``<kind>-<sequence>``."""
+    return f"{kind}-{next(_IDS):06d}"
+
+
+@contextmanager
+def request(kind: str = "request", **tags: object) -> Iterator[RequestContext]:
+    """Open (or join) a request scope; see the module docstring."""
+    if not config._ENABLED:
+        yield NOOP_REQUEST  # type: ignore[misc]
+        return
+    active = _CURRENT.get()
+    if active is not None:
+        # Join the enclosing request: one click, one id.
+        yield active
+        return
+    ctx = RequestContext(
+        request_id=new_request_id(kind), kind=kind, tags=dict(tags)
+    )
+    token = _CURRENT.set(ctx)
+    start = time.perf_counter()
+    try:
+        yield ctx
+    except Exception:
+        ctx.outcome = "error"
+        raise
+    finally:
+        duration_s = time.perf_counter() - start
+        _CURRENT.reset(token)
+        _finish(ctx, duration_s)
+
+
+def _finish(ctx: RequestContext, duration_s: float) -> None:
+    """Record the completed request (outermost scope only)."""
+    if not config._ENABLED:  # disabled mid-request: drop silently
+        return
+    # Imported lazily: the package __init__ builds the singletons this
+    # records into, and may still be executing at module import time.
+    from . import log, slo
+    from .. import obs
+
+    obs.registry.histogram(
+        "obs.request_seconds",
+        help="wall time of request scopes (obs.request)",
+    ).observe(duration_s, kind=ctx.kind)
+    obs.registry.counter(
+        "obs.requests_total",
+        help="completed request scopes by kind and outcome",
+    ).inc(kind=ctx.kind, outcome=ctx.outcome)
+    slo.tracker.record(duration_s, outcome=ctx.outcome)
+    log.event(
+        "request",
+        request_id=ctx.request_id,
+        request_kind=ctx.kind,
+        duration_s=duration_s,
+        outcome=ctx.outcome,
+        **ctx.tags,
+    )
+
+
+def reset() -> None:
+    """Restart id allocation (``obs.reset`` calls this).
+
+    An in-flight request keeps its context object — resetting inside an
+    active scope is not supported and simply renumbers future requests.
+    """
+    global _IDS
+    _IDS = itertools.count(1)

@@ -20,11 +20,23 @@ import time
 from collections import deque
 from typing import IO
 
-from . import config
+from . import config, context
 
-__all__ = ["event", "events", "reset", "set_stream", "format_record"]
+__all__ = [
+    "event",
+    "events",
+    "reset",
+    "set_stream",
+    "set_capacity",
+    "capacity",
+    "format_record",
+]
 
-_BUFFER: deque[dict] = deque(maxlen=1024)
+#: Default event retention — a ring buffer so a long-lived serving
+#: process holds bounded telemetry state (see DESIGN.md §9).
+DEFAULT_CAPACITY = 10_000
+
+_BUFFER: deque[dict] = deque(maxlen=DEFAULT_CAPACITY)
 _STREAM: IO[str] | None = None  # None → sys.stderr at emit time
 
 
@@ -32,6 +44,18 @@ def set_stream(stream: IO[str] | None) -> None:
     """Redirect emitted lines (None restores the default stderr)."""
     global _STREAM
     _STREAM = stream
+
+
+def set_capacity(n: int) -> None:
+    """Resize the event ring buffer, keeping the newest records."""
+    if n < 1:
+        raise ValueError("capacity must be >= 1")
+    global _BUFFER
+    _BUFFER = deque(_BUFFER, maxlen=n)
+
+
+def capacity() -> int:
+    return _BUFFER.maxlen or DEFAULT_CAPACITY
 
 
 def format_record(record: dict) -> str:
@@ -54,6 +78,9 @@ def event(name: str, _force: bool = False, **fields: object) -> dict:
     record = {"event": name, **fields}
     if config._ENABLED:
         record["ts"] = time.time()
+        request = context.current_request()
+        if request is not None and "request_id" not in record:
+            record["request_id"] = request.request_id
         _BUFFER.append(record)
     if (_force or config._VERBOSE) and not config._QUIET:
         stream = _STREAM if _STREAM is not None else sys.stderr

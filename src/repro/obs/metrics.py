@@ -240,7 +240,15 @@ class Histogram(_Metric):
     def quantile(self, q: float, **labels: object) -> float:
         """Bucket-resolution quantile estimate (upper edge of the bucket
         holding the ``q``-th observation; overflow clamps to the last
-        finite edge)."""
+        finite edge).
+
+        **Empty-series contract**: a label set that was never observed —
+        never created, reset since, or fed only non-finite values (which
+        ``observe_many`` filters out) — returns ``nan``, never a bucket
+        edge. Callers doing SLO math must propagate the "no data" state
+        explicitly rather than read a fabricated latency. ``q`` outside
+        ``[0, 1]`` raises regardless of state.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         with self._lock:

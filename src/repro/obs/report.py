@@ -16,6 +16,8 @@ __all__ = [
     "format_layer_table",
     "metric_rows",
     "format_metrics",
+    "format_slo",
+    "format_dashboard",
     "ascii_report",
 ]
 
@@ -134,6 +136,50 @@ def format_metrics(snapshot: dict) -> str:
             f"{count:>7} {mean:>12} {peak:>12}"
         )
     return "\n".join(lines)
+
+
+def format_slo(snapshot: dict) -> str:
+    """One-glance health line + percentile row from
+    :meth:`repro.obs.slo.SloTracker.snapshot`."""
+    count = snapshot.get("count", 0)
+    if not count:
+        return "slo: no requests recorded"
+    attainment = snapshot["attainment"]
+    status = "HEALTHY" if snapshot.get("healthy") else "BREACHING"
+    outcomes = snapshot.get("outcomes", {})
+    outcome_text = " ".join(
+        f"{k}={v}" for k, v in sorted(outcomes.items())
+    )
+    return (
+        f"slo: {status}  attainment={attainment:.3f} "
+        f"(objective {snapshot['objective_ms']:.0f}ms, "
+        f"budget {snapshot['error_budget']:.2%}, "
+        f"burn {snapshot['burn_rate']:.2f}x)\n"
+        f"     n={count}  p50={snapshot['p50_ms']:.1f}ms  "
+        f"p95={snapshot['p95_ms']:.1f}ms  p99={snapshot['p99_ms']:.1f}ms  "
+        f"{outcome_text}"
+    )
+
+
+def format_dashboard(
+    slo_snapshot: dict,
+    metrics_snapshot: dict,
+    cache_stats: dict | None = None,
+) -> str:
+    """Compact live text dashboard for ``devicescope obs --watch``."""
+    sections = ["== health ==", format_slo(slo_snapshot)]
+    if cache_stats:
+        sections.append(
+            f"cache[{cache_stats.get('name', '?')}]: "
+            f"size={cache_stats.get('size', 0)}/{cache_stats.get('maxsize', 0)} "
+            f"hits={cache_stats.get('hits', 0)} "
+            f"misses={cache_stats.get('misses', 0)} "
+            f"hit_rate={cache_stats.get('hit_rate', 0.0):.2f}"
+        )
+    sections.append("")
+    sections.append("== metrics ==")
+    sections.append(format_metrics(metrics_snapshot))
+    return "\n".join(sections)
 
 
 def ascii_report(payload: dict, top: int = 10) -> str:

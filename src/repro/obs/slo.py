@@ -1,0 +1,136 @@
+"""Rolling SLO / health aggregation over request latencies.
+
+:class:`SloTracker` consumes the ``(duration, outcome)`` stream that
+``obs.request`` scopes emit and answers the serving questions: what
+fraction of recent requests were *good* (finished within the latency
+objective with an ``ok`` verdict), where are the latency percentiles,
+and how fast is the error budget burning.
+
+Definitions (DESIGN.md §9):
+
+* A request is **good** iff ``outcome == "ok"`` *and* its latency is
+  within ``objective_ms``. Degraded and errored requests spend budget
+  even when they were fast — a degraded answer is not the product.
+* **attainment** = good / total over the rolling window (NaN with no
+  data — see :meth:`repro.obs.metrics.Histogram.quantile` for the same
+  contract).
+* **burn_rate** = (1 - attainment) / error_budget: 1.0 means failures
+  arrive exactly at the budgeted rate; above 1.0 the budget depletes.
+
+The window is a ring buffer (default 2048 requests) so a long-lived
+serving process holds bounded state, mirroring the event/span caps.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["SloTracker", "tracker"]
+
+_GOOD_OUTCOME = "ok"
+
+
+class SloTracker:
+    """Rolling-window request health aggregation."""
+
+    def __init__(
+        self,
+        objective_ms: float = 250.0,
+        error_budget: float = 0.01,
+        window: int = 2048,
+    ):
+        if objective_ms <= 0:
+            raise ValueError("objective_ms must be positive")
+        if not 0.0 < error_budget < 1.0:
+            raise ValueError("error_budget must be in (0, 1)")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.objective_ms = float(objective_ms)
+        self.error_budget = float(error_budget)
+        self.window = int(window)
+        self._lock = threading.Lock()
+        # (duration_ms, outcome) per completed request, newest last.
+        self._requests: deque[tuple[float, str]] = deque(maxlen=self.window)
+
+    def record(self, duration_s: float, outcome: str = _GOOD_OUTCOME) -> None:
+        """Ingest one completed request."""
+        with self._lock:
+            self._requests.append((float(duration_s) * 1e3, str(outcome)))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+    def snapshot(self) -> dict:
+        """Plain-dict health rollup (JSON-serializable).
+
+        With no recorded requests, ``attainment``/percentiles/
+        ``burn_rate`` are NaN and ``healthy`` is True — no data is not
+        an outage.
+        """
+        with self._lock:
+            requests = list(self._requests)
+        count = len(requests)
+        if count == 0:
+            nan = float("nan")
+            return {
+                "count": 0,
+                "objective_ms": self.objective_ms,
+                "error_budget": self.error_budget,
+                "window": self.window,
+                "attainment": nan,
+                "p50_ms": nan,
+                "p95_ms": nan,
+                "p99_ms": nan,
+                "burn_rate": nan,
+                "outcomes": {},
+                "healthy": True,
+            }
+        durations = np.asarray([ms for ms, _ in requests], dtype=np.float64)
+        outcomes: dict[str, int] = {}
+        good = 0
+        for ms, outcome in requests:
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            if outcome == _GOOD_OUTCOME and ms <= self.objective_ms:
+                good += 1
+        attainment = good / count
+        burn_rate = (1.0 - attainment) / self.error_budget
+        p50, p95, p99 = np.percentile(durations, [50.0, 95.0, 99.0])
+        return {
+            "count": count,
+            "objective_ms": self.objective_ms,
+            "error_budget": self.error_budget,
+            "window": self.window,
+            "attainment": attainment,
+            "p50_ms": float(p50),
+            "p95_ms": float(p95),
+            "p99_ms": float(p99),
+            "burn_rate": burn_rate,
+            "outcomes": outcomes,
+            "healthy": attainment >= 1.0 - self.error_budget,
+        }
+
+    def attainment(self) -> float:
+        """Shortcut for ``snapshot()["attainment"]``."""
+        return self.snapshot()["attainment"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._requests.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        snap = self.snapshot()
+        att = snap["attainment"]
+        shown = "n/a" if isinstance(att, float) and math.isnan(att) else f"{att:.3f}"
+        return (
+            f"SloTracker(objective_ms={self.objective_ms}, "
+            f"count={snap['count']}, attainment={shown})"
+        )
+
+
+#: Process-wide tracker fed by ``obs.request`` scopes.
+tracker = SloTracker()

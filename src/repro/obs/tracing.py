@@ -8,11 +8,21 @@ Usage::
         sp.set(detected=int(detected.sum()))
 
 Spans nest via a thread-local stack; completed *root* spans land in a
-ring buffer (bounded retention) and export as plain dicts / JSON. Each
+ring buffer (bounded retention, default 10k roots, resizable with
+:meth:`Tracer.set_capacity`) and export as plain dicts / JSON. Each
 span records wall time and — when :mod:`tracemalloc` is tracing — an
 estimate of net memory allocated inside the span, which for this numpy
 codebase is dominated by array allocations (numpy routes its buffers
 through the tracemalloc domain).
+
+Spans additionally carry correlation identity: a process-unique
+``span_id``, the ``parent_id`` of the enclosing span (tracked through a
+:mod:`contextvars` variable so it survives ``copy_context()`` dispatch
+into worker threads), the ``request_id`` of the active
+``obs.request(...)`` scope, the emitting thread id, and a
+``perf_counter`` start timestamp — everything the Chrome-trace exporter
+(:func:`repro.obs.export.to_chrome_trace`) needs to lay spans out on
+per-thread tracks.
 
 When observability is disabled (:mod:`repro.obs.config`), ``span()``
 returns a shared no-op context manager: one flag check, no allocation,
@@ -21,15 +31,28 @@ so instrumented code pays nothing.
 
 from __future__ import annotations
 
+import contextvars
+import itertools
 import json
 import threading
 import time
 import tracemalloc
 from collections import deque
 
-from . import config
+from . import config, context
 
 __all__ = ["Span", "Tracer", "NOOP_SPAN"]
+
+#: Process-unique span id allocation (atomic under the GIL).
+_SPAN_IDS = itertools.count(1)
+
+#: Id of the innermost open span in the *current context* — unlike the
+#: tracer's thread-local stack this propagates through
+#: ``contextvars.copy_context()``, so spans opened on worker threads
+#: know their logical parent even though they are physical roots there.
+_ACTIVE_SPAN_ID: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_active_span", default=None
+)
 
 
 class Span:
@@ -42,6 +65,11 @@ class Span:
         "duration_s",
         "error",
         "alloc_bytes",
+        "span_id",
+        "parent_id",
+        "request_id",
+        "tid",
+        "start_s",
         "_t0",
         "_mem0",
     )
@@ -53,6 +81,11 @@ class Span:
         self.duration_s = 0.0
         self.error: str | None = None
         self.alloc_bytes: int | None = None
+        self.span_id = 0
+        self.parent_id: int | None = None
+        self.request_id: str | None = None
+        self.tid = 0
+        self.start_s = 0.0
         self._t0 = 0.0
         self._mem0 = 0
 
@@ -71,7 +104,17 @@ class Span:
         return None
 
     def to_dict(self) -> dict:
-        out: dict = {"name": self.name, "duration_s": self.duration_s}
+        out: dict = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "span_id": self.span_id,
+            "tid": self.tid,
+            "start_s": self.start_s,
+        }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.error is not None:
@@ -81,6 +124,12 @@ class Span:
         if self.children:
             out["children"] = [c.to_dict() for c in self.children]
         return out
+
+    def walk(self):
+        """Yield self and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (
@@ -113,18 +162,27 @@ NOOP_SPAN = _NoopSpan()
 class _SpanContext:
     """Context manager that opens/closes one real span."""
 
-    __slots__ = ("_tracer", "_span")
+    __slots__ = ("_tracer", "_span", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, attrs: dict):
         self._tracer = tracer
         self._span = Span(name, attrs)
+        self._token = None
 
     def __enter__(self) -> Span:
         span = self._span
+        span.span_id = next(_SPAN_IDS)
+        span.tid = threading.get_ident()
+        span.parent_id = _ACTIVE_SPAN_ID.get()
+        request = context.current_request()
+        if request is not None:
+            span.request_id = request.request_id
+        self._token = _ACTIVE_SPAN_ID.set(span.span_id)
         self._tracer._stack().append(span)
         if tracemalloc.is_tracing():
             span._mem0 = tracemalloc.get_traced_memory()[0]
         span._t0 = time.perf_counter()
+        span.start_s = span._t0
         return span
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -134,6 +192,9 @@ class _SpanContext:
             span.alloc_bytes = tracemalloc.get_traced_memory()[0] - span._mem0
         if exc_type is not None:
             span.error = f"{exc_type.__name__}: {exc}"
+        if self._token is not None:
+            _ACTIVE_SPAN_ID.reset(self._token)
+            self._token = None
         self._tracer._close(span)
         return False
 
@@ -141,7 +202,11 @@ class _SpanContext:
 class Tracer:
     """Owns the thread-local span stacks and the root-span ring buffer."""
 
-    def __init__(self, max_roots: int = 256):
+    #: Default root-span retention — bounds telemetry memory in a
+    #: long-lived serving process (each root is one request-ish tree).
+    DEFAULT_MAX_ROOTS = 10_000
+
+    def __init__(self, max_roots: int = DEFAULT_MAX_ROOTS):
         if max_roots < 1:
             raise ValueError("max_roots must be >= 1")
         self.max_roots = max_roots
@@ -149,6 +214,14 @@ class Tracer:
         self._lock = threading.Lock()
         self._roots: deque[Span] = deque(maxlen=max_roots)
         self._dropped = 0
+
+    def set_capacity(self, max_roots: int) -> None:
+        """Resize the root ring buffer, keeping the newest roots."""
+        if max_roots < 1:
+            raise ValueError("max_roots must be >= 1")
+        with self._lock:
+            self.max_roots = max_roots
+            self._roots = deque(self._roots, maxlen=max_roots)
 
     # -- span lifecycle ----------------------------------------------------
 
@@ -201,6 +274,20 @@ class Tracer:
             if found is not None:
                 return found
         return None
+
+    def all_spans(self) -> list[Span]:
+        """Every retained span (roots and descendants), flattened."""
+        return [span for root in self.roots() for span in root.walk()]
+
+    def request_spans(self, request_id: str) -> list[Span]:
+        """All spans stamped with ``request_id`` — the request's tree,
+        flattened (worker-thread spans included; reassemble parent/child
+        structure through ``span_id``/``parent_id``)."""
+        return [
+            span
+            for span in self.all_spans()
+            if span.request_id == request_id
+        ]
 
     def to_dicts(self) -> list[dict]:
         return [root.to_dict() for root in self.roots()]

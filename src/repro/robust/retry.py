@@ -110,7 +110,7 @@ def retriable(
                     result = fn(*args, **kwargs)
                 except retry_types as err:
                     last_error = err
-                    _count("robust.retry_attempts_total", label)
+                    _count("robust.retry_attempts_total", label, attempt=attempt)
                     elapsed = now() - start
                     out_of_budget = (
                         attempt >= max_attempts
@@ -139,8 +139,11 @@ def retriable(
     return decorate
 
 
-def _count(metric: str, label: str) -> None:
+def _count(metric: str, label: str, **fields: object) -> None:
     if obs.enabled():
         obs.registry.counter(
             metric, help="retry decorator bookkeeping"
         ).inc(function=label)
+        # The event record is stamped with the active request id (if
+        # any), so retries show up attributed in the request's log.
+        obs.log.event(metric, function=label, **fields)

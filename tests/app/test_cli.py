@@ -174,3 +174,65 @@ def test_faultcheck_leaves_observability_disabled(capsys):
     assert main(["faultcheck"]) == 0
     capsys.readouterr()
     assert not obs.enabled()
+
+
+def test_obs_openmetrics_stdout_is_scrape_clean(capsys):
+    code = main(["obs", "--fast", "--requests", "3", "--openmetrics"])
+    assert code == 0
+    out = capsys.readouterr().out
+    # Scrape-ready: nothing but exposition text on stdout.
+    assert out.startswith("# HELP") or out.startswith("# TYPE")
+    assert out.endswith("# EOF\n")
+    assert "obs_request_seconds_bucket" in out
+    assert 'le="+Inf"' in out
+    assert 'kind="view"' in out
+    assert "app_result_cache_hits_total" in out
+
+
+def test_obs_trace_and_jsonl_round_trip(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    jsonl_path = tmp_path / "events.jsonl"
+    code = main([
+        "obs", "--fast", "--requests", "4",
+        "--trace-out", str(trace_path), "--jsonl-out", str(jsonl_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "chrome trace written" in out
+    assert "== health ==" in out  # default dashboard still prints
+    trace = json.loads(trace_path.read_text())
+    spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+    assert spans
+    # Every span is request-attributed; views are the request kind.
+    request_ids = {e["args"]["request_id"] for e in spans}
+    assert request_ids and all(r.startswith("view-") for r in request_ids)
+    events = [json.loads(line) for line in jsonl_path.read_text().splitlines()]
+    assert events
+    assert all("request_id" in record for record in events)
+    cache_outcomes = {
+        record["outcome"]
+        for record in events
+        if record["event"] == "app.result_cache"
+    }
+    assert cache_outcomes == {"hit", "miss"}
+
+
+def test_obs_watch_prints_dashboard_per_request(capsys):
+    code = main([
+        "obs", "--fast", "--requests", "3", "--watch", "--interval", "0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("== health ==") == 3
+    assert "slo:" in out
+    assert "== metrics ==" in out
+
+
+def test_obs_leaves_observability_disabled(capsys):
+    from repro import obs
+
+    assert main(["obs", "--fast", "--requests", "2"]) == 0
+    capsys.readouterr()
+    assert not obs.enabled()

@@ -108,6 +108,36 @@ class TestHistogram:
         assert h.quantile(0.99) == pytest.approx(1.0)
         assert np.isnan(Histogram("empty").quantile(0.5))
 
+    def test_quantile_empty_series_contract_is_nan(self):
+        # Regression: an empty series must answer NaN — never a bucket
+        # edge — for every q, so SLO math cannot read a fabricated
+        # latency where there is no data.
+        h = Histogram("lat", buckets=(0.01, 0.1))
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert np.isnan(h.quantile(q)), q
+        # A label set other than the observed one is still empty.
+        h.observe(0.05, method="camal")
+        assert np.isnan(h.quantile(0.5, method="other"))
+        assert h.quantile(0.5, method="camal") == pytest.approx(0.1)
+
+    def test_quantile_nan_after_reset_and_nonfinite_input(self):
+        h = Histogram("lat", buckets=(0.01, 0.1))
+        # Only non-finite values: observe_many drops them, series stays
+        # unobserved.
+        h.observe_many(np.array([np.nan, np.inf, -np.inf]))
+        assert np.isnan(h.quantile(0.95))
+        h.observe(0.05)
+        assert not np.isnan(h.quantile(0.95))
+        h.reset()
+        assert np.isnan(h.quantile(0.95))
+
+    def test_quantile_out_of_range_raises_even_when_empty(self):
+        h = Histogram("lat", buckets=(0.01,))
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instance(self):

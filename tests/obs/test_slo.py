@@ -1,0 +1,136 @@
+"""SloTracker math: attainment, percentiles, burn rate, rolling window."""
+
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.slo import SloTracker
+
+
+def test_empty_snapshot_is_nan_but_healthy():
+    tracker = SloTracker()
+    snap = tracker.snapshot()
+    assert snap["count"] == 0
+    for key in ("attainment", "p50_ms", "p95_ms", "p99_ms", "burn_rate"):
+        assert math.isnan(snap[key]), key
+    assert snap["outcomes"] == {}
+    assert snap["healthy"] is True
+    assert math.isnan(tracker.attainment())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SloTracker(objective_ms=0)
+    with pytest.raises(ValueError):
+        SloTracker(error_budget=0.0)
+    with pytest.raises(ValueError):
+        SloTracker(error_budget=1.0)
+    with pytest.raises(ValueError):
+        SloTracker(window=0)
+
+
+def test_good_means_ok_and_within_objective():
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+    tracker.record(0.050, "ok")        # good
+    tracker.record(0.100, "ok")        # good: boundary counts
+    tracker.record(0.200, "ok")        # slow — spends budget
+    tracker.record(0.010, "degraded")  # fast but degraded — spends budget
+    tracker.record(0.010, "error")     # spends budget
+    snap = tracker.snapshot()
+    assert snap["count"] == 5
+    assert snap["attainment"] == pytest.approx(2 / 5)
+    assert snap["outcomes"] == {"ok": 3, "degraded": 1, "error": 1}
+    assert snap["burn_rate"] == pytest.approx((1 - 2 / 5) / 0.1)
+    assert snap["healthy"] is False
+
+
+def test_all_good_traffic_is_healthy_with_zero_burn():
+    tracker = SloTracker(objective_ms=250.0, error_budget=0.01)
+    for _ in range(100):
+        tracker.record(0.005, "ok")
+    snap = tracker.snapshot()
+    assert snap["attainment"] == 1.0
+    assert snap["burn_rate"] == 0.0
+    assert snap["healthy"] is True
+
+
+def test_burn_rate_of_one_sits_exactly_on_budget():
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.05)
+    for _ in range(95):
+        tracker.record(0.010, "ok")
+    for _ in range(5):
+        tracker.record(0.010, "error")
+    snap = tracker.snapshot()
+    assert snap["attainment"] == pytest.approx(0.95)
+    assert snap["burn_rate"] == pytest.approx(1.0)
+    assert snap["healthy"] is True  # attainment == 1 - budget
+
+
+def test_percentiles_are_in_milliseconds():
+    tracker = SloTracker()
+    for second in (0.010, 0.020, 0.030, 0.040, 0.100):
+        tracker.record(second, "ok")
+    snap = tracker.snapshot()
+    assert snap["p50_ms"] == pytest.approx(30.0)
+    assert snap["p50_ms"] <= snap["p95_ms"] <= snap["p99_ms"] <= 100.0
+
+
+def test_rolling_window_evicts_oldest():
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.5, window=4)
+    for _ in range(4):
+        tracker.record(1.0, "error")  # all bad
+    assert tracker.snapshot()["attainment"] == 0.0
+    for _ in range(4):
+        tracker.record(0.010, "ok")  # pushes every bad request out
+    snap = tracker.snapshot()
+    assert len(tracker) == 4
+    assert snap["attainment"] == 1.0
+    assert snap["outcomes"] == {"ok": 4}
+
+
+def test_reset_returns_to_empty():
+    tracker = SloTracker()
+    tracker.record(0.010)
+    tracker.reset()
+    assert len(tracker) == 0
+    assert tracker.snapshot()["count"] == 0
+
+
+def test_health_endpoint_includes_slo_rollup():
+    from repro.app.benchmark_frame import BenchmarkBrowser
+    from repro.app.playground import Playground
+    from repro.app.session import DeviceScope
+    from repro.datasets import build_dataset
+
+    dataset = build_dataset("ukdale", seed=0, n_houses=2, days_per_house=(2, 3))
+    app = DeviceScope(
+        dataset_name="ukdale",
+        train_dataset=dataset,
+        browse_dataset=dataset,
+        models={},
+        playground=Playground(dataset, {}),
+        benchmarks=BenchmarkBrowser(),
+    )
+    obs.enable()
+    obs.slo_tracker.record(0.010, "ok")
+    health = app.health()
+    assert health["slo"]["count"] == 1
+    assert health["slo"]["outcomes"] == {"ok": 1}
+    assert "cache" in health and "robust" in health
+
+
+def test_format_slo_renders_both_states():
+    from repro.obs.report import format_slo
+
+    empty = format_slo(SloTracker().snapshot())
+    assert "no requests" in empty
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+    tracker.record(0.010, "ok")
+    tracker.record(1.0, "error")
+    text = format_slo(tracker.snapshot())
+    assert "BREACHING" in text
+    assert "attainment" in text and "p95" in text
+    for _ in range(98):
+        tracker.record(0.010, "ok")
+    assert "HEALTHY" in format_slo(tracker.snapshot())
