@@ -1,0 +1,144 @@
+"""CI telemetry-overhead gate: instrumentation must stay nearly free.
+
+Measures the CamAL fast path on a serving-shaped workload (a small batch
+of 1-day windows) with observability disabled and enabled, interleaving
+the two configurations round-by-round so clock drift and CPU-frequency
+wander hit both sides equally. The enabled side runs inside an
+``obs.request`` scope with a live :class:`~repro.obs.store.TelemetryStore`
+— the full serving path including the per-request summary flush, not
+just the span fast path.
+
+Persists the measurement to
+``benchmarks/results/BENCH_obs_overhead.json`` and exits nonzero if the
+median enabled-vs-disabled delta exceeds the tolerance (default 5%).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.core import CamAL
+from repro.datasets import Standardizer
+from repro.models import ResNetEnsemble
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent / "results" / "BENCH_obs_overhead.json"
+)
+BATCH = 4
+SAMPLES = 1440  # one day at 1-minute sampling
+N_FILTERS = (4, 8, 8)  # quick mode — shape matters, scale does not
+
+
+def measure(model, watts, rounds: int, warmup: int = 3):
+    """Interleaved disabled/enabled timings for one workload.
+
+    Alternating the configurations within each round (instead of timing
+    one block after the other) keeps slow machine-level drift from
+    masquerading as instrumentation overhead.
+    """
+
+    def run_disabled():
+        obs.disable()
+        model.localize_watts(watts)
+
+    def run_enabled():
+        obs.enable()
+        with obs.request(kind="bench", workload="obs_overhead"):
+            model.localize_watts(watts)
+
+    for _ in range(warmup):
+        run_disabled()
+        run_enabled()
+    disabled, enabled = [], []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        run_disabled()
+        disabled.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        run_enabled()
+        enabled.append(time.perf_counter() - start)
+    obs.disable()
+    return np.asarray(disabled), np.asarray(enabled)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=15,
+        help="interleaved timed rounds per configuration (after 3 warm-ups)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.05,
+        help="allowed enabled-vs-disabled median overhead fraction",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    ensemble = ResNetEnsemble((5, 7, 9, 15), n_filters=N_FILTERS, seed=args.seed)
+    ensemble.eval()
+    model = CamAL(ensemble, Standardizer(mean=300.0, std=400.0))
+    watts = np.random.default_rng(args.seed).uniform(
+        0, 3000, size=(BATCH, SAMPLES)
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = obs.TelemetryStore(tmp)
+        obs.set_store(store)
+        try:
+            disabled, enabled = measure(model, watts, rounds=args.rounds)
+        finally:
+            obs.disable()
+            obs.set_store(None)
+            store.close()
+            obs.reset()
+
+    disabled_s = float(np.median(disabled))
+    enabled_s = float(np.median(enabled))
+    overhead = enabled_s / disabled_s - 1.0
+    payload = {
+        "workload": {
+            "batch": BATCH,
+            "samples": SAMPLES,
+            "n_filters": list(N_FILTERS),
+            "members": len(ensemble),
+        },
+        "rounds": args.rounds,
+        "disabled_median_s": disabled_s,
+        "enabled_median_s": enabled_s,
+        "overhead_fraction": overhead,
+        "tolerance": args.tolerance,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print(
+        f"{BATCH}x{SAMPLES} samples, {len(ensemble)} members, "
+        f"filters={N_FILTERS}: disabled={disabled_s * 1e3:.1f} ms  "
+        f"enabled={enabled_s * 1e3:.1f} ms  overhead={overhead:+.2%}"
+    )
+    print(f"wrote {args.out}")
+    if overhead > args.tolerance:
+        print(
+            f"FAIL: telemetry overhead {overhead:.2%} exceeds the "
+            f"{args.tolerance:.0%} budget"
+        )
+        return 1
+    print(f"OK: telemetry overhead within the {args.tolerance:.0%} budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -144,6 +144,60 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval", type=float, default=0.5,
         help="seconds between --watch refreshes",
     )
+    obs_cmd.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop --watch after N refreshes (default: one per request)",
+    )
+    obs_cmd.add_argument(
+        "--store", default=".devicescope_telemetry", metavar="DIR",
+        help="telemetry store directory (JSONL segments + rollups)",
+    )
+    obs_cmd.add_argument(
+        "--no-store", action="store_true",
+        help="do not persist request telemetry to --store",
+    )
+    obs_cmd.add_argument(
+        "--history", action="store_true",
+        help="print attainment/latency trends from the store and exit",
+    )
+    obs_cmd.add_argument(
+        "--compact", action="store_true",
+        help="fold sealed segments into per-period rollups",
+    )
+
+    quality_cmd = sub.add_parser(
+        "quality",
+        help="model-quality report: drift vs a clean reference + canaries",
+    )
+    common(quality_cmd)
+    quality_cmd.add_argument(
+        "--scenario", default="clean", choices=["clean", "shifted"],
+        help=(
+            "live-traffic scenario: 'clean' draws from the reference "
+            "distribution, 'shifted' degrades sampling and appliance mix"
+        ),
+    )
+    quality_cmd.add_argument(
+        "--perturb-checkpoint", action="store_true",
+        help="corrupt the model weights after canary capture (the "
+        "silent-model-change failure the canaries exist to catch)",
+    )
+    quality_cmd.add_argument(
+        "--evaluations", type=int, default=3,
+        help="monitoring ticks to run (alerts need consecutive evidence)",
+    )
+    quality_cmd.add_argument(
+        "--store", default=".devicescope_telemetry", metavar="DIR",
+        help="telemetry store directory shared with 'devicescope obs'",
+    )
+    quality_cmd.add_argument(
+        "--no-store", action="store_true",
+        help="do not persist request telemetry to --store",
+    )
+    quality_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the full quality report as JSON on stdout",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -461,6 +515,9 @@ def cmd_faultcheck(args) -> int:
     for label, passed in checks:
         print(f"  [{'ok' if passed else 'FAIL'}] {label}")
     print(plan.summary()["by_kind"])
+    # Degraded windows are the *expected* outcome here — the status
+    # line shows how the injected faults surface in session health.
+    print(f"health status: {_derived_status().upper()}")
     print("faultcheck: " + ("PASS" if not failed else "FAIL"))
     return 0 if not failed else 1
 
@@ -491,51 +548,112 @@ def _telemetry_playground(args, workers: int):
     return playground
 
 
+#: ``--watch`` sleep hook — module-level so tests can stub it out
+#: without patching the stdlib.
+_WATCH_SLEEP = None  # None -> time.sleep
+
+
+def _derived_status() -> str:
+    """Process-wide health status from the obs/robust/quality state."""
+    from .. import obs, quality
+    from ..robust import metrics_snapshot
+    from .session import derive_status
+
+    quality_monitor = quality.monitor()
+    return derive_status(
+        metrics_snapshot(),
+        obs.slo_tracker.snapshot(),
+        quality_monitor.status() if quality_monitor is not None else None,
+    )
+
+
+def _open_store(args):
+    """The telemetry store selected by ``--store``/``--no-store``."""
+    from ..obs.store import TelemetryStore
+
+    if getattr(args, "no_store", False):
+        return None
+    return TelemetryStore(args.store)
+
+
 def cmd_obs(args) -> int:
-    """Telemetry export and live health (DESIGN.md §9).
+    """Telemetry export, live health, and history (DESIGN.md §9–10).
 
     Drives ``--requests`` Playground views (Prev/Next style — revisits
     hit the result cache) under ``obs.enable()`` with request scopes,
+    persisting every request summary to the ``--store`` telemetry store,
     then exports: ``--openmetrics`` prints Prometheus/OpenMetrics text
-    on stdout, ``--trace-out`` writes Chrome trace-event JSON for
-    Perfetto, ``--jsonl-out`` ships the structured log, and ``--watch``
-    renders a compact dashboard after every request instead. With no
-    flags, prints the dashboard once at the end.
+    on stdout (now including ``devicescope_slo_*`` gauges),
+    ``--trace-out`` writes Chrome trace-event JSON for Perfetto,
+    ``--jsonl-out`` ships the structured log, and ``--watch`` renders a
+    compact dashboard after every request instead (``--iterations N``
+    caps the refreshes; Ctrl-C exits cleanly). With no flags, prints
+    the dashboard once at the end. ``--history`` skips the workload and
+    renders attainment/latency trends across past runs from the store;
+    ``--compact`` folds sealed segments into per-period rollups first.
     """
     import json as json_mod
     import time as time_mod
 
     from .. import obs
-    from ..obs.report import format_dashboard
+    from ..obs.report import format_dashboard, format_history
 
+    if args.history or args.compact:
+        store = _open_store(args)
+        if store is None:
+            print("--history/--compact need a store (drop --no-store)")
+            return 1
+        try:
+            if args.compact:
+                compacted = store.compact()
+                print(
+                    f"compacted {compacted['segments_compacted']} segments "
+                    f"into {len(compacted['periods'])} period rollups"
+                )
+            if args.history:
+                print(format_history(store.history()))
+        finally:
+            store.close()
+        return 0
+
+    sleep = _WATCH_SLEEP if _WATCH_SLEEP is not None else time_mod.sleep
     playground = _telemetry_playground(args, workers=max(args.workers, 1))
     was_enabled = obs.enabled()
     obs.enable()
     obs.reset()
+    store = _open_store(args)
+    if store is not None:
+        obs.set_store(store)
     chatty = not args.openmetrics  # keep stdout scrape-clean otherwise
+
+    def dashboard() -> str:
+        return format_dashboard(
+            obs.slo_tracker.snapshot(),
+            obs.registry.snapshot(),
+            playground.cache.stats() if playground.cache is not None else None,
+            status=_derived_status(),
+        )
+
     try:
         n_requests = max(args.requests, 1)
-        for i in range(n_requests):
-            # Forward to the end, then bounce back: revisits exercise
-            # the result cache so hits/misses both show up attributed.
-            view = playground.view()
-            if view.has_next and i < n_requests // 2:
-                playground.state.advance(playground.n_windows, +1)
-            else:
-                playground.state.advance(playground.n_windows, -1)
-            if args.watch:
-                print(
-                    format_dashboard(
-                        obs.slo_tracker.snapshot(),
-                        obs.registry.snapshot(),
-                        playground.cache.stats()
-                        if playground.cache is not None
-                        else None,
-                    )
-                )
-                print()
-                if args.interval > 0 and i < n_requests - 1:
-                    time_mod.sleep(args.interval)
+        refreshes = n_requests if args.iterations is None else args.iterations
+        try:
+            for i in range(n_requests):
+                # Forward to the end, then bounce back: revisits exercise
+                # the result cache so hits/misses both show up attributed.
+                view = playground.view()
+                if view.has_next and i < n_requests // 2:
+                    playground.state.advance(playground.n_windows, +1)
+                else:
+                    playground.state.advance(playground.n_windows, -1)
+                if args.watch and i < refreshes:
+                    print(dashboard())
+                    print()
+                    if args.interval > 0 and i < min(n_requests, refreshes) - 1:
+                        sleep(args.interval)
+        except KeyboardInterrupt:
+            if chatty:
+                print("\nwatch interrupted; flushing telemetry")
         if args.trace_out:
             with open(args.trace_out, "w") as fh:
                 json_mod.dump(obs.to_chrome_trace(obs.tracer), fh)
@@ -547,21 +665,121 @@ def cmd_obs(args) -> int:
             if chatty:
                 print(f"event log written to {args.jsonl_out}")
         if args.openmetrics:
-            print(obs.to_openmetrics(obs.registry.snapshot()), end="")
-        elif not args.watch:
             print(
-                format_dashboard(
-                    obs.slo_tracker.snapshot(),
-                    obs.registry.snapshot(),
-                    playground.cache.stats()
-                    if playground.cache is not None
-                    else None,
-                )
+                obs.to_openmetrics(
+                    obs.registry.snapshot(), slo=obs.slo_tracker.snapshot()
+                ),
+                end="",
             )
+        elif not args.watch:
+            print(dashboard())
     finally:
+        if store is not None:
+            obs.set_store(None)
+            store.close()
         if not was_enabled:
             obs.disable()
     return 0
+
+
+def cmd_quality(args) -> int:
+    """Model-quality monitoring report (DESIGN.md §10).
+
+    Builds a training-free model over a seeded synthetic dataset,
+    freezes a **reference profile** and a canary probe from clean
+    known-answer windows, then drives live traffic per ``--scenario``:
+
+    * ``clean`` — interleaved windows from the same distribution; drift
+      stays ``ok`` (the control).
+    * ``shifted`` — degraded sampling (NaN bursts), a collapsed power
+      scale, and a changed appliance duty cycle; the PSI/KS detectors
+      must flip the per-appliance alert to ``alert``.
+
+    ``--perturb-checkpoint`` corrupts the weights *after* canary
+    capture, modeling a silent checkpoint swap the input monitors
+    cannot see. Exit code: 0 ok, 1 warn, 2 alert.
+    """
+    import json as json_mod
+
+    from .. import obs, quality
+    from ..core import CamAL
+    from ..datasets import Standardizer, build_dataset
+    from ..datasets.windows import extract_windows
+    from ..models import ResNetEnsemble
+
+    dataset = build_dataset(
+        args.profile, seed=args.seed, n_houses=2, days_per_house=(3, 4)
+    )
+    aggregate = np.nan_to_num(dataset.houses[0].aggregate, nan=0.0)
+    windows, _ = extract_windows(aggregate, 128, 64)
+    ensemble = ResNetEnsemble(
+        (5, 9) if args.fast else (5, 7, 9, 15),
+        n_filters=(4, 8, 8),
+        seed=args.seed,
+    )
+    ensemble.eval()
+    model = CamAL(ensemble, Standardizer.fit(windows))
+
+    # Interleave so reference and clean-live draw the same distribution.
+    reference_windows = windows[::2]
+    live_windows = windows[1::2].copy()
+    if args.scenario == "shifted":
+        rng = np.random.default_rng(args.seed + 1)
+        live_windows *= 0.1  # collapsed power scale (bad calibration)
+        live_windows[:, 40:80] += 30.0  # changed duty cycle
+        for row in live_windows[::2]:  # degraded sampling: NaN bursts
+            start = int(rng.integers(0, row.size - 16))
+            row[start : start + 12] = np.nan
+
+    monitor = quality.install(
+        quality.QualityMonitor(escalate_after=2, cooldown_s=0.0)
+    )
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    # This is an offline batch workload — hold it to a batch latency
+    # objective, not the interactive-view default.
+    previous_objective = obs.slo_tracker.objective_ms
+    obs.slo_tracker.objective_ms = 10_000.0
+    store = _open_store(args)
+    if store is not None:
+        obs.set_store(store)
+    try:
+        monitor.build_reference(args.appliance, model, reference_windows)
+        probe = quality.CanaryProbe.capture(model, reference_windows[:8])
+        monitor.add_canary(args.appliance, probe)
+        if args.perturb_checkpoint:
+            rng = np.random.default_rng(args.seed + 2)
+            for parameter in ensemble.parameters():
+                parameter.data += rng.normal(0.0, 0.5, parameter.data.shape)
+        # Live traffic: attributed localizations in request scopes, in
+        # batches so the alert machine sees consecutive evidence.
+        batches = np.array_split(live_windows, max(args.evaluations, 1))
+        report = monitor.report()
+        for batch in batches:
+            if not batch.size:
+                continue
+            with obs.request(
+                kind="quality", scenario=args.scenario,
+                appliance=args.appliance,
+            ):
+                model.localize_watts(batch, appliance=args.appliance)
+            report = monitor.evaluate({args.appliance: model})
+        overall = monitor.status()["overall"]
+        if args.json:
+            print(json_mod.dumps(report, indent=2, default=float))
+        else:
+            print(quality.format_report(report))
+            print(f"\nhealth status: {_derived_status().upper()}")
+    finally:
+        obs.slo_tracker.objective_ms = previous_objective
+        if store is not None:
+            obs.set_store(None)
+            store.close()
+        if not was_enabled:
+            obs.disable()
+        quality.uninstall()
+    return {"ok": 0, "warn": 1, "alert": 2}[overall]
 
 
 def cmd_profile(args) -> int:
@@ -650,6 +868,7 @@ def main(argv: list[str] | None = None) -> int:
         "faultcheck": cmd_faultcheck,
         "profile": cmd_profile,
         "obs": cmd_obs,
+        "quality": cmd_quality,
     }
     return handlers[args.command](args)
 

@@ -234,7 +234,9 @@ class Playground:
             truth_watts = house.submeters[appliance][start : start + length]
             truth_status = strong_labels(truth_watts, appliance)
         model = self.models[appliance]
-        compute = lambda: model.localize_watts(watts[None, :])
+        compute = lambda: model.localize_watts(
+            watts[None, :], appliance=appliance
+        )
         try:
             if self.cache is not None:
                 # Degraded results must never become cache hits — a

@@ -17,7 +17,41 @@ from ..models import TrainConfig
 from .benchmark_frame import BenchmarkBrowser
 from .playground import Playground
 
-__all__ = ["DeviceScope"]
+__all__ = ["DeviceScope", "derive_status", "STATUS_LEVELS"]
+
+#: Health vocabulary, mildest first.
+STATUS_LEVELS = ("ok", "degraded", "critical")
+_STATUS_RANK = {level: rank for rank, level in enumerate(STATUS_LEVELS)}
+
+
+def derive_status(
+    robust: dict, slo: dict, quality_status: dict | None = None
+) -> str:
+    """Collapse health sections to one ``ok``/``degraded``/``critical``.
+
+    * SLO: :func:`repro.obs.health_level` verbatim (``degraded`` when the
+      objective is missed, ``critical`` at burn rate >= 2).
+    * Robust: any recorded degrade/reject counter marks the session
+      ``degraded`` — repairs alone are routine and do not.
+    * Quality: a ``warn`` overall is ``degraded``; an ``alert`` means the
+      model's answers cannot be trusted — ``critical``.
+    """
+    from .. import obs
+
+    worst = _STATUS_RANK[obs.health_level(slo)]
+    for name, metric in robust.items():
+        if "degraded" not in name and "reject" not in name:
+            continue
+        total = sum(s.get("value", 0) for s in metric.get("series", []))
+        if total > 0:
+            worst = max(worst, _STATUS_RANK["degraded"])
+    if quality_status:
+        overall = quality_status.get("overall", "ok")
+        if overall == "warn":
+            worst = max(worst, _STATUS_RANK["degraded"])
+        elif overall == "alert":
+            worst = max(worst, _STATUS_RANK["critical"])
+    return STATUS_LEVELS[worst]
 
 
 @dataclass
@@ -38,20 +72,33 @@ class DeviceScope:
     )
 
     def health(self) -> dict:
-        """Session diagnostics in one dict: cache stats, every
-        ``robust.*`` counter recorded so far, and the rolling SLO rollup
-        over request latencies (attainment, p50/p95/p99, burn rate).
-        The robust/SLO sections are empty / zero-count when obs is
-        disabled — what the GUI's diagnostics pane, ``devicescope
-        faultcheck``, and ``devicescope obs --watch`` print."""
-        from .. import obs
+        """Session diagnostics in one dict: a top-level ``status``
+        (``ok``/``degraded``/``critical``, see :func:`derive_status`),
+        cache stats, every ``robust.*`` counter recorded so far, the
+        rolling SLO rollup over request latencies (attainment,
+        p50/p95/p99, burn rate), and — when a quality monitor is
+        installed — its per-appliance alert states. The robust/SLO
+        sections are empty / zero-count when obs is disabled — what the
+        GUI's diagnostics pane, ``devicescope faultcheck``, and
+        ``devicescope obs --watch`` print."""
+        from .. import obs, quality
         from ..robust import metrics_snapshot
 
-        return {
+        robust = metrics_snapshot()
+        slo = obs.slo_tracker.snapshot()
+        quality_monitor = quality.monitor()
+        quality_status = (
+            quality_monitor.status() if quality_monitor is not None else None
+        )
+        health = {
+            "status": derive_status(robust, slo, quality_status),
             "cache": self.cache.stats(),
-            "robust": metrics_snapshot(),
-            "slo": obs.slo_tracker.snapshot(),
+            "robust": robust,
+            "slo": slo,
         }
+        if quality_status is not None:
+            health["quality"] = quality_status
+        return health
 
     @classmethod
     def bootstrap(

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import obs
+from .. import obs, quality
 from ..datasets import Standardizer, WindowSet
 from ..models import ResNetEnsemble, TrainConfig, train_ensemble
 from ..models.ensemble import normalize_cam
@@ -532,6 +532,7 @@ class CamAL:
         watts: np.ndarray,
         validate: bool = True,
         max_gap: int = 5,
+        appliance: str | None = None,
     ) -> CamALResult:
         """Accept raw watt windows ``(N, T)``; standardizes internally.
 
@@ -543,10 +544,26 @@ class CamAL:
         row comes back with ``probability`` NaN, ``detected`` False and
         an all-OFF ``status``, and ``result.degraded`` marks them. Clean
         batches short-circuit to the exact pre-validation numerics.
+
+        ``appliance`` attributes the call for quality monitoring: when a
+        :class:`repro.quality.QualityMonitor` is installed, attributed
+        batches feed its live distribution (:func:`repro.quality.observe`).
+        Unattributed calls (the default, and what reference-profile and
+        canary construction use) are never counted as live traffic.
         """
         watts = np.asarray(watts, dtype=np.float64)
         if watts.ndim != 2:
             raise ValueError(f"expected (N, T) watts, got shape {watts.shape}")
+        result = self._localize_watts(watts, validate, max_gap)
+        quality.observe(appliance, watts, result)
+        return result
+
+    def _localize_watts(
+        self,
+        watts: np.ndarray,
+        validate: bool,
+        max_gap: int,
+    ) -> CamALResult:
         if not validate:
             return self.localize(self.scaler.transform(watts)[:, None, :])
         rows = []

@@ -116,7 +116,9 @@ class SlidingWindowLocalizer:
             counts = np.zeros(n)
             window_probs = np.empty(len(starts))
             if len(starts):
-                result = self.model.localize_watts(windows)
+                result = self.model.localize_watts(
+                    windows, appliance=appliance
+                )
                 window_probs = result.probabilities
                 with obs.span("pipeline.stitch"):
                     for i, start in enumerate(starts):

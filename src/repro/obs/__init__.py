@@ -60,8 +60,10 @@ from .metrics import (
     linear_buckets,
 )
 from .profiler import ModuleProfiler
-from .slo import SloTracker
+from .slo import SloTracker, health_level
 from .slo import tracker as slo_tracker
+from .store import TelemetryStore, active_store, set_store
+from .store import configure as configure_store
 from .tracing import NOOP_SPAN, Span, Tracer
 from . import context as _context
 
@@ -93,6 +95,11 @@ __all__ = [
     "current_request",
     "SloTracker",
     "slo_tracker",
+    "health_level",
+    "TelemetryStore",
+    "set_store",
+    "active_store",
+    "configure_store",
     "to_openmetrics",
     "to_chrome_trace",
     "to_jsonl",

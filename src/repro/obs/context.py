@@ -159,6 +159,35 @@ def _finish(ctx: RequestContext, duration_s: float) -> None:
         outcome=ctx.outcome,
         **ctx.tags,
     )
+    _flush_to_store(ctx, duration_s)
+
+
+def _flush_to_store(ctx: RequestContext, duration_s: float) -> None:
+    """Persist the request summary into the installed telemetry store.
+
+    Storage is best-effort: a full disk or revoked permissions must
+    degrade to a counter bump, never break the request being recorded.
+    """
+    from . import store as store_mod
+
+    telemetry_store = store_mod.active_store()
+    if telemetry_store is None:
+        return
+    try:
+        telemetry_store.record_request(
+            request_id=ctx.request_id,
+            kind=ctx.kind,
+            duration_s=duration_s,
+            outcome=ctx.outcome,
+            tags=ctx.tags,
+        )
+    except OSError:
+        from .. import obs
+
+        obs.registry.counter(
+            "obs.store_append_failures_total",
+            help="telemetry store appends dropped on disk errors",
+        ).inc()
 
 
 def reset() -> None:

@@ -87,11 +87,56 @@ def _format_labels(labels: dict, extra: dict | None = None) -> str:
     return "{" + inner + "}"
 
 
-def to_openmetrics(snapshot: dict) -> str:
+#: The ``devicescope_slo_*`` gauge series derived from one
+#: :meth:`~repro.obs.slo.SloTracker.snapshot` — (suffix, key, help).
+_SLO_GAUGES = (
+    ("requests", "count", "requests in the rolling SLO window"),
+    ("attainment", "attainment", "fraction of recent requests that were good"),
+    ("burn_rate", "burn_rate", "error-budget burn rate (1.0 = at budget)"),
+    ("objective_ms", "objective_ms", "latency objective in milliseconds"),
+)
+
+
+def _slo_lines(slo: dict) -> list[str]:
+    """``devicescope_slo_*`` exposition lines for one SLO snapshot.
+
+    With no recorded requests only ``requests``/``objective_ms`` are
+    emitted — attainment/burn/percentiles are NaN then, and publishing
+    NaN gauges would trip strict scrapers for no signal.
+    """
+    lines: list[str] = []
+    has_data = bool(slo.get("count", 0))
+    for suffix, key, help_text in _SLO_GAUGES:
+        if not has_data and suffix not in ("requests", "objective_ms"):
+            continue
+        name = f"devicescope_slo_{suffix}"
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(slo.get(key, 0.0))}")
+    if has_data:
+        name = "devicescope_slo_latency_ms"
+        lines.append(
+            f"# HELP {name} rolling-window request latency percentiles"
+        )
+        lines.append(f"# TYPE {name} gauge")
+        for quantile, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"),
+                              ("0.99", "p99_ms")):
+            lines.append(
+                f"{name}{_format_labels({'quantile': quantile})} "
+                f"{_format_value(slo.get(key, 0.0))}"
+            )
+    return lines
+
+
+def to_openmetrics(snapshot: dict, slo: dict | None = None) -> str:
     """Render a registry snapshot as OpenMetrics text exposition.
 
     An empty snapshot (or one whose metrics hold no series) renders a
-    valid empty document — just the ``# EOF`` terminator.
+    valid empty document — just the ``# EOF`` terminator. Passing an
+    :meth:`~repro.obs.slo.SloTracker.snapshot` as ``slo`` appends the
+    ``devicescope_slo_*`` gauge series (attainment, burn rate, latency
+    percentiles) so ``/metrics`` consumers see SLO health, not just raw
+    counters.
     """
     lines: list[str] = []
     for raw_name in sorted(snapshot):
@@ -134,6 +179,8 @@ def to_openmetrics(snapshot: dict) -> str:
                     f"{name}{_format_labels(entry.get('labels', {}))}"
                     f" {_format_value(entry.get('value', 0.0))}"
                 )
+    if slo is not None:
+        lines.extend(_slo_lines(slo))
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

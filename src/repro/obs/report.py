@@ -17,6 +17,7 @@ __all__ = [
     "metric_rows",
     "format_metrics",
     "format_slo",
+    "format_history",
     "format_dashboard",
     "ascii_report",
 ]
@@ -161,13 +162,51 @@ def format_slo(snapshot: dict) -> str:
     )
 
 
+def format_history(periods: list[dict]) -> str:
+    """Historical attainment/latency trend table for
+    ``devicescope obs --history`` — one row per rollup period from
+    :meth:`repro.obs.store.TelemetryStore.history`."""
+    if not periods:
+        return "(no telemetry history recorded)"
+    header = (
+        f"{'period start (UTC)':<20} {'requests':>8} {'attain':>7} "
+        f"{'p50':>9} {'p95':>9} {'p99':>9}  outcomes"
+    )
+    lines = [header, "-" * len(header)]
+    from datetime import datetime, timezone
+
+    for period in periods:
+        start = datetime.fromtimestamp(
+            period["period_start"], tz=timezone.utc
+        ).strftime("%Y-%m-%d %H:%M")
+        outcomes = period.get("outcomes", {})
+        outcome_text = " ".join(f"{k}={v}" for k, v in sorted(outcomes.items()))
+
+        def _ms(value: float) -> str:
+            import math
+
+            return "-" if math.isnan(value) else _fmt_seconds(value / 1e3).strip()
+
+        lines.append(
+            f"{start:<20} {period['count']:>8d} "
+            f"{period['attainment']:>7.3f} "
+            f"{_ms(period['p50_ms']):>9} {_ms(period['p95_ms']):>9} "
+            f"{_ms(period['p99_ms']):>9}  {outcome_text}"
+        )
+    return "\n".join(lines)
+
+
 def format_dashboard(
     slo_snapshot: dict,
     metrics_snapshot: dict,
     cache_stats: dict | None = None,
+    status: str | None = None,
 ) -> str:
     """Compact live text dashboard for ``devicescope obs --watch``."""
-    sections = ["== health ==", format_slo(slo_snapshot)]
+    sections = ["== health =="]
+    if status is not None:
+        sections.append(f"status: {status.upper()}")
+    sections.append(format_slo(slo_snapshot))
     if cache_stats:
         sections.append(
             f"cache[{cache_stats.get('name', '?')}]: "

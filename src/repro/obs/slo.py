@@ -29,9 +29,28 @@ from collections import deque
 
 import numpy as np
 
-__all__ = ["SloTracker", "tracker"]
+__all__ = ["SloTracker", "tracker", "health_level"]
 
 _GOOD_OUTCOME = "ok"
+
+
+def health_level(snapshot: dict) -> str:
+    """Collapse an SLO snapshot to ``ok`` / ``degraded`` / ``critical``.
+
+    No data is not an outage (``ok``); a breached objective is
+    ``degraded``; burning the error budget at 2x or faster — the point
+    where a fast-burn page would fire — is ``critical``. This is the
+    SLO input to :meth:`repro.app.session.DeviceScope.health`'s
+    top-level ``status``.
+    """
+    if not snapshot.get("count", 0):
+        return "ok"
+    if snapshot.get("healthy", True):
+        return "ok"
+    burn = snapshot.get("burn_rate", 0.0)
+    if isinstance(burn, float) and math.isnan(burn):
+        return "ok"
+    return "critical" if burn >= 2.0 else "degraded"
 
 
 class SloTracker:

@@ -1,0 +1,514 @@
+"""Crash-safe historical telemetry store (JSONL segments + rollups).
+
+PR 5's telemetry is in-process only: every snapshot dies with the
+process, so there is no way to ask "how was attainment yesterday?" or
+to compare latency across runs. :class:`TelemetryStore` is the
+longitudinal half (DESIGN.md §10):
+
+* **Append-only JSONL segments.** Each completed ``obs.request`` scope
+  flushes one summary record (timestamp, request id, kind, duration,
+  outcome, tags) to the active segment. Writes are single lines
+  followed by a flush, so a crash can tear at most the final record.
+* **Size-based rotation with atomic sealing.** When the active segment
+  (``segment-NNNNNN.open.jsonl``) exceeds ``max_segment_bytes`` it is
+  sealed by an atomic rename to ``segment-NNNNNN.jsonl``. Sealed
+  segments are immutable; only sealed segments are ever compacted. A
+  store opened over a crashed process's directory seals the orphaned
+  ``.open`` segment first — the reader tolerates its possibly-torn
+  tail.
+* **Compaction into per-period rollups.** :meth:`TelemetryStore.compact`
+  folds sealed segments into per-period JSON rollups (request counts,
+  outcome mix, a fixed-bucket latency sketch, SLO-good counts) under
+  ``rollups/`` and deletes the folded segments. Rollup writes are
+  atomic (tmp file + ``os.replace``) and merging is idempotent per
+  segment because a segment is deleted only after its rollups land.
+* **Reader API.** :meth:`records` iterates raw records (skipping torn
+  or corrupt lines instead of raising), :meth:`history` merges rollups
+  with not-yet-compacted segments into one per-period trend — what
+  ``devicescope obs --history`` renders.
+
+The store is opt-in: nothing is written unless a store is installed via
+:func:`set_store` (or ``devicescope obs --store DIR``). A failing disk
+write never breaks the request that triggered it — append errors are
+counted (``obs.store_append_failures_total``) and swallowed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from .metrics import exponential_buckets
+
+__all__ = [
+    "TelemetryStore",
+    "LATENCY_EDGES_MS",
+    "DEFAULT_STORE_DIR",
+    "set_store",
+    "active_store",
+    "configure",
+]
+
+#: Latency sketch bucket edges in milliseconds: 10 µs up to ~22 min.
+LATENCY_EDGES_MS = tuple(exponential_buckets(0.01, 2.0, 27))
+
+#: Default on-disk location used by the CLI when ``--store`` is given
+#: without a path.
+DEFAULT_STORE_DIR = ".devicescope_telemetry"
+
+_SEALED = re.compile(r"^segment-(\d{6})\.jsonl$")
+_OPEN = re.compile(r"^segment-(\d{6})\.open\.jsonl$")
+_ROLLUP = re.compile(r"^rollup-(\d+)\.json$")
+
+
+def _bucket_quantile(edges: tuple, counts, q: float) -> float:
+    """Upper-edge quantile estimate over a bucket sketch (NaN when
+    empty — same contract as :meth:`repro.obs.metrics.Histogram.quantile`)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return float("nan")
+    cumulative = np.cumsum(counts)
+    bucket = int(np.searchsorted(cumulative, q * total, side="left"))
+    return float(edges[min(bucket, len(edges) - 1)])
+
+
+@dataclass
+class _PeriodAccumulator:
+    """One period's folded request statistics (mergeable)."""
+
+    period_start: float
+    period_s: float
+    objective_ms: float
+    count: int = 0
+    good: int = 0
+    latency_sum_ms: float = 0.0
+    latency_max_ms: float = 0.0
+
+    def __post_init__(self):
+        self.outcomes: dict[str, int] = {}
+        self.kinds: dict[str, int] = {}
+        self.latency_counts = np.zeros(len(LATENCY_EDGES_MS) + 1, np.int64)
+
+    def add(self, record: dict) -> None:
+        duration_ms = float(record.get("duration_ms", 0.0))
+        outcome = str(record.get("outcome", "ok"))
+        kind = str(record.get("kind", "request"))
+        self.count += 1
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        self.kinds[kind] = self.kinds.get(kind, 0) + 1
+        if outcome == "ok" and duration_ms <= self.objective_ms:
+            self.good += 1
+        if math.isfinite(duration_ms):
+            idx = int(
+                np.searchsorted(LATENCY_EDGES_MS, duration_ms, side="left")
+            )
+            self.latency_counts[idx] += 1
+            self.latency_sum_ms += duration_ms
+            self.latency_max_ms = max(self.latency_max_ms, duration_ms)
+
+    def merge_dict(self, rollup: dict) -> None:
+        """Fold a previously persisted rollup into this accumulator."""
+        self.count += int(rollup.get("count", 0))
+        self.good += int(rollup.get("good", 0))
+        for key, value in rollup.get("outcomes", {}).items():
+            self.outcomes[key] = self.outcomes.get(key, 0) + int(value)
+        for key, value in rollup.get("kinds", {}).items():
+            self.kinds[key] = self.kinds.get(key, 0) + int(value)
+        latency = rollup.get("latency_ms", {})
+        counts = latency.get("counts", [])
+        if len(counts) == len(self.latency_counts):
+            self.latency_counts += np.asarray(counts, dtype=np.int64)
+        self.latency_sum_ms += float(latency.get("sum", 0.0))
+        self.latency_max_ms = max(
+            self.latency_max_ms, float(latency.get("max", 0.0))
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "period_start": self.period_start,
+            "period_s": self.period_s,
+            "objective_ms": self.objective_ms,
+            "count": self.count,
+            "good": self.good,
+            "outcomes": dict(self.outcomes),
+            "kinds": dict(self.kinds),
+            "latency_ms": {
+                "edges": list(LATENCY_EDGES_MS),
+                "counts": self.latency_counts.tolist(),
+                "sum": self.latency_sum_ms,
+                "max": self.latency_max_ms,
+            },
+        }
+
+    def summary(self) -> dict:
+        """The derived per-period trend row (what ``history`` returns)."""
+        out = self.to_dict()
+        out["attainment"] = self.good / self.count if self.count else float("nan")
+        for name, q in (("p50_ms", 0.5), ("p95_ms", 0.95), ("p99_ms", 0.99)):
+            out[name] = _bucket_quantile(LATENCY_EDGES_MS, self.latency_counts, q)
+        return out
+
+
+class TelemetryStore:
+    """Append-only on-disk request telemetry with rollup compaction.
+
+    Parameters
+    ----------
+    root:
+        Directory holding segments and rollups (created if missing).
+    max_segment_bytes:
+        Rotation threshold — once the active segment reaches this many
+        bytes it is sealed and a fresh one started.
+    objective_ms:
+        Latency objective used to classify requests as SLO-good inside
+        rollups (defaults to the global tracker's objective).
+    period_s:
+        Rollup period in seconds (default one hour).
+    clock:
+        Injectable ``time.time``-style clock (tests).
+    fsync:
+        Force ``os.fsync`` after every append. Off by default — the
+        flush-per-line default already bounds loss to the final record.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        max_segment_bytes: int = 1_000_000,
+        objective_ms: float | None = None,
+        period_s: float = 3600.0,
+        clock=time.time,
+        fsync: bool = False,
+    ):
+        if max_segment_bytes < 1:
+            raise ValueError("max_segment_bytes must be >= 1")
+        if period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if objective_ms is None:
+            from . import slo
+
+            objective_ms = slo.tracker.objective_ms
+        self.root = os.fspath(root)
+        self.max_segment_bytes = int(max_segment_bytes)
+        self.objective_ms = float(objective_ms)
+        self.period_s = float(period_s)
+        self.clock = clock
+        self.fsync = bool(fsync)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._active_path: str | None = None
+        self._active_bytes = 0
+        os.makedirs(os.path.join(self.root, "rollups"), exist_ok=True)
+        self._recover_orphans()
+        self._next_id = self._max_segment_id() + 1
+
+    # -- segment lifecycle -------------------------------------------------
+
+    def _recover_orphans(self) -> None:
+        """Seal ``.open`` segments left behind by a crashed process."""
+        for name in sorted(os.listdir(self.root)):
+            match = _OPEN.match(name)
+            if match:
+                sealed = f"segment-{match.group(1)}.jsonl"
+                os.replace(
+                    os.path.join(self.root, name),
+                    os.path.join(self.root, sealed),
+                )
+
+    def _max_segment_id(self) -> int:
+        ids = [0]
+        for name in os.listdir(self.root):
+            match = _SEALED.match(name) or _OPEN.match(name)
+            if match:
+                ids.append(int(match.group(1)))
+        return max(ids)
+
+    def _ensure_open(self) -> None:
+        if self._handle is not None:
+            return
+        name = f"segment-{self._next_id:06d}.open.jsonl"
+        self._next_id += 1
+        self._active_path = os.path.join(self.root, name)
+        self._handle = open(self._active_path, "a", encoding="utf-8")
+        self._active_bytes = self._handle.tell()
+
+    def _seal_locked(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.close()
+        assert self._active_path is not None
+        sealed = self._active_path.replace(".open.jsonl", ".jsonl")
+        os.replace(self._active_path, sealed)
+        self._handle = None
+        self._active_path = None
+        self._active_bytes = 0
+
+    def append(self, record: dict) -> None:
+        """Append one JSON record to the active segment (rotating first
+        if the segment is full)."""
+        line = json.dumps(record, default=str, separators=(",", ":")) + "\n"
+        data = line.encode("utf-8")
+        with self._lock:
+            self._ensure_open()
+            if self._active_bytes and (
+                self._active_bytes + len(data) > self.max_segment_bytes
+            ):
+                self._seal_locked()
+                self._ensure_open()
+            self._handle.write(line)
+            self._handle.flush()
+            if self.fsync:
+                os.fsync(self._handle.fileno())
+            self._active_bytes += len(data)
+
+    def record_request(
+        self,
+        request_id: str,
+        kind: str,
+        duration_s: float,
+        outcome: str,
+        tags: dict | None = None,
+        ts: float | None = None,
+    ) -> None:
+        """Append one completed-request summary (the ``obs.request``
+        exit hook calls this)."""
+        self.append(
+            {
+                "ts": self.clock() if ts is None else float(ts),
+                "request_id": request_id,
+                "kind": kind,
+                "duration_ms": float(duration_s) * 1e3,
+                "outcome": outcome,
+                "tags": {str(k): str(v) for k, v in (tags or {}).items()},
+            }
+        )
+
+    def seal_active(self) -> None:
+        """Seal the active segment (if any) without closing the store."""
+        with self._lock:
+            self._seal_locked()
+
+    def close(self) -> None:
+        """Flush and seal; the directory is then safe for another
+        process to open."""
+        self.seal_active()
+
+    def __enter__(self) -> "TelemetryStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reading -----------------------------------------------------------
+
+    def _segment_paths(self, sealed_only: bool = False) -> list[str]:
+        sealed: list[tuple[int, str]] = []
+        open_segments: list[tuple[int, str]] = []
+        for name in os.listdir(self.root):
+            match = _SEALED.match(name)
+            if match:
+                sealed.append((int(match.group(1)), os.path.join(self.root, name)))
+                continue
+            match = _OPEN.match(name)
+            if match and not sealed_only:
+                open_segments.append(
+                    (int(match.group(1)), os.path.join(self.root, name))
+                )
+        return [p for _, p in sorted(sealed + open_segments)]
+
+    @staticmethod
+    def read_segment(path: str) -> tuple[list[dict], int]:
+        """All intact records of one segment plus the count of torn or
+        corrupt lines skipped (a crash mid-append tears at most the
+        final line; the reader never raises on it)."""
+        records: list[dict] = []
+        skipped = 0
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        skipped += 1
+                        continue
+                    if isinstance(record, dict):
+                        records.append(record)
+                    else:
+                        skipped += 1
+        except OSError:
+            return [], 0
+        return records, skipped
+
+    def records(self) -> list[dict]:
+        """Every intact record across sealed + active segments, oldest
+        segment first."""
+        out: list[dict] = []
+        for path in self._segment_paths():
+            records, _ = self.read_segment(path)
+            out.extend(records)
+        return out
+
+    def scan(self) -> dict:
+        """Storage inventory: segment/rollup counts and torn records."""
+        paths = self._segment_paths()
+        torn = 0
+        records = 0
+        for path in paths:
+            recs, skipped = self.read_segment(path)
+            torn += skipped
+            records += len(recs)
+        return {
+            "segments": len(paths),
+            "sealed_segments": len(self._segment_paths(sealed_only=True)),
+            "records": records,
+            "torn_records": torn,
+            "rollups": len(self._rollup_paths()),
+        }
+
+    # -- rollups / compaction ---------------------------------------------
+
+    def _period_start(self, ts: float) -> float:
+        return math.floor(float(ts) / self.period_s) * self.period_s
+
+    def _rollup_paths(self) -> list[str]:
+        rollup_dir = os.path.join(self.root, "rollups")
+        out = []
+        for name in os.listdir(rollup_dir):
+            if _ROLLUP.match(name):
+                out.append(os.path.join(rollup_dir, name))
+        return sorted(out)
+
+    def _rollup_path(self, period_start: float) -> str:
+        return os.path.join(
+            self.root, "rollups", f"rollup-{int(period_start)}.json"
+        )
+
+    def _load_rollup(self, period_start: float) -> dict | None:
+        try:
+            with open(self._rollup_path(period_start), encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+
+    def _fold(
+        self, records: list[dict], into: dict[float, _PeriodAccumulator]
+    ) -> None:
+        for record in records:
+            ts = record.get("ts")
+            if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+                continue
+            period = self._period_start(ts)
+            acc = into.get(period)
+            if acc is None:
+                acc = _PeriodAccumulator(
+                    period, self.period_s, self.objective_ms
+                )
+                into[period] = acc
+            acc.add(record)
+
+    def compact(self) -> dict:
+        """Fold every sealed segment into per-period rollups, then
+        delete the folded segments.
+
+        Returns ``{"segments_compacted": n, "periods": [...]}``. The
+        active segment is untouched — seal it first (or :meth:`close`)
+        to make the current run's telemetry compactable. Rollup files
+        are written atomically, and segments are deleted only after all
+        their periods are persisted, so a crash mid-compaction at worst
+        re-folds a segment whose rollups already landed — re-run
+        :meth:`compact` after such a crash only if double counting is
+        acceptable, or simply keep the segment (the default reader
+        handles both layouts).
+        """
+        paths = self._segment_paths(sealed_only=True)
+        accumulators: dict[float, _PeriodAccumulator] = {}
+        folded: list[str] = []
+        for path in paths:
+            records, _ = self.read_segment(path)
+            self._fold(records, accumulators)
+            folded.append(path)
+        if not folded:
+            return {"segments_compacted": 0, "periods": []}
+        for period, acc in sorted(accumulators.items()):
+            existing = self._load_rollup(period)
+            if existing:
+                acc.merge_dict(existing)
+            target = self._rollup_path(period)
+            tmp = target + ".tmp"
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(acc.to_dict(), fh)
+            os.replace(tmp, target)
+        for path in folded:
+            try:
+                os.remove(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        return {
+            "segments_compacted": len(folded),
+            "periods": sorted(accumulators),
+        }
+
+    def history(self, limit: int | None = None) -> list[dict]:
+        """Per-period trend rows across *all* retained telemetry —
+        compacted rollups merged with not-yet-compacted segments —
+        oldest first. Each row is a rollup dict plus the derived
+        ``attainment`` / ``p50_ms`` / ``p95_ms`` / ``p99_ms``.
+        """
+        accumulators: dict[float, _PeriodAccumulator] = {}
+        for path in self._rollup_paths():
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    rollup = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            period = float(rollup.get("period_start", 0.0))
+            acc = accumulators.get(period)
+            if acc is None:
+                acc = accumulators[period] = _PeriodAccumulator(
+                    period, self.period_s, self.objective_ms
+                )
+            acc.merge_dict(rollup)
+        for path in self._segment_paths():
+            records, _ = self.read_segment(path)
+            self._fold(records, accumulators)
+        rows = [acc.summary() for _, acc in sorted(accumulators.items())]
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+
+# -- process-wide installation ---------------------------------------------
+
+_ACTIVE: TelemetryStore | None = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def set_store(store: TelemetryStore | None) -> None:
+    """Install (or with ``None`` remove) the process-wide store that
+    completed ``obs.request`` scopes flush into."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = store
+
+
+def active_store() -> TelemetryStore | None:
+    """The installed :class:`TelemetryStore`, or None (the default)."""
+    return _ACTIVE
+
+
+def configure(root: str | os.PathLike, **kwargs) -> TelemetryStore:
+    """Create a store at ``root`` and install it; returns the store."""
+    store = TelemetryStore(root, **kwargs)
+    set_store(store)
+    return store

@@ -1,0 +1,111 @@
+"""``repro.quality`` — model-quality monitoring and drift detection.
+
+Observability (``repro.obs``) answers *"is the service fast and up?"*;
+this package answers *"are the answers still right?"* — the failure
+mode that matters for a NILM detector is silent: inputs shift (sampling
+rate drops, appliance mix changes) or the model changes underneath the
+service (corrupted checkpoint, bad hot-swap) and the verdicts quietly
+stop being trustworthy while every latency SLO stays green.
+
+Layers (DESIGN.md §10):
+
+* :mod:`~repro.quality.profiles` — per-appliance prediction + input
+  distribution tracking (:class:`ApplianceProfile`), JSON round-trip
+  for frozen reference profiles.
+* :mod:`~repro.quality.drift` — PSI/KS detectors
+  (:class:`DriftDetector`) comparing live vs reference.
+* :mod:`~repro.quality.canary` — fixed-window probes
+  (:class:`CanaryProbe`) that catch model change with unchanged inputs.
+* :mod:`~repro.quality.alerts` — the ok→warn→alert
+  :class:`AlertStateMachine` with hysteresis + cooldown.
+* :mod:`~repro.quality.monitor` — :class:`QualityMonitor`, the hub
+  wiring all of the above into ``DeviceScope.health()`` and
+  ``devicescope quality``.
+
+Hook contract: ``CamAL.localize_watts(..., appliance="kettle")`` calls
+:func:`observe` on every attributed batch. With no monitor installed
+(the default) that is a single ``None`` check — the convention
+``repro.obs`` established: zero cost unless opted in.
+"""
+
+from __future__ import annotations
+
+from .alerts import AlertStateMachine
+from .canary import CanaryProbe, CanaryResult
+from .drift import (
+    LEVELS,
+    DriftDetector,
+    DriftReport,
+    FeatureDrift,
+    ks_pvalue,
+    ks_statistic,
+    psi,
+    severity,
+)
+from .monitor import QualityMonitor, format_report
+from .profiles import (
+    ApplianceProfile,
+    DistTracker,
+    WindowObservation,
+    build_reference,
+    observations_from_result,
+)
+
+__all__ = [
+    "LEVELS",
+    "severity",
+    "psi",
+    "ks_statistic",
+    "ks_pvalue",
+    "DistTracker",
+    "WindowObservation",
+    "observations_from_result",
+    "ApplianceProfile",
+    "build_reference",
+    "DriftDetector",
+    "DriftReport",
+    "FeatureDrift",
+    "CanaryProbe",
+    "CanaryResult",
+    "AlertStateMachine",
+    "QualityMonitor",
+    "format_report",
+    "install",
+    "uninstall",
+    "monitor",
+    "observe",
+]
+
+#: The installed process-wide monitor (None = quality tracking off).
+_MONITOR: QualityMonitor | None = None
+
+
+def install(quality_monitor: QualityMonitor) -> QualityMonitor:
+    """Make ``quality_monitor`` the process-wide monitor fed by the
+    ``CamAL.localize_watts`` hook; returns it for chaining."""
+    global _MONITOR
+    if not isinstance(quality_monitor, QualityMonitor):
+        raise TypeError("install() expects a QualityMonitor")
+    _MONITOR = quality_monitor
+    return quality_monitor
+
+
+def uninstall() -> None:
+    """Remove the installed monitor (hook returns to a no-op)."""
+    global _MONITOR
+    _MONITOR = None
+
+
+def monitor() -> QualityMonitor | None:
+    """The installed monitor, or None."""
+    return _MONITOR
+
+
+def observe(appliance: str | None, watts, result) -> None:
+    """The inference hook: feed one localization batch to the installed
+    monitor. No-op when no monitor is installed or the call is
+    unattributed (``appliance`` falsy) — reference building and canary
+    probes rely on the latter to stay out of the live distribution."""
+    if _MONITOR is None or not appliance:
+        return
+    _MONITOR.observe(appliance, watts, result)

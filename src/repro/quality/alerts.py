@@ -1,0 +1,142 @@
+"""Alert state machine: ok → warn → alert with hysteresis and cooldown.
+
+Raw drift/canary verdicts are noisy — one odd batch of windows can spike
+PSI past a threshold and the next batch can clear it. Paging (or
+auto-rolling-back a model) on a single spike is how monitoring earns
+mute buttons. :class:`AlertStateMachine` debounces:
+
+* **Escalation hysteresis** — the state only rises after
+  ``escalate_after`` *consecutive* observations at or above the
+  candidate severity. A lone alert-grade observation is remembered but
+  changes nothing.
+* **Clear hysteresis + cooldown** — the state only falls after
+  ``clear_after`` consecutive observations strictly below the current
+  severity *and* at least ``cooldown_s`` seconds since the last
+  escalation. A flapping detector therefore parks at its worst recent
+  level instead of oscillating.
+* De-escalation is *gradual*: the state drops to the worst severity
+  seen in the clearing streak (alert → warn when the streak was warns,
+  alert → ok only when it was all-ok).
+
+The clock is injectable so tests (and deterministic replays) control
+time. Transitions are recorded (bounded) and counted through
+``repro.obs`` as ``quality.alert_transitions_total``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+from .. import obs
+from .drift import LEVELS, severity
+
+__all__ = ["AlertStateMachine"]
+
+
+class AlertStateMachine:
+    """Debounced severity state for one monitored appliance."""
+
+    def __init__(
+        self,
+        escalate_after: int = 2,
+        clear_after: int = 2,
+        cooldown_s: float = 60.0,
+        clock=time.monotonic,
+        name: str = "",
+    ):
+        if escalate_after < 1 or clear_after < 1:
+            raise ValueError("escalate_after/clear_after must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+        self.escalate_after = int(escalate_after)
+        self.clear_after = int(clear_after)
+        self.cooldown_s = float(cooldown_s)
+        self.clock = clock
+        self.name = name
+        self._state = "ok"
+        self._state_since = float(clock())
+        self._escalated_at = float("-inf")
+        # Streaks relative to the *current* state.
+        self._above: list[str] = []  # consecutive observations > state
+        self._below: list[str] = []  # consecutive observations < state
+        self.transitions: deque[dict] = deque(maxlen=256)
+        self.observed = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def observe(self, level: str) -> str:
+        """Feed one verdict (``ok``/``warn``/``alert``); returns the
+        (possibly updated) debounced state."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown severity {level!r}; expected {LEVELS}")
+        self.observed += 1
+        now = float(self.clock())
+        current = severity(self._state)
+        observed = severity(level)
+        if observed > current:
+            self._above.append(level)
+            self._below = []
+            if len(self._above) >= self.escalate_after:
+                # Escalate to the *mildest* severity of the streak: every
+                # observation in it supports at least that level.
+                target = LEVELS[min(severity(l) for l in self._above)]
+                self._transition(target, now, escalation=True)
+        elif observed < current:
+            self._below.append(level)
+            self._above = []
+            cooled = now - self._escalated_at >= self.cooldown_s
+            if len(self._below) >= self.clear_after and cooled:
+                # Drop to the worst severity of the clearing streak.
+                target = LEVELS[max(severity(l) for l in self._below)]
+                self._transition(target, now, escalation=False)
+        else:
+            self._above = []
+            self._below = []
+        return self._state
+
+    def _transition(self, target: str, now: float, escalation: bool) -> None:
+        previous = self._state
+        self._state = target
+        self._state_since = now
+        self._above = []
+        self._below = []
+        if escalation:
+            self._escalated_at = now
+        self.transitions.append(
+            {"t": now, "from": previous, "to": target}
+        )
+        if obs.enabled():
+            obs.registry.counter(
+                "quality.alert_transitions_total",
+                help="alert state machine transitions",
+            ).inc(name=self.name or "-", to=target)
+
+    def snapshot(self) -> dict:
+        """Plain-dict state for reports and ``DeviceScope.health()``."""
+        return {
+            "state": self._state,
+            "since": self._state_since,
+            "observed": self.observed,
+            "transitions": len(self.transitions),
+            "last_transition": (
+                dict(self.transitions[-1]) if self.transitions else None
+            ),
+        }
+
+    def reset(self) -> None:
+        self._state = "ok"
+        self._state_since = float(self.clock())
+        self._escalated_at = float("-inf")
+        self._above = []
+        self._below = []
+        self.transitions.clear()
+        self.observed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"AlertStateMachine(name={self.name!r}, state={self._state!r}, "
+            f"observed={self.observed})"
+        )

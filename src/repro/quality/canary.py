@@ -1,0 +1,181 @@
+"""Canary probes: re-score fixed windows against stored expectations.
+
+Drift detection watches the *inputs and answer distributions*; a canary
+watches the *model itself*. A :class:`CanaryProbe` freezes a handful of
+reference windows together with the outputs the current checkpoint
+produced for them (:meth:`CanaryProbe.capture`). Re-running the probe
+later (:meth:`CanaryProbe.run`) re-scores the exact same windows —
+if the probabilities moved beyond tolerance or localized statuses stop
+agreeing, the model changed underneath us: a silently corrupted or
+wrongly hot-swapped checkpoint, an accidental in-place retrain, a
+numerics regression. That is the failure mode no amount of input
+monitoring can see, because the inputs never changed.
+
+Probes serialize to JSON so the registry/serve layers can store them
+next to the checkpoint they were captured from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["CanaryResult", "CanaryProbe"]
+
+
+@dataclass(frozen=True)
+class CanaryResult:
+    """One probe run's verdict."""
+
+    passed: bool
+    n_windows: int
+    max_probability_delta: float
+    min_status_agreement: float
+    detected_mismatches: int
+
+    @property
+    def level(self) -> str:
+        """Severity in the shared drift/alert vocabulary."""
+        return "ok" if self.passed else "alert"
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "n_windows": self.n_windows,
+            "max_probability_delta": self.max_probability_delta,
+            "min_status_agreement": self.min_status_agreement,
+            "detected_mismatches": self.detected_mismatches,
+        }
+
+
+class CanaryProbe:
+    """Fixed windows + the expected outputs of a known-good checkpoint.
+
+    Parameters
+    ----------
+    windows:
+        ``(N, T)`` raw watt windows (clean — canaries must isolate model
+        change from input defects).
+    expected_probabilities / expected_detected / expected_status:
+        The outputs captured from the reference checkpoint.
+    probability_tolerance:
+        Maximum per-window absolute probability drift allowed.
+    status_tolerance:
+        Maximum per-window fraction of status samples allowed to flip.
+    """
+
+    def __init__(
+        self,
+        windows,
+        expected_probabilities,
+        expected_detected,
+        expected_status,
+        probability_tolerance: float = 0.02,
+        status_tolerance: float = 0.02,
+    ):
+        self.windows = np.asarray(windows, dtype=np.float64)
+        if self.windows.ndim != 2 or not self.windows.size:
+            raise ValueError("windows must be a non-empty (N, T) array")
+        if np.isnan(self.windows).any():
+            raise ValueError("canary windows must be clean (no NaN)")
+        self.expected_probabilities = np.asarray(
+            expected_probabilities, dtype=np.float64
+        )
+        self.expected_detected = np.asarray(expected_detected, dtype=bool)
+        self.expected_status = np.asarray(expected_status, dtype=np.float64)
+        n = self.windows.shape[0]
+        if (
+            self.expected_probabilities.shape != (n,)
+            or self.expected_detected.shape != (n,)
+            or self.expected_status.shape != self.windows.shape
+        ):
+            raise ValueError("expected outputs must align with windows")
+        if probability_tolerance < 0 or status_tolerance < 0:
+            raise ValueError("tolerances must be >= 0")
+        self.probability_tolerance = float(probability_tolerance)
+        self.status_tolerance = float(status_tolerance)
+
+    @classmethod
+    def capture(
+        cls,
+        model,
+        windows,
+        probability_tolerance: float = 0.02,
+        status_tolerance: float = 0.02,
+    ) -> "CanaryProbe":
+        """Snapshot the current checkpoint's answers as the expectation."""
+        windows = np.asarray(windows, dtype=np.float64)
+        result = model.localize_watts(windows)
+        return cls(
+            windows,
+            result.probabilities,
+            result.detected,
+            result.status,
+            probability_tolerance=probability_tolerance,
+            status_tolerance=status_tolerance,
+        )
+
+    def run(self, model) -> CanaryResult:
+        """Re-score the probe windows and compare against expectations."""
+        result = model.localize_watts(self.windows)
+        prob_delta = np.abs(
+            np.asarray(result.probabilities, dtype=np.float64)
+            - self.expected_probabilities
+        )
+        detected_mismatches = int(
+            (np.asarray(result.detected, dtype=bool) != self.expected_detected)
+            .sum()
+        )
+        status = np.asarray(result.status, dtype=np.float64)
+        agreement = np.mean(
+            (status > 0.5) == (self.expected_status > 0.5), axis=1
+        )
+        passed = (
+            bool((prob_delta <= self.probability_tolerance).all())
+            and detected_mismatches == 0
+            and bool((agreement >= 1.0 - self.status_tolerance).all())
+        )
+        return CanaryResult(
+            passed=passed,
+            n_windows=self.windows.shape[0],
+            max_probability_delta=float(prob_delta.max()),
+            min_status_agreement=float(agreement.min()),
+            detected_mismatches=detected_mismatches,
+        )
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "windows": self.windows.tolist(),
+            "expected_probabilities": self.expected_probabilities.tolist(),
+            "expected_detected": self.expected_detected.tolist(),
+            "expected_status": self.expected_status.tolist(),
+            "probability_tolerance": self.probability_tolerance,
+            "status_tolerance": self.status_tolerance,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CanaryProbe":
+        return cls(
+            payload["windows"],
+            payload["expected_probabilities"],
+            payload["expected_detected"],
+            payload["expected_status"],
+            probability_tolerance=payload.get("probability_tolerance", 0.02),
+            status_tolerance=payload.get("status_tolerance", 0.02),
+        )
+
+    def save(self, path: str | os.PathLike) -> None:
+        tmp = os.fspath(path) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "CanaryProbe":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))

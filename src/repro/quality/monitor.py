@@ -1,0 +1,282 @@
+"""The quality monitor: live tracking + drift + canaries + alerts.
+
+:class:`QualityMonitor` is the hub the serving layers talk to:
+
+* **Live tracking** — every attributed ``CamAL.localize_watts`` call
+  (Playground predictions, sliding-window pipeline) feeds per-window
+  observations into a bounded ring per appliance; the most recent
+  ``live_window`` windows form the *live* distribution.
+* **Reference profiles** — frozen :class:`ApplianceProfile` baselines
+  built from the simulator's known-answer scenarios
+  (:meth:`build_reference`) or loaded from JSON.
+* **Drift** — :meth:`evaluate` compares live vs reference through the
+  :class:`~repro.quality.drift.DriftDetector` (PSI + KS), runs the
+  registered canary probes, and feeds the combined severity into one
+  :class:`~repro.quality.alerts.AlertStateMachine` per appliance.
+* **Health** — :meth:`status` collapses everything to per-appliance
+  states plus an overall worst-of verdict, which
+  ``DeviceScope.health()`` folds into its top-level ``status`` and
+  ``devicescope quality`` renders.
+
+A monitor becomes *active* via :func:`repro.quality.install`; the
+``CamAL`` hook is a no-op (one None check) when nothing is installed,
+so the fast path stays fast by default.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .. import obs
+from .alerts import AlertStateMachine
+from .canary import CanaryProbe, CanaryResult
+from .drift import LEVELS, DriftDetector, DriftReport, severity
+from .profiles import ApplianceProfile, build_reference, observations_from_result
+
+__all__ = ["QualityMonitor", "format_report"]
+
+
+class QualityMonitor:
+    """Per-appliance model-quality monitoring state.
+
+    Parameters
+    ----------
+    live_window:
+        How many recent windows form the live distribution (ring
+        buffer, bounded like every other telemetry store in the repo).
+    detector:
+        Drift detector (default thresholds when omitted).
+    escalate_after / clear_after / cooldown_s:
+        Alert state machine debouncing, applied per appliance.
+    clock:
+        Injectable clock shared by the alert machines.
+    """
+
+    def __init__(
+        self,
+        live_window: int = 256,
+        detector: DriftDetector | None = None,
+        escalate_after: int = 2,
+        clear_after: int = 2,
+        cooldown_s: float = 60.0,
+        clock=time.monotonic,
+    ):
+        if live_window < 1:
+            raise ValueError("live_window must be >= 1")
+        self.live_window = int(live_window)
+        self.detector = detector or DriftDetector()
+        self.clock = clock
+        self._alert_kwargs = dict(
+            escalate_after=escalate_after,
+            clear_after=clear_after,
+            cooldown_s=cooldown_s,
+        )
+        self._lock = threading.Lock()
+        self._references: dict[str, ApplianceProfile] = {}
+        self._canaries: dict[str, CanaryProbe] = {}
+        self._live: dict[str, deque] = {}
+        self._alerts: dict[str, AlertStateMachine] = {}
+        self._drift_reports: dict[str, DriftReport] = {}
+        self._canary_results: dict[str, CanaryResult] = {}
+
+    # -- configuration -----------------------------------------------------
+
+    def set_reference(self, appliance: str, profile: ApplianceProfile) -> None:
+        with self._lock:
+            self._references[appliance] = profile
+
+    def reference(self, appliance: str) -> ApplianceProfile | None:
+        with self._lock:
+            return self._references.get(appliance)
+
+    def build_reference(
+        self, appliance: str, model, watts
+    ) -> ApplianceProfile:
+        """Freeze + register a reference profile from clean scenario
+        windows (see :func:`repro.quality.profiles.build_reference`)."""
+        profile = build_reference(model, appliance, watts)
+        self.set_reference(appliance, profile)
+        return profile
+
+    def add_canary(self, appliance: str, probe: CanaryProbe) -> None:
+        with self._lock:
+            self._canaries[appliance] = probe
+
+    def _alert(self, appliance: str) -> AlertStateMachine:
+        machine = self._alerts.get(appliance)
+        if machine is None:
+            machine = AlertStateMachine(
+                clock=self.clock, name=appliance, **self._alert_kwargs
+            )
+            self._alerts[appliance] = machine
+        return machine
+
+    # -- live ingestion ----------------------------------------------------
+
+    def observe(self, appliance: str, watts, result) -> None:
+        """Ingest one attributed localization batch (the ``CamAL`` hook)."""
+        observations = observations_from_result(watts, result)
+        with self._lock:
+            ring = self._live.get(appliance)
+            if ring is None:
+                ring = self._live[appliance] = deque(maxlen=self.live_window)
+            ring.extend(observations)
+        if obs.enabled():
+            obs.registry.counter(
+                "quality.windows_observed_total",
+                help="localized windows ingested by the quality monitor",
+            ).inc(len(observations), appliance=appliance)
+
+    def live_profile(self, appliance: str) -> ApplianceProfile:
+        """The live distribution: recent observations binned on demand."""
+        with self._lock:
+            observations = list(self._live.get(appliance, ()))
+        return ApplianceProfile.from_observations(appliance, observations)
+
+    def reset_live(self, appliance: str | None = None) -> None:
+        with self._lock:
+            if appliance is None:
+                self._live.clear()
+            else:
+                self._live.pop(appliance, None)
+
+    # -- evaluation --------------------------------------------------------
+
+    def run_canaries(self, models: dict) -> dict[str, CanaryResult]:
+        """Re-score every registered probe whose appliance has a model."""
+        with self._lock:
+            probes = dict(self._canaries)
+        results: dict[str, CanaryResult] = {}
+        for appliance, probe in probes.items():
+            model = models.get(appliance)
+            if model is None:
+                continue
+            results[appliance] = probe.run(model)
+        with self._lock:
+            self._canary_results.update(results)
+        if obs.enabled():
+            for appliance, result in results.items():
+                obs.registry.counter(
+                    "quality.canary_runs_total",
+                    help="canary probe runs by outcome",
+                ).inc(
+                    appliance=appliance,
+                    outcome="pass" if result.passed else "fail",
+                )
+        return results
+
+    def evaluate(self, models: dict | None = None) -> dict:
+        """One monitoring tick: drift checks (+ canaries when models are
+        supplied), alert updates; returns :meth:`report`."""
+        if models:
+            self.run_canaries(models)
+        with self._lock:
+            references = dict(self._references)
+        for appliance, reference in references.items():
+            live = self.live_profile(appliance)
+            drift_report = self.detector.compare(reference, live)
+            with self._lock:
+                self._drift_reports[appliance] = drift_report
+                canary_result = self._canary_results.get(appliance)
+            level = drift_report.level
+            if canary_result is not None:
+                level = LEVELS[
+                    max(severity(level), severity(canary_result.level))
+                ]
+            self._alert(appliance).observe(level)
+            if obs.enabled():
+                obs.registry.counter(
+                    "quality.drift_checks_total",
+                    help="drift evaluations by resulting level",
+                ).inc(appliance=appliance, level=drift_report.level)
+        return self.report()
+
+    # -- reporting ---------------------------------------------------------
+
+    def status(self) -> dict:
+        """Per-appliance debounced states + the overall worst-of."""
+        with self._lock:
+            states = {
+                appliance: machine.state
+                for appliance, machine in self._alerts.items()
+            }
+        overall = "ok"
+        if states:
+            overall = LEVELS[max(severity(s) for s in states.values())]
+        return {"overall": overall, "appliances": states}
+
+    def report(self) -> dict:
+        """The full quality rollup (JSON-serializable)."""
+        with self._lock:
+            references = dict(self._references)
+            drift_reports = dict(self._drift_reports)
+            canary_results = dict(self._canary_results)
+            alerts = {a: m.snapshot() for a, m in self._alerts.items()}
+        appliances = {}
+        for appliance in sorted(
+            set(references) | set(drift_reports) | set(canary_results)
+        ):
+            live = self.live_profile(appliance)
+            reference = references.get(appliance)
+            drift_report = drift_reports.get(appliance)
+            canary_result = canary_results.get(appliance)
+            appliances[appliance] = {
+                "reference": reference.snapshot() if reference else None,
+                "live": live.snapshot(),
+                "drift": drift_report.to_dict() if drift_report else None,
+                "canary": canary_result.to_dict() if canary_result else None,
+                "alert": alerts.get(appliance),
+            }
+        return {"status": self.status(), "appliances": appliances}
+
+
+def format_report(report: dict) -> str:
+    """ASCII rendering of :meth:`QualityMonitor.report` for the
+    ``devicescope quality`` CLI."""
+    status = report.get("status", {})
+    lines = [f"quality: {status.get('overall', 'ok').upper()}"]
+    for appliance, section in report.get("appliances", {}).items():
+        alert = section.get("alert") or {}
+        state = alert.get("state", "ok")
+        lines.append(f"\n== {appliance} [{state}] ==")
+        live = section.get("live") or {}
+        reference = section.get("reference") or {}
+        lines.append(
+            f"  windows: live={live.get('windows', 0)} "
+            f"reference={reference.get('windows', 0)}"
+        )
+        drift = section.get("drift")
+        if drift:
+            if drift.get("insufficient"):
+                lines.append("  drift: insufficient live data")
+            else:
+                lines.append(
+                    f"  drift: {drift.get('level', 'ok')} "
+                    f"(n_live={drift.get('n_live', 0)})"
+                )
+                header = (
+                    f"    {'feature':<16} {'psi':>8} {'ks':>7} "
+                    f"{'ks_p':>8} {'ref':>9} {'live':>9}  level"
+                )
+                lines.append(header)
+                for feature in drift.get("features", []):
+                    lines.append(
+                        f"    {feature['feature']:<16} "
+                        f"{feature['psi']:>8.4f} {feature['ks']:>7.3f} "
+                        f"{feature['ks_p']:>8.2g} "
+                        f"{feature['reference_mean']:>9.3g} "
+                        f"{feature['live_mean']:>9.3g}  {feature['level']}"
+                    )
+        canary = section.get("canary")
+        if canary:
+            verdict = "pass" if canary.get("passed") else "FAIL"
+            lines.append(
+                f"  canary: {verdict} "
+                f"(max_prob_delta={canary.get('max_probability_delta', 0):.4f}, "
+                f"min_status_agreement="
+                f"{canary.get('min_status_agreement', 1):.3f}, "
+                f"detected_mismatches={canary.get('detected_mismatches', 0)})"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Distribution profiles: what the model answers and what it is fed.
+
+Detection quality degrades *silently* when the input distribution
+shifts (low-sampling-rate NILM, arXiv 2111.05120) or a retrained
+ensemble regresses (ensemble NILM, arXiv 1802.06963) — nothing crashes,
+the verdicts just stop being right. The first step of catching that is
+tracking distributions, not point values:
+
+* :class:`WindowObservation` — one localized window reduced to the
+  features quality monitoring cares about: detection probability,
+  detected flag, localized (ON) fraction, mean power, and the robust
+  layer's defect rates (NaN / clipped samples, repaired / degraded
+  verdicts).
+* :class:`DistTracker` — a fixed-bucket histogram accumulator
+  (Prometheus-style edges, overflow bucket) that PSI/KS drift
+  detectors can compare bin-for-bin.
+* :class:`ApplianceProfile` — the per-appliance aggregate of both:
+  prediction-distribution tracking *and* input-feature tracking, with
+  JSON round-trip so a frozen **reference profile** (built from the
+  simulator's known-answer scenarios) survives process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PROBABILITY_EDGES",
+    "FRACTION_EDGES",
+    "POWER_EDGES",
+    "DistTracker",
+    "WindowObservation",
+    "observations_from_result",
+    "ApplianceProfile",
+    "build_reference",
+]
+
+#: Detection-probability bucket upper edges (last bucket catches 1.0).
+PROBABILITY_EDGES = tuple(np.round(np.linspace(0.1, 1.0, 10), 10))
+
+#: Localized-fraction bucket edges (share of ON samples per window).
+FRACTION_EDGES = PROBABILITY_EDGES
+
+#: Window mean-power bucket edges in watts (overflow above 6.4 kW).
+POWER_EDGES = (25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0, 6400.0)
+
+
+class DistTracker:
+    """Fixed-bucket distribution accumulator.
+
+    Bucket ``i`` counts values ``v`` with ``edges[i-1] < v <= edges[i]``
+    plus one overflow bucket above the last edge — the same convention
+    as :class:`repro.obs.metrics.Histogram`, kept tiny and lock-free
+    here because profiles are owned by one monitor.
+    """
+
+    def __init__(self, edges: tuple, counts=None):
+        self.edges = tuple(float(e) for e in edges)
+        if len(self.edges) < 1:
+            raise ValueError("need at least one bucket edge")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self._edge_array = np.asarray(self.edges, dtype=np.float64)
+        if counts is None:
+            self.counts = np.zeros(len(self.edges) + 1, dtype=np.int64)
+        else:
+            counts = np.asarray(counts, dtype=np.int64)
+            if counts.shape != (len(self.edges) + 1,):
+                raise ValueError("counts length must be len(edges) + 1")
+            self.counts = counts.copy()
+        self.total = 0.0
+        self.count = int(self.counts.sum())
+
+    def observe_many(self, values) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            return
+        idx = np.searchsorted(self._edge_array, values, side="left")
+        self.counts += np.bincount(idx, minlength=len(self.edges) + 1)
+        self.count += int(values.size)
+        self.total += float(values.sum())
+
+    def observe(self, value: float) -> None:
+        self.observe_many(np.asarray([value]))
+
+    def proportions(self) -> np.ndarray:
+        """Normalized bucket mass (all zeros when never observed)."""
+        if self.count == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / float(self.count)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def to_dict(self) -> dict:
+        return {"edges": list(self.edges), "counts": self.counts.tolist()}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DistTracker":
+        return cls(tuple(payload["edges"]), counts=payload["counts"])
+
+
+@dataclass(frozen=True)
+class WindowObservation:
+    """One localized window reduced to quality-monitoring features."""
+
+    probability: float
+    detected: bool
+    on_fraction: float
+    power_mean: float
+    nan_fraction: float
+    clipped_fraction: float
+    repaired: bool
+    degraded: bool
+
+
+def observations_from_result(watts, result) -> list[WindowObservation]:
+    """Reduce a raw watt batch + its CamAL result to observations.
+
+    ``watts`` is the *pre-repair* ``(N, T)`` input, so NaN/negative
+    rates reflect what arrived, not what the robust layer fixed.
+    ``result`` is duck-typed on the :class:`~repro.core.CamALResult`
+    fields (``probabilities``/``detected``/``status``/``repaired``/
+    ``degraded``).
+    """
+    watts = np.asarray(watts, dtype=np.float64)
+    if watts.ndim != 2:
+        raise ValueError(f"expected (N, T) watts, got shape {watts.shape}")
+    n = watts.shape[0]
+    nan_fraction = np.isnan(watts).mean(axis=1)
+    with np.errstate(invalid="ignore"):
+        clipped_fraction = np.nanmean(watts < 0.0, axis=1)
+        power_mean = np.nanmean(np.clip(watts, 0.0, None), axis=1)
+    repaired = np.asarray(result.repaired, dtype=bool)
+    degraded = np.asarray(result.degraded, dtype=bool)
+    out = []
+    for i in range(n):
+        out.append(
+            WindowObservation(
+                probability=float(result.probabilities[i]),
+                detected=bool(result.detected[i]),
+                on_fraction=float(np.mean(result.status[i])),
+                power_mean=float(power_mean[i]),
+                nan_fraction=float(nan_fraction[i]),
+                clipped_fraction=float(np.nan_to_num(clipped_fraction[i])),
+                repaired=bool(repaired[i]) if repaired.size else False,
+                degraded=bool(degraded[i]) if degraded.size else False,
+            )
+        )
+    return out
+
+
+class ApplianceProfile:
+    """Per-appliance prediction + input distribution aggregate."""
+
+    def __init__(self, appliance: str = ""):
+        self.appliance = appliance
+        self.windows = 0
+        self.detected = 0
+        self.repaired_windows = 0
+        self.degraded_windows = 0
+        self.nan_mass = 0.0  # sum of per-window NaN fractions
+        self.clip_mass = 0.0  # sum of per-window negative fractions
+        self.probability = DistTracker(PROBABILITY_EDGES)
+        self.on_fraction = DistTracker(FRACTION_EDGES)
+        self.power_mean = DistTracker(POWER_EDGES)
+
+    # -- accumulation ------------------------------------------------------
+
+    def observe(self, observation: WindowObservation) -> None:
+        self.windows += 1
+        self.detected += int(observation.detected)
+        self.repaired_windows += int(observation.repaired)
+        self.degraded_windows += int(observation.degraded)
+        self.nan_mass += observation.nan_fraction
+        self.clip_mass += observation.clipped_fraction
+        self.probability.observe(observation.probability)
+        if not observation.degraded:
+            self.on_fraction.observe(observation.on_fraction)
+        self.power_mean.observe(observation.power_mean)
+
+    def observe_batch(self, watts, result) -> None:
+        for observation in observations_from_result(watts, result):
+            self.observe(observation)
+
+    @classmethod
+    def from_observations(
+        cls, appliance: str, observations
+    ) -> "ApplianceProfile":
+        profile = cls(appliance)
+        for observation in observations:
+            profile.observe(observation)
+        return profile
+
+    # -- derived rates -----------------------------------------------------
+
+    @property
+    def detection_rate(self) -> float:
+        return self.detected / self.windows if self.windows else float("nan")
+
+    @property
+    def nan_rate(self) -> float:
+        return self.nan_mass / self.windows if self.windows else float("nan")
+
+    @property
+    def clip_rate(self) -> float:
+        return self.clip_mass / self.windows if self.windows else float("nan")
+
+    @property
+    def degraded_rate(self) -> float:
+        return (
+            self.degraded_windows / self.windows
+            if self.windows
+            else float("nan")
+        )
+
+    @property
+    def repaired_rate(self) -> float:
+        return (
+            self.repaired_windows / self.windows
+            if self.windows
+            else float("nan")
+        )
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary (JSON-serializable) for reports."""
+        return {
+            "appliance": self.appliance,
+            "windows": self.windows,
+            "detection_rate": self.detection_rate,
+            "nan_rate": self.nan_rate,
+            "clip_rate": self.clip_rate,
+            "repaired_rate": self.repaired_rate,
+            "degraded_rate": self.degraded_rate,
+            "probability_mean": self.probability.mean,
+            "power_mean_w": self.power_mean.mean,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "appliance": self.appliance,
+            "windows": self.windows,
+            "detected": self.detected,
+            "repaired_windows": self.repaired_windows,
+            "degraded_windows": self.degraded_windows,
+            "nan_mass": self.nan_mass,
+            "clip_mass": self.clip_mass,
+            "probability": self.probability.to_dict(),
+            "on_fraction": self.on_fraction.to_dict(),
+            "power_mean": self.power_mean.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ApplianceProfile":
+        profile = cls(payload.get("appliance", ""))
+        profile.windows = int(payload["windows"])
+        profile.detected = int(payload["detected"])
+        profile.repaired_windows = int(payload.get("repaired_windows", 0))
+        profile.degraded_windows = int(payload.get("degraded_windows", 0))
+        profile.nan_mass = float(payload.get("nan_mass", 0.0))
+        profile.clip_mass = float(payload.get("clip_mass", 0.0))
+        profile.probability = DistTracker.from_dict(payload["probability"])
+        profile.on_fraction = DistTracker.from_dict(payload["on_fraction"])
+        profile.power_mean = DistTracker.from_dict(payload["power_mean"])
+        return profile
+
+    def save(self, path: str | os.PathLike) -> None:
+        tmp = os.fspath(path) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "ApplianceProfile":
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"ApplianceProfile({self.appliance!r}, windows={self.windows}, "
+            f"detection_rate={self.detection_rate:.3f})"
+            if self.windows
+            else f"ApplianceProfile({self.appliance!r}, empty)"
+        )
+
+
+def build_reference(model, appliance: str, watts) -> ApplianceProfile:
+    """Freeze a reference profile from known-answer scenario windows.
+
+    Runs ``model.localize_watts`` over clean ``(N, T)`` watt windows
+    (typically cut from the simulator's scenarios, whose ground truth
+    is known) and accumulates the outputs into an
+    :class:`ApplianceProfile`. The call is deliberately *unattributed*
+    (``appliance=None`` on the model side) so an installed
+    :class:`~repro.quality.monitor.QualityMonitor` does not count
+    reference construction as live traffic.
+    """
+    watts = np.asarray(watts, dtype=np.float64)
+    result = model.localize_watts(watts)
+    profile = ApplianceProfile(appliance)
+    profile.observe_batch(watts, result)
+    return profile

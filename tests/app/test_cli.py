@@ -177,7 +177,9 @@ def test_faultcheck_leaves_observability_disabled(capsys):
 
 
 def test_obs_openmetrics_stdout_is_scrape_clean(capsys):
-    code = main(["obs", "--fast", "--requests", "3", "--openmetrics"])
+    code = main(
+        ["obs", "--fast", "--requests", "3", "--openmetrics", "--no-store"]
+    )
     assert code == 0
     out = capsys.readouterr().out
     # Scrape-ready: nothing but exposition text on stdout.
@@ -187,6 +189,9 @@ def test_obs_openmetrics_stdout_is_scrape_clean(capsys):
     assert 'le="+Inf"' in out
     assert 'kind="view"' in out
     assert "app_result_cache_hits_total" in out
+    # The SLO rollup exports as gauges next to the raw metrics.
+    assert "devicescope_slo_attainment" in out
+    assert 'devicescope_slo_latency_ms{quantile="0.95"}' in out
 
 
 def test_obs_trace_and_jsonl_round_trip(tmp_path, capsys):
@@ -195,7 +200,7 @@ def test_obs_trace_and_jsonl_round_trip(tmp_path, capsys):
     trace_path = tmp_path / "trace.json"
     jsonl_path = tmp_path / "events.jsonl"
     code = main([
-        "obs", "--fast", "--requests", "4",
+        "obs", "--fast", "--requests", "4", "--no-store",
         "--trace-out", str(trace_path), "--jsonl-out", str(jsonl_path),
     ])
     assert code == 0
@@ -222,17 +227,138 @@ def test_obs_trace_and_jsonl_round_trip(tmp_path, capsys):
 def test_obs_watch_prints_dashboard_per_request(capsys):
     code = main([
         "obs", "--fast", "--requests", "3", "--watch", "--interval", "0",
+        "--no-store",
     ])
     assert code == 0
     out = capsys.readouterr().out
     assert out.count("== health ==") == 3
+    assert "status: OK" in out
     assert "slo:" in out
     assert "== metrics ==" in out
+
+
+def test_obs_watch_iterations_caps_refreshes(capsys):
+    code = main([
+        "obs", "--fast", "--requests", "4", "--watch", "--interval", "0",
+        "--iterations", "2", "--no-store",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.count("== health ==") == 2
+
+
+def test_obs_watch_sleep_is_injectable_and_interrupt_safe(
+    capsys, monkeypatch
+):
+    from repro.app import cli
+
+    sleeps = []
+
+    def fake_sleep(seconds):
+        sleeps.append(seconds)
+        if len(sleeps) == 2:
+            raise KeyboardInterrupt
+
+    monkeypatch.setattr(cli, "_WATCH_SLEEP", fake_sleep)
+    code = main([
+        "obs", "--fast", "--requests", "6", "--watch",
+        "--interval", "0.25", "--no-store",
+    ])
+    assert code == 0  # Ctrl-C is a clean exit, not a traceback
+    out = capsys.readouterr().out
+    assert sleeps == [0.25, 0.25]
+    assert "interrupted" in out
 
 
 def test_obs_leaves_observability_disabled(capsys):
     from repro import obs
 
-    assert main(["obs", "--fast", "--requests", "2"]) == 0
+    assert main(["obs", "--fast", "--requests", "2", "--no-store"]) == 0
     capsys.readouterr()
     assert not obs.enabled()
+
+
+def test_obs_store_history_survives_restart(tmp_path, capsys):
+    store_dir = str(tmp_path / "telemetry")
+    for _ in range(2):  # two separate "process" runs
+        assert main([
+            "obs", "--fast", "--requests", "3", "--store", store_dir,
+        ]) == 0
+    capsys.readouterr()
+    # Fresh invocation only reads the store — no workload.
+    assert main(["obs", "--fast", "--history", "--store", store_dir]) == 0
+    out = capsys.readouterr().out
+    assert "period start (UTC)" in out
+    assert " 6 " in out  # both runs' requests in one period row
+
+
+def test_obs_compact_then_history_unchanged(tmp_path, capsys):
+    store_dir = str(tmp_path / "telemetry")
+    assert main([
+        "obs", "--fast", "--requests", "4", "--store", store_dir,
+    ]) == 0
+    capsys.readouterr()
+    assert main(["obs", "--history", "--store", store_dir]) == 0
+    before = capsys.readouterr().out
+    assert main(["obs", "--compact", "--history", "--store", store_dir]) == 0
+    after = capsys.readouterr().out
+    assert "compacted" in after
+    assert before.strip() in after  # same trend rows post-compaction
+
+
+def test_obs_history_requires_store(capsys):
+    assert main(["obs", "--history", "--no-store"]) == 1
+
+
+def test_quality_clean_control_stays_ok(capsys):
+    code = main(["quality", "--fast", "--scenario", "clean", "--no-store"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "quality: OK" in out
+    assert "canary: pass" in out
+
+
+def test_quality_shifted_scenario_alerts(capsys):
+    code = main(["quality", "--fast", "--scenario", "shifted", "--no-store"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "quality: ALERT" in out
+    assert "health status: CRITICAL" in out
+    assert "power_mean" in out
+
+
+def test_quality_perturbed_checkpoint_fails_canary(capsys):
+    code = main([
+        "quality", "--fast", "--scenario", "clean",
+        "--perturb-checkpoint", "--no-store",
+    ])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "canary: FAIL" in out
+
+
+def test_quality_json_output(capsys):
+    import json
+
+    code = main([
+        "quality", "--fast", "--scenario", "clean", "--json", "--no-store",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = json.loads(out)
+    assert payload["status"]["overall"] == "ok"
+    assert "kettle" in payload["appliances"]
+
+
+def test_quality_leaves_monitor_uninstalled(capsys):
+    from repro import quality
+
+    main(["quality", "--fast", "--scenario", "clean", "--no-store"])
+    capsys.readouterr()
+    assert quality.monitor() is None
+
+
+def test_faultcheck_prints_health_status(capsys):
+    assert main(["faultcheck", "--fast", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "health status:" in out

@@ -12,5 +12,6 @@ def clean_obs_state():
     obs.set_verbose(False)
     obs.set_quiet(False)
     obs.log.set_stream(None)
+    obs.set_store(None)
     obs.reset()
     obs.registry.clear()

@@ -202,6 +202,74 @@ def test_request_workload_exposition_parses():
     assert outcomes == {"ok": 1.0, "error": 1.0}
 
 
+# -- SLO gauges ------------------------------------------------------------
+
+
+def _slo_snapshot(**records):
+    """Build a real SloTracker snapshot from outcome -> seconds lists."""
+    from repro.obs.slo import SloTracker
+
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+    for outcome, durations in records.items():
+        for duration in durations:
+            tracker.record(duration, outcome)
+    return tracker.snapshot()
+
+
+def test_slo_gauges_are_appended_and_parse():
+    snapshot = _slo_snapshot(ok=[0.010, 0.020, 0.500])
+    metrics = parse_openmetrics(to_openmetrics({}, slo=snapshot))
+    for suffix in ("requests", "attainment", "burn_rate", "objective_ms"):
+        family = metrics[f"devicescope_slo_{suffix}"]
+        assert family["type"] == "gauge"
+        assert len(family["samples"]) == 1
+    assert metrics["devicescope_slo_requests"]["samples"][0][2] == 3.0
+    assert metrics["devicescope_slo_attainment"]["samples"][0][2] == (
+        pytest.approx(2 / 3)
+    )
+    assert metrics["devicescope_slo_objective_ms"]["samples"][0][2] == 100.0
+    quantiles = {
+        labels["quantile"]: value
+        for _, labels, value in metrics["devicescope_slo_latency_ms"]["samples"]
+    }
+    assert set(quantiles) == {"0.5", "0.95", "0.99"}
+    assert quantiles["0.5"] <= quantiles["0.95"] <= quantiles["0.99"]
+
+
+def test_slo_gauges_skip_nan_series_when_empty():
+    """An idle tracker exports only requests/objective — never NaN gauges
+    that would trip strict scrapers."""
+    text = to_openmetrics({}, slo=_slo_snapshot())
+    metrics = parse_openmetrics(text)
+    assert metrics["devicescope_slo_requests"]["samples"][0][2] == 0.0
+    assert "devicescope_slo_objective_ms" in metrics
+    assert "devicescope_slo_attainment" not in metrics
+    assert "devicescope_slo_burn_rate" not in metrics
+    assert "devicescope_slo_latency_ms" not in metrics
+    assert "NaN" not in text
+
+
+def test_slo_gauges_ride_alongside_registry_metrics():
+    obs.enable()
+    obs.registry.counter("app.clicks", help="UI clicks").inc()
+    text = to_openmetrics(
+        obs.registry.snapshot(), slo=_slo_snapshot(ok=[0.010])
+    )
+    metrics = parse_openmetrics(text)
+    assert "app_clicks" in metrics
+    assert "devicescope_slo_attainment" in metrics
+    # Registry families first, SLO gauges appended before # EOF.
+    assert text.index("app_clicks") < text.index("devicescope_slo_requests")
+
+
+def test_omitting_slo_changes_nothing():
+    obs.enable()
+    obs.registry.counter("c").inc()
+    snapshot = obs.registry.snapshot()
+    assert to_openmetrics(snapshot) == to_openmetrics(snapshot, slo=None)
+    assert "devicescope_slo" not in to_openmetrics(snapshot)
+
+
 # -- Chrome trace ----------------------------------------------------------
 
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro import obs
-from repro.obs.slo import SloTracker
+from repro.obs.slo import SloTracker, health_level
 
 
 def test_empty_snapshot_is_nan_but_healthy():
@@ -118,6 +118,105 @@ def test_health_endpoint_includes_slo_rollup():
     assert health["slo"]["count"] == 1
     assert health["slo"]["outcomes"] == {"ok": 1}
     assert "cache" in health and "robust" in health
+    # One good request, no robust faults, no quality monitor installed.
+    assert health["status"] == "ok"
+    assert "quality" not in health
+
+
+class TestHealthLevel:
+    """health_level: the SLO input to the top-level status."""
+
+    def test_no_data_is_ok(self):
+        assert health_level(SloTracker().snapshot()) == "ok"
+
+    def test_healthy_traffic_is_ok(self):
+        tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+        for _ in range(20):
+            tracker.record(0.010, "ok")
+        assert health_level(tracker.snapshot()) == "ok"
+
+    def test_breached_objective_is_degraded(self):
+        tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+        for _ in range(17):
+            tracker.record(0.010, "ok")
+        for _ in range(3):
+            tracker.record(0.500, "ok")  # slow: 15% bad vs 10% budget
+        snap = tracker.snapshot()
+        assert 1.0 <= snap["burn_rate"] < 2.0
+        assert health_level(snap) == "degraded"
+
+    def test_fast_burn_is_critical(self):
+        tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+        for _ in range(3):
+            tracker.record(0.010, "ok")
+        for _ in range(2):
+            tracker.record(0.010, "error")  # 40% bad = 4x budget burn
+        snap = tracker.snapshot()
+        assert snap["burn_rate"] >= 2.0
+        assert health_level(snap) == "critical"
+
+
+class TestDeriveStatus:
+    """derive_status: robust + SLO + quality collapse to one level."""
+
+    @staticmethod
+    def _counter(name, value):
+        return {name: {"type": "counter", "series": [{"value": value}]}}
+
+    def test_everything_quiet_is_ok(self):
+        from repro.app.session import derive_status
+
+        assert derive_status({}, SloTracker().snapshot()) == "ok"
+
+    def test_repairs_alone_stay_ok(self):
+        from repro.app.session import derive_status
+
+        robust = self._counter("robust.windows_repaired_total", 12)
+        assert derive_status(robust, SloTracker().snapshot()) == "ok"
+
+    def test_degrade_and_reject_counters_mark_degraded(self):
+        from repro.app.session import derive_status
+
+        empty_slo = SloTracker().snapshot()
+        for name in (
+            "robust.windows_degraded_total",
+            "robust.inputs_rejected_total",
+        ):
+            assert derive_status(self._counter(name, 1), empty_slo) == "degraded"
+        # Declared but never incremented does not degrade.
+        assert derive_status(self._counter(name, 0), empty_slo) == "ok"
+
+    def test_quality_warn_degrades_and_alert_is_critical(self):
+        from repro.app.session import derive_status
+
+        empty_slo = SloTracker().snapshot()
+        assert derive_status({}, empty_slo, {"overall": "warn"}) == "degraded"
+        assert derive_status({}, empty_slo, {"overall": "alert"}) == "critical"
+        assert derive_status({}, empty_slo, {"overall": "ok"}) == "ok"
+
+    def test_worst_section_wins(self):
+        from repro.app.session import derive_status
+
+        tracker = SloTracker(objective_ms=100.0, error_budget=0.1)
+        for _ in range(17):
+            tracker.record(0.010, "ok")
+        for _ in range(3):
+            tracker.record(0.500, "ok")  # slow-burn: degraded on its own
+        robust = self._counter("robust.windows_degraded_total", 1)
+        status = derive_status(robust, tracker.snapshot(), {"overall": "alert"})
+        assert status == "critical"
+
+    def test_installed_quality_monitor_feeds_health(self):
+        from repro import quality
+        from repro.app.session import derive_status
+        from repro.quality import QualityMonitor
+
+        monitor = quality.install(QualityMonitor())
+        try:
+            status = quality.monitor().status()
+            assert derive_status({}, SloTracker().snapshot(), status) == "ok"
+        finally:
+            quality.uninstall()
 
 
 def test_format_slo_renders_both_states():

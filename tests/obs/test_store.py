@@ -1,0 +1,244 @@
+"""Telemetry store: segments, rotation, crash safety, rollups, history."""
+
+import json
+import math
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.obs.store import (
+    DEFAULT_STORE_DIR,
+    LATENCY_EDGES_MS,
+    TelemetryStore,
+    _bucket_quantile,
+)
+
+
+_OPEN_STORES = []
+
+
+def make_store(tmp_path, **kwargs):
+    kwargs.setdefault("objective_ms", 250.0)
+    store = TelemetryStore(tmp_path / "telemetry", **kwargs)
+    _OPEN_STORES.append(store)
+    return store
+
+
+@pytest.fixture(autouse=True)
+def _close_stores():
+    """Seal every store a test opened — ``-W error`` turns leaked file
+    handles into failures."""
+    yield
+    while _OPEN_STORES:
+        try:
+            _OPEN_STORES.pop().close()
+        except OSError:
+            pass
+
+
+def crash(store):
+    """Simulate the process dying mid-run: the OS reclaims the fd but
+    nothing seals the active segment."""
+    if store._handle is not None:
+        store._handle.close()
+        store._handle = None
+        store._active_path = None
+
+
+def drive(store, n, kind="view", outcome="ok", duration_s=0.01, t0=0.0):
+    for i in range(n):
+        store.record_request(
+            request_id=f"r{i}",
+            kind=kind,
+            duration_s=duration_s,
+            outcome=outcome,
+            ts=t0 + i,
+        )
+
+
+class TestAppendAndRead:
+    def test_records_round_trip(self, tmp_path):
+        store = make_store(tmp_path)
+        drive(store, 5)
+        records = store.records()
+        assert len(records) == 5
+        assert records[0]["request_id"] == "r0"
+        assert records[0]["duration_ms"] == pytest.approx(10.0)
+
+    def test_rotation_seals_segments(self, tmp_path):
+        store = make_store(tmp_path, max_segment_bytes=200)
+        drive(store, 12)
+        scan = store.scan()
+        assert scan["sealed_segments"] >= 2
+        assert len(store.records()) == 12
+
+    def test_close_seals_active_segment(self, tmp_path):
+        store = make_store(tmp_path)
+        drive(store, 3)
+        store.close()
+        names = os.listdir(tmp_path / "telemetry")
+        assert not any(name.endswith(".open.jsonl") for name in names)
+
+    def test_reader_skips_torn_tail(self, tmp_path):
+        store = make_store(tmp_path)
+        drive(store, 4)
+        store.close()
+        path = next(
+            (tmp_path / "telemetry").glob("segment-*.jsonl")
+        )
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"request_id": "torn", "dura')  # crash mid-append
+        records, skipped = TelemetryStore.read_segment(path)
+        assert len(records) == 4
+        assert skipped == 1
+
+    def test_orphan_open_segment_recovered(self, tmp_path):
+        store = make_store(tmp_path)
+        drive(store, 2)
+        crash(store)  # no close(): the .open segment is orphaned
+        reopened = make_store(tmp_path)
+        assert len(reopened.records()) == 2
+        scan = reopened.scan()
+        assert scan["sealed_segments"] == 1  # the orphan, sealed on init
+        assert scan["torn_records"] == 0
+
+
+class TestRollups:
+    def test_compact_folds_sealed_segments(self, tmp_path):
+        store = make_store(tmp_path, max_segment_bytes=150, period_s=3600.0)
+        drive(store, 10, t0=0.0)
+        before = store.history()
+        result = store.compact()
+        assert result["segments_compacted"] >= 1
+        after = store.history()
+        assert [row["count"] for row in after] == [
+            row["count"] for row in before
+        ]
+        rollups = list((tmp_path / "telemetry" / "rollups").glob("*.json"))
+        assert rollups
+
+    def test_history_merges_rollups_and_segments(self, tmp_path):
+        store = make_store(tmp_path, max_segment_bytes=150, period_s=100.0)
+        drive(store, 6, t0=0.0)
+        store.compact()
+        drive(store, 4, t0=50.0)  # same period, not yet compacted
+        rows = store.history()
+        assert rows[0]["count"] == 10
+
+    def test_history_attainment_and_quantiles(self, tmp_path):
+        store = make_store(tmp_path, period_s=3600.0)
+        drive(store, 8, duration_s=0.01, outcome="ok")
+        drive(store, 2, duration_s=0.9, outcome="error")
+        (row,) = store.history()
+        assert row["attainment"] == pytest.approx(0.8)
+        assert row["outcomes"] == {"ok": 8, "error": 2}
+        assert row["p50_ms"] <= row["p99_ms"]
+
+    def test_history_survives_reopen(self, tmp_path):
+        store = make_store(tmp_path)
+        drive(store, 5)
+        store.close()
+        reopened = make_store(tmp_path)
+        (row,) = reopened.history()
+        assert row["count"] == 5
+
+    def test_compact_is_idempotent(self, tmp_path):
+        store = make_store(tmp_path, max_segment_bytes=150)
+        drive(store, 10)
+        store.compact()
+        again = store.compact()
+        assert again["segments_compacted"] == 0
+        (row,) = store.history()
+        assert row["count"] == 10
+
+    def test_history_limit(self, tmp_path):
+        store = make_store(tmp_path, period_s=10.0)
+        drive(store, 6, t0=0.0)  # 6 periods (one record per 1s... same)
+        for i in range(3):
+            store.record_request(
+                request_id=f"p{i}", kind="view", duration_s=0.01,
+                outcome="ok", ts=i * 10.0,
+            )
+        rows = store.history(limit=2)
+        assert len(rows) == 2
+
+
+class TestRequestScopeFlush:
+    def test_request_scope_flushes_summary(self, tmp_path):
+        store = make_store(tmp_path)
+        obs.set_store(store)
+        obs.enable()
+        with obs.request(kind="view"):
+            pass
+        records = store.records()
+        assert len(records) == 1
+        assert records[0]["kind"] == "view"
+        assert records[0]["outcome"] == "ok"
+
+    def test_store_errors_do_not_break_requests(self, tmp_path, monkeypatch):
+        store = make_store(tmp_path)
+        obs.set_store(store)
+        obs.enable()
+
+        def boom(**kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "record_request", boom)
+        with obs.request(kind="view"):
+            pass  # must not raise
+        snapshot = obs.registry.snapshot()
+        assert "obs.store_append_failures_total" in snapshot
+
+    def test_no_store_installed_is_a_noop(self):
+        obs.set_store(None)
+        obs.enable()
+        with obs.request(kind="view"):
+            pass  # nothing to assert beyond "does not raise"
+
+
+class TestBucketQuantile:
+    def test_empty_is_nan(self):
+        counts = [0] * (len(LATENCY_EDGES_MS) + 1)
+        assert math.isnan(_bucket_quantile(LATENCY_EDGES_MS, counts, 0.5))
+
+    def test_single_bucket(self):
+        counts = [0] * (len(LATENCY_EDGES_MS) + 1)
+        counts[3] = 10
+        q = _bucket_quantile(LATENCY_EDGES_MS, counts, 0.5)
+        assert q == pytest.approx(LATENCY_EDGES_MS[3])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_records=st.integers(min_value=1, max_value=30),
+    cut=st.integers(min_value=0, max_value=200),
+)
+def test_property_torn_tail_never_breaks_reader(tmp_path_factory, n_records, cut):
+    """Kill the process mid-append anywhere: the reader returns every
+    complete record and never raises."""
+    root = tmp_path_factory.mktemp("torn")
+    store = TelemetryStore(root, objective_ms=250.0)
+    drive(store, n_records)
+    store.close()
+    path = next(root.glob("segment-*.jsonl"))
+    payload = json.dumps(
+        {"request_id": "next", "kind": "view", "duration_ms": 1.0,
+         "outcome": "ok", "ts": 0.0}
+    ) + "\n"
+    written = min(cut, len(payload))
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(payload[:written])  # torn write
+    records, skipped = TelemetryStore.read_segment(path)
+    # The record survives iff its full JSON body landed (the trailing
+    # newline is optional); any shorter prefix is skipped, not raised.
+    complete = written >= len(payload) - 1
+    torn = 0 < written < len(payload) - 1
+    assert len(records) == n_records + (1 if complete else 0)
+    assert skipped == (1 if torn else 0)
+
+
+def test_default_store_dir_constant():
+    assert DEFAULT_STORE_DIR == ".devicescope_telemetry"

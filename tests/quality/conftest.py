@@ -1,0 +1,67 @@
+"""Quality tests leave the global monitor and obs state pristine."""
+
+import numpy as np
+import pytest
+
+from repro import obs, quality
+
+
+@pytest.fixture(autouse=True)
+def clean_quality_state():
+    yield
+    quality.uninstall()
+    obs.disable()
+    obs.set_store(None)
+    obs.reset()
+    obs.registry.clear()
+
+
+class FakeResult:
+    """Duck-typed CamALResult for monitor/profile tests."""
+
+    def __init__(self, probabilities, status, repaired=None, degraded=None):
+        self.probabilities = np.asarray(probabilities, dtype=np.float64)
+        self.detected = self.probabilities > 0.5
+        self.status = np.asarray(status, dtype=np.float64)
+        n = self.probabilities.shape[0]
+        self.repaired = (
+            np.zeros(n, bool) if repaired is None else np.asarray(repaired)
+        )
+        self.degraded = (
+            np.zeros(n, bool) if degraded is None else np.asarray(degraded)
+        )
+
+
+class FakeModel:
+    """Deterministic localize_watts stand-in.
+
+    Probability is a squashed function of mean window power, so input
+    shifts visibly move the output distribution; ``offset`` models a
+    changed checkpoint.
+    """
+
+    def __init__(self, offset=0.0, duty=0.3):
+        self.offset = float(offset)
+        self.duty = float(duty)
+
+    def localize_watts(self, watts, appliance=None):
+        watts = np.asarray(watts, dtype=np.float64)
+        power = np.nan_to_num(watts, nan=0.0).mean(axis=1)
+        probabilities = np.clip(power / (power + 500.0) + self.offset, 0, 1)
+        t = watts.shape[1]
+        on = max(int(self.duty * t), 1)
+        status = np.zeros_like(watts)
+        status[:, :on] = (probabilities > 0.5)[:, None]
+        result = FakeResult(probabilities, status)
+        quality.observe(appliance, watts, result)
+        return result
+
+
+@pytest.fixture
+def fake_model():
+    return FakeModel()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

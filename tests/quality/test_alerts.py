@@ -1,0 +1,116 @@
+"""Alert state machine: hysteresis, cooldown, gradual de-escalation."""
+
+import pytest
+
+from repro.quality import AlertStateMachine
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def machine(clock, **kwargs):
+    kwargs.setdefault("escalate_after", 2)
+    kwargs.setdefault("clear_after", 2)
+    kwargs.setdefault("cooldown_s", 60.0)
+    return AlertStateMachine(clock=clock, name="kettle", **kwargs)
+
+
+class TestEscalation:
+    def test_single_spike_does_not_escalate(self, clock):
+        m = machine(clock)
+        assert m.observe("alert") == "ok"
+        assert m.observe("ok") == "ok"
+        assert m.observe("alert") == "ok"  # streak was broken
+
+    def test_consecutive_observations_escalate(self, clock):
+        m = machine(clock)
+        m.observe("alert")
+        assert m.observe("alert") == "alert"
+
+    def test_mixed_streak_escalates_to_mildest(self, clock):
+        # warn+alert both support at least warn — not alert.
+        m = machine(clock)
+        m.observe("alert")
+        assert m.observe("warn") == "warn"
+
+    def test_warn_then_alert_two_stage(self, clock):
+        m = machine(clock)
+        m.observe("warn")
+        assert m.observe("warn") == "warn"
+        m.observe("alert")
+        assert m.observe("alert") == "alert"
+
+
+class TestClearing:
+    def test_clear_requires_streak_and_cooldown(self, clock):
+        m = machine(clock)
+        m.observe("alert")
+        m.observe("alert")
+        assert m.state == "alert"
+        m.observe("ok")
+        assert m.observe("ok") == "alert"  # cooldown not elapsed
+        clock.advance(61.0)
+        m.observe("ok")
+        assert m.observe("ok") == "ok"
+
+    def test_gradual_deescalation(self, clock):
+        m = machine(clock, cooldown_s=0.0)
+        m.observe("alert")
+        m.observe("alert")
+        m.observe("warn")
+        assert m.observe("warn") == "warn"  # alert -> warn, not ok
+        m.observe("ok")
+        assert m.observe("ok") == "ok"
+
+    def test_flapping_parks_at_worst_level(self, clock):
+        m = machine(clock, cooldown_s=0.0)
+        m.observe("alert")
+        m.observe("alert")
+        for _ in range(6):  # alternating never builds a clear streak
+            m.observe("ok")
+            m.observe("alert")
+        assert m.state == "alert"
+
+
+class TestBookkeeping:
+    def test_snapshot(self, clock):
+        m = machine(clock)
+        m.observe("alert")
+        m.observe("alert")
+        snapshot = m.snapshot()
+        assert snapshot["state"] == "alert"
+        assert snapshot["observed"] == 2
+        assert snapshot["transitions"] == 1
+        assert snapshot["last_transition"]["to"] == "alert"
+
+    def test_reset(self, clock):
+        m = machine(clock)
+        m.observe("alert")
+        m.observe("alert")
+        m.reset()
+        assert m.state == "ok"
+        assert m.observed == 0
+        assert m.snapshot()["transitions"] == 0
+
+    def test_unknown_level_raises(self, clock):
+        with pytest.raises(ValueError):
+            machine(clock).observe("meltdown")
+
+    def test_validation(self, clock):
+        with pytest.raises(ValueError):
+            AlertStateMachine(escalate_after=0, clock=clock)
+        with pytest.raises(ValueError):
+            AlertStateMachine(cooldown_s=-1.0, clock=clock)

@@ -1,0 +1,84 @@
+"""Canary probes: capture, pass on same model, fail on changed model."""
+
+import numpy as np
+import pytest
+
+from repro.quality import CanaryProbe
+
+from .conftest import FakeModel
+
+
+@pytest.fixture
+def windows(rng):
+    return rng.uniform(100.0, 2000.0, (8, 64))
+
+
+class TestCapture:
+    def test_capture_then_run_same_model_passes(self, windows):
+        model = FakeModel()
+        probe = CanaryProbe.capture(model, windows)
+        result = probe.run(model)
+        assert result.passed
+        assert result.level == "ok"
+        assert result.max_probability_delta == pytest.approx(0.0)
+        assert result.detected_mismatches == 0
+        assert result.min_status_agreement == pytest.approx(1.0)
+
+    def test_rejects_nan_windows(self, windows):
+        windows[0, 0] = np.nan
+        with pytest.raises(ValueError, match="clean"):
+            CanaryProbe(
+                windows,
+                np.full(8, 0.5),
+                np.zeros(8, bool),
+                np.zeros_like(windows),
+            )
+
+    def test_rejects_misaligned_expectations(self, windows):
+        with pytest.raises(ValueError, match="align"):
+            CanaryProbe(
+                windows,
+                np.full(3, 0.5),  # wrong length
+                np.zeros(8, bool),
+                np.zeros_like(windows),
+            )
+
+
+class TestDetection:
+    def test_perturbed_checkpoint_fails(self, windows):
+        probe = CanaryProbe.capture(FakeModel(), windows)
+        result = probe.run(FakeModel(offset=0.3))
+        assert not result.passed
+        assert result.level == "alert"
+        assert result.max_probability_delta > 0.02
+
+    def test_probability_tolerance_is_honored(self, windows):
+        probe = CanaryProbe.capture(
+            FakeModel(), windows, probability_tolerance=0.5
+        )
+        result = probe.run(FakeModel(offset=0.1))
+        # within the loose tolerance and detection flips may still fail it
+        assert result.max_probability_delta <= 0.5 or not result.passed
+
+    def test_status_shift_fails(self, windows):
+        probe = CanaryProbe.capture(FakeModel(duty=0.3), windows)
+        result = probe.run(FakeModel(duty=0.8))
+        assert not result.passed
+        assert result.min_status_agreement < 1.0
+
+
+class TestPersistence:
+    def test_json_round_trip(self, tmp_path, windows):
+        model = FakeModel()
+        probe = CanaryProbe.capture(model, windows)
+        path = tmp_path / "canary.json"
+        probe.save(path)
+        clone = CanaryProbe.load(path)
+        assert clone.run(model).passed
+        assert not clone.run(FakeModel(offset=0.4)).passed
+
+    def test_result_to_dict(self, windows):
+        result = CanaryProbe.capture(FakeModel(), windows).run(FakeModel())
+        payload = result.to_dict()
+        assert payload["passed"] is True
+        assert payload["n_windows"] == 8

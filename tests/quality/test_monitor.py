@@ -1,0 +1,155 @@
+"""QualityMonitor: the end-to-end drift acceptance scenario."""
+
+import numpy as np
+import pytest
+
+from repro import quality
+from repro.quality import CanaryProbe, QualityMonitor, format_report
+
+from .conftest import FakeModel
+
+
+@pytest.fixture
+def clean_windows(rng):
+    return rng.uniform(100.0, 2000.0, (96, 64))
+
+
+def make_monitor():
+    return QualityMonitor(
+        escalate_after=2, clear_after=2, cooldown_s=0.0, clock=lambda: 0.0
+    )
+
+
+def drive(model, monitor, appliance, windows, batches=3):
+    for batch in np.array_split(windows, batches):
+        model.localize_watts(batch, appliance=appliance)
+        monitor.evaluate()
+
+
+class TestHookApi:
+    def test_observe_requires_installed_monitor(self, clean_windows):
+        # no monitor installed: attributed calls are silently dropped
+        FakeModel().localize_watts(clean_windows[:4], appliance="kettle")
+
+    def test_unattributed_calls_not_counted(self, clean_windows):
+        monitor = quality.install(make_monitor())
+        FakeModel().localize_watts(clean_windows[:4])  # no appliance
+        assert monitor.live_profile("kettle").windows == 0
+
+    def test_attributed_calls_feed_live_profile(self, clean_windows):
+        monitor = quality.install(make_monitor())
+        FakeModel().localize_watts(clean_windows[:4], appliance="kettle")
+        assert monitor.live_profile("kettle").windows == 4
+
+    def test_install_rejects_non_monitor(self):
+        with pytest.raises(TypeError):
+            quality.install(object())
+
+    def test_live_window_bounds_memory(self, clean_windows):
+        monitor = quality.install(QualityMonitor(live_window=8))
+        FakeModel().localize_watts(clean_windows[:32], appliance="kettle")
+        assert monitor.live_profile("kettle").windows == 8
+
+
+class TestDriftScenario:
+    def test_clean_control_stays_ok(self, clean_windows):
+        """Acceptance: unshifted control traffic must not alert."""
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        drive(model, monitor, "kettle", clean_windows[1::2])
+        assert monitor.status() == {
+            "overall": "ok",
+            "appliances": {"kettle": "ok"},
+        }
+
+    def test_shifted_traffic_alerts(self, clean_windows, rng):
+        """Acceptance: shifted mix + degraded sampling flips to alert."""
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        shifted = clean_windows[1::2] * 0.05  # collapsed power scale
+        shifted[:, :10] = np.nan  # degraded sampling
+        drive(model, monitor, "kettle", shifted)
+        assert monitor.status()["overall"] == "alert"
+        drift = monitor.report()["appliances"]["kettle"]["drift"]
+        assert drift["level"] == "alert"
+        alerted = {
+            f["feature"] for f in drift["features"] if f["level"] == "alert"
+        }
+        assert "power_mean" in alerted
+
+    def test_recovery_after_clean_traffic_returns(self, clean_windows):
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        shifted = clean_windows[1::2] * 0.05
+        drive(model, monitor, "kettle", shifted)
+        assert monitor.status()["overall"] == "alert"
+        monitor.reset_live("kettle")
+        drive(model, monitor, "kettle", clean_windows[1::2], batches=4)
+        assert monitor.status()["overall"] == "ok"
+
+    def test_insufficient_live_data_never_alerts(self, clean_windows):
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        model.localize_watts(
+            clean_windows[1::2][:4] * 0.05, appliance="kettle"
+        )
+        monitor.evaluate()
+        monitor.evaluate()
+        assert monitor.status()["overall"] == "ok"
+        drift = monitor.report()["appliances"]["kettle"]["drift"]
+        assert drift["insufficient"]
+
+
+class TestCanaryIntegration:
+    def test_canary_failure_drives_alert(self, clean_windows):
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        monitor.add_canary(
+            "kettle", CanaryProbe.capture(model, clean_windows[:8])
+        )
+        # clean live traffic, but the serving model changed underneath
+        changed = FakeModel(offset=0.3)
+        drive(changed, monitor, "kettle", clean_windows[1::2])
+        monitor.evaluate({"kettle": changed})
+        monitor.evaluate({"kettle": changed})
+        assert monitor.status()["overall"] == "alert"
+        canary = monitor.report()["appliances"]["kettle"]["canary"]
+        assert canary["passed"] is False
+
+    def test_canary_pass_keeps_ok(self, clean_windows):
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        monitor.add_canary(
+            "kettle", CanaryProbe.capture(model, clean_windows[:8])
+        )
+        drive(model, monitor, "kettle", clean_windows[1::2])
+        monitor.evaluate({"kettle": model})
+        assert monitor.status()["overall"] == "ok"
+
+
+class TestReporting:
+    def test_report_and_format(self, clean_windows):
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        drive(model, monitor, "kettle", clean_windows[1::2])
+        report = monitor.report()
+        text = format_report(report)
+        assert "kettle" in text
+        assert "drift" in text
+        assert "windows: live=" in text
+
+    def test_report_is_json_safe(self, clean_windows):
+        import json
+
+        model = FakeModel()
+        monitor = quality.install(make_monitor())
+        monitor.build_reference("kettle", model, clean_windows[::2])
+        drive(model, monitor, "kettle", clean_windows[1::2])
+        json.dumps(monitor.report(), default=float)

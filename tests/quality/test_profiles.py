@@ -1,0 +1,127 @@
+"""DistTracker / WindowObservation / ApplianceProfile unit tests."""
+
+import numpy as np
+import pytest
+
+from repro.quality import (
+    ApplianceProfile,
+    DistTracker,
+    WindowObservation,
+    observations_from_result,
+)
+from repro.quality.profiles import PROBABILITY_EDGES
+
+from .conftest import FakeResult
+
+
+def make_observation(**overrides):
+    base = dict(
+        probability=0.8,
+        detected=True,
+        on_fraction=0.25,
+        power_mean=300.0,
+        nan_fraction=0.0,
+        clipped_fraction=0.0,
+        repaired=False,
+        degraded=False,
+    )
+    base.update(overrides)
+    return WindowObservation(**base)
+
+
+class TestDistTracker:
+    def test_bucketing_convention(self):
+        tracker = DistTracker((1.0, 2.0))
+        tracker.observe_many([0.5, 1.0, 1.5, 2.0, 99.0])
+        # v <= edge goes into that edge's bucket; above-last is overflow
+        assert tracker.counts.tolist() == [2, 2, 1]
+        assert tracker.count == 5
+
+    def test_non_finite_values_ignored(self):
+        tracker = DistTracker((1.0,))
+        tracker.observe_many([np.nan, np.inf, 0.5])
+        assert tracker.count == 1
+
+    def test_mean_and_proportions(self):
+        tracker = DistTracker((1.0, 2.0))
+        assert np.isnan(tracker.mean)
+        assert tracker.proportions().sum() == 0.0
+        tracker.observe_many([0.5, 1.5])
+        assert tracker.mean == pytest.approx(1.0)
+        assert tracker.proportions().sum() == pytest.approx(1.0)
+
+    def test_round_trip(self):
+        tracker = DistTracker(PROBABILITY_EDGES)
+        tracker.observe_many([0.1, 0.5, 0.95])
+        clone = DistTracker.from_dict(tracker.to_dict())
+        assert clone.counts.tolist() == tracker.counts.tolist()
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            DistTracker((2.0, 1.0))
+        with pytest.raises(ValueError):
+            DistTracker(())
+
+
+class TestObservationsFromResult:
+    def test_reduces_batch(self):
+        watts = np.array([[100.0, 200.0, np.nan, -5.0]])
+        result = FakeResult([0.9], [[1.0, 1.0, 0.0, 0.0]])
+        (observation,) = observations_from_result(watts, result)
+        assert observation.probability == pytest.approx(0.9)
+        assert observation.detected
+        assert observation.on_fraction == pytest.approx(0.5)
+        assert observation.nan_fraction == pytest.approx(0.25)
+        # NaN samples compare not-negative: clip counts 1 of 4
+        assert observation.clipped_fraction == pytest.approx(0.25)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            observations_from_result(
+                np.zeros(4), FakeResult([0.5], [[0.0]])
+            )
+
+
+class TestApplianceProfile:
+    def test_rates(self):
+        profile = ApplianceProfile("kettle")
+        profile.observe(make_observation(detected=True))
+        profile.observe(
+            make_observation(detected=False, degraded=True, nan_fraction=0.5)
+        )
+        assert profile.windows == 2
+        assert profile.detection_rate == pytest.approx(0.5)
+        assert profile.degraded_rate == pytest.approx(0.5)
+        assert profile.nan_rate == pytest.approx(0.25)
+
+    def test_empty_rates_are_nan(self):
+        profile = ApplianceProfile("kettle")
+        assert np.isnan(profile.detection_rate)
+        assert np.isnan(profile.nan_rate)
+
+    def test_degraded_windows_excluded_from_on_fraction(self):
+        profile = ApplianceProfile("kettle")
+        profile.observe(make_observation(on_fraction=0.4))
+        profile.observe(make_observation(on_fraction=0.0, degraded=True))
+        assert profile.on_fraction.count == 1
+
+    def test_json_round_trip(self, tmp_path):
+        profile = ApplianceProfile("kettle")
+        for p in (0.2, 0.6, 0.9):
+            profile.observe(make_observation(probability=p))
+        path = tmp_path / "reference.json"
+        profile.save(path)
+        clone = ApplianceProfile.load(path)
+        assert clone.appliance == "kettle"
+        assert clone.windows == 3
+        assert clone.probability.counts.tolist() == (
+            profile.probability.counts.tolist()
+        )
+        assert clone.detection_rate == profile.detection_rate
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        profile = ApplianceProfile("kettle")
+        profile.observe(make_observation())
+        json.dumps(profile.snapshot())
