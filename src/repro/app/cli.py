@@ -199,6 +199,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full quality report as JSON on stdout",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP service over the engine",
+    )
+    common(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port (0 picks an ephemeral one and prints it)",
+    )
+    serve.add_argument(
+        "--appliances", nargs="*", default=None,
+        choices=sorted(APPLIANCE_NAMES), metavar="APPLIANCE",
+        help="appliance models to serve (default: --appliance)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="fast-path member fan-out threads per ensemble sweep",
+    )
+    serve.add_argument(
+        "--objective-ms", type=float, default=250.0,
+        help="per-request latency objective for the SLO trackers",
+    )
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="boot on an ephemeral port, drive the CRUD→ingest→detect→"
+        "metrics→health scenario plus an induced-overload 503 check "
+        "over real HTTP, then exit 0/1 (the CI serve-smoke gate)",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="trace a representative CamAL workload (spans, layers, metrics)",
@@ -554,17 +584,12 @@ _WATCH_SLEEP = None  # None -> time.sleep
 
 
 def _derived_status() -> str:
-    """Process-wide health status from the obs/robust/quality state."""
-    from .. import obs, quality
-    from ..robust import metrics_snapshot
-    from .session import derive_status
+    """Process-wide health status — global obs/robust/quality state
+    plus any serve-layer per-tenant SLO trackers, so the CLI and a
+    running server's ``/health`` can never disagree."""
+    from .session import process_status
 
-    quality_monitor = quality.monitor()
-    return derive_status(
-        metrics_snapshot(),
-        obs.slo_tracker.snapshot(),
-        quality_monitor.status() if quality_monitor is not None else None,
-    )
+    return process_status()
 
 
 def _open_store(args):
@@ -782,6 +807,181 @@ def cmd_quality(args) -> int:
     return {"ok": 0, "warn": 1, "alert": 2}[overall]
 
 
+def _http_json(
+    url: str,
+    method: str = "GET",
+    body: dict | None = None,
+    tenant: str | None = None,
+    timeout: float = 30.0,
+):
+    """Tiny JSON client for the smoke scenario (stdlib only).
+
+    Returns ``(status, payload, headers)`` and treats HTTP error codes
+    as data, not exceptions — the smoke asserts on 503s.
+    """
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    data = None
+    req = urllib.request.Request(url, method=method)
+    if body is not None:
+        data = json_mod.dumps(body).encode("utf-8")
+        req.add_header("Content-Type", "application/json")
+    if tenant is not None:
+        req.add_header("X-Tenant-Id", tenant)
+    try:
+        with urllib.request.urlopen(req, data=data, timeout=timeout) as resp:
+            raw = resp.read()
+            status, headers = resp.status, dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        status, headers = err.code, dict(err.headers)
+    try:
+        payload = json_mod.loads(raw) if raw else {}
+    except json_mod.JSONDecodeError:
+        payload = {"raw": raw.decode("utf-8", "replace")}
+    return status, payload, headers
+
+
+def _serve_smoke(args, server) -> int:
+    """The CI serve-smoke scenario over a real socket (DESIGN.md §11):
+    CRUD → ingest → device attach → detect/localize (cache revisit) →
+    ``/metrics`` parseability → ``/health`` consistency with the CLI's
+    derived status → induced SLO burn answered with 503 + Retry-After
+    instead of a crash → tenant isolation."""
+    import urllib.request
+
+    from .. import obs
+    from .session import STATUS_LEVELS, process_status
+
+    checks: list[tuple[str, bool]] = []
+    ok = lambda label, passed: checks.append((label, bool(passed)))  # noqa: E731
+    rng = np.random.default_rng(args.seed)
+    watts = (rng.uniform(80, 240, size=256) + 40.0).tolist()
+    watts[60:72] = [2600.0] * 12  # one kettle-shaped spike
+    with server.running():
+        base = server.url
+        status, house, _ = _http_json(
+            f"{base}/houses", "POST",
+            {"house_id": "house-1", "step_s": 60.0}, tenant="smoke-a",
+        )
+        ok("POST /houses -> 201", status == 201)
+        status, listing, _ = _http_json(f"{base}/houses", tenant="smoke-a")
+        ok("GET /houses lists it", status == 200 and "house-1" in listing["houses"])
+        status, ingest, _ = _http_json(
+            f"{base}/houses/house-1/ingest", "POST", {"watts": watts},
+            tenant="smoke-a",
+        )
+        ok("POST ingest -> 200 with n_steps",
+           status == 200 and ingest.get("n_steps") == len(watts))
+        status, _, _ = _http_json(
+            f"{base}/houses/house-1/devices", "POST",
+            {"appliance": args.appliance}, tenant="smoke-a",
+        )
+        ok("POST devices (attach) -> 201", status == 201)
+        detect_body = {"appliance": args.appliance, "start": 0, "length": 128}
+        status, detect, _ = _http_json(
+            f"{base}/houses/house-1/detect", "POST", detect_body,
+            tenant="smoke-a",
+        )
+        ok("POST detect -> 200 with probability",
+           status == 200 and "probability" in detect
+           and detect.get("cached") is False)
+        status, localized, _ = _http_json(
+            f"{base}/houses/house-1/localize", "POST", detect_body,
+            tenant="smoke-a",
+        )
+        ok("POST localize -> 200 from cache with intervals",
+           status == 200 and localized.get("cached") is True
+           and isinstance(localized.get("intervals"), list))
+        with urllib.request.urlopen(f"{base}/metrics", timeout=30) as resp:
+            metrics_ok = resp.status == 200
+            content_type = resp.headers.get("Content-Type", "")
+            text = resp.read().decode("utf-8")
+        ok("GET /metrics is OpenMetrics",
+           metrics_ok
+           and content_type.startswith("application/openmetrics-text")
+           and text.endswith("# EOF\n")
+           and "obs_requests_total" in text)
+        status, health, _ = _http_json(f"{base}/health")
+        ok("GET /health -> 200 with status",
+           status == 200 and health.get("status") in STATUS_LEVELS)
+        ok("/health status matches the CLI's derived status",
+           health.get("status") == process_status())
+        # Induced overload: error the SLO window far past the fast-burn
+        # threshold; admission must answer 503 + Retry-After, while the
+        # operator endpoints keep working.
+        for _ in range(64):
+            obs.slo_tracker.record(10.0, outcome="error")
+        status, shed, headers = _http_json(
+            f"{base}/houses/house-1/detect", "POST", detect_body,
+            tenant="smoke-a",
+        )
+        ok("overload -> 503 (not a crash)", status == 503)
+        ok("503 carries Retry-After", "Retry-After" in headers)
+        status, health, _ = _http_json(f"{base}/health")
+        ok("/health still live while shedding",
+           status == 200 and health.get("shedding") is True)
+        ok("/health agrees with CLI under overload",
+           health.get("status") == process_status())
+        status, other, _ = _http_json(f"{base}/houses", tenant="smoke-b")
+        ok("tenants are isolated (smoke-b sees no houses)",
+           status in (200, 503) and other.get("houses", {}) == {})
+    failed = [label for label, passed in checks if not passed]
+    for label, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    print("serve-smoke: " + ("PASS" if not failed else "FAIL"))
+    return 0 if not failed else 1
+
+
+def cmd_serve(args) -> int:
+    """Run the multi-tenant HTTP service (DESIGN.md §11).
+
+    Builds a training-free model bank (seeded untrained ensembles —
+    the serving-shape workload; swap in trained models via
+    ``repro.serve.ModelBank.from_models``), enables observability, and
+    serves until interrupted. Ctrl-C drains in-flight requests before
+    releasing the port. ``--smoke`` runs the CI acceptance scenario on
+    an ephemeral port instead and exits 0/1.
+    """
+    from .. import obs
+    from ..serve import build_server
+
+    appliances = (
+        tuple(args.appliances) if args.appliances else (args.appliance,)
+    )
+    was_enabled = obs.enabled()
+    obs.enable()  # a blind server is undebuggable; telemetry is the point
+    previous_objective = obs.slo_tracker.objective_ms
+    obs.slo_tracker.objective_ms = args.objective_ms
+    server = build_server(
+        host=args.host,
+        port=0 if args.smoke else args.port,
+        appliances=appliances,
+        profile=args.profile,
+        seed=args.seed,
+        workers=args.workers,
+    )
+    try:
+        if args.smoke:
+            return _serve_smoke(args, server)
+        print(f"devicescope serve: listening on {server.url}")
+        print(f"  appliances: {', '.join(appliances)}")
+        print(f"  try: curl {server.url}/health")
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("\nshutting down (draining in-flight requests)")
+        finally:
+            server.server_close()
+        return 0
+    finally:
+        obs.slo_tracker.objective_ms = previous_objective
+        if not was_enabled:
+            obs.disable()
+
+
 def cmd_profile(args) -> int:
     """Trace a representative CamAL inference workload.
 
@@ -869,6 +1069,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": cmd_profile,
         "obs": cmd_obs,
         "quality": cmd_quality,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -17,7 +17,12 @@ from ..models import TrainConfig
 from .benchmark_frame import BenchmarkBrowser
 from .playground import Playground
 
-__all__ = ["DeviceScope", "derive_status", "STATUS_LEVELS"]
+__all__ = [
+    "DeviceScope",
+    "derive_status",
+    "process_status",
+    "STATUS_LEVELS",
+]
 
 #: Health vocabulary, mildest first.
 STATUS_LEVELS = ("ok", "degraded", "critical")
@@ -51,6 +56,39 @@ def derive_status(
             worst = max(worst, _STATUS_RANK["degraded"])
         elif overall == "alert":
             worst = max(worst, _STATUS_RANK["critical"])
+    return STATUS_LEVELS[worst]
+
+
+def process_status() -> str:
+    """Process-wide health from **every** signal source in one place.
+
+    Folds the global obs/robust/quality state *and* the serve layer's
+    per-tenant SLO trackers (when ``repro.serve`` sessions exist)
+    through :func:`derive_status`, taking the worst level. This is the
+    single source of truth shared by ``DeviceScope`` serving
+    (``/health``), ``devicescope obs --watch``, and ``devicescope
+    faultcheck`` — the PR 7 regression fix: before it, the CLI derived
+    health from the global registry only, so a tenant burning its own
+    SLO could report ``critical`` over HTTP while the CLI printed
+    ``OK``.
+    """
+    from .. import obs, quality
+    from ..robust import metrics_snapshot
+
+    quality_monitor = quality.monitor()
+    quality_status = (
+        quality_monitor.status() if quality_monitor is not None else None
+    )
+    worst = _STATUS_RANK[
+        derive_status(
+            metrics_snapshot(), obs.slo_tracker.snapshot(), quality_status
+        )
+    ]
+    from ..serve.tenancy import tenant_trackers
+
+    for _tenant_id, tracker in tenant_trackers():
+        level = derive_status({}, tracker.snapshot(), None)
+        worst = max(worst, _STATUS_RANK[level])
     return STATUS_LEVELS[worst]
 
 

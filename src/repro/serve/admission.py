@@ -1,0 +1,212 @@
+"""Admission control: shed load before the service melts down.
+
+The controller answers one question per request — *admit or shed?* —
+from two signals the earlier PRs already maintain:
+
+* **SLO burn rate** (:class:`repro.obs.SloTracker`): burning the error
+  budget at ``burn_shed`` (default 2.0, the fast-burn page threshold
+  :func:`repro.obs.health_level` also uses) or faster means the service
+  is failing users *now*; taking more traffic only deepens the hole.
+* **Model quality** (:mod:`repro.quality`): a ``critical`` quality
+  status means the answers themselves cannot be trusted — serving more
+  of them is worse than serving none.
+
+Shed requests are answered ``503 Service Unavailable`` with a
+``Retry-After`` header, counted in obs
+(``serve.admission_decisions_total{outcome="shed"}`` plus a log event),
+and **never** reach the result cache or the SLO window — a rejected
+request neither poisons the cache nor spends error budget it was never
+admitted to use.
+
+Hysteresis (shed → accept): the SLO window is count-based, so while
+everything is shed no new evidence arrives and the burn rate would stay
+pinned above the threshold forever. The controller therefore admits
+every ``probe_every``-th request as a **probe** while shedding; probes
+flow through the full path and refill the SLO window. Acceptance
+resumes only after ``accept_streak`` consecutive decisions observed the
+burn rate at or below ``burn_accept`` (< ``burn_shed``) with quality
+out of ``critical`` — one good probe does not reopen the floodgates.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from .. import obs
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """One admit-or-shed verdict."""
+
+    accepted: bool
+    reason: str  # ok | probe | slo_burn | quality_critical | recovering
+    retry_after_s: float = 0.0
+    probe: bool = False
+
+
+class AdmissionController:
+    """Burn-rate + quality driven load shedding with hysteresis.
+
+    Parameters
+    ----------
+    slo:
+        The tracker whose burn rate gates admission (default: the
+        process-wide ``obs.slo_tracker``).
+    quality_status:
+        Zero-arg callable returning ``ok``/``degraded``/``critical``
+        (default: the installed :class:`repro.quality.QualityMonitor`'s
+        overall status, ``ok`` when none is installed). ``critical``
+        sheds; ``degraded`` does not — degraded answers are still
+        answers.
+    burn_shed / burn_accept:
+        Enter shedding at ``burn >= burn_shed``; only a sustained
+        ``burn <= burn_accept`` exits it (the hysteresis band).
+    accept_streak:
+        Consecutive healthy decisions required to exit shedding.
+    min_requests:
+        Burn rates computed from fewer than this many windowed requests
+        are ignored — two unlucky requests must not shed a cold server.
+    probe_every:
+        While shedding, admit every Nth request as a probe.
+    retry_after_s:
+        Advisory client backoff, surfaced as ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        slo=None,
+        quality_status=None,
+        burn_shed: float = 2.0,
+        burn_accept: float = 1.0,
+        accept_streak: int = 3,
+        min_requests: int = 16,
+        probe_every: int = 8,
+        retry_after_s: float = 1.0,
+    ):
+        if burn_accept >= burn_shed:
+            raise ValueError("burn_accept must be below burn_shed")
+        if accept_streak < 1 or probe_every < 2 or min_requests < 1:
+            raise ValueError(
+                "accept_streak >= 1, probe_every >= 2, min_requests >= 1"
+            )
+        self._slo = slo
+        self._quality_status = quality_status
+        self.burn_shed = float(burn_shed)
+        self.burn_accept = float(burn_accept)
+        self.accept_streak = int(accept_streak)
+        self.min_requests = int(min_requests)
+        self.probe_every = int(probe_every)
+        self.retry_after_s = float(retry_after_s)
+        self._lock = threading.Lock()
+        self._shedding = False
+        self._healthy_streak = 0
+        self._shed_counter = 0  # requests seen since shedding began
+
+    # -- signal plumbing ---------------------------------------------------
+
+    def _burn_rate(self) -> tuple[float, int]:
+        slo = self._slo if self._slo is not None else obs.slo_tracker
+        snapshot = slo.snapshot()
+        burn = snapshot.get("burn_rate", float("nan"))
+        if not isinstance(burn, (int, float)) or math.isnan(burn):
+            burn = 0.0
+        return float(burn), int(snapshot.get("count", 0))
+
+    def _quality(self) -> str:
+        if self._quality_status is not None:
+            return self._quality_status()
+        from .. import quality
+
+        monitor = quality.monitor()
+        if monitor is None:
+            return "ok"
+        status = monitor.status().get("overall", "ok")
+        # The quality vocabulary is ok/warn/alert; alert is the
+        # answers-cannot-be-trusted state that maps to critical.
+        return {"ok": "ok", "warn": "degraded", "alert": "critical"}.get(
+            status, "ok"
+        )
+
+    # -- the decision ------------------------------------------------------
+
+    @property
+    def shedding(self) -> bool:
+        return self._shedding
+
+    def decide(self) -> AdmissionDecision:
+        """Admit or shed the next request (thread-safe)."""
+        burn, count = self._burn_rate()
+        quality = self._quality()
+        overloaded = (
+            quality == "critical"
+            or (count >= self.min_requests and burn >= self.burn_shed)
+        )
+        recovered = quality != "critical" and burn <= self.burn_accept
+        with self._lock:
+            if not self._shedding:
+                if overloaded:
+                    self._shedding = True
+                    self._healthy_streak = 0
+                    self._shed_counter = 0
+                    decision = self._shed_decision(burn, quality)
+                else:
+                    decision = AdmissionDecision(accepted=True, reason="ok")
+            else:
+                if recovered:
+                    self._healthy_streak += 1
+                else:
+                    self._healthy_streak = 0
+                if self._healthy_streak >= self.accept_streak:
+                    self._shedding = False
+                    self._shed_counter = 0
+                    decision = AdmissionDecision(
+                        accepted=True, reason="recovering"
+                    )
+                else:
+                    self._shed_counter += 1
+                    if self._shed_counter % self.probe_every == 0:
+                        decision = AdmissionDecision(
+                            accepted=True, reason="probe", probe=True
+                        )
+                    else:
+                        decision = self._shed_decision(burn, quality)
+        self._record(decision)
+        return decision
+
+    def _shed_decision(self, burn: float, quality: str) -> AdmissionDecision:
+        reason = (
+            "quality_critical" if quality == "critical" else "slo_burn"
+        )
+        return AdmissionDecision(
+            accepted=False, reason=reason, retry_after_s=self.retry_after_s
+        )
+
+    def _record(self, decision: AdmissionDecision) -> None:
+        if not obs.enabled():
+            return
+        outcome = "accepted" if decision.accepted else "shed"
+        obs.registry.counter(
+            "serve.admission_decisions_total",
+            help="admission controller verdicts by outcome and reason",
+        ).inc(outcome=outcome, reason=decision.reason)
+        if not decision.accepted:
+            obs.registry.counter(
+                "serve.requests_shed_total",
+                help="requests rejected with 503 by admission control",
+            ).inc(reason=decision.reason)
+            obs.log.event(
+                "serve.shed",
+                reason=decision.reason,
+                retry_after_s=decision.retry_after_s,
+            )
+
+    def reset(self) -> None:
+        with self._lock:
+            self._shedding = False
+            self._healthy_streak = 0
+            self._shed_counter = 0

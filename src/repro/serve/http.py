@@ -1,0 +1,311 @@
+"""The socket layer: stdlib HTTP server over the service logic.
+
+``ThreadingHTTPServer`` + ``BaseHTTPRequestHandler`` — no new hard
+dependencies, mirroring the repo's Streamlit-substitution pattern (a
+FastAPI veneer could wrap :class:`~repro.serve.service.DeviceScopeService`
+verbatim; the routes below follow the exemplar energy-analyzer API).
+
+Routes (tenant from the ``X-Tenant-Id`` header or ``?tenant=`` query,
+default ``"default"``):
+
+=======  ====================================  ======================
+Method   Path                                  Meaning
+=======  ====================================  ======================
+GET      /health                               process health (always)
+GET      /metrics                              OpenMetrics (always)
+GET      /appliances                           served model bank
+GET      /houses                               list tenant houses
+POST     /houses                               create a house
+GET      /houses/{id}                          house summary
+DELETE   /houses/{id}                          drop a house
+POST     /houses/{id}/ingest                   append watt readings
+GET      /houses/{id}/series                   read back a window
+GET      /houses/{id}/devices                  list attached devices
+POST     /houses/{id}/devices                  attach an appliance
+DELETE   /houses/{id}/devices/{appliance}      detach an appliance
+POST     /houses/{id}/detect                   detection probability
+POST     /houses/{id}/localize                 per-sample localization
+=======  ====================================  ======================
+
+``/health`` and ``/metrics`` are **admission-exempt** and run outside
+``obs.request`` scopes: they must answer under overload, and health
+pings must not dilute the SLO window they report on.
+
+Shutdown model (DESIGN.md §11): handler threads are non-daemon with
+``block_on_close`` set, and the protocol is HTTP/1.0 (one request per
+connection), so :meth:`DeviceScopeServer.close` = stop accepting →
+join every in-flight handler → release the socket. No request is ever
+abandoned mid-inference.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from .. import obs
+from .service import DeviceScopeService, ModelBank, ServiceError
+
+__all__ = ["DeviceScopeServer", "build_server"]
+
+DEFAULT_TENANT = "default"
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+#: (method, compiled path regex, route name, admission-exempt)
+_ROUTES: list[tuple[str, re.Pattern, str, bool]] = [
+    ("GET", re.compile(r"^/health$"), "health", True),
+    ("GET", re.compile(r"^/metrics$"), "metrics", True),
+    ("GET", re.compile(r"^/appliances$"), "appliances", False),
+    ("GET", re.compile(r"^/houses$"), "houses.list", False),
+    ("POST", re.compile(r"^/houses$"), "houses.create", False),
+    ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)$"), "houses.get", False),
+    ("DELETE", re.compile(r"^/houses/(?P<hid>[^/]+)$"), "houses.delete", False),
+    ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/ingest$"), "ingest", False),
+    ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)/series$"), "series", False),
+    ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)/devices$"), "devices.list", False),
+    ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/devices$"), "devices.attach", False),
+    (
+        "DELETE",
+        re.compile(r"^/houses/(?P<hid>[^/]+)/devices/(?P<appliance>[^/]+)$"),
+        "devices.detach",
+        False,
+    ),
+    ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/detect$"), "detect", False),
+    ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/localize$"), "localize", False),
+]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON request router; all logic lives in the service."""
+
+    server_version = "DeviceScope"
+    # One request per connection: keeps the drain-on-close model simple
+    # (every handler thread terminates after its response).
+    protocol_version = "HTTP/1.0"
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def service(self) -> DeviceScopeService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:
+        # stderr belongs to the operator; access logs go to obs.
+        if obs.enabled():
+            obs.log.event("serve.access", line=format % args)
+
+    def _send_json(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
+        body = json.dumps(payload, default=float).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServiceError(413, "request body too large")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            body = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as err:
+            raise ServiceError(400, f"invalid JSON body: {err}")
+        if not isinstance(body, dict):
+            raise ServiceError(400, "JSON body must be an object")
+        return body
+
+    def _tenant_id(self, query: dict) -> str:
+        header = self.headers.get("X-Tenant-Id")
+        if header:
+            return header
+        values = query.get("tenant")
+        return values[0] if values else DEFAULT_TENANT
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _handle(self, method: str) -> None:
+        split = urlsplit(self.path)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        try:
+            for route_method, pattern, name, exempt in _ROUTES:
+                match = pattern.match(path)
+                if match is None:
+                    continue
+                if route_method != method:
+                    continue
+                self._dispatch(name, exempt, match, query)
+                return
+            # Path matched no route at all vs wrong method on a known
+            # path — report 405 for the latter.
+            if any(p.match(path) for _, p, _, _ in _ROUTES):
+                self._send_json(405, {"error": f"method {method} not allowed"})
+            else:
+                self._send_json(404, {"error": f"no route {path!r}"})
+        except ServiceError as err:
+            self._send_json(err.status, err.payload)
+        except BrokenPipeError:  # client went away mid-response
+            pass
+        except Exception as err:  # never kill the handler thread
+            if obs.enabled():
+                obs.registry.counter(
+                    "serve.internal_errors_total",
+                    help="requests that hit an unexpected exception",
+                ).inc(route=path)
+            with contextlib.suppress(Exception):
+                self._send_json(
+                    500, {"error": f"internal error: {type(err).__name__}"}
+                )
+
+    def _dispatch(self, name: str, exempt: bool, match, query: dict) -> None:
+        service = self.service
+        # The two operator endpoints bypass tenancy and admission: they
+        # must stay live under overload and must not touch SLO state.
+        if name == "health":
+            status, payload = service.health()
+            self._send_json(status, payload)
+            return
+        if name == "metrics":
+            self._send_text(200, service.metrics_text(), _OPENMETRICS_CONTENT_TYPE)
+            return
+        tenant_id = self._tenant_id(query)
+        body = (
+            self._read_body()
+            if self.command in ("POST", "PUT", "PATCH")
+            else {}
+        )
+        groups = match.groupdict()
+        hid = groups.get("hid")
+
+        def _int_param(key: str) -> int | None:
+            values = query.get(key)
+            if not values:
+                return None
+            try:
+                return int(values[0])
+            except ValueError:
+                raise ServiceError(400, f"{key} must be an integer")
+
+        thunks = {
+            "appliances": lambda t: service.appliances(),
+            "houses.list": lambda t: service.list_houses(t),
+            "houses.create": lambda t: service.create_house(t, body),
+            "houses.get": lambda t: service.get_house(t, hid),
+            "houses.delete": lambda t: service.delete_house(t, hid),
+            "ingest": lambda t: service.ingest(t, hid, body),
+            "series": lambda t: service.series(
+                t, hid, _int_param("start"), _int_param("length")
+            ),
+            "devices.list": lambda t: service.list_devices(t, hid),
+            "devices.attach": lambda t: service.attach_device(t, hid, body),
+            "devices.detach": lambda t: service.detach_device(
+                t, hid, groups["appliance"]
+            ),
+            "detect": lambda t: service.detect(t, hid, body),
+            "localize": lambda t: service.localize(t, hid, body),
+        }
+        status, payload, headers = service.execute(
+            name, tenant_id, thunks[name], admission_exempt=exempt
+        )
+        self._send_json(status, payload, headers)
+
+    # BaseHTTPRequestHandler entry points.
+    def do_GET(self) -> None:  # noqa: N802
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._handle("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._handle("DELETE")
+
+
+class DeviceScopeServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` bound to one service instance."""
+
+    # Non-daemon + block_on_close: close() joins every in-flight
+    # handler before releasing the socket (graceful drain).
+    daemon_threads = False
+    block_on_close = True
+
+    def __init__(self, address: tuple[str, int], service: DeviceScopeService):
+        super().__init__(address, _Handler)
+        self.service = service
+        self._serve_thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> "DeviceScopeServer":
+        """Serve in a background thread (idempotent)."""
+        if self._serve_thread is None:
+            self._serve_thread = threading.Thread(
+                target=self.serve_forever, name="devicescope-serve",
+                daemon=True,
+            )
+            self._serve_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting, drain in-flight handlers, release the port."""
+        self.shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=10.0)
+            self._serve_thread = None
+        self.server_close()
+
+    @contextlib.contextmanager
+    def running(self):
+        """``with server.running(): ...`` — start, then always close."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.close()
+
+
+def build_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    appliances: tuple[str, ...] = ("kettle",),
+    profile: str = "ukdale",
+    seed: int = 0,
+    workers: int | None = None,
+    bank: ModelBank | None = None,
+    service: DeviceScopeService | None = None,
+) -> DeviceScopeServer:
+    """Wire a ready-to-start server (``port=0`` picks an ephemeral one)."""
+    if service is None:
+        service = DeviceScopeService(
+            bank=bank
+            or ModelBank(
+                appliances=appliances, profile=profile, seed=seed,
+                workers=workers,
+            )
+        )
+    return DeviceScopeServer((host, port), service)

@@ -1,0 +1,564 @@
+"""Transport-free request logic for the DeviceScope service.
+
+:class:`DeviceScopeService` implements every endpoint as a plain method
+returning a JSON-serializable dict; the HTTP layer
+(:mod:`repro.serve.http`) only parses paths and maps
+:class:`ServiceError` to status codes. Keeping the logic off the socket
+makes the full API unit-testable without ports and reusable by future
+transports (the ROADMAP's micro-batching layer will call these same
+methods).
+
+Every request runs through :meth:`DeviceScopeService.execute`:
+
+1. admission control (503 + ``Retry-After`` when shedding — shed
+   requests never reach the engine, the cache, or the SLO window);
+2. an ``obs.request(kind="serve", route=..., tenant=...)`` scope, so
+   request-scoped telemetry, the telemetry store, and quality drift
+   observation work exactly as they do under the Playground;
+3. per-tenant SLO recording (the tenant's own
+   :class:`~repro.obs.SloTracker`, on top of the global one that the
+   request scope feeds automatically).
+
+Inference routes through the PR 3 fast path and the tenant's
+:class:`~repro.core.ResultCache`; degraded results are returned but
+never cached (the PR 4 contract, enforced by ``cache_if``).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from .. import obs
+from ..core import CamAL, window_key
+from ..datasets import APPLIANCE_NAMES, Standardizer, build_dataset
+from ..models import ResNetEnsemble
+from ..robust import RobustError
+from .admission import AdmissionController
+from .tenancy import TenantHouse, TenantRegistry, TenantSession
+
+__all__ = ["ServiceError", "ModelBank", "DeviceScopeService"]
+
+#: Ingest batches and analysis windows are bounded so one request
+#: cannot balloon the process (the engine chunks at 1024 internally).
+MAX_INGEST_SAMPLES = 1_000_000
+MAX_WINDOW_SAMPLES = 4096
+
+
+class ServiceError(Exception):
+    """An error with an HTTP status and a JSON payload."""
+
+    def __init__(self, status: int, message: str, **extra: object):
+        super().__init__(message)
+        self.status = int(status)
+        self.payload = {"error": message, **extra}
+
+
+class ModelBank:
+    """Appliance → (:class:`~repro.core.CamAL`, lock) shared by tenants.
+
+    Models are read-only at serve time, so tenants share one instance
+    per appliance; the per-model lock serializes ensemble sweeps (the
+    from-scratch numpy modules are not reentrant across threads — the
+    ROADMAP's batched backbone removes this serialization later).
+    Tenant isolation lives in the *caches*: cache keys include the model
+    fingerprint, and each tenant keys into its own cache.
+
+    By default the bank builds seeded, untrained ensembles over a
+    synthetic-profile standardizer — the training-free serving-shape
+    workload every smoke in this repo uses. Pass ``models`` (e.g. from
+    ``DeviceScope.bootstrap().models``) to serve trained ensembles.
+    """
+
+    def __init__(
+        self,
+        appliances: tuple[str, ...] = ("kettle",),
+        profile: str = "ukdale",
+        seed: int = 0,
+        kernel_sizes: tuple[int, ...] = (5, 9),
+        n_filters: tuple[int, int, int] = (4, 8, 8),
+        workers: int | None = None,
+        models: dict[str, CamAL] | None = None,
+    ):
+        self.appliances = tuple(appliances)
+        unknown = set(self.appliances) - set(APPLIANCE_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown appliances: {', '.join(sorted(unknown))}"
+            )
+        self._seed = seed
+        self._profile = profile
+        self._kernel_sizes = tuple(kernel_sizes)
+        self._n_filters = tuple(n_filters)
+        self._workers = workers
+        self._lock = threading.Lock()
+        self._models: dict[str, CamAL] = dict(models or {})
+        self._model_locks: dict[str, threading.Lock] = {
+            name: threading.Lock() for name in self._models
+        }
+        self._scaler: Standardizer | None = None
+
+    @classmethod
+    def from_models(cls, models: dict[str, CamAL]) -> "ModelBank":
+        """Wrap already-built models (e.g. a trained session's)."""
+        return cls(appliances=tuple(models), models=models)
+
+    def _default_scaler(self) -> Standardizer:
+        if self._scaler is None:
+            dataset = build_dataset(
+                self._profile, seed=self._seed, n_houses=2,
+                days_per_house=(2, 3),
+            )
+            aggregate = np.nan_to_num(
+                dataset.houses[0].aggregate, nan=0.0
+            )
+            self._scaler = Standardizer.fit(aggregate[None, :])
+        return self._scaler
+
+    def get(self, appliance: str) -> tuple[CamAL, threading.Lock]:
+        """The model + its sweep lock, built lazily on first use."""
+        if appliance not in self.appliances:
+            raise ServiceError(
+                404,
+                f"no model for appliance {appliance!r}",
+                available=sorted(self.appliances),
+            )
+        with self._lock:
+            model = self._models.get(appliance)
+            if model is None:
+                ensemble = ResNetEnsemble(
+                    self._kernel_sizes,
+                    n_filters=self._n_filters,
+                    seed=self._seed,
+                )
+                ensemble.eval()
+                model = CamAL(
+                    ensemble, self._default_scaler(), workers=self._workers
+                )
+                self._models[appliance] = model
+                self._model_locks[appliance] = threading.Lock()
+            return model, self._model_locks[appliance]
+
+    def describe(self) -> dict:
+        with self._lock:
+            loaded = sorted(self._models)
+        return {
+            "appliances": sorted(self.appliances),
+            "loaded": loaded,
+            "catalogue": sorted(APPLIANCE_NAMES),
+        }
+
+
+class DeviceScopeService:
+    """The endpoint logic behind :class:`repro.serve.DeviceScopeServer`."""
+
+    def __init__(
+        self,
+        bank: ModelBank | None = None,
+        registry: TenantRegistry | None = None,
+        admission: AdmissionController | None = None,
+    ):
+        self.bank = bank or ModelBank()
+        self.registry = registry or TenantRegistry()
+        self.admission = admission or AdmissionController()
+        self.started_at = time.time()
+
+    # -- the request wrapper ----------------------------------------------
+
+    def execute(
+        self,
+        route: str,
+        tenant_id: str,
+        thunk,
+        admission_exempt: bool = False,
+    ) -> tuple[int, dict, dict]:
+        """Run one request end to end.
+
+        Returns ``(status, payload, headers)``. ``admission_exempt``
+        marks the routes that must keep answering under overload
+        (``/health``, ``/metrics`` — an unscrapeable melting server is
+        undebuggable).
+        """
+        try:
+            TenantRegistry.validate_tenant_id(tenant_id)
+        except ValueError as err:
+            return 400, {"error": str(err)}, {}
+        try:
+            tenant = self.registry.get_or_create(tenant_id)
+        except OverflowError as err:
+            # Registry exhaustion is overload, not caller error.
+            return 503, {"error": str(err)}, {"Retry-After": "1"}
+        if not admission_exempt:
+            decision = self.admission.decide()
+            if not decision.accepted:
+                return (
+                    503,
+                    {
+                        "error": "overloaded; request shed",
+                        "reason": decision.reason,
+                        "retry_after_s": decision.retry_after_s,
+                    },
+                    {"Retry-After": f"{decision.retry_after_s:g}"},
+                )
+        start = time.perf_counter()
+        outcome = "ok"
+        try:
+            with obs.request(
+                kind="serve", route=route, tenant=tenant_id
+            ) as req:
+                status, payload = thunk(tenant)
+                if payload.get("verdict") in ("degraded", "failed"):
+                    req.mark_degraded()
+                outcome = req.outcome
+            return status, payload, {}
+        except ServiceError as err:
+            outcome = "error"
+            return err.status, err.payload, {}
+        except (RobustError, ValueError, KeyError, OverflowError) as err:
+            outcome = "error"
+            return 400, {"error": str(err)}, {}
+        finally:
+            tenant.slo.record(time.perf_counter() - start, outcome=outcome)
+
+    # -- houses ------------------------------------------------------------
+
+    def _house(self, tenant: TenantSession, house_id: str) -> TenantHouse:
+        with tenant.lock:
+            house = tenant.houses.get(house_id)
+        if house is None:
+            raise ServiceError(
+                404,
+                f"no house {house_id!r} for tenant {tenant.tenant_id!r}",
+                available=sorted(tenant.houses),
+            )
+        return house
+
+    def list_houses(self, tenant: TenantSession) -> tuple[int, dict]:
+        with tenant.lock:
+            houses = {h: house.summary() for h, house in tenant.houses.items()}
+        return 200, {"houses": houses}
+
+    def create_house(self, tenant: TenantSession, body: dict) -> tuple[int, dict]:
+        house_id = body.get("house_id")
+        if not isinstance(house_id, str) or not house_id:
+            raise ServiceError(400, "house_id (non-empty string) is required")
+        step_s = float(body.get("step_s", 60.0))
+        if step_s <= 0:
+            raise ServiceError(400, "step_s must be positive")
+        watts = _as_watts(body.get("watts", []))
+        with tenant.lock:
+            if house_id in tenant.houses:
+                raise ServiceError(409, f"house {house_id!r} already exists")
+            house = TenantHouse(
+                house_id=house_id, step_s=step_s, aggregate=watts
+            )
+            tenant.houses[house_id] = house
+            summary = house.summary()
+        return 201, summary
+
+    def get_house(self, tenant: TenantSession, house_id: str) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        with tenant.lock:
+            return 200, house.summary()
+
+    def delete_house(self, tenant: TenantSession, house_id: str) -> tuple[int, dict]:
+        with tenant.lock:
+            if tenant.houses.pop(house_id, None) is None:
+                raise ServiceError(404, f"no house {house_id!r}")
+        return 200, {"deleted": house_id}
+
+    # -- ingestion + series ------------------------------------------------
+
+    def ingest(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        watts = _as_watts(body.get("watts"))
+        if watts.size == 0:
+            raise ServiceError(400, "watts (non-empty list) is required")
+        with tenant.lock:
+            n_steps = house.ingest(watts)
+        if obs.enabled():
+            obs.registry.counter(
+                "serve.samples_ingested_total",
+                help="watt samples appended through the ingest endpoint",
+            ).inc(int(watts.size), tenant=tenant.tenant_id)
+        return 200, {
+            "house_id": house_id,
+            "appended": int(watts.size),
+            "n_steps": n_steps,
+        }
+
+    def series(
+        self,
+        tenant: TenantSession,
+        house_id: str,
+        start: int | None,
+        length: int | None,
+    ) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        with tenant.lock:
+            start, length = _window_bounds(house, start, length)
+            window = house.read_window(start, length)
+        return 200, {
+            "house_id": house_id,
+            "start": start,
+            "length": length,
+            "watts": [None if np.isnan(w) else float(w) for w in window],
+        }
+
+    # -- devices -----------------------------------------------------------
+
+    def list_devices(
+        self, tenant: TenantSession, house_id: str
+    ) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        with tenant.lock:
+            return 200, {
+                "house_id": house_id, "devices": dict(house.devices)
+            }
+
+    def attach_device(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        appliance = body.get("appliance")
+        if appliance not in APPLIANCE_NAMES:
+            raise ServiceError(
+                400,
+                f"appliance must be one of the catalogue, got {appliance!r}",
+                catalogue=sorted(APPLIANCE_NAMES),
+            )
+        if appliance not in self.bank.appliances:
+            raise ServiceError(
+                404,
+                f"no model served for {appliance!r}",
+                available=sorted(self.bank.appliances),
+            )
+        device = {"appliance": appliance, "attached_at": time.time()}
+        with tenant.lock:
+            created = appliance not in house.devices
+            house.devices[appliance] = device
+        return (201 if created else 200), {
+            "house_id": house_id, "appliance": appliance,
+        }
+
+    def detach_device(
+        self, tenant: TenantSession, house_id: str, appliance: str
+    ) -> tuple[int, dict]:
+        house = self._house(tenant, house_id)
+        with tenant.lock:
+            if house.devices.pop(appliance, None) is None:
+                raise ServiceError(
+                    404, f"{appliance!r} is not attached to {house_id!r}"
+                )
+        return 200, {"house_id": house_id, "detached": appliance}
+
+    # -- inference ---------------------------------------------------------
+
+    def _analysis_window(
+        self,
+        tenant: TenantSession,
+        house_id: str,
+        body: dict,
+    ) -> tuple[str, np.ndarray, int, int]:
+        house = self._house(tenant, house_id)
+        appliance = body.get("appliance")
+        with tenant.lock:
+            if appliance not in house.devices:
+                raise ServiceError(
+                    409,
+                    f"appliance {appliance!r} is not attached to "
+                    f"{house_id!r}; POST it to /houses/{house_id}/devices "
+                    "first",
+                    attached=sorted(house.devices),
+                )
+            start = body.get("start")
+            length = body.get("length")
+            start, length = _window_bounds(house, start, length)
+            window = house.read_window(start, length)
+        return appliance, window, start, length
+
+    def _localize(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[dict, "np.ndarray | None", int, int]:
+        appliance, window, start, length = self._analysis_window(
+            tenant, house_id, body
+        )
+        model, sweep_lock = self.bank.get(appliance)
+        computed = False
+
+        def compute():
+            nonlocal computed
+            computed = True
+            with sweep_lock:
+                return model.localize_watts(
+                    window[None, :], appliance=appliance
+                )
+
+        key = window_key(appliance, window, model.fingerprint())
+        # The PR 4 contract: degraded results are answered but never
+        # cached — a transient defect must not replay as a hit forever.
+        result = tenant.cache.get_or_compute(
+            key, compute, cache_if=lambda r: not r.any_degraded
+        )
+        if result.degraded[0]:
+            verdict = "degraded"
+        elif result.repaired[0]:
+            verdict = "repaired"
+        else:
+            verdict = "ok"
+        probability = float(result.probabilities[0])
+        base = {
+            "house_id": house_id,
+            "appliance": appliance,
+            "start": start,
+            "length": length,
+            "probability": None if np.isnan(probability) else probability,
+            "detected": bool(result.detected[0]),
+            "verdict": verdict,
+            "cached": not computed,
+        }
+        status = None if result.degraded[0] else result.status[0]
+        return base, status, start, length
+
+    def detect(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[int, dict]:
+        base, status, _, _ = self._localize(tenant, house_id, body)
+        return 200, base
+
+    def localize(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[int, dict]:
+        base, status, start, length = self._localize(tenant, house_id, body)
+        if status is None:
+            base.update({"on_fraction": None, "intervals": []})
+            return 200, base
+        on = status > 0.5
+        base.update({
+            "on_fraction": float(on.mean()),
+            # Half-open [start, end) sample intervals, absolute indices.
+            "intervals": [
+                [int(a) + start, int(b) + start] for a, b in _runs(on)
+            ],
+        })
+        return 200, base
+
+    # -- introspection -----------------------------------------------------
+
+    def appliances(self) -> tuple[int, dict]:
+        return 200, self.bank.describe()
+
+    def metrics_text(self) -> str:
+        return obs.to_openmetrics(
+            obs.registry.snapshot(), slo=obs.slo_tracker.snapshot()
+        )
+
+    def health(self) -> tuple[int, dict]:
+        """Process health: the same status the CLI derives.
+
+        ``status`` comes from :func:`repro.app.session.process_status`,
+        which folds the global SLO tracker **and every per-tenant
+        tracker** through :func:`~repro.app.session.derive_status` — so
+        this endpoint and ``devicescope obs --watch`` / ``faultcheck``
+        can never disagree.
+        """
+        from ..app.session import process_status
+        from ..robust import metrics_snapshot
+
+        status = process_status()
+        payload = {
+            "status": status,
+            "uptime_s": time.time() - self.started_at,
+            "shedding": self.admission.shedding,
+            "slo": obs.slo_tracker.snapshot(),
+            "robust": {
+                name: sum(
+                    s.get("value", 0) for s in metric.get("series", [])
+                )
+                for name, metric in metrics_snapshot().items()
+            },
+            "tenants": {
+                session.tenant_id: session.snapshot()
+                for session in self.registry.tenants()
+            },
+        }
+        from .. import quality
+
+        monitor = quality.monitor()
+        if monitor is not None:
+            payload["quality"] = monitor.status()
+        # Health stays 200 even when degraded: the scraper needs the
+        # body; load balancers should read payload["status"].
+        return 200, payload
+
+
+# -- helpers ---------------------------------------------------------------
+
+
+def _as_watts(values) -> np.ndarray:
+    """Parse a JSON watts list (numbers, null → NaN) into float64."""
+    if values is None:
+        raise ServiceError(400, "watts (list of numbers) is required")
+    if not isinstance(values, (list, tuple)):
+        raise ServiceError(400, "watts must be a JSON array")
+    if len(values) > MAX_INGEST_SAMPLES:
+        raise ServiceError(
+            413, f"at most {MAX_INGEST_SAMPLES} samples per request"
+        )
+    out = np.empty(len(values), dtype=np.float64)
+    for i, v in enumerate(values):
+        if v is None:
+            out[i] = np.nan
+        elif isinstance(v, (int, float)) and not isinstance(v, bool):
+            out[i] = float(v)
+        else:
+            raise ServiceError(
+                400, f"watts[{i}] is not a number or null: {v!r}"
+            )
+    return out
+
+
+def _window_bounds(
+    house: TenantHouse, start, length
+) -> tuple[int, int]:
+    """Resolve (start, length) defaults against the ingested series.
+
+    Default: the most recent ``min(n_steps, MAX_WINDOW_SAMPLES)``
+    samples — the "analyze what just arrived" shape of a live meter.
+    """
+    n = house.n_steps
+    if n < 2:
+        raise ServiceError(
+            409,
+            f"house {house.house_id!r} has only {n} samples; "
+            "ingest a series first",
+        )
+    if length is None:
+        length = min(n, MAX_WINDOW_SAMPLES)
+    length = int(length)
+    if not 2 <= length <= MAX_WINDOW_SAMPLES:
+        raise ServiceError(
+            400, f"length must be in [2, {MAX_WINDOW_SAMPLES}]"
+        )
+    if start is None:
+        start = max(n - length, 0)
+    start = int(start)
+    if start < 0 or start + length > n:
+        raise ServiceError(
+            400,
+            f"window [{start}, {start + length}) is outside the "
+            f"{n} ingested samples",
+        )
+    return start, length
+
+
+def _runs(mask: np.ndarray) -> list[tuple[int, int]]:
+    """Half-open [start, end) runs of True in a boolean vector."""
+    padded = np.diff(np.concatenate([[0], mask.astype(np.int8), [0]]))
+    starts = np.flatnonzero(padded == 1)
+    ends = np.flatnonzero(padded == -1)
+    return list(zip(starts.tolist(), ends.tolist()))

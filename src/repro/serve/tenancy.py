@@ -1,0 +1,247 @@
+"""Per-tenant session isolation for the serving layer.
+
+One HTTP process serves many tenants; each tenant gets its own
+:class:`TenantSession` — houses, attached devices, a private
+:class:`~repro.core.ResultCache`, and a private
+:class:`~repro.obs.SloTracker` — so one tenant's data, cache entries,
+and latency history never leak into another's. Sessions live in a
+:class:`TenantRegistry` whose bucket locks are **striped**: concurrent
+requests for different tenants rarely contend on the same lock, and the
+per-session state itself is guarded by the session's own lock.
+
+Health consistency (the PR 7 regression fix): every registry created in
+the process is tracked in a module-level set, and
+:func:`tenant_trackers` exposes all live per-tenant SLO trackers.
+:func:`repro.app.session.process_status` folds those trackers into the
+same :func:`~repro.app.session.derive_status` the CLI prints — so
+``/health``, ``devicescope obs --watch``, and ``devicescope faultcheck``
+can never disagree about the process's health.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+import weakref
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..core import ResultCache
+from ..obs.slo import SloTracker
+
+__all__ = [
+    "TenantHouse",
+    "TenantSession",
+    "TenantRegistry",
+    "tenant_trackers",
+    "tenant_slo_snapshots",
+]
+
+#: Tenant ids are path/label-safe tokens (they appear in metrics labels
+#: and log events — never arbitrary bytes).
+_TENANT_ID = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
+
+#: Every live registry, for process-wide health aggregation.
+_REGISTRIES: "weakref.WeakSet[TenantRegistry]" = weakref.WeakSet()
+
+
+@dataclass
+class TenantHouse:
+    """One tenant-owned consumption series plus its attached devices.
+
+    The serve-side analogue of :class:`repro.datasets.House`, grown by
+    ingestion instead of simulation: ``aggregate`` starts empty (or from
+    the creation payload) and ``ingest`` appends batches of watt
+    readings, the ``shelly_pull``-style model of the exemplar energy
+    analyzer. Devices are the appliances the tenant attached — only
+    attached appliances can be detected/localized, mirroring the
+    device-CRUD-then-analyze flow.
+    """
+
+    house_id: str
+    step_s: float = 60.0
+    aggregate: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.float64)
+    )
+    devices: dict[str, dict] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.aggregate = np.asarray(self.aggregate, dtype=np.float64)
+        if self.aggregate.ndim != 1:
+            raise ValueError("aggregate must be 1-D")
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.aggregate.size)
+
+    def ingest(self, watts: np.ndarray) -> int:
+        """Append one batch of readings; returns the new length."""
+        watts = np.asarray(watts, dtype=np.float64)
+        if watts.ndim != 1:
+            raise ValueError("ingest expects a flat list of watt readings")
+        self.aggregate = np.concatenate([self.aggregate, watts])
+        return self.n_steps
+
+    def read_window(self, start: int, length: int) -> np.ndarray:
+        """One aggregate slice (always a copy), bounds-checked."""
+        if start < 0 or length < 1:
+            raise ValueError("start must be >= 0 and length >= 1")
+        if start + length > self.n_steps:
+            raise ValueError(
+                f"window [{start}, {start + length}) exceeds the "
+                f"{self.n_steps} ingested samples"
+            )
+        return np.array(self.aggregate[start : start + length])
+
+    def summary(self) -> dict:
+        return {
+            "house_id": self.house_id,
+            "step_s": self.step_s,
+            "n_steps": self.n_steps,
+            "devices": sorted(self.devices),
+        }
+
+
+class TenantSession:
+    """Everything one tenant owns inside the serving process."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        cache_size: int = 256,
+        slo_objective_ms: float = 250.0,
+        slo_window: int = 512,
+    ):
+        self.tenant_id = tenant_id
+        self.lock = threading.Lock()
+        self.houses: dict[str, TenantHouse] = {}
+        self.cache = ResultCache(
+            maxsize=cache_size, name=f"tenant:{tenant_id}"
+        )
+        self.slo = SloTracker(
+            objective_ms=slo_objective_ms, window=slo_window
+        )
+
+    def snapshot(self) -> dict:
+        """Diagnostics payload for ``/health`` and ``/tenants``."""
+        with self.lock:
+            houses = {hid: h.summary() for hid, h in self.houses.items()}
+        return {
+            "tenant_id": self.tenant_id,
+            "houses": houses,
+            "cache": self.cache.stats(),
+            "slo": self.slo.snapshot(),
+        }
+
+
+class TenantRegistry:
+    """Lock-striped tenant_id → :class:`TenantSession` map.
+
+    ``get_or_create`` is the hot path (every request resolves its
+    tenant); striping the creation locks over ``n_stripes`` buckets
+    keeps unrelated tenants from serializing on one mutex while still
+    making creation race-free. Reads go through an immutable dict
+    reference, so resolution of an *existing* tenant takes no lock at
+    all.
+    """
+
+    def __init__(
+        self,
+        n_stripes: int = 16,
+        cache_size: int = 256,
+        slo_objective_ms: float = 250.0,
+        max_tenants: int = 1024,
+    ):
+        if n_stripes < 1:
+            raise ValueError("n_stripes must be >= 1")
+        self._stripes = tuple(threading.Lock() for _ in range(n_stripes))
+        self._sessions: dict[str, TenantSession] = {}
+        self._cache_size = cache_size
+        self._slo_objective_ms = slo_objective_ms
+        self._max_tenants = max_tenants
+        _REGISTRIES.add(self)
+
+    @staticmethod
+    def validate_tenant_id(tenant_id: str) -> str:
+        if not isinstance(tenant_id, str) or not _TENANT_ID.match(tenant_id):
+            raise ValueError(
+                "tenant id must match [A-Za-z0-9_.-]{1,64}, got "
+                f"{tenant_id!r}"
+            )
+        return tenant_id
+
+    def _stripe(self, tenant_id: str) -> threading.Lock:
+        return self._stripes[hash(tenant_id) % len(self._stripes)]
+
+    def get(self, tenant_id: str) -> TenantSession | None:
+        return self._sessions.get(tenant_id)
+
+    def get_or_create(self, tenant_id: str) -> TenantSession:
+        tenant_id = self.validate_tenant_id(tenant_id)
+        session = self._sessions.get(tenant_id)
+        if session is not None:
+            return session
+        with self._stripe(tenant_id):
+            session = self._sessions.get(tenant_id)
+            if session is not None:
+                return session
+            if len(self._sessions) >= self._max_tenants:
+                raise OverflowError(
+                    f"tenant registry full ({self._max_tenants} tenants)"
+                )
+            session = TenantSession(
+                tenant_id,
+                cache_size=self._cache_size,
+                slo_objective_ms=self._slo_objective_ms,
+            )
+            # Copy-on-write publish: readers iterate/lookup without a
+            # lock, so never mutate the published dict in place.
+            sessions = dict(self._sessions)
+            sessions[tenant_id] = session
+            self._sessions = sessions
+            if obs.enabled():
+                obs.registry.counter(
+                    "serve.tenants_created_total",
+                    help="tenant sessions created by the registry",
+                ).inc()
+            return session
+
+    def drop(self, tenant_id: str) -> bool:
+        """Forget one tenant (its cache and houses become garbage)."""
+        with self._stripe(tenant_id):
+            if tenant_id not in self._sessions:
+                return False
+            sessions = dict(self._sessions)
+            del sessions[tenant_id]
+            self._sessions = sessions
+            return True
+
+    def tenants(self) -> list[TenantSession]:
+        return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        return tenant_id in self._sessions
+
+
+def tenant_trackers() -> list[tuple[str, SloTracker]]:
+    """All live per-tenant SLO trackers in this process.
+
+    The bridge that keeps ``/health`` and the CLI's derived status in
+    agreement: :func:`repro.app.session.process_status` folds each of
+    these into the same worst-of computation the serve layer uses.
+    """
+    out: list[tuple[str, SloTracker]] = []
+    for registry in list(_REGISTRIES):
+        for session in registry.tenants():
+            out.append((session.tenant_id, session.slo))
+    return out
+
+
+def tenant_slo_snapshots() -> dict[str, dict]:
+    """``tenant_id -> SloTracker.snapshot()`` across every registry."""
+    return {tenant_id: slo.snapshot() for tenant_id, slo in tenant_trackers()}

@@ -1,0 +1,198 @@
+"""Admission control: deterministic burn-rate / quality fixtures.
+
+The contract under test (DESIGN.md §11): overload sheds with an
+explicit decision (never a crash), shed requests are counted in obs but
+never reach the cache or the SLO window, and recovery requires
+*sustained* health — the shed→accept hysteresis.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs.slo import SloTracker
+from repro.serve import AdmissionController
+
+
+def burned_tracker(errors: int = 32, duration_s: float = 10.0) -> SloTracker:
+    """A tracker whose window is pure failure: burn rate = 1/budget.
+
+    The window is kept small so recovery floods in the hysteresis tests
+    can actually evict the failures."""
+    tracker = SloTracker(objective_ms=250.0, error_budget=0.01, window=64)
+    for _ in range(errors):
+        tracker.record(duration_s, outcome="error")
+    return tracker
+
+
+def healthy_tracker(good: int = 32) -> SloTracker:
+    tracker = SloTracker(objective_ms=250.0, error_budget=0.01)
+    for _ in range(good):
+        tracker.record(0.01, outcome="ok")
+    return tracker
+
+
+class TestShedding:
+    def test_healthy_traffic_is_admitted(self):
+        controller = AdmissionController(slo=healthy_tracker())
+        decision = controller.decide()
+        assert decision.accepted and decision.reason == "ok"
+        assert not controller.shedding
+
+    def test_burn_rate_above_threshold_sheds(self):
+        controller = AdmissionController(slo=burned_tracker(), min_requests=16)
+        decision = controller.decide()
+        assert not decision.accepted
+        assert decision.reason == "slo_burn"
+        assert decision.retry_after_s > 0
+        assert controller.shedding
+
+    def test_small_windows_never_shed(self):
+        # Two unlucky requests on a cold server are not an overload.
+        controller = AdmissionController(
+            slo=burned_tracker(errors=2), min_requests=16
+        )
+        assert controller.decide().accepted
+
+    def test_quality_critical_sheds_even_with_healthy_slo(self):
+        controller = AdmissionController(
+            slo=healthy_tracker(), quality_status=lambda: "critical"
+        )
+        decision = controller.decide()
+        assert not decision.accepted
+        assert decision.reason == "quality_critical"
+
+    def test_quality_degraded_does_not_shed(self):
+        controller = AdmissionController(
+            slo=healthy_tracker(), quality_status=lambda: "degraded"
+        )
+        assert controller.decide().accepted
+
+    def test_installed_quality_monitor_is_consulted(self):
+        from repro import quality
+
+        monitor = quality.install(quality.QualityMonitor(cooldown_s=0.0))
+        try:
+            # Force one appliance's alert machine straight to alert.
+            machine = monitor._alert("kettle")
+            for _ in range(4):
+                machine.observe("alert")
+            assert monitor.status()["overall"] == "alert"
+            controller = AdmissionController(slo=healthy_tracker())
+            decision = controller.decide()
+            assert not decision.accepted
+            assert decision.reason == "quality_critical"
+        finally:
+            quality.uninstall()
+
+
+class TestHysteresis:
+    def test_one_good_reading_does_not_reopen(self):
+        tracker = burned_tracker()
+        controller = AdmissionController(
+            slo=tracker, min_requests=16, accept_streak=3, probe_every=2
+        )
+        assert not controller.decide().accepted  # enters shedding
+        # Backend recovers: flood the window with good probe traffic.
+        for _ in range(256):
+            tracker.record(0.01, outcome="ok")
+        first = controller.decide()
+        assert controller.shedding  # streak=1 < 3: still shedding
+        second = controller.decide()
+        third = controller.decide()
+        assert not controller.shedding  # streak reached 3
+        accepted = [d for d in (first, second, third) if d.accepted]
+        reasons = {d.reason for d in (first, second, third)}
+        # The exit decision is explicitly labelled.
+        assert "recovering" in reasons
+        assert accepted, "recovery window admits probes"
+        # Once recovered, plain admissions resume.
+        assert controller.decide().reason == "ok"
+
+    def test_relapse_resets_the_streak(self):
+        tracker = burned_tracker()
+        controller = AdmissionController(
+            slo=tracker, min_requests=16, accept_streak=2, probe_every=100
+        )
+        controller.decide()  # shedding
+        for _ in range(256):
+            tracker.record(0.01, outcome="ok")
+        controller.decide()  # streak = 1
+        for _ in range(256):
+            tracker.record(10.0, outcome="error")  # relapse
+        controller.decide()  # streak reset to 0
+        for _ in range(512):
+            tracker.record(0.01, outcome="ok")
+        controller.decide()  # streak = 1 again
+        assert controller.shedding
+        controller.decide()  # streak = 2 -> accept
+        assert not controller.shedding
+
+    def test_probe_admission_while_shedding(self):
+        # While the window stays burned, every probe_every-th request
+        # is admitted as a probe so fresh evidence can accumulate.
+        controller = AdmissionController(
+            slo=burned_tracker(), min_requests=16, probe_every=3,
+            accept_streak=1000,
+        )
+        controller.decide()  # enter shedding
+        decisions = [controller.decide() for _ in range(9)]
+        probes = [d for d in decisions if d.accepted]
+        assert all(d.probe and d.reason == "probe" for d in probes)
+        assert len(probes) == 3  # every 3rd of 9
+
+    def test_burn_between_accept_and_shed_keeps_state(self):
+        # In the hysteresis band the controller neither enters nor
+        # exits shedding — whatever state it is in persists.
+        tracker = SloTracker(objective_ms=250.0, error_budget=0.1)
+        # attainment 0.85 -> burn = 1.5, between accept(1.0), shed(2.0)
+        for i in range(100):
+            outcome = "error" if i < 15 else "ok"
+            tracker.record(0.01, outcome=outcome)
+        controller = AdmissionController(slo=tracker, min_requests=16)
+        assert controller.decide().accepted
+        assert not controller.shedding
+
+
+class TestObsAccounting:
+    def test_shed_decisions_are_counted(self):
+        obs.enable()
+        obs.reset()
+        obs.registry.clear()
+        controller = AdmissionController(slo=burned_tracker(), min_requests=16)
+        controller.decide()
+        controller.decide()
+        snapshot = obs.registry.snapshot()
+        shed = snapshot["serve.requests_shed_total"]["series"]
+        assert sum(s["value"] for s in shed) == 2
+        decisions = snapshot["serve.admission_decisions_total"]["series"]
+        outcomes = {
+            frozenset(s["labels"].items()): s["value"] for s in decisions
+        }
+        assert any(
+            dict(k)["outcome"] == "shed" for k in outcomes
+        )
+        events = obs.log.events("serve.shed")
+        assert len(events) == 2
+        assert all(e["reason"] == "slo_burn" for e in events)
+
+    def test_disabled_obs_records_nothing(self):
+        controller = AdmissionController(slo=burned_tracker(), min_requests=16)
+        controller.decide()
+        assert "serve.requests_shed_total" not in obs.registry.snapshot()
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        AdmissionController(burn_shed=1.0, burn_accept=1.0)
+    with pytest.raises(ValueError):
+        AdmissionController(accept_streak=0)
+    with pytest.raises(ValueError):
+        AdmissionController(probe_every=1)
+
+
+def test_nan_burn_rate_is_not_overload():
+    controller = AdmissionController(
+        slo=SloTracker(), min_requests=1
+    )  # empty tracker: burn is NaN
+    assert controller.decide().accepted

@@ -1,0 +1,126 @@
+"""Tenant sessions, the lock-striped registry, and isolation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import TenantHouse, TenantRegistry, tenant_trackers
+from repro.serve.tenancy import _REGISTRIES
+
+
+class TestTenantHouse:
+    def test_ingest_appends(self):
+        house = TenantHouse(house_id="h1")
+        assert house.n_steps == 0
+        assert house.ingest(np.arange(10.0)) == 10
+        assert house.ingest(np.arange(5.0)) == 15
+        np.testing.assert_array_equal(
+            house.read_window(10, 5), np.arange(5.0)
+        )
+
+    def test_read_window_is_a_copy(self):
+        house = TenantHouse(house_id="h1", aggregate=np.arange(8.0))
+        window = house.read_window(0, 4)
+        window[:] = -1
+        assert house.aggregate[0] == 0.0
+
+    def test_read_window_bounds(self):
+        house = TenantHouse(house_id="h1", aggregate=np.arange(8.0))
+        with pytest.raises(ValueError):
+            house.read_window(4, 8)
+        with pytest.raises(ValueError):
+            house.read_window(-1, 2)
+        with pytest.raises(ValueError):
+            house.read_window(0, 0)
+
+    def test_rejects_2d_ingest(self):
+        house = TenantHouse(house_id="h1")
+        with pytest.raises(ValueError):
+            house.ingest(np.zeros((2, 2)))
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = TenantRegistry()
+        a = registry.get_or_create("alice")
+        assert registry.get_or_create("alice") is a
+        assert len(registry) == 1
+        assert "alice" in registry
+
+    def test_sessions_are_isolated(self):
+        registry = TenantRegistry()
+        a = registry.get_or_create("alice")
+        b = registry.get_or_create("bob")
+        a.houses["h1"] = TenantHouse(house_id="h1")
+        a.cache.put(("k",), "value")
+        assert b.houses == {}
+        assert b.cache.get(("k",)) is None
+        assert a.slo is not b.slo
+
+    def test_tenant_id_validation(self):
+        registry = TenantRegistry()
+        for bad in ("", "a b", "x" * 65, "sneaky/../path", None, 42):
+            with pytest.raises(ValueError):
+                registry.get_or_create(bad)
+        # The full token alphabet is accepted.
+        registry.get_or_create("A-z_0.9")
+
+    def test_drop(self):
+        registry = TenantRegistry()
+        registry.get_or_create("alice")
+        assert registry.drop("alice")
+        assert not registry.drop("alice")
+        assert "alice" not in registry
+
+    def test_max_tenants(self):
+        registry = TenantRegistry(max_tenants=2)
+        registry.get_or_create("a")
+        registry.get_or_create("b")
+        with pytest.raises(OverflowError):
+            registry.get_or_create("c")
+        # Existing tenants still resolve when full.
+        assert registry.get_or_create("a") is registry.get("a")
+
+    def test_concurrent_creation_yields_one_session_per_tenant(self):
+        registry = TenantRegistry(n_stripes=4)
+        seen: dict[str, set[int]] = {f"t{i}": set() for i in range(8)}
+        barrier = threading.Barrier(16)
+
+        def worker(tenant_id: str):
+            barrier.wait()
+            for _ in range(50):
+                seen[tenant_id].add(id(registry.get_or_create(tenant_id)))
+
+        threads = [
+            threading.Thread(target=worker, args=(f"t{i % 8}",))
+            for i in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(registry) == 8
+        for ids in seen.values():
+            assert len(ids) == 1  # no duplicate sessions ever observed
+
+
+class TestTrackerAggregation:
+    def test_tenant_trackers_lists_every_session(self):
+        registry = TenantRegistry()
+        registry.get_or_create("alice")
+        registry.get_or_create("bob")
+        names = {tenant_id for tenant_id, _ in tenant_trackers()}
+        assert {"alice", "bob"} <= names
+
+    def test_registries_are_weakly_tracked(self):
+        import gc
+
+        before = len(list(_REGISTRIES))
+        registry = TenantRegistry()
+        registry.get_or_create("temp")
+        assert len(list(_REGISTRIES)) == before + 1
+        del registry
+        gc.collect()
+        names = {tenant_id for tenant_id, _ in tenant_trackers()}
+        assert "temp" not in names
