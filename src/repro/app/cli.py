@@ -962,6 +962,11 @@ def cmd_serve(args) -> int:
         profile=args.profile,
         seed=args.seed,
         workers=args.workers,
+        # Per-tenant trackers must judge latency against the same bar
+        # as the global tracker set above, or /health and per-tenant
+        # admission would use a different objective than the operator
+        # configured.
+        slo_objective_ms=args.objective_ms,
     )
     try:
         if args.smoke:

@@ -60,7 +60,7 @@ from .metrics import (
     linear_buckets,
 )
 from .profiler import ModuleProfiler
-from .slo import SloTracker, health_level
+from .slo import GOOD_OUTCOMES, SloTracker, health_level
 from .slo import tracker as slo_tracker
 from .store import TelemetryStore, active_store, set_store
 from .store import configure as configure_store
@@ -95,6 +95,7 @@ __all__ = [
     "current_request",
     "SloTracker",
     "slo_tracker",
+    "GOOD_OUTCOMES",
     "health_level",
     "TelemetryStore",
     "set_store",

@@ -68,6 +68,15 @@ class RequestContext:
         if self.outcome == "ok":
             self.outcome = "degraded"
 
+    def set_outcome(self, outcome: str) -> None:
+        """Override the verdict (e.g. ``client_error`` for handled 4xx).
+
+        Unlike the exception path, a set outcome survives a normal scope
+        exit — the serve layer uses it to record caller-caused failures
+        without spending the service's error budget.
+        """
+        self.outcome = str(outcome)
+
     def set_tags(self, **tags: object) -> None:
         self.tags.update(tags)
 
@@ -81,6 +90,9 @@ class _NoopRequest:
     outcome = "ok"
 
     def mark_degraded(self) -> None:
+        pass
+
+    def set_outcome(self, outcome: str) -> None:
         pass
 
     def set_tags(self, **tags: object) -> None:

@@ -8,9 +8,12 @@ and how fast is the error budget burning.
 
 Definitions (DESIGN.md §9):
 
-* A request is **good** iff ``outcome == "ok"`` *and* its latency is
-  within ``objective_ms``. Degraded and errored requests spend budget
-  even when they were fast — a degraded answer is not the product.
+* A request is **good** iff its outcome is in :data:`GOOD_OUTCOMES`
+  (``ok``, or ``client_error`` — a well-formed rejection of a bad
+  request is the service doing its job, not a service failure) *and*
+  its latency is within ``objective_ms``. Degraded and errored
+  requests spend budget even when they were fast — a degraded answer
+  is not the product.
 * **attainment** = good / total over the rolling window (NaN with no
   data — see :meth:`repro.obs.metrics.Histogram.quantile` for the same
   contract).
@@ -29,9 +32,15 @@ from collections import deque
 
 import numpy as np
 
-__all__ = ["SloTracker", "tracker", "health_level"]
+__all__ = ["SloTracker", "tracker", "health_level", "GOOD_OUTCOMES"]
 
 _GOOD_OUTCOME = "ok"
+
+#: Outcomes that spend no error budget. ``client_error`` is a handled
+#: 4xx: the caller's fault, answered correctly — without this class,
+#: one misbehaving client replaying bad requests would drive the burn
+#: rate past the shed threshold and take down service for every tenant.
+GOOD_OUTCOMES = frozenset({"ok", "client_error"})
 
 
 def health_level(snapshot: dict) -> str:
@@ -114,7 +123,7 @@ class SloTracker:
         good = 0
         for ms, outcome in requests:
             outcomes[outcome] = outcomes.get(outcome, 0) + 1
-            if outcome == _GOOD_OUTCOME and ms <= self.objective_ms:
+            if outcome in GOOD_OUTCOMES and ms <= self.objective_ms:
                 good += 1
         attainment = good / count
         burn_rate = (1.0 - attainment) / self.error_budget

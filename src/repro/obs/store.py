@@ -46,6 +46,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .metrics import exponential_buckets
+from .slo import GOOD_OUTCOMES
 
 __all__ = [
     "TelemetryStore",
@@ -104,7 +105,7 @@ class _PeriodAccumulator:
         self.count += 1
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.kinds[kind] = self.kinds.get(kind, 0) + 1
-        if outcome == "ok" and duration_ms <= self.objective_ms:
+        if outcome in GOOD_OUTCOMES and duration_ms <= self.objective_ms:
             self.good += 1
         if math.isfinite(duration_ms):
             idx = int(

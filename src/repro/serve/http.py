@@ -298,14 +298,29 @@ def build_server(
     workers: int | None = None,
     bank: ModelBank | None = None,
     service: DeviceScopeService | None = None,
+    slo_objective_ms: float | None = None,
 ) -> DeviceScopeServer:
-    """Wire a ready-to-start server (``port=0`` picks an ephemeral one)."""
+    """Wire a ready-to-start server (``port=0`` picks an ephemeral one).
+
+    ``slo_objective_ms`` seeds the per-tenant trackers (the CLI's
+    ``--objective-ms``); the caller is expected to set the matching
+    objective on the global ``obs.slo_tracker`` — per-tenant and global
+    health must judge latency against the same bar.
+    """
     if service is None:
+        from .tenancy import TenantRegistry
+
+        registry = (
+            None
+            if slo_objective_ms is None
+            else TenantRegistry(slo_objective_ms=slo_objective_ms)
+        )
         service = DeviceScopeService(
             bank=bank
             or ModelBank(
                 appliances=appliances, profile=profile, seed=seed,
                 workers=workers,
-            )
+            ),
+            registry=registry,
         )
     return DeviceScopeServer((host, port), service)

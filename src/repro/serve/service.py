@@ -41,8 +41,11 @@ from .tenancy import TenantHouse, TenantRegistry, TenantSession
 
 __all__ = ["ServiceError", "ModelBank", "DeviceScopeService"]
 
-#: Ingest batches and analysis windows are bounded so one request
-#: cannot balloon the process (the engine chunks at 1024 internally).
+#: Ingest batches and analysis windows are bounded per request, and the
+#: tenancy layer bounds what accumulates across requests (per-house
+#: sample quota, houses-per-tenant cap, ``max_tenants``) — so neither
+#: one request nor many can balloon the process (the engine chunks at
+#: 1024 internally).
 MAX_INGEST_SAMPLES = 1_000_000
 MAX_WINDOW_SAMPLES = 4096
 
@@ -160,9 +163,14 @@ class DeviceScopeService:
         registry: TenantRegistry | None = None,
         admission: AdmissionController | None = None,
     ):
-        self.bank = bank or ModelBank()
-        self.registry = registry or TenantRegistry()
-        self.admission = admission or AdmissionController()
+        self.bank = bank if bank is not None else ModelBank()
+        # Explicit None checks: an *empty* TenantRegistry is falsy
+        # (it defines __len__), so ``registry or TenantRegistry()``
+        # would silently discard a caller-configured registry.
+        self.registry = registry if registry is not None else TenantRegistry()
+        self.admission = (
+            admission if admission is not None else AdmissionController()
+        )
         self.started_at = time.time()
 
     # -- the request wrapper ----------------------------------------------
@@ -203,22 +211,42 @@ class DeviceScopeService:
                     {"Retry-After": f"{decision.retry_after_s:g}"},
                 )
         start = time.perf_counter()
-        outcome = "ok"
+        # Pessimistic default: an exception type we did not anticipate
+        # propagates to the HTTP layer's 500 handler, and the finally
+        # must bill it as an error — never as "ok" — so the tenant
+        # tracker and the global one (obs.request's exception path)
+        # always agree.
+        outcome = "error"
         try:
             with obs.request(
                 kind="serve", route=route, tenant=tenant_id
             ) as req:
-                status, payload = thunk(tenant)
+                try:
+                    status, payload = thunk(tenant)
+                except ServiceError as err:
+                    if err.status >= 500:
+                        raise
+                    # Handled 4xx: the caller's fault, answered
+                    # correctly. Billed as client_error — which spends
+                    # no error budget (obs.GOOD_OUTCOMES) — in *both*
+                    # the global tracker (via the request scope) and
+                    # the tenant tracker (the finally), so a client
+                    # replaying bad requests cannot trip admission
+                    # control for everyone.
+                    outcome = "client_error"
+                    req.set_outcome(outcome)
+                    return err.status, err.payload, {}
+                except (RobustError, ValueError, KeyError, OverflowError) as err:
+                    outcome = "client_error"
+                    req.set_outcome(outcome)
+                    return 400, {"error": str(err)}, {}
                 if payload.get("verdict") in ("degraded", "failed"):
                     req.mark_degraded()
                 outcome = req.outcome
             return status, payload, {}
         except ServiceError as err:
-            outcome = "error"
+            # 5xx ServiceErrors are genuine service failures.
             return err.status, err.payload, {}
-        except (RobustError, ValueError, KeyError, OverflowError) as err:
-            outcome = "error"
-            return 400, {"error": str(err)}, {}
         finally:
             tenant.slo.record(time.perf_counter() - start, outcome=outcome)
 
@@ -251,6 +279,12 @@ class DeviceScopeService:
         with tenant.lock:
             if house_id in tenant.houses:
                 raise ServiceError(409, f"house {house_id!r} already exists")
+            if len(tenant.houses) >= tenant.max_houses:
+                raise ServiceError(
+                    429,
+                    f"tenant {tenant.tenant_id!r} already holds "
+                    f"{tenant.max_houses} houses; delete one first",
+                )
             house = TenantHouse(
                 house_id=house_id, step_s=step_s, aggregate=watts
             )
@@ -279,6 +313,16 @@ class DeviceScopeService:
         if watts.size == 0:
             raise ServiceError(400, "watts (non-empty list) is required")
         with tenant.lock:
+            if house.n_steps + watts.size > house.max_samples:
+                raise ServiceError(
+                    413,
+                    f"house {house_id!r} holds {house.n_steps} of its "
+                    f"{house.max_samples}-sample quota; this batch of "
+                    f"{watts.size} does not fit — delete the house or "
+                    "create a new one",
+                    n_steps=house.n_steps,
+                    max_samples=house.max_samples,
+                )
             n_steps = house.ingest(watts)
         if obs.enabled():
             obs.registry.counter(

@@ -23,7 +23,6 @@ from __future__ import annotations
 import re
 import threading
 import weakref
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -32,6 +31,8 @@ from ..core import ResultCache
 from ..obs.slo import SloTracker
 
 __all__ = [
+    "MAX_HOUSE_SAMPLES",
+    "MAX_HOUSES_PER_TENANT",
     "TenantHouse",
     "TenantSession",
     "TenantRegistry",
@@ -46,8 +47,16 @@ _TENANT_ID = re.compile(r"^[A-Za-z0-9_.-]{1,64}$")
 #: Every live registry, for process-wide health aggregation.
 _REGISTRIES: "weakref.WeakSet[TenantRegistry]" = weakref.WeakSet()
 
+#: Per-house retention quota: the hard ceiling on samples one house may
+#: accumulate across all ingests (the *per-request* cap lives in
+#: :mod:`repro.serve.service`). 2M float64 samples ≈ 16 MiB, ~3.8 years
+#: of one-minute readings.
+MAX_HOUSE_SAMPLES = 2_000_000
 
-@dataclass
+#: Houses one tenant may hold at once.
+MAX_HOUSES_PER_TENANT = 64
+
+
 class TenantHouse:
     """One tenant-owned consumption series plus its attached devices.
 
@@ -58,31 +67,76 @@ class TenantHouse:
     analyzer. Devices are the appliances the tenant attached — only
     attached appliances can be detected/localized, mirroring the
     device-CRUD-then-analyze flow.
+
+    Retention is bounded: a house holds at most ``max_samples`` samples
+    total, and appends go into an amortized-doubling buffer — N small
+    ingests cost O(N) copying, not the O(N²) a concatenate-per-ingest
+    would.
     """
 
-    house_id: str
-    step_s: float = 60.0
-    aggregate: np.ndarray = field(
-        default_factory=lambda: np.empty(0, dtype=np.float64)
-    )
-    devices: dict[str, dict] = field(default_factory=dict)
-
-    def __post_init__(self):
-        self.aggregate = np.asarray(self.aggregate, dtype=np.float64)
-        if self.aggregate.ndim != 1:
+    def __init__(
+        self,
+        house_id: str,
+        step_s: float = 60.0,
+        aggregate: np.ndarray | None = None,
+        devices: dict[str, dict] | None = None,
+        max_samples: int = MAX_HOUSE_SAMPLES,
+    ):
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        self.house_id = house_id
+        self.step_s = step_s
+        self.devices: dict[str, dict] = dict(devices or {})
+        self.max_samples = int(max_samples)
+        initial = np.asarray(
+            np.empty(0, dtype=np.float64) if aggregate is None else aggregate,
+            dtype=np.float64,
+        )
+        if initial.ndim != 1:
             raise ValueError("aggregate must be 1-D")
+        if initial.size > self.max_samples:
+            raise OverflowError(
+                f"initial series ({initial.size} samples) exceeds the "
+                f"{self.max_samples}-sample house quota"
+            )
+        self._buf = initial.copy()
+        self._n = int(initial.size)
+
+    @property
+    def aggregate(self) -> np.ndarray:
+        """The ingested series so far (a read-only-by-convention view)."""
+        return self._buf[: self._n]
 
     @property
     def n_steps(self) -> int:
-        return int(self.aggregate.size)
+        return self._n
 
     def ingest(self, watts: np.ndarray) -> int:
-        """Append one batch of readings; returns the new length."""
+        """Append one batch of readings; returns the new length.
+
+        Raises :class:`OverflowError` when the batch would push the
+        house past ``max_samples`` (the service maps this to a 413).
+        """
         watts = np.asarray(watts, dtype=np.float64)
         if watts.ndim != 1:
             raise ValueError("ingest expects a flat list of watt readings")
-        self.aggregate = np.concatenate([self.aggregate, watts])
-        return self.n_steps
+        total = self._n + watts.size
+        if total > self.max_samples:
+            raise OverflowError(
+                f"house {self.house_id!r} holds {self._n} samples; "
+                f"appending {watts.size} would exceed the "
+                f"{self.max_samples}-sample quota"
+            )
+        if total > self._buf.size:
+            grown = np.empty(
+                min(self.max_samples, max(total, 2 * self._buf.size, 1024)),
+                dtype=np.float64,
+            )
+            grown[: self._n] = self._buf[: self._n]
+            self._buf = grown
+        self._buf[self._n : total] = watts
+        self._n = total
+        return self._n
 
     def read_window(self, start: int, length: int) -> np.ndarray:
         """One aggregate slice (always a copy), bounds-checked."""
@@ -113,9 +167,11 @@ class TenantSession:
         cache_size: int = 256,
         slo_objective_ms: float = 250.0,
         slo_window: int = 512,
+        max_houses: int = MAX_HOUSES_PER_TENANT,
     ):
         self.tenant_id = tenant_id
         self.lock = threading.Lock()
+        self.max_houses = int(max_houses)
         self.houses: dict[str, TenantHouse] = {}
         self.cache = ResultCache(
             maxsize=cache_size, name=f"tenant:{tenant_id}"
@@ -153,14 +209,22 @@ class TenantRegistry:
         cache_size: int = 256,
         slo_objective_ms: float = 250.0,
         max_tenants: int = 1024,
+        max_houses: int = MAX_HOUSES_PER_TENANT,
     ):
         if n_stripes < 1:
             raise ValueError("n_stripes must be >= 1")
         self._stripes = tuple(threading.Lock() for _ in range(n_stripes))
+        # All copy-on-write publishes of ``_sessions`` go through this
+        # one lock. Stripe locks only serialize same-tenant creation;
+        # two creates on *different* stripes would otherwise each copy
+        # the same base dict and the last publish would silently drop
+        # the other tenant's session.
+        self._publish_lock = threading.Lock()
         self._sessions: dict[str, TenantSession] = {}
         self._cache_size = cache_size
         self._slo_objective_ms = slo_objective_ms
         self._max_tenants = max_tenants
+        self._max_houses = max_houses
         _REGISTRIES.add(self)
 
     @staticmethod
@@ -187,20 +251,25 @@ class TenantRegistry:
             session = self._sessions.get(tenant_id)
             if session is not None:
                 return session
-            if len(self._sessions) >= self._max_tenants:
-                raise OverflowError(
-                    f"tenant registry full ({self._max_tenants} tenants)"
-                )
             session = TenantSession(
                 tenant_id,
                 cache_size=self._cache_size,
                 slo_objective_ms=self._slo_objective_ms,
+                max_houses=self._max_houses,
             )
             # Copy-on-write publish: readers iterate/lookup without a
-            # lock, so never mutate the published dict in place.
-            sessions = dict(self._sessions)
-            sessions[tenant_id] = session
-            self._sessions = sessions
+            # lock, so never mutate the published dict in place — and
+            # copy+swap only under the registry-wide publish lock, so
+            # concurrent publishes on other stripes cannot base their
+            # copy on a stale dict and drop this session.
+            with self._publish_lock:
+                if len(self._sessions) >= self._max_tenants:
+                    raise OverflowError(
+                        f"tenant registry full ({self._max_tenants} tenants)"
+                    )
+                sessions = dict(self._sessions)
+                sessions[tenant_id] = session
+                self._sessions = sessions
             if obs.enabled():
                 obs.registry.counter(
                     "serve.tenants_created_total",
@@ -211,11 +280,12 @@ class TenantRegistry:
     def drop(self, tenant_id: str) -> bool:
         """Forget one tenant (its cache and houses become garbage)."""
         with self._stripe(tenant_id):
-            if tenant_id not in self._sessions:
-                return False
-            sessions = dict(self._sessions)
-            del sessions[tenant_id]
-            self._sessions = sessions
+            with self._publish_lock:
+                if tenant_id not in self._sessions:
+                    return False
+                sessions = dict(self._sessions)
+                del sessions[tenant_id]
+                self._sessions = sessions
             return True
 
     def tenants(self) -> list[TenantSession]:

@@ -233,3 +233,20 @@ def test_format_slo_renders_both_states():
     for _ in range(98):
         tracker.record(0.010, "ok")
     assert "HEALTHY" in format_slo(tracker.snapshot())
+
+
+def test_client_errors_spend_no_budget():
+    """A handled 4xx is the service doing its job: it must not burn
+    the error budget (one misbehaving client could otherwise trip
+    admission control for every tenant)."""
+    tracker = SloTracker(objective_ms=100.0, error_budget=0.01)
+    for _ in range(10):
+        tracker.record(0.010, outcome="client_error")
+    snapshot = tracker.snapshot()
+    assert snapshot["attainment"] == 1.0
+    assert snapshot["burn_rate"] == 0.0
+    assert snapshot["healthy"] is True
+    assert snapshot["outcomes"] == {"client_error": 10}
+    # ...but a *slow* client_error still misses the latency objective.
+    tracker.record(1.0, outcome="client_error")
+    assert tracker.snapshot()["attainment"] < 1.0

@@ -242,3 +242,15 @@ def test_property_torn_tail_never_breaks_reader(tmp_path_factory, n_records, cut
 
 def test_default_store_dir_constant():
     assert DEFAULT_STORE_DIR == ".devicescope_telemetry"
+
+
+def test_client_errors_count_good_in_rollups(tmp_path):
+    """The store's SLO-good accounting follows ``obs.GOOD_OUTCOMES``:
+    handled 4xx spend no budget in history rows either."""
+    store = make_store(tmp_path)
+    drive(store, 3, outcome="client_error")
+    drive(store, 2, outcome="error")
+    (row,) = store.history()
+    assert row["count"] == 5
+    assert row["good"] == 3
+    assert row["outcomes"] == {"client_error": 3, "error": 2}

@@ -280,3 +280,14 @@ class TestConcurrentTenants:
         tenants = health["tenants"]
         for i in range(self.N_TENANTS):
             assert tenants[f"tenant-{i}"]["slo"]["count"] >= 5
+
+
+def test_build_server_plumbs_slo_objective_to_tenants():
+    """Regression: ``--objective-ms`` used to reach only the global
+    tracker while per-tenant trackers kept the hard-coded 250 ms."""
+    server = build_server(port=0, slo_objective_ms=1234.0)
+    try:
+        session = server.service.registry.get_or_create("tenant-a")
+        assert session.slo.objective_ms == 1234.0
+    finally:
+        server.server_close()

@@ -236,6 +236,111 @@ class TestInference:
         assert "ingest" in payload["error"]
 
 
+class TestClientErrorBudget:
+    """Regression: handled 4xx used to be billed as outcome="error" in
+    both the global and tenant SLO trackers, so ~16 bad requests from
+    one client drove the burn rate past the shed threshold and took
+    down service for every tenant."""
+
+    def test_client_4xx_spends_no_error_budget(self, service):
+        obs.enable()
+        obs.reset()
+        for _ in range(32):
+            status, _, _ = run(
+                service, "houses.get", lambda t: service.get_house(t, "nope")
+            )
+            assert status == 404
+        tenant_slo = service.registry.get(TENANT).slo.snapshot()
+        assert tenant_slo["outcomes"] == {"client_error": 32}
+        assert tenant_slo["attainment"] == 1.0
+        assert tenant_slo["burn_rate"] == 0.0
+        global_slo = obs.slo_tracker.snapshot()
+        assert global_slo["outcomes"].get("client_error") == 32
+        assert global_slo["burn_rate"] == 0.0
+        # Far past min_requests, admission still accepts everyone.
+        admission = AdmissionController(min_requests=16)
+        assert admission.decide().accepted
+
+    def test_engine_validation_errors_are_client_errors(self, service):
+        obs.enable()
+        obs.reset()
+        make_house(service)
+
+        def bad(t):
+            raise ValueError("start must be >= 0")
+
+        status, _, _ = run(service, "series", bad)
+        assert status == 400
+        tenant_slo = service.registry.get(TENANT).slo.snapshot()
+        assert tenant_slo["outcomes"].get("client_error") == 1
+
+    def test_5xx_service_error_spends_budget(self, service):
+        obs.enable()
+        obs.reset()
+
+        def fail(t):
+            raise ServiceError(503, "backend exploded")
+
+        status, payload, _ = run(service, "detect", fail)
+        assert status == 503
+        tenant_slo = service.registry.get(TENANT).slo.snapshot()
+        assert tenant_slo["outcomes"].get("error") == 1
+        assert obs.slo_tracker.snapshot()["outcomes"].get("error") == 1
+
+    def test_unexpected_exception_bills_error_to_both_trackers(self, service):
+        # Regression: exception types outside the handled tuple used to
+        # record outcome="ok" into the tenant tracker while the global
+        # scope recorded "error" — tenant and global health disagreed.
+        obs.enable()
+        obs.reset()
+
+        def boom(t):
+            raise TypeError("unhashable body value")
+
+        with pytest.raises(TypeError):
+            run(service, "houses.list", boom)
+        tenant_slo = service.registry.get(TENANT).slo.snapshot()
+        assert tenant_slo["outcomes"] == {"error": 1}
+        assert obs.slo_tracker.snapshot()["outcomes"].get("error") == 1
+
+
+class TestQuotas:
+    def test_ingest_past_house_quota_is_413(self, service):
+        make_house(service)
+        house = service.registry.get(TENANT).houses["h1"]
+        house.max_samples = 16
+        status, _, _ = run(
+            service,
+            "ingest",
+            lambda t: service.ingest(t, "h1", {"watts": [1.0] * 12}),
+        )
+        assert status == 200
+        status, payload, _ = run(
+            service,
+            "ingest",
+            lambda t: service.ingest(t, "h1", {"watts": [1.0] * 8}),
+        )
+        assert status == 413
+        assert payload["max_samples"] == 16
+        assert house.n_steps == 12  # the rejected batch appended nothing
+
+    def test_houses_per_tenant_cap_is_429(self, service):
+        make_house(service, house_id="h1")
+        tenant = service.registry.get(TENANT)
+        tenant.max_houses = 2
+        make_house(service, house_id="h2")
+        status, payload, _ = run(
+            service,
+            "houses.create",
+            lambda t: service.create_house(t, {"house_id": "h3"}),
+        )
+        assert status == 429
+        assert "delete one" in payload["error"]
+        # Deleting a house frees the slot.
+        run(service, "houses.delete", lambda t: service.delete_house(t, "h1"))
+        make_house(service, house_id="h3")
+
+
 class TestShedContract:
     def make_shedding_service(self, bank):
         slo = SloTracker(objective_ms=250.0, error_budget=0.01)

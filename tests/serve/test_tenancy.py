@@ -39,6 +39,31 @@ class TestTenantHouse:
         with pytest.raises(ValueError):
             house.ingest(np.zeros((2, 2)))
 
+    def test_ingest_past_quota_overflows_and_appends_nothing(self):
+        house = TenantHouse(house_id="h1", max_samples=10)
+        house.ingest(np.arange(8.0))
+        with pytest.raises(OverflowError):
+            house.ingest(np.zeros(3))
+        assert house.n_steps == 8  # the rejected batch left no trace
+        assert house.ingest(np.zeros(2)) == 10  # exactly to the quota
+
+    def test_initial_series_respects_quota(self):
+        with pytest.raises(OverflowError):
+            TenantHouse(house_id="h1", aggregate=np.zeros(11), max_samples=10)
+
+    def test_many_small_ingests_amortize_without_recopying(self):
+        house = TenantHouse(house_id="h1", max_samples=100_000)
+        for i in range(100):
+            house.ingest(np.full(7, float(i)))
+        assert house.n_steps == 700
+        np.testing.assert_array_equal(
+            house.read_window(693, 7), np.full(7, 99.0)
+        )
+        np.testing.assert_array_equal(house.read_window(0, 7), np.zeros(7))
+        # Spare capacity proves appends go into a doubling buffer, not
+        # a fresh concatenate per batch.
+        assert house._buf.size > house.n_steps
+
 
 class TestRegistry:
     def test_get_or_create_is_idempotent(self):
@@ -103,6 +128,64 @@ class TestRegistry:
         assert len(registry) == 8
         for ids in seen.values():
             assert len(ids) == 1  # no duplicate sessions ever observed
+
+    def test_concurrent_cross_stripe_creation_loses_no_session(self):
+        # Regression: the copy-on-write publish used to be guarded only
+        # by per-stripe locks, so two creates on *different* stripes
+        # could copy the same base dict and the last publish silently
+        # dropped the other tenant's freshly created session.
+        for _ in range(25):
+            registry = TenantRegistry(n_stripes=8)
+            n = 16
+            barrier = threading.Barrier(n)
+            created: dict[str, object] = {}
+
+            def worker(i: int):
+                tenant_id = f"tenant-{i}"
+                barrier.wait()
+                created[tenant_id] = registry.get_or_create(tenant_id)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(n)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert len(registry) == n
+            for tenant_id, session in created.items():
+                # The registry still holds the exact session each
+                # request proceeded with — not a replacement.
+                assert registry.get(tenant_id) is session
+
+    def test_drop_racing_creates_loses_no_other_session(self):
+        for _ in range(25):
+            registry = TenantRegistry(n_stripes=8)
+            registry.get_or_create("victim")
+            barrier = threading.Barrier(9)
+
+            def dropper():
+                barrier.wait()
+                registry.drop("victim")
+
+            def creator(i: int):
+                barrier.wait()
+                registry.get_or_create(f"tenant-{i}")
+
+            threads = [threading.Thread(target=dropper)] + [
+                threading.Thread(target=creator, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert "victim" not in registry
+            for i in range(8):
+                assert registry.get(f"tenant-{i}") is not None
+
+    def test_max_houses_plumbs_to_sessions(self):
+        registry = TenantRegistry(max_houses=3)
+        assert registry.get_or_create("alice").max_houses == 3
 
 
 class TestTrackerAggregation:
