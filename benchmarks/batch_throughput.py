@@ -1,0 +1,302 @@
+"""Micro-batching throughput bench + gate for ``repro.serve.batching``.
+
+Measures the tentpole claim of the micro-batcher: N concurrent
+same-appliance clients (default 16) sustain a multiple of the serial
+PR 7 path's aggregate windows/sec, because their sweeps coalesce into
+stacked ``(B, L)`` ensemble passes.
+
+Three arms, all driving :class:`~repro.serve.DeviceScopeService`
+directly (no sockets — the HTTP layer is benched separately by
+``serve_throughput.py``; this bench isolates the sweep engine):
+
+* **serial** — batching disabled (``batch_max=1``), which short-circuits
+  to exactly the PR 7 code path: one ``localize_watts(window[None])``
+  per request under the sweep lock. N concurrent clients, distinct
+  tenants, every window cache-cold.
+* **batched** — the same drive against a micro-batching service
+  (default 16-row batches, 8 ms window).
+* **lone** — single-threaded sequential requests against the *batched*
+  service: what one isolated client pays (leader-alone timeout + solo
+  sweep). This is the honest "single-request p95" yardstick for the
+  deployed configuration.
+
+Hardware normalization: the headline metrics are *ratios measured on
+the same machine in the same process* — ``speedup_wps`` (batched vs
+serial windows/sec) and ``p95_over_single`` (loaded p95 vs lone p95) —
+so the gate is machine-free by construction, like
+``regression_gate.py``'s fast/legacy ratio.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/batch_throughput.py             # persist JSON
+    PYTHONPATH=src python benchmarks/batch_throughput.py --gate \\
+        --min-speedup 2.5 --max-p95-ratio 2.0                        # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent / "results" / "BENCH_batch_throughput.json"
+)
+
+
+def _synthetic_watts(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    watts = rng.uniform(80, 240, size=n) + 40.0
+    for start in range(20, n - 16, 61):  # periodic kettle-ish spikes
+        watts[start : start + 8] = 2600.0
+    return np.round(watts, 2)
+
+
+class _Client:
+    """One tenant issuing cache-cold detect requests through execute()."""
+
+    def __init__(self, service, index: int, requests: int, samples: int):
+        self.service = service
+        self.tenant = f"batch-{index}"
+        self.index = index
+        self.requests = requests
+        self.samples = samples
+        self.latencies: list[float] = []
+        self.errors: list[str] = []
+
+    def setup(self) -> None:
+        body = {
+            "house_id": "home",
+            # One fresh start offset per request keeps every window
+            # cache-cold; distinct seeds keep clients' windows distinct.
+            "watts": _synthetic_watts(
+                self.samples + self.requests + 4, seed=300 + self.index
+            ).tolist(),
+        }
+        status, _, _ = self.service.execute(
+            "houses.create",
+            self.tenant,
+            lambda t: self.service.create_house(t, body),
+        )
+        if status != 201:
+            raise RuntimeError(f"{self.tenant}: create -> {status}")
+        status, _, _ = self.service.execute(
+            "devices.attach",
+            self.tenant,
+            lambda t: self.service.attach_device(
+                t, "home", {"appliance": "kettle"}
+            ),
+        )
+        if status != 201:
+            raise RuntimeError(f"{self.tenant}: attach -> {status}")
+
+    def run(self, barrier: threading.Barrier | None = None) -> None:
+        try:
+            if barrier is not None:
+                barrier.wait(timeout=60)
+            for i in range(self.requests):
+                body = {
+                    "appliance": "kettle",
+                    "start": i,
+                    "length": self.samples,
+                }
+                start = time.perf_counter()
+                status, payload, _ = self.service.execute(
+                    "detect",
+                    self.tenant,
+                    lambda t: self.service.detect(t, "home", body),
+                )
+                elapsed = time.perf_counter() - start
+                if status == 200:
+                    self.latencies.append(elapsed)
+                else:
+                    self.errors.append(f"detect -> {status}: {payload}")
+        except Exception as err:  # surfaced by the main thread
+            self.errors.append(repr(err))
+
+
+def _drive(service, clients: int, requests: int, samples: int) -> dict:
+    """N concurrent clients; returns aggregate windows/sec + latencies."""
+    users = [_Client(service, i, requests, samples) for i in range(clients)]
+    for user in users:
+        user.setup()
+    # Warm the model/scaler build outside the timed region.
+    warm = _Client(service, 999, 1, samples)
+    warm.setup()
+    warm.run()
+    barrier = threading.Barrier(clients)
+    threads = [
+        threading.Thread(target=user.run, args=(barrier,), name=user.tenant)
+        for user in users
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    errors = [e for u in users for e in u.errors]
+    if errors:
+        raise RuntimeError("bench requests failed: " + "; ".join(errors[:5]))
+    latencies = np.asarray([l for u in users for l in u.latencies])
+    return {
+        "windows": int(latencies.size),
+        "wall_s": round(wall, 4),
+        "wps": round(latencies.size / wall, 3),
+        "p50_ms": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+    }
+
+
+def _drive_lone(service, requests: int, samples: int) -> dict:
+    """Sequential isolated requests (the single-request yardstick)."""
+    user = _Client(service, 500, requests, samples)
+    user.setup()
+    user.run()
+    if user.errors:
+        raise RuntimeError("lone requests failed: " + user.errors[0])
+    latencies = np.asarray(user.latencies)
+    return {
+        "windows": int(latencies.size),
+        "p50_ms": round(float(np.percentile(latencies, 50)) * 1e3, 3),
+        "p95_ms": round(float(np.percentile(latencies, 95)) * 1e3, 3),
+    }
+
+
+def run_bench(args) -> dict:
+    from repro.serve import (
+        AdmissionController,
+        DeviceScopeService,
+        MicroBatcher,
+        ModelBank,
+        TenantRegistry,
+    )
+
+    # One read-only bank shared by every arm (identical weights, one
+    # sweep lock); a small ensemble so the fixed per-sweep cost the
+    # batcher amortizes — not raw GEMM width — dominates, matching the
+    # short-window interactive requests batching exists for.
+    bank = ModelBank(
+        appliances=("kettle",),
+        seed=args.seed,
+        kernel_sizes=tuple(args.kernel_sizes),
+        n_filters=tuple(args.filters),
+    )
+
+    def make_service(batcher: MicroBatcher) -> DeviceScopeService:
+        return DeviceScopeService(
+            bank=bank,
+            registry=TenantRegistry(),
+            # Never shed: this bench measures throughput, not overload.
+            admission=AdmissionController(min_requests=10**9),
+            batcher=batcher,
+        )
+
+    serial_service = make_service(MicroBatcher(batch_max=1))
+    serial = _drive(serial_service, args.clients, args.requests, args.samples)
+
+    batched_service = make_service(
+        MicroBatcher(
+            batch_window_ms=args.batch_window_ms, batch_max=args.batch_max
+        )
+    )
+    batched = _drive(batched_service, args.clients, args.requests, args.samples)
+    batched["batcher"] = batched_service.batcher.stats()
+
+    lone = _drive_lone(batched_service, args.lone_requests, args.samples)
+
+    speedup = batched["wps"] / serial["wps"]
+    p95_ratio = batched["p95_ms"] / lone["p95_ms"]
+    return {
+        "bench": "batch_throughput",
+        "config": {
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "samples": args.samples,
+            "kernel_sizes": list(args.kernel_sizes),
+            "n_filters": list(args.filters),
+            "batch_window_ms": args.batch_window_ms,
+            "batch_max": args.batch_max,
+            "seed": args.seed,
+            "appliance": "kettle",
+        },
+        "serial": serial,
+        "batched": batched,
+        "lone": lone,
+        "speedup_wps": round(speedup, 3),
+        "p95_over_single": round(p95_ratio, 3),
+    }
+
+
+def gate(args, result: dict) -> int:
+    checks = [
+        ("speedup_wps", result["speedup_wps"], args.min_speedup, ">="),
+        ("p95_over_single", result["p95_over_single"], args.max_p95_ratio, "<="),
+    ]
+    failures = []
+    print(f"{'metric':<18} {'measured':>10} {'limit':>10}  verdict")
+    for name, measured, limit, op in checks:
+        ok = measured >= limit if op == ">=" else measured <= limit
+        print(
+            f"{name:<18} {measured:>10.3f} {limit:>10.3f}  "
+            f"{'ok' if ok else 'REGRESSED'}"
+        )
+        if not ok:
+            failures.append(name)
+    avg = result["batched"]["batcher"]["avg_batch_size"]
+    print(f"(avg batch size {avg:.2f} of max {result['config']['batch_max']})")
+    if failures:
+        print(f"FAIL: micro-batching gate failed on: {', '.join(failures)}")
+        return 1
+    print("OK: micro-batching meets the throughput/latency gate")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=16,
+                        help="concurrent same-appliance clients")
+    parser.add_argument("--requests", type=int, default=25,
+                        help="cache-cold inference requests per client")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="window length per inference")
+    parser.add_argument("--lone-requests", type=int, default=30,
+                        help="sequential requests for the single-request p95")
+    parser.add_argument("--kernel-sizes", type=int, nargs="+", default=[3, 5],
+                        help="bench ensemble kernel sizes")
+    parser.add_argument("--filters", type=int, nargs=3, default=[2, 4, 4],
+                        help="bench ensemble channel widths")
+    parser.add_argument("--batch-window-ms", type=float, default=8.0,
+                        help="batched-arm coalescing window")
+    parser.add_argument("--batch-max", type=int, default=16,
+                        help="batched-arm max windows per sweep")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="where to persist the bench JSON")
+    parser.add_argument("--gate", action="store_true",
+                        help="check thresholds instead of persisting")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        help="--gate floor for batched/serial windows-per-sec "
+                        "(CI floor; the persisted reference run shows the "
+                        "full ratio)")
+    parser.add_argument("--max-p95-ratio", type=float, default=2.0,
+                        help="--gate ceiling for loaded p95 / lone p95")
+    args = parser.parse_args(argv)
+
+    result = run_bench(args)
+    print(json.dumps(result, indent=2))
+    if args.gate:
+        return gate(args, result)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,14 @@ A change that slows the fast path (say, accidental per-span overhead on
 the disabled obs path) raises the ratio and trips the gate; a uniformly
 slower machine does not.
 
+A second, baseline-free check guards the *batched* dimension: one
+stacked ``(16, L)`` sweep must sustain at least ``--min-batch-speedup``
+times the windows/sec of 16 solo sweeps, both measured in-process on
+the same box — the engine-level amortization the serve-layer
+micro-batcher (DESIGN.md §12) is built on. A change that quietly
+serializes the batch axis (say, a per-row Python loop reintroduced in
+the backbone) collapses that ratio toward 1 and trips the gate.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/regression_gate.py
@@ -64,6 +72,14 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=0.25,
         help="allowed relative p95 regression vs the baseline ratio",
     )
+    parser.add_argument(
+        "--batch-samples", type=int, default=256,
+        help="window length for the batched windows/sec check",
+    )
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=1.5,
+        help="floor for windows/sec of one (16, L) sweep vs 16 solo sweeps",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
 
@@ -103,6 +119,34 @@ def main(argv: list[str] | None = None) -> int:
         )
         if not ok:
             failures.append(entry["window"])
+
+    # Batched windows/sec: no stored baseline needed — both sides run
+    # in this process, so the ratio is machine-free by construction.
+    batch = rng.uniform(0, 3000, size=(16, args.batch_samples))
+    solo_s = float(
+        np.median(
+            _times(
+                lambda: [
+                    fast.localize_watts(batch[i : i + 1]) for i in range(16)
+                ],
+                args.rounds,
+            )
+        )
+    )
+    batch_s = float(
+        np.median(_times(lambda: fast.localize_watts(batch), args.rounds))
+    )
+    wps_solo = 16.0 / solo_s
+    wps_batch = 16.0 / batch_s
+    batch_speedup = wps_batch / wps_solo
+    batch_ok = batch_speedup >= args.min_batch_speedup
+    print(
+        f"batch16  {wps_batch:>7.1f} windows/s vs {wps_solo:>7.1f} solo  "
+        f"{batch_speedup:>7.3f} {'':>9} {args.min_batch_speedup:>7.3f}  "
+        f"{'ok' if batch_ok else 'REGRESSED'}"
+    )
+    if not batch_ok:
+        failures.append("batch16-wps")
 
     if failures:
         print(

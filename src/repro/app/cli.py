@@ -223,6 +223,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-request latency objective for the SLO trackers",
     )
     serve.add_argument(
+        "--batch-window-ms", type=float, default=None,
+        help="micro-batcher coalescing window in ms — concurrent "
+        "detect/localize requests arriving within it share one "
+        "ensemble sweep (0 disables batching; default 4.0)",
+    )
+    serve.add_argument(
+        "--batch-max", type=int, default=None,
+        help="max windows coalesced into one sweep (1 disables "
+        "batching; default 16)",
+    )
+    serve.add_argument(
         "--smoke", action="store_true",
         help="boot on an ephemeral port, drive the CRUD→ingest→detect→"
         "metrics→health scenario plus an induced-overload 503 check "
@@ -967,12 +978,22 @@ def cmd_serve(args) -> int:
         # admission would use a different objective than the operator
         # configured.
         slo_objective_ms=args.objective_ms,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
     )
     try:
         if args.smoke:
             return _serve_smoke(args, server)
+        batcher = server.service.batcher
         print(f"devicescope serve: listening on {server.url}")
         print(f"  appliances: {', '.join(appliances)}")
+        if batcher.enabled:
+            print(
+                f"  micro-batching: window {batcher.batch_window_ms:g} ms, "
+                f"max {batcher.batch_max} windows/sweep"
+            )
+        else:
+            print("  micro-batching: disabled")
         print(f"  try: curl {server.url}/health")
         try:
             server.serve_forever()

@@ -49,6 +49,17 @@ def window_key(
     return (appliance, fingerprint, watts.shape, str(watts.dtype), digest)
 
 
+class _InFlight:
+    """One in-progress computation that concurrent waiters can join."""
+
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
 class ResultCache:
     """Thread-safe LRU cache with obs-exported hit/miss counters.
 
@@ -65,8 +76,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.rejected = 0  # computed values refused storage by cache_if
+        self.single_flight = 0  # lookups that joined an in-flight compute
         self._lock = threading.Lock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._inflight: dict[Hashable, _InFlight] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -110,33 +123,73 @@ class ResultCache:
         """Return the cached value for ``key`` or compute-and-store it.
 
         ``compute`` runs outside the lock, so a slow localization does
-        not serialize unrelated lookups; concurrent misses on the same
-        key may compute twice (last write wins) — acceptable for a
-        memoization cache of deterministic results.
+        not serialize unrelated lookups. Concurrent misses on the same
+        key are **single-flight**: the first caller (the leader)
+        computes, later callers block on its in-flight result and reuse
+        it — counted under ``single_flight`` — instead of recomputing.
+        If the leader's ``compute`` raises, each waiter retries the
+        lookup (and may become the next leader) rather than inheriting
+        the failure.
 
         ``cache_if`` gates storage: when it returns False for the
-        computed value, the value is returned but **not** stored (and
-        counted under ``rejected``). The app uses this to keep results
-        of degraded/failed computations out of the cache — a transient
-        fault must not be replayed forever as a cache hit. A ``compute``
-        that raises stores nothing either: the exception propagates and
-        the key stays absent.
+        computed value, the value is returned (and shared with any
+        waiters — they requested the identical computation) but **not**
+        stored, counted under ``rejected``. The app uses this to keep
+        results of degraded/failed computations out of the cache — a
+        transient fault must not be replayed forever as a cache hit. A
+        ``compute`` that raises stores nothing either: the exception
+        propagates and the key stays absent.
         """
-        value = self.get(key, self._MISS)
-        if value is not self._MISS:
-            return value
-        value = compute()
-        if cache_if is not None and not cache_if(value):
+        while True:
+            leader = False
             with self._lock:
-                self.rejected += 1
-            if obs.enabled():
-                obs.registry.counter(
-                    "app.result_cache_rejected_total",
-                    help="computed values refused storage (degraded/failed)",
-                ).inc(cache=self.name)
+                value = self._entries.get(key, self._MISS)
+                if value is not self._MISS:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    flight = None
+                else:
+                    flight = self._inflight.get(key)
+                    if flight is None:
+                        flight = _InFlight()
+                        self._inflight[key] = flight
+                        leader = True
+                        self.misses += 1
+                    else:
+                        self.single_flight += 1
+            if flight is None:
+                self._record(True)
+                return value
+            if not leader:
+                self._record_join()
+                flight.event.wait()
+                if flight.error is not None:
+                    continue
+                return flight.value
+            self._record(False)
+            try:
+                value = compute()
+            except BaseException as exc:
+                flight.error = exc
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.event.set()
+                raise
+            flight.value = value
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.event.set()
+            if cache_if is not None and not cache_if(value):
+                with self._lock:
+                    self.rejected += 1
+                if obs.enabled():
+                    obs.registry.counter(
+                        "app.result_cache_rejected_total",
+                        help="computed values refused storage (degraded/failed)",
+                    ).inc(cache=self.name)
+                return value
+            self.put(key, value)
             return value
-        self.put(key, value)
-        return value
 
     def clear(self) -> None:
         """Drop every entry (hit/miss totals are preserved)."""
@@ -153,6 +206,7 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "rejected": self.rejected,
+                "single_flight": self.single_flight,
                 "hit_rate": self.hits / max(self.hits + self.misses, 1),
             }
 
@@ -177,4 +231,17 @@ class ResultCache:
             "app.result_cache",
             cache=self.name,
             outcome="hit" if hit else "miss",
+        )
+
+    def _record_join(self) -> None:
+        if not obs.enabled():
+            return
+        obs.registry.counter(
+            "app.result_cache_single_flight_total",
+            help="result-cache lookups that joined an in-flight compute",
+        ).inc(cache=self.name)
+        obs.log.event(
+            "app.result_cache",
+            cache=self.name,
+            outcome="single_flight",
         )

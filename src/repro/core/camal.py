@@ -196,6 +196,41 @@ class CamALResult:
     def any_repaired(self) -> bool:
         return bool(self.repaired.any()) if self.repaired.size else False
 
+    def row(self, index: int) -> "CamALResult":
+        """A single-window :class:`CamALResult` for batch row ``index``.
+
+        Every array is *copied* so holding one row (e.g. in a result
+        cache) never pins the whole batch's memory alive.
+        """
+        n = self.probabilities.shape[0]
+        if not -n <= index < n:
+            raise IndexError(f"row {index} out of range for batch of {n}")
+        sl = slice(index, index + 1) if index != -1 else slice(-1, None)
+        return CamALResult(
+            probabilities=self.probabilities[sl].copy(),
+            detected=self.detected[sl].copy(),
+            cam=self.cam[sl].copy(),
+            attention=self.attention[sl].copy(),
+            status=self.status[sl].copy(),
+            member_probabilities={
+                key: value[sl].copy()
+                for key, value in self.member_probabilities.items()
+            },
+            uncertainty=self.uncertainty[sl].copy(),
+            repaired=self.repaired[sl].copy(),
+            degraded=self.degraded[sl].copy(),
+        )
+
+    def split(self) -> list["CamALResult"]:
+        """Scatter a batch result into independent per-window results.
+
+        The micro-batcher's inverse of stacking: row ``i`` of the
+        returned list is exactly what ``localize_watts(watts[i:i+1])``
+        would have produced (batched sweeps are bit-identical to
+        per-window sweeps — DESIGN.md §12).
+        """
+        return [self.row(i) for i in range(self.probabilities.shape[0])]
+
 
 class CamAL:
     """The full detector + localizer.

@@ -9,6 +9,7 @@ a small-kernel member sees spikes, a large-kernel member sees cycles.
 from __future__ import annotations
 
 import contextvars
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -79,6 +80,41 @@ class ResNetEnsemble(nn.Module):
                 for i, k in enumerate(kernel_sizes)
             ]
         )
+        self._init_pool_state()
+
+    def _init_pool_state(self) -> None:
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
+        self._pool_lock = threading.Lock()
+
+    def _executor(self, workers: int) -> ThreadPoolExecutor:
+        """The ensemble's persistent member-fanout pool, grown on demand.
+
+        Serving sweeps call :meth:`member_outputs` once per request;
+        constructing a ``ThreadPoolExecutor`` (and its worker threads)
+        per call is measurable churn, so one pool lives for the
+        ensemble's lifetime and is resized upward if a caller asks for
+        more fan-out. Shut it down via :meth:`close` (wired into the
+        serve layer's ``ModelBank.close``); a closed ensemble lazily
+        recreates the pool if used again.
+        """
+        with self._pool_lock:
+            if self._pool is None or self._pool_workers < workers:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                self._pool = ThreadPoolExecutor(
+                    max_workers=workers,
+                    thread_name_prefix="ensemble-member",
+                )
+                self._pool_workers = workers
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the member-fanout pool (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool, self._pool_workers = self._pool, None, 0
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def __len__(self) -> int:
         return len(self.members)
@@ -132,30 +168,26 @@ class ResNetEnsemble(nn.Module):
                 self._member_forward(i, member, x)
                 for i, member in enumerate(members)
             ]
-        with ThreadPoolExecutor(
-            max_workers=min(workers, len(members))
-        ) as pool:
-            if obs.enabled():
-                # Worker threads start from an empty context; one copy
-                # per task (a Context cannot be entered concurrently).
-                tasks = [
-                    (i, member, contextvars.copy_context())
-                    for i, member in enumerate(members)
-                ]
-                return list(
-                    pool.map(
-                        lambda task: task[2].run(
-                            self._member_forward, task[0], task[1], x
-                        ),
-                        tasks,
-                    )
+        pool = self._executor(min(workers, len(members)))
+        if obs.enabled():
+            # Worker threads start from an empty context; one copy
+            # per task (a Context cannot be entered concurrently).
+            futures = [
+                pool.submit(
+                    contextvars.copy_context().run,
+                    self._member_forward,
+                    i,
+                    member,
+                    x,
                 )
-            return list(
-                pool.map(
-                    lambda task: self._member_forward(task[0], task[1], x),
-                    enumerate(members),
-                )
-            )
+                for i, member in enumerate(members)
+            ]
+        else:
+            futures = [
+                pool.submit(self._member_forward, i, member, x)
+                for i, member in enumerate(members)
+            ]
+        return [future.result() for future in futures]
 
     def _member_forward(
         self, index: int, member: ResNetTSC, x: np.ndarray
@@ -234,4 +266,5 @@ class ResNetEnsemble(nn.Module):
         pruned.in_channels = self.in_channels
         pruned.n_filters = self.n_filters
         pruned.members = nn.ModuleList([self.members[i] for i in order])
+        pruned._init_pool_state()
         return pruned

@@ -174,7 +174,12 @@ class ResNetTSC(nn.Module):
                 f"[0, {self.num_classes})"
             )
         weights = self.fc.weight.data[class_index]  # (C,)
-        return np.einsum("ncl,c->nl", features, weights)
+        # Batch-invariant contraction (DESIGN.md §12): an axis reduction
+        # sums each output element over C in an index-fixed order, so
+        # row i of a stacked batch matches the same row swept alone —
+        # the einsum form lowers to a GEMV whose shape (and hence BLAS
+        # kernel) depends on the batch size.
+        return (features * weights[None, :, None]).sum(axis=1)
 
     def class_activation_map(
         self, x: np.ndarray | None = None, class_index: int = 1

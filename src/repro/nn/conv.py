@@ -98,7 +98,20 @@ class Conv1d(Module):
         cols = im2col1d(
             padded, self.kernel_size, self.stride, self.dilation
         )  # (N,C,L_out,K)
-        out = np.einsum("nclk,dck->ndl", cols, self.weight.data, optimize=True)
+        # Batch-invariant contraction (DESIGN.md §12): one GEMM *per
+        # window*, shaped (L_out, C·K) @ (C·K, D) no matter how many
+        # windows are stacked. The single-GEMM form
+        # ``einsum("nclk,dck->ndl", optimize=True)`` folds the batch
+        # into the M dimension, and BLAS picks ULP-different kernels
+        # for different M — breaking the serve layer's batched-sweep ==
+        # per-window-sweep contract. ``np.pad`` above already normalizes
+        # the input's memory layout, so per-slice results are exact.
+        n, c_in, l_out, k = cols.shape
+        lhs = np.ascontiguousarray(cols.transpose(0, 2, 1, 3)).reshape(
+            n, l_out, c_in * k
+        )
+        rhs = self.weight.data.reshape(self.out_channels, c_in * k).T
+        out = np.matmul(lhs, rhs).transpose(0, 2, 1)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
         if not is_inference():

@@ -46,7 +46,22 @@ class Linear(Module):
             )
         if not is_inference():
             self._cache = x
-        out = x @ self.weight.data.T
+        # Batch-invariant contraction (DESIGN.md §12): einsum's
+        # un-optimized kernel on a C-contiguous operand reduces over
+        # ``in_features`` in a fixed order per output element, so row i
+        # of a stacked batch is bit-identical to the same row pushed
+        # through alone. ``x @ W.T`` is not — BLAS picks different GEMM
+        # kernels for M=1 vs M=16 — and einsum's inner loop is
+        # layout-sensitive, so the input is normalized to C order first
+        # (a mean-reduced or sliced operand would otherwise drift at the
+        # ULP level and break the serve layer's batched-sweep ==
+        # per-window-sweep contract).
+        out = np.einsum(
+            "...i,oi->...o",
+            np.ascontiguousarray(x),
+            self.weight.data,
+            optimize=False,
+        )
         if self.bias is not None:
             out = out + self.bias.data
         return out

@@ -26,7 +26,12 @@ class GlobalAvgPool1d(Module):
             raise ValueError(f"expected (N, C, L) input, got shape {x.shape}")
         if not is_inference():
             self._length = x.shape[2]
-        return x.mean(axis=2)
+        # ``mean(axis=2)`` yields a reduce-transposed (non-C-contiguous)
+        # result; normalize the layout so downstream contractions (the
+        # classifier head) see the same memory order whether they get
+        # this batch or a slice of it — part of the batch-invariance
+        # contract (DESIGN.md §12).
+        return np.ascontiguousarray(x.mean(axis=2))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._length is None:

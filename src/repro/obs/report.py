@@ -18,6 +18,7 @@ __all__ = [
     "format_metrics",
     "format_slo",
     "format_history",
+    "format_batching",
     "format_dashboard",
     "ascii_report",
 ]
@@ -196,6 +197,34 @@ def format_history(periods: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def format_batching(metrics_snapshot: dict) -> str:
+    """One-line micro-batcher occupancy summary from ``serve.batch.*``.
+
+    Returns ``""`` when the process has recorded no batched sweeps
+    (e.g. the Playground, or a server with batching disabled), so the
+    dashboard only grows the line where it means something.
+    """
+
+    def _total(name: str, field: str) -> float:
+        metric = metrics_snapshot.get(name) or {}
+        return sum(
+            s.get(field, 0) or 0 for s in metric.get("series", [])
+        )
+
+    sweeps = _total("serve.batch.size", "count")
+    if not sweeps:
+        return ""
+    windows = _total("serve.batch.size", "sum")
+    coalesced = _total("serve.batch.coalesced_total", "value")
+    fallback = _total("serve.batch.fallback_total", "value")
+    occupancy = _total("serve.batch.occupancy", "value")
+    return (
+        f"batching: sweeps={int(sweeps)} windows={int(windows)} "
+        f"avg_size={windows / sweeps:.2f} coalesced={int(coalesced)} "
+        f"fallback={int(fallback)} occupancy={occupancy:.2f}"
+    )
+
+
 def format_dashboard(
     slo_snapshot: dict,
     metrics_snapshot: dict,
@@ -215,6 +244,9 @@ def format_dashboard(
             f"misses={cache_stats.get('misses', 0)} "
             f"hit_rate={cache_stats.get('hit_rate', 0.0):.2f}"
         )
+    batching = format_batching(metrics_snapshot)
+    if batching:
+        sections.append(batching)
     sections.append("")
     sections.append("== metrics ==")
     sections.append(format_metrics(metrics_snapshot))

@@ -17,6 +17,11 @@ Layers, inside out:
   shedding driven by SLO burn rate and the model-quality status
   (``repro.quality``): overload answers 503 + ``Retry-After`` instead
   of crashing, with probe-based shed→accept hysteresis.
+* :mod:`~repro.serve.batching` — :class:`MicroBatcher`, cross-request
+  micro-batching: concurrent detect/localize requests for the same
+  appliance (and window length) coalesce into one stacked ensemble
+  sweep under the sweep lock, bit-identical per row to solo sweeps
+  (DESIGN.md §12).
 * :mod:`~repro.serve.service` — :class:`DeviceScopeService`, the
   transport-free request logic (CRUD, ingestion, detect/localize
   through the fast path + cache, metrics/health payloads), every call
@@ -40,6 +45,7 @@ or from the shell: ``devicescope serve --port 8000``.
 from __future__ import annotations
 
 from .admission import AdmissionController, AdmissionDecision
+from .batching import DEFAULT_BATCH_MAX, DEFAULT_BATCH_WINDOW_MS, MicroBatcher
 from .http import DeviceScopeServer, build_server
 from .service import DeviceScopeService, ModelBank
 from .tenancy import (
@@ -59,6 +65,9 @@ __all__ = [
     "tenant_trackers",
     "tenant_slo_snapshots",
     "ModelBank",
+    "MicroBatcher",
+    "DEFAULT_BATCH_WINDOW_MS",
+    "DEFAULT_BATCH_MAX",
     "DeviceScopeService",
     "DeviceScopeServer",
     "build_server",

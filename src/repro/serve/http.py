@@ -278,6 +278,9 @@ class DeviceScopeServer(ThreadingHTTPServer):
             self._serve_thread.join(timeout=10.0)
             self._serve_thread = None
         self.server_close()
+        # Handlers are drained; release engine resources (the member
+        # fan-out pools) behind them.
+        self.service.close()
 
     @contextlib.contextmanager
     def running(self):
@@ -299,6 +302,8 @@ def build_server(
     bank: ModelBank | None = None,
     service: DeviceScopeService | None = None,
     slo_objective_ms: float | None = None,
+    batch_window_ms: float | None = None,
+    batch_max: int | None = None,
 ) -> DeviceScopeServer:
     """Wire a ready-to-start server (``port=0`` picks an ephemeral one).
 
@@ -306,6 +311,11 @@ def build_server(
     ``--objective-ms``); the caller is expected to set the matching
     objective on the global ``obs.slo_tracker`` — per-tenant and global
     health must judge latency against the same bar.
+
+    ``batch_window_ms`` / ``batch_max`` tune the request micro-batcher
+    (the CLI's ``--batch-window-ms`` / ``--batch-max``); ``batch_max=1``
+    or ``batch_window_ms=0`` disables coalescing entirely. Ignored when
+    a pre-built ``service`` is passed.
     """
     if service is None:
         from .tenancy import TenantRegistry
@@ -315,6 +325,11 @@ def build_server(
             if slo_objective_ms is None
             else TenantRegistry(slo_objective_ms=slo_objective_ms)
         )
+        batch_kwargs = {}
+        if batch_window_ms is not None:
+            batch_kwargs["batch_window_ms"] = batch_window_ms
+        if batch_max is not None:
+            batch_kwargs["batch_max"] = batch_max
         service = DeviceScopeService(
             bank=bank
             or ModelBank(
@@ -322,5 +337,6 @@ def build_server(
                 workers=workers,
             ),
             registry=registry,
+            **batch_kwargs,
         )
     return DeviceScopeServer((host, port), service)

@@ -37,6 +37,7 @@ from ..datasets import APPLIANCE_NAMES, Standardizer, build_dataset
 from ..models import ResNetEnsemble
 from ..robust import RobustError
 from .admission import AdmissionController
+from .batching import DEFAULT_BATCH_MAX, DEFAULT_BATCH_WINDOW_MS, MicroBatcher
 from .tenancy import TenantHouse, TenantRegistry, TenantSession
 
 __all__ = ["ServiceError", "ModelBank", "DeviceScopeService"]
@@ -153,6 +154,13 @@ class ModelBank:
             "catalogue": sorted(APPLIANCE_NAMES),
         }
 
+    def close(self) -> None:
+        """Release model resources (each ensemble's member-fanout pool)."""
+        with self._lock:
+            models = list(self._models.values())
+        for model in models:
+            model.ensemble.close()
+
 
 class DeviceScopeService:
     """The endpoint logic behind :class:`repro.serve.DeviceScopeServer`."""
@@ -162,6 +170,9 @@ class DeviceScopeService:
         bank: ModelBank | None = None,
         registry: TenantRegistry | None = None,
         admission: AdmissionController | None = None,
+        batcher: MicroBatcher | None = None,
+        batch_window_ms: float = DEFAULT_BATCH_WINDOW_MS,
+        batch_max: int = DEFAULT_BATCH_MAX,
     ):
         self.bank = bank if bank is not None else ModelBank()
         # Explicit None checks: an *empty* TenantRegistry is falsy
@@ -171,7 +182,18 @@ class DeviceScopeService:
         self.admission = (
             admission if admission is not None else AdmissionController()
         )
+        self.batcher = (
+            batcher
+            if batcher is not None
+            else MicroBatcher(
+                batch_window_ms=batch_window_ms, batch_max=batch_max
+            )
+        )
         self.started_at = time.time()
+
+    def close(self) -> None:
+        """Release held resources; the server calls this on shutdown."""
+        self.bank.close()
 
     # -- the request wrapper ----------------------------------------------
 
@@ -437,14 +459,19 @@ class DeviceScopeService:
         def compute():
             nonlocal computed
             computed = True
-            with sweep_lock:
-                return model.localize_watts(
-                    window[None, :], appliance=appliance
-                )
+            # The micro-batcher may coalesce this window with concurrent
+            # requests into one stacked sweep; the row that comes back
+            # is bit-identical to a solo ``localize_watts(window[None])``
+            # under the sweep lock (DESIGN.md §12), so cache contents
+            # and verdicts are unchanged by batching.
+            return self.batcher.localize(appliance, model, sweep_lock, window)
 
         key = window_key(appliance, window, model.fingerprint())
         # The PR 4 contract: degraded results are answered but never
         # cached — a transient defect must not replay as a hit forever.
+        # Same-tenant duplicates single-flight through the cache;
+        # cross-tenant duplicates still compute per tenant (isolated
+        # caches) but coalesce into one sweep in the batcher.
         result = tenant.cache.get_or_compute(
             key, compute, cache_if=lambda r: not r.any_degraded
         )
@@ -518,6 +545,7 @@ class DeviceScopeService:
             "status": status,
             "uptime_s": time.time() - self.started_at,
             "shedding": self.admission.shedding,
+            "batching": self.batcher.stats(),
             "slo": obs.slo_tracker.snapshot(),
             "robust": {
                 name: sum(

@@ -1,6 +1,7 @@
 """Tests for the result LRU cache behind Prev/Next navigation."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -192,6 +193,155 @@ def test_disabled_obs_still_counts_locally():
     cache = ResultCache()
     cache.get("absent")
     assert cache.misses == 1
+
+
+# -- single-flight ------------------------------------------------------
+
+
+def _wait_until(predicate, timeout=5.0):
+    """Poll a cheap predicate; fail the test on timeout, never hang."""
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            pytest.fail("timed out waiting for a single-flight state")
+        time.sleep(0.0005)
+
+
+def test_single_flight_computes_once_under_contention():
+    """Concurrent misses on one key coalesce into a single compute."""
+    cache = ResultCache()
+    calls = []
+    gate = threading.Event()
+
+    def compute():
+        calls.append(1)
+        gate.wait(timeout=5)
+        return "value"
+
+    results = [None] * 4
+
+    def worker(i):
+        results[i] = cache.get_or_compute("k", compute)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    # Followers bill single_flight *before* they block, so this poll
+    # guarantees all three joined the leader's flight before it lands.
+    _wait_until(lambda: cache.single_flight == 3)
+    gate.set()
+    for t in threads:
+        t.join()
+    assert results == ["value"] * 4
+    assert len(calls) == 1
+    # One leader missed; the followers are billed as single-flight
+    # joins, not as misses (and not as ordinary hits).
+    assert cache.misses == 1
+    assert cache.single_flight == 3
+    assert cache.stats()["single_flight"] == 3
+
+
+def test_single_flight_waiters_share_cache_if_rejection():
+    """A degraded leader result reaches every waiter uncached."""
+    cache = ResultCache()
+    calls = []
+    gate = threading.Event()
+
+    def compute():
+        calls.append(1)
+        gate.wait(timeout=5)
+        return {"degraded": True}
+
+    results = []
+
+    def worker():
+        results.append(
+            cache.get_or_compute("k", compute, cache_if=lambda v: False)
+        )
+
+    threads = [threading.Thread(target=worker) for _ in range(3)]
+    for t in threads:
+        t.start()
+    _wait_until(lambda: cache.single_flight == 2)
+    gate.set()
+    for t in threads:
+        t.join()
+    assert results == [{"degraded": True}] * 3
+    assert len(calls) == 1
+    assert "k" not in cache  # rejection still holds for the whole flight
+
+
+def test_single_flight_leader_error_lets_waiters_recover():
+    """A failed leader must not poison waiters — they retry themselves."""
+    cache = ResultCache()
+    gate = threading.Event()
+    attempts = []
+
+    def compute():
+        attempts.append(threading.current_thread().name)
+        if len(attempts) == 1:
+            gate.wait(timeout=5)
+            raise RuntimeError("leader boom")
+        return "recovered"
+
+    errors, values = [], []
+
+    def leader():
+        try:
+            cache.get_or_compute("k", compute)
+        except RuntimeError as err:
+            errors.append(str(err))
+
+    def waiter():
+        values.append(cache.get_or_compute("k", compute))
+
+    lead = threading.Thread(target=leader, name="lead")
+    lead.start()
+    _wait_until(lambda: len(attempts) == 1)  # leader is inside compute
+    waits = [threading.Thread(target=waiter, name=f"w{i}") for i in range(2)]
+    for t in waits:
+        t.start()
+    _wait_until(lambda: cache.single_flight == 2)  # both joined the flight
+    gate.set()
+    lead.join()
+    for t in waits:
+        t.join()
+    # The leader saw its own exception; each waiter recovered by
+    # retrying (one of them becomes the new leader, the other may join
+    # its flight or hit the now-cached value).
+    assert errors == ["leader boom"]
+    assert values == ["recovered", "recovered"]
+    assert cache.get("k") == "recovered"
+
+
+def test_single_flight_joins_exported_to_obs():
+    obs.reset()
+    obs.enable()
+    try:
+        cache = ResultCache(name="unit")
+        gate = threading.Event()
+
+        def compute():
+            gate.wait(timeout=5)
+            return 1
+
+        threads = [
+            threading.Thread(
+                target=lambda: cache.get_or_compute("k", compute)
+            )
+            for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        _wait_until(lambda: cache.single_flight == 1)
+        gate.set()
+        for t in threads:
+            t.join()
+        joined = obs.registry.counter("app.result_cache_single_flight_total")
+        assert joined.value(cache="unit") == 1.0
+    finally:
+        obs.disable()
+        obs.reset()
 
 
 # -- window_key ---------------------------------------------------------
