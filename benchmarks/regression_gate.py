@@ -23,6 +23,15 @@ micro-batcher (DESIGN.md §12) is built on. A change that quietly
 serializes the batch axis (say, a per-row Python loop reintroduced in
 the backbone) collapses that ratio toward 1 and trips the gate.
 
+A third, baseline-free check guards the *streaming* dimension: the
+per-append cost of ``SlidingCamAL.localize()`` must stay sublinear in
+the window length (DESIGN.md §13) — doubling the window must grow the
+median per-append latency by at most ``--max-stream-growth``, since the
+incremental path only re-sweeps the receptive-field tail plus O(L)
+post-processing. A change that quietly falls back to full-window
+recomputes (say, a splice invalidated on every append) makes the cost
+linear in L, pushes the ratio toward 2, and trips the gate.
+
 Run from the repo root::
 
     PYTHONPATH=src python benchmarks/regression_gate.py
@@ -58,6 +67,30 @@ def _times(fn, rounds: int, warmup: int = 2) -> np.ndarray:
     return np.asarray(out)
 
 
+def _stream_append_cost(
+    model: CamAL, window: int, chunk: int, rounds: int, seed: int
+) -> float:
+    """Median per-append ``SlidingCamAL.localize`` latency at ``window``."""
+    from repro.stream import LiveStore, SlidingCamAL
+
+    rng = np.random.default_rng(seed)
+    feed = rng.uniform(0, 3000, size=window + chunk * (rounds + 3))
+    store = LiveStore(capacity=window * 4, on_full="evict")
+    live = SlidingCamAL(model, store, window=window)
+    store.append(feed[:window])
+    live.localize()  # first sync is a full sweep by design
+    pos = window
+    out = []
+    for i in range(rounds + 2):
+        store.append(feed[pos : pos + chunk])
+        pos += chunk
+        start = time.perf_counter()
+        live.localize()
+        if i >= 2:  # two warm-up appends, like _times
+            out.append(time.perf_counter() - start)
+    return float(np.median(out))
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -79,6 +112,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--min-batch-speedup", type=float, default=1.5,
         help="floor for windows/sec of one (16, L) sweep vs 16 solo sweeps",
+    )
+    parser.add_argument(
+        "--stream-window", type=int, default=512,
+        help="base window length for the streaming sublinearity check "
+        "(compared against its double)",
+    )
+    parser.add_argument(
+        "--max-stream-growth", type=float, default=1.6,
+        help="ceiling for per-append cost growth when the live window "
+        "doubles (sublinearity of the incremental path)",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -147,6 +190,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     if not batch_ok:
         failures.append("batch16-wps")
+
+    # Streaming sublinearity: both window lengths run in this process,
+    # so the growth ratio is machine-free by construction.
+    small_s = _stream_append_cost(
+        fast, args.stream_window, 15, args.rounds, args.seed + 1
+    )
+    big_s = _stream_append_cost(
+        fast, args.stream_window * 2, 15, args.rounds, args.seed + 1
+    )
+    stream_growth = big_s / max(small_s, 1e-9)
+    stream_ok = stream_growth <= args.max_stream_growth
+    print(
+        f"stream   {small_s * 1e3:>8.1f}ms @{args.stream_window} vs "
+        f"{big_s * 1e3:>5.1f}ms @{args.stream_window * 2}  "
+        f"{stream_growth:>7.3f} {'':>9} {args.max_stream_growth:>7.3f}  "
+        f"{'ok' if stream_ok else 'REGRESSED'}"
+    )
+    if not stream_ok:
+        failures.append("stream-append-growth")
 
     if failures:
         print(

@@ -240,6 +240,36 @@ def build_parser() -> argparse.ArgumentParser:
         "over real HTTP, then exit 0/1 (the CI serve-smoke gate)",
     )
 
+    stream = sub.add_parser(
+        "stream",
+        help="simulate live meter appends through the incremental path",
+    )
+    common(stream)
+    stream.add_argument(
+        "--window", type=int, default=1440,
+        help="sliding analysis window in samples (default: one day)",
+    )
+    stream.add_argument(
+        "--chunk", type=int, default=15,
+        help="samples per append (a meter pushing every N minutes)",
+    )
+    stream.add_argument(
+        "--appends", type=int, default=20,
+        help="number of appends to stream after the warm-up window",
+    )
+    stream.add_argument(
+        "--factor", type=int, default=1,
+        help="raw readings per stored sample (block-mean resampled)",
+    )
+    stream.add_argument(
+        "--verify", action="store_true",
+        help="cold-recompute each window and assert bit-identical results",
+    )
+    stream.add_argument(
+        "--json", action="store_true",
+        help="emit the per-append log and summary as JSON on stdout",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="trace a representative CamAL workload (spans, layers, metrics)",
@@ -1008,6 +1038,116 @@ def cmd_serve(args) -> int:
             obs.disable()
 
 
+def cmd_stream(args) -> int:
+    """Simulate a live meter: append chunks, localize incrementally.
+
+    Builds a seeded synthetic feed and a training-free CamAL (the
+    serving-shape workload), streams it through
+    :class:`repro.stream.LiveStore` + :class:`repro.stream.SlidingCamAL`,
+    and prints per-append latency, cache-reuse ratio, and the detected
+    intervals of the live window. ``--verify`` additionally
+    cold-recomputes every window and asserts the incremental result is
+    bit-identical (the ``tests/stream`` contract, live).
+    """
+    import json
+    import time
+
+    from ..core import CamAL
+    from ..datasets import Standardizer, build_dataset
+    from ..models import ResNetEnsemble
+    from ..stream import LiveStore, SlidingCamAL
+
+    if args.chunk < 1 or args.appends < 1 or args.factor < 1:
+        print("chunk, appends, and factor must all be >= 1", file=sys.stderr)
+        return 2
+    kernels = (5, 9) if args.fast else (5, 7, 9, 15)
+    filters = (4, 8, 8) if args.fast else (8, 16, 16)
+    raw_needed = (args.window + args.chunk * args.appends) * args.factor
+    days = raw_needed // 1440 + 2
+    dataset = build_dataset(
+        args.profile, seed=args.seed, n_houses=1,
+        days_per_house=(days, days + 1),
+    )
+    aggregate = np.nan_to_num(dataset.houses[0].aggregate, nan=0.0)
+    feed = np.tile(aggregate, raw_needed // len(aggregate) + 1)[:raw_needed]
+    ensemble = ResNetEnsemble(kernels, n_filters=filters, seed=args.seed)
+    ensemble.eval()
+    model = CamAL(ensemble, Standardizer.fit(feed[None, :]))
+    store = LiveStore(
+        capacity=max(args.window * 4, args.window + 1), on_full="evict"
+    )
+    live = SlidingCamAL(
+        model, store, window=args.window, appliance=args.appliance
+    )
+    # Warm up: one full window, then stream the remaining chunks.
+    warm = args.window * args.factor
+    store.append(feed[:warm], factor=args.factor)
+    live.localize()
+    log = []
+    pos = warm
+    for i in range(args.appends):
+        chunk = feed[pos : pos + args.chunk * args.factor]
+        pos += chunk.size
+        store.append(chunk, factor=args.factor)
+        t0 = time.perf_counter()
+        loc = live.localize()
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        entry = {
+            "append": i + 1,
+            "window": [loc.start, loc.end],
+            "ms": elapsed_ms,
+            "reuse_ratio": loc.reuse_ratio,
+            "detected": bool(loc.result.detected[0]),
+            "on_fraction": float((loc.result.status[0] > 0.5).mean()),
+        }
+        if args.verify:
+            cold = model.localize_watts(
+                store.read(loc.start, loc.end - loc.start)[None]
+            )
+            for field in ("probabilities", "cam", "attention", "status"):
+                if not np.array_equal(
+                    getattr(loc.result, field), getattr(cold, field)
+                ):
+                    print(
+                        f"BIT-IDENTITY VIOLATION at append {i + 1}: {field}",
+                        file=sys.stderr,
+                    )
+                    return 1
+            entry["verified"] = True
+        log.append(entry)
+    summary = {
+        "appliance": args.appliance,
+        "window": args.window,
+        "chunk": args.chunk,
+        "factor": args.factor,
+        "appends": args.appends,
+        "members": len(ensemble),
+        "mean_ms": float(np.mean([e["ms"] for e in log])),
+        "lifetime_reuse_ratio": live.reuse_ratio,
+        "verified": bool(args.verify),
+    }
+    if args.json:
+        print(json.dumps({"appends": log, "summary": summary}, indent=2))
+        return 0
+    print(
+        f"devicescope stream: {args.appends} appends × {args.chunk} samples "
+        f"(factor {args.factor}) over a {args.window}-sample window"
+    )
+    for e in log:
+        mark = " ✓" if e.get("verified") else ""
+        print(
+            f"  append {e['append']:>3}: window [{e['window'][0]}, "
+            f"{e['window'][1]}) in {e['ms']:7.1f} ms, reuse "
+            f"{e['reuse_ratio']:.0%}, on {e['on_fraction']:.0%}{mark}"
+        )
+    print(
+        f"mean {summary['mean_ms']:.1f} ms/append, lifetime feature reuse "
+        f"{summary['lifetime_reuse_ratio']:.0%}"
+        + (", all windows bit-identical to cold recompute" if args.verify else "")
+    )
+    return 0
+
+
 def cmd_profile(args) -> int:
     """Trace a representative CamAL inference workload.
 
@@ -1096,6 +1236,7 @@ def main(argv: list[str] | None = None) -> int:
         "obs": cmd_obs,
         "quality": cmd_quality,
         "serve": cmd_serve,
+        "stream": cmd_stream,
     }
     return handlers[args.command](args)
 

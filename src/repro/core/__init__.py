@@ -5,7 +5,7 @@ detects the appliance from window-level labels, and Class Activation
 Maps turned into an attention mask localize it per timestep.
 """
 
-from .cache import ResultCache, window_key
+from .cache import ResultCache, live_window_key, window_key
 from .camal import (
     CamAL,
     CamALConfig,
@@ -32,5 +32,6 @@ __all__ = [
     "save_camal",
     "load_camal",
     "ResultCache",
+    "live_window_key",
     "window_key",
 ]

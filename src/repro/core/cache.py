@@ -32,7 +32,7 @@ import numpy as np
 
 from .. import obs
 
-__all__ = ["ResultCache", "window_key"]
+__all__ = ["ResultCache", "live_window_key", "window_key"]
 
 
 def window_key(
@@ -47,6 +47,36 @@ def window_key(
     watts = np.ascontiguousarray(watts)
     digest = hashlib.blake2b(watts.tobytes(), digest_size=16).hexdigest()
     return (appliance, fingerprint, watts.shape, str(watts.dtype), digest)
+
+
+def live_window_key(
+    appliance: str,
+    fingerprint: Hashable,
+    store_uid: int,
+    epoch: int,
+    window: int,
+) -> tuple:
+    """Cache key for a *live* (tail-of-stream) localization.
+
+    Live windows are addressed by **store identity + append epoch**, not
+    by content digest: the window a ``GET .../live_localize`` analyzes
+    is "the most recent samples of this store", and that referent moves
+    with every append. Keying on the digest of the *current* tail alone
+    would replay a stale result after appends shift the buffer whenever
+    the key tuple is reused (stale-window poisoning); keying on
+    ``(store_uid, epoch)`` makes every append a distinct key, and the
+    process-unique ``store_uid`` keeps a deleted-then-recreated house
+    from aliasing its predecessor's entries even at equal epochs. See
+    :attr:`repro.stream.LiveStore.epoch`.
+    """
+    return (
+        "live",
+        appliance,
+        fingerprint,
+        int(store_uid),
+        int(epoch),
+        int(window),
+    )
 
 
 class _InFlight:

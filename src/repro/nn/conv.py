@@ -9,7 +9,17 @@ from .init import he_uniform
 from .module import Module, is_inference
 from .parameter import Parameter
 
-__all__ = ["Conv1d"]
+__all__ = ["Conv1d", "TIME_TILE"]
+
+#: Fixed tile length along the output-time axis of every Conv1d GEMM.
+#: Tiling makes the lowering *length-invariant* on top of PR 8's batch
+#: invariance: output position ``t`` is computed by a GEMM whose shape
+#: depends only on ``t``'s tile — never on the total window length — so
+#: a suffix recomputation that starts on a tile boundary reproduces the
+#: full sweep's tail bit for bit (the streaming layer's reuse contract,
+#: DESIGN.md §13). Must stay constant process-wide: results for the
+#: same input differ at the ULP level across tile sizes.
+TIME_TILE = 32
 
 
 class Conv1d(Module):
@@ -89,7 +99,18 @@ class Conv1d(Module):
                 f"expected input (N, {self.in_channels}, L), got {x.shape}"
             )
         left, right = self._pad_amounts(x.shape[2])
-        padded = np.pad(x, ((0, 0), (0, 0), (left, right)))
+        if left or right:
+            # Hand-rolled zero padding: np.pad's generic machinery costs
+            # ~100µs per call, which dominates short sub-sweeps (the
+            # streaming tail re-sweeps of DESIGN.md §13). calloc + one
+            # slice assign is bit-identical and near-free.
+            padded = np.zeros(
+                (x.shape[0], x.shape[1], left + x.shape[2] + right),
+                dtype=x.dtype,
+            )
+            padded[:, :, left : left + x.shape[2]] = x
+        else:
+            padded = x
         if padded.shape[2] < self.span:
             raise ValueError(
                 f"input length {x.shape[2]} too short for kernel span "
@@ -98,20 +119,31 @@ class Conv1d(Module):
         cols = im2col1d(
             padded, self.kernel_size, self.stride, self.dilation
         )  # (N,C,L_out,K)
-        # Batch-invariant contraction (DESIGN.md §12): one GEMM *per
-        # window*, shaped (L_out, C·K) @ (C·K, D) no matter how many
-        # windows are stacked. The single-GEMM form
+        # Batch- and length-invariant contraction (DESIGN.md §12/§13):
+        # one GEMM *per window per time tile*, shaped
+        # (≤TIME_TILE, C·K) @ (C·K, D) no matter how many windows are
+        # stacked or how long the series is. The single-GEMM form
         # ``einsum("nclk,dck->ndl", optimize=True)`` folds the batch
         # into the M dimension, and BLAS picks ULP-different kernels
         # for different M — breaking the serve layer's batched-sweep ==
-        # per-window-sweep contract. ``np.pad`` above already normalizes
-        # the input's memory layout, so per-slice results are exact.
+        # per-window-sweep contract; folding the *time* axis into one
+        # GEMM breaks the streaming layer's suffix-reuse contract the
+        # same way (results at position t would depend on L). Each
+        # window's tile slice is a contiguous (tile, C·K) block of the
+        # normalized ``lhs`` buffer, so per-tile results are exact.
         n, c_in, l_out, k = cols.shape
         lhs = np.ascontiguousarray(cols.transpose(0, 2, 1, 3)).reshape(
             n, l_out, c_in * k
         )
         rhs = self.weight.data.reshape(self.out_channels, c_in * k).T
-        out = np.matmul(lhs, rhs).transpose(0, 2, 1)
+        if l_out <= TIME_TILE:
+            res = np.matmul(lhs, rhs)
+        else:
+            res = np.empty((n, l_out, self.out_channels), dtype=lhs.dtype)
+            for start in range(0, l_out, TIME_TILE):
+                stop = min(start + TIME_TILE, l_out)
+                res[:, start:stop] = np.matmul(lhs[:, start:stop], rhs)
+        out = res.transpose(0, 2, 1)
         if self.bias is not None:
             out += self.bias.data[None, :, None]
         if not is_inference():

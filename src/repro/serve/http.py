@@ -19,7 +19,9 @@ POST     /houses                               create a house
 GET      /houses/{id}                          house summary
 DELETE   /houses/{id}                          drop a house
 POST     /houses/{id}/ingest                   append watt readings
+POST     /houses/{id}/append                   streaming append (resampling)
 GET      /houses/{id}/series                   read back a window
+GET      /houses/{id}/live_localize            incremental live localization
 GET      /houses/{id}/devices                  list attached devices
 POST     /houses/{id}/devices                  attach an appliance
 DELETE   /houses/{id}/devices/{appliance}      detach an appliance
@@ -69,7 +71,14 @@ _ROUTES: list[tuple[str, re.Pattern, str, bool]] = [
     ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)$"), "houses.get", False),
     ("DELETE", re.compile(r"^/houses/(?P<hid>[^/]+)$"), "houses.delete", False),
     ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/ingest$"), "ingest", False),
+    ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/append$"), "append", False),
     ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)/series$"), "series", False),
+    (
+        "GET",
+        re.compile(r"^/houses/(?P<hid>[^/]+)/live_localize$"),
+        "live_localize",
+        False,
+    ),
     ("GET", re.compile(r"^/houses/(?P<hid>[^/]+)/devices$"), "devices.list", False),
     ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/devices$"), "devices.attach", False),
     (
@@ -216,8 +225,15 @@ class _Handler(BaseHTTPRequestHandler):
             "houses.get": lambda t: service.get_house(t, hid),
             "houses.delete": lambda t: service.delete_house(t, hid),
             "ingest": lambda t: service.ingest(t, hid, body),
+            "append": lambda t: service.append(t, hid, body),
             "series": lambda t: service.series(
                 t, hid, _int_param("start"), _int_param("length")
+            ),
+            "live_localize": lambda t: service.live_localize(
+                t,
+                hid,
+                (query.get("appliance") or [None])[0],
+                _int_param("window"),
             ),
             "devices.list": lambda t: service.list_devices(t, hid),
             "devices.attach": lambda t: service.attach_device(t, hid, body),

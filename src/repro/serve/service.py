@@ -32,10 +32,12 @@ import time
 import numpy as np
 
 from .. import obs
-from ..core import CamAL, window_key
+from ..core import CamAL, live_window_key, window_key
 from ..datasets import APPLIANCE_NAMES, Standardizer, build_dataset
 from ..models import ResNetEnsemble
 from ..robust import RobustError
+from ..nn.conv import TIME_TILE
+from ..stream import SlidingCamAL
 from .admission import AdmissionController
 from .batching import DEFAULT_BATCH_MAX, DEFAULT_BATCH_WINDOW_MS, MicroBatcher
 from .tenancy import TenantHouse, TenantRegistry, TenantSession
@@ -357,6 +359,72 @@ class DeviceScopeService:
             "n_steps": n_steps,
         }
 
+    def append(
+        self, tenant: TenantSession, house_id: str, body: dict
+    ) -> tuple[int, dict]:
+        """Streaming ingest: raw readings at the house's native rate.
+
+        ``factor`` (or equivalently ``step_s``, the seconds-per-sample
+        of the batch) selects the block-mean downsample to the house
+        grid; sub-block remainders carry to the next append. An empty
+        batch is an explicit no-op (200, nothing committed, epoch
+        unchanged) — heartbeat pushes from meters are normal traffic,
+        not errors.
+        """
+        house = self._house(tenant, house_id)
+        watts = _as_watts(body.get("watts", []))
+        factor = body.get("factor")
+        step_s = body.get("step_s")
+        if factor is not None and step_s is not None:
+            raise ServiceError(400, "pass factor or step_s, not both")
+        if step_s is not None:
+            try:
+                step_s = float(step_s)
+            except (TypeError, ValueError):
+                raise ServiceError(400, "step_s must be a number")
+            if step_s <= 0:
+                raise ServiceError(400, "step_s must be positive")
+            ratio = house.step_s / step_s
+            if abs(ratio - round(ratio)) > 1e-9 or round(ratio) < 1:
+                raise ServiceError(
+                    400,
+                    f"step_s {step_s:g}s does not divide the house grid "
+                    f"({house.step_s:g}s per sample)",
+                )
+            factor = int(round(ratio))
+        elif factor is None:
+            factor = 1
+        elif not isinstance(factor, int) or isinstance(factor, bool) or factor < 1:
+            raise ServiceError(400, "factor must be a positive integer")
+        with tenant.lock:
+            planned = house.store.plan(watts.size, factor)
+            if house.n_steps + planned > house.max_samples:
+                raise ServiceError(
+                    413,
+                    f"house {house_id!r} holds {house.n_steps} of its "
+                    f"{house.max_samples}-sample quota; this batch would "
+                    f"commit {planned} resampled samples and does not fit "
+                    "— delete the house or create a new one",
+                    n_steps=house.n_steps,
+                    max_samples=house.max_samples,
+                )
+            committed = house.append(watts, factor=factor)
+        if obs.enabled() and watts.size:
+            obs.registry.counter(
+                "serve.samples_ingested_total",
+                help="watt samples appended through the ingest endpoint",
+            ).inc(int(committed), tenant=tenant.tenant_id)
+        uid, epoch = house.epoch
+        return 200, {
+            "house_id": house_id,
+            "received": int(watts.size),
+            "factor": int(factor),
+            "committed": int(committed),
+            "pending": house.store.pending,
+            "n_steps": house.n_steps,
+            "epoch": int(epoch),
+        }
+
     def series(
         self,
         tenant: TenantSession,
@@ -517,6 +585,114 @@ class DeviceScopeService:
             ],
         })
         return 200, base
+
+    def live_localize(
+        self,
+        tenant: TenantSession,
+        house_id: str,
+        appliance: str | None,
+        window: int | None,
+    ) -> tuple[int, dict]:
+        """Localize the live tail of a house via the incremental path.
+
+        Keeps one :class:`~repro.stream.SlidingCamAL` per
+        (house, appliance) in ``house.live`` so consecutive calls after
+        appends only re-sweep the receptive-field tail; results are
+        bit-identical to a cold ``localize_watts`` over the same window
+        (the ``tests/stream`` harness) and cached under an
+        **epoch-including** key (:func:`repro.core.live_window_key`) so
+        an append can never replay a stale window. Degraded windows are
+        answered but never cached, like the batch route.
+        """
+        house = self._house(tenant, house_id)
+        if appliance is None:
+            raise ServiceError(400, "appliance query parameter is required")
+        if window is None:
+            window = min(1440, MAX_WINDOW_SAMPLES)
+        window = int(window)
+        if not TIME_TILE <= window <= MAX_WINDOW_SAMPLES:
+            raise ServiceError(
+                400,
+                f"window must be in [{TIME_TILE}, {MAX_WINDOW_SAMPLES}]",
+            )
+        with tenant.lock:
+            if appliance not in house.devices:
+                raise ServiceError(
+                    409,
+                    f"appliance {appliance!r} is not attached to "
+                    f"{house_id!r}; POST it to /houses/{house_id}/devices "
+                    "first",
+                    attached=sorted(house.devices),
+                )
+            if house.n_steps < 2:
+                raise ServiceError(
+                    409,
+                    f"house {house_id!r} has only {house.n_steps} samples; "
+                    "ingest a series first",
+                )
+        model, sweep_lock = self.bank.get(appliance)
+        with tenant.lock:
+            live = house.live.get(appliance)
+            if (
+                not isinstance(live, SlidingCamAL)
+                or live.camal is not model
+                or live.window != window
+            ):
+                live = SlidingCamAL(
+                    model, house.store, window=window, appliance=appliance
+                )
+                house.live[appliance] = live
+            uid, epoch = house.epoch
+        computed = False
+
+        def compute():
+            nonlocal computed
+            computed = True
+            with sweep_lock:
+                return live.localize()
+
+        key = live_window_key(
+            appliance, model.fingerprint(), uid, epoch, window
+        )
+        loc = tenant.cache.get_or_compute(
+            key, compute, cache_if=lambda v: not v.result.degraded[0]
+        )
+        result = loc.result
+        if result.degraded[0]:
+            verdict = "degraded"
+        elif result.repaired[0]:
+            verdict = "repaired"
+        else:
+            verdict = "ok"
+        probability = float(result.probabilities[0])
+        payload = {
+            "house_id": house_id,
+            "appliance": appliance,
+            "start": loc.start,
+            "length": loc.end - loc.start,
+            "epoch": int(epoch),
+            "probability": None if np.isnan(probability) else probability,
+            "detected": bool(result.detected[0]),
+            "verdict": verdict,
+            "cached": not computed,
+            "reuse": {
+                "reused": loc.reused,
+                "computed": loc.computed,
+                "ratio": loc.reuse_ratio,
+            },
+        }
+        if result.degraded[0]:
+            payload.update({"on_fraction": None, "intervals": []})
+            return 200, payload
+        on = result.status[0] > 0.5
+        payload.update({
+            "on_fraction": float(on.mean()),
+            # Half-open [start, end) sample intervals, absolute indices.
+            "intervals": [
+                [int(a) + loc.start, int(b) + loc.start] for a, b in _runs(on)
+            ],
+        })
+        return 200, payload
 
     # -- introspection -----------------------------------------------------
 

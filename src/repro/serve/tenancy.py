@@ -29,6 +29,7 @@ import numpy as np
 from .. import obs
 from ..core import ResultCache
 from ..obs.slo import SloTracker
+from ..stream import LiveStore
 
 __all__ = [
     "MAX_HOUSE_SAMPLES",
@@ -68,10 +69,13 @@ class TenantHouse:
     attached appliances can be detected/localized, mirroring the
     device-CRUD-then-analyze flow.
 
-    Retention is bounded: a house holds at most ``max_samples`` samples
-    total, and appends go into an amortized-doubling buffer — N small
-    ingests cost O(N) copying, not the O(N²) a concatenate-per-ingest
-    would.
+    Retention is bounded and streaming-native: the series lives in a
+    quota-mode :class:`repro.stream.LiveStore` (amortized-doubling
+    buffer up to ``max_samples``, never evicting — the quota raises
+    instead), so every house ingest also advances the store's append
+    epoch and can feed a :class:`repro.stream.SlidingCamAL` live
+    session. ``live`` holds those per-appliance sessions; the service
+    layer creates and invalidates them (DESIGN.md §13).
     """
 
     def __init__(
@@ -88,6 +92,8 @@ class TenantHouse:
         self.step_s = step_s
         self.devices: dict[str, dict] = dict(devices or {})
         self.max_samples = int(max_samples)
+        #: appliance → live SlidingCamAL session (service-managed).
+        self.live: dict[str, object] = {}
         initial = np.asarray(
             np.empty(0, dtype=np.float64) if aggregate is None else aggregate,
             dtype=np.float64,
@@ -99,17 +105,25 @@ class TenantHouse:
                 f"initial series ({initial.size} samples) exceeds the "
                 f"{self.max_samples}-sample house quota"
             )
-        self._buf = initial.copy()
-        self._n = int(initial.size)
+        self.store = LiveStore(
+            capacity=self.max_samples, step_s=step_s, on_full="raise"
+        )
+        if initial.size:
+            self.store.append(initial)
 
     @property
     def aggregate(self) -> np.ndarray:
-        """The ingested series so far (a read-only-by-convention view)."""
-        return self._buf[: self._n]
+        """The ingested series so far (a copy, oldest first)."""
+        return self.store.snapshot()
 
     @property
     def n_steps(self) -> int:
-        return self._n
+        return self.store.total
+
+    @property
+    def epoch(self) -> tuple[int, int]:
+        """``(store_uid, total)`` — keys live-window cache entries."""
+        return self.store.epoch
 
     def ingest(self, watts: np.ndarray) -> int:
         """Append one batch of readings; returns the new length.
@@ -120,23 +134,26 @@ class TenantHouse:
         watts = np.asarray(watts, dtype=np.float64)
         if watts.ndim != 1:
             raise ValueError("ingest expects a flat list of watt readings")
-        total = self._n + watts.size
-        if total > self.max_samples:
+        if self.n_steps + watts.size > self.max_samples:
             raise OverflowError(
-                f"house {self.house_id!r} holds {self._n} samples; "
+                f"house {self.house_id!r} holds {self.n_steps} samples; "
                 f"appending {watts.size} would exceed the "
                 f"{self.max_samples}-sample quota"
             )
-        if total > self._buf.size:
-            grown = np.empty(
-                min(self.max_samples, max(total, 2 * self._buf.size, 1024)),
-                dtype=np.float64,
-            )
-            grown[: self._n] = self._buf[: self._n]
-            self._buf = grown
-        self._buf[self._n : total] = watts
-        self._n = total
-        return self._n
+        self.store.append(watts)
+        return self.store.total
+
+    def append(self, watts: np.ndarray, factor: int = 1) -> int:
+        """Streaming ingest at a finer native rate.
+
+        Block-mean resamples ``factor`` raw readings per stored sample
+        (carrying the sub-block remainder between appends) and commits
+        the result; returns the number of *resampled* samples committed.
+        The same quota applies: a batch whose resampled length would
+        exceed ``max_samples`` raises :class:`OverflowError` without
+        mutating the store.
+        """
+        return self.store.append(watts, factor=factor)
 
     def read_window(self, start: int, length: int) -> np.ndarray:
         """One aggregate slice (always a copy), bounds-checked."""
@@ -147,7 +164,7 @@ class TenantHouse:
                 f"window [{start}, {start + length}) exceeds the "
                 f"{self.n_steps} ingested samples"
             )
-        return np.array(self.aggregate[start : start + length])
+        return self.store.read(start, length)
 
     def summary(self) -> dict:
         return {

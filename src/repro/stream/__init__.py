@@ -1,0 +1,18 @@
+"""Streaming incremental localization (DESIGN.md §13).
+
+``LiveStore`` retains a per-house resampled series with absolute
+indexing and an append epoch; ``SlidingCamAL`` localizes a sliding
+window over it, splicing cached per-member feature maps so each append
+only re-sweeps the receptive-field tail — bit-identical to a cold
+``CamAL.localize_watts`` over the same window (``tests/stream``).
+"""
+
+from .live import LiveStore
+from .sliding import SlidingCamAL, StreamLocalization, receptive_halo
+
+__all__ = [
+    "LiveStore",
+    "SlidingCamAL",
+    "StreamLocalization",
+    "receptive_halo",
+]

@@ -1,0 +1,281 @@
+"""Per-house live series: a ring buffer with incremental resampling.
+
+Production meters append a few samples per minute per house;
+:class:`LiveStore` is the serve layer's retention primitive for that
+feed (the ``shelly_pull`` append-ingest model of the exemplar energy
+analyzer). Three properties matter downstream:
+
+* **Absolute addressing.** Every sample keeps its absolute index (the
+  count of resampled samples ever appended); :meth:`read` addresses
+  windows ``[start, start + length)`` in those coordinates even after
+  eviction, so :class:`~repro.stream.SlidingCamAL` can reason about
+  exactly which positions moved under it.
+* **Incremental resampling that only touches the tail.** Appends at a
+  finer native rate are block-mean downsampled exactly like
+  :func:`repro.datasets.resample_mean` — and because block means are
+  block-local, completed blocks are immutable: the store keeps at most
+  ``factor - 1`` pending raw samples and the resampled prefix never
+  changes. ``LiveStore`` content after any split of a raw feed into
+  appends is bit-identical to ``resample_mean`` over the concatenated
+  feed (pinned by ``tests/stream``).
+* **An append epoch for cache keys.** ``epoch`` (the absolute total)
+  together with the process-unique ``uid`` identifies the content of
+  any live window; see :func:`repro.core.cache.live_window_key`.
+
+``on_full`` picks the retention policy at capacity: ``"raise"``
+(quota mode — the tenancy layer's 2M-sample house quota, surfaced as
+HTTP 413) or ``"evict"`` (ring mode — the oldest samples fall off,
+sized for standalone live views).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+
+from .. import obs
+
+__all__ = ["LiveStore"]
+
+#: Process-unique store ids: a deleted-and-recreated house must never
+#: alias a previous store's cache entries (see ``live_window_key``).
+_UIDS = itertools.count()
+
+
+class LiveStore:
+    """Append-only resampled series with bounded retention.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resampled samples retained (and, in ``"raise"`` mode,
+        ever accepted). The backing buffer grows by amortized doubling
+        up to this bound, so small stores stay small.
+    step_s:
+        Seconds per *stored* sample (the model grid).
+    on_full:
+        ``"raise"`` — appends past ``capacity`` raise
+        :class:`OverflowError` (quota mode); ``"evict"`` — the oldest
+        samples are dropped to make room (ring mode).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        step_s: float = 60.0,
+        on_full: str = "raise",
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if on_full not in ("raise", "evict"):
+            raise ValueError(f"on_full must be 'raise' or 'evict', got {on_full!r}")
+        if step_s <= 0:
+            raise ValueError("step_s must be positive")
+        self.uid = next(_UIDS)
+        self.capacity = int(capacity)
+        self.step_s = float(step_s)
+        self.on_full = on_full
+        self._lock = threading.Lock()
+        self._buf = np.empty(0, dtype=np.float64)
+        self._head = 0  # buffer index of absolute position ``_first``
+        self._first = 0  # absolute index of the oldest retained sample
+        self._total = 0  # absolute count of resampled samples appended
+        self._pending = np.empty(0, dtype=np.float64)  # raw tail < factor
+        self._pending_factor = 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Resampled samples ever appended (the append epoch)."""
+        return self._total
+
+    @property
+    def first(self) -> int:
+        """Absolute index of the oldest sample still retained."""
+        return self._first
+
+    @property
+    def n_retained(self) -> int:
+        return self._total - self._first
+
+    @property
+    def pending(self) -> int:
+        """Raw samples waiting for their resample block to complete."""
+        return int(self._pending.size)
+
+    @property
+    def epoch(self) -> tuple[int, int]:
+        """``(uid, total)`` — identifies live-window content for caches."""
+        return (self.uid, self._total)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def plan(self, n_raw: int, factor: int = 1) -> int:
+        """Resampled samples an append of ``n_raw`` would produce."""
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        if factor == 1:
+            return int(n_raw)
+        carried = self._pending.size if factor == self._pending_factor else 0
+        return (carried + int(n_raw)) // factor
+
+    def append(self, watts: np.ndarray, factor: int = 1) -> int:
+        """Append raw readings; returns resampled samples committed.
+
+        ``factor`` is the block size of the mean-downsample from the
+        native rate to the stored grid (1 = already on the grid). The
+        pending remainder carries between appends of the same factor;
+        switching factors while a remainder is pending is a caller
+        error (flush on a block boundary first).
+
+        In ``"raise"`` mode an append that would exceed ``capacity``
+        raises :class:`OverflowError` *without* mutating any state —
+        neither the buffer nor the pending remainder.
+        """
+        watts = np.asarray(watts, dtype=np.float64)
+        if watts.ndim != 1:
+            raise ValueError("append expects a flat array of watt readings")
+        if factor < 1:
+            raise ValueError("factor must be >= 1")
+        with self._lock:
+            if self._pending.size and factor != self._pending_factor:
+                raise ValueError(
+                    f"append factor changed from {self._pending_factor} to "
+                    f"{factor} with {self._pending.size} raw samples pending; "
+                    "flush on a block boundary first"
+                )
+            if watts.size == 0:
+                return 0  # explicit no-op: no epoch bump, no quota check
+            if factor == 1:
+                resampled, remainder = watts, np.empty(0, dtype=np.float64)
+            else:
+                joined = (
+                    np.concatenate([self._pending, watts])
+                    if self._pending.size
+                    else watts
+                )
+                n_blocks = joined.size // factor
+                split = n_blocks * factor
+                # Block means are block-local: this is bit-identical to
+                # resample_mean over the full raw feed, however the feed
+                # was split into appends.
+                resampled = (
+                    joined[:split].reshape(n_blocks, factor).mean(axis=1)
+                    if n_blocks
+                    else np.empty(0, dtype=np.float64)
+                )
+                remainder = joined[split:].copy()
+            if self.on_full == "raise" and (
+                self.n_retained + resampled.size > self.capacity
+            ):
+                raise OverflowError(
+                    f"live store holds {self.n_retained} of its "
+                    f"{self.capacity}-sample quota; appending "
+                    f"{resampled.size} resampled samples does not fit"
+                )
+            self._pending = remainder
+            self._pending_factor = factor
+            if resampled.size:
+                self._write(resampled)
+        if obs.enabled():
+            obs.registry.counter(
+                "stream.append.batches_total",
+                help="append batches accepted by live stores",
+            ).inc()
+            obs.registry.counter(
+                "stream.append.samples_total",
+                help="resampled samples committed to live stores",
+            ).inc(int(resampled.size))
+        return int(resampled.size)
+
+    def _write(self, samples: np.ndarray) -> None:
+        """Commit resampled samples, growing or wrapping the buffer."""
+        m = samples.size
+        if m >= self.capacity:
+            # The batch alone fills the ring ("evict" mode only — quota
+            # mode already raised): keep exactly the last ``capacity``.
+            self._buf = samples[m - self.capacity :].copy()
+            self._head = 0
+            self._total += m
+            self._first = self._total - self.capacity
+            return
+        needed = self.n_retained + m
+        if needed > self._buf.size and self._buf.size < self.capacity:
+            grown = np.empty(
+                min(self.capacity, max(needed, 2 * self._buf.size, 256)),
+                dtype=np.float64,
+            )
+            grown[: self.n_retained] = self._read_retained()
+            self._buf = grown
+            self._head = 0
+        if needed > self._buf.size:  # at capacity: evict the oldest
+            excess = needed - self._buf.size
+            self._first += excess
+            self._head = (self._head + excess) % self._buf.size
+        # Write ``samples`` at the ring positions of [total, total + m).
+        start = (self._head + self.n_retained) % self._buf.size
+        end = start + m
+        if end <= self._buf.size:
+            self._buf[start:end] = samples
+        else:
+            split = self._buf.size - start
+            self._buf[start:] = samples[:split]
+            self._buf[: end - self._buf.size] = samples[split:]
+        self._total += m
+
+    def _read_retained(self) -> np.ndarray:
+        """The retained samples in order (contiguous copy)."""
+        n = self.n_retained
+        if n == 0:
+            return np.empty(0, dtype=np.float64)
+        start = self._head
+        end = start + n
+        if end <= self._buf.size:
+            return self._buf[start:end].copy()
+        return np.concatenate(
+            [self._buf[start:], self._buf[: end - self._buf.size]]
+        )
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, start: int, length: int) -> np.ndarray:
+        """Copy of absolute window ``[start, start + length)``.
+
+        Raises :class:`ValueError` if any requested sample was evicted
+        or not yet appended.
+        """
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        with self._lock:
+            if start < self._first or start + length > self._total:
+                raise ValueError(
+                    f"window [{start}, {start + length}) outside retained "
+                    f"range [{self._first}, {self._total})"
+                )
+            if length == 0:
+                return np.empty(0, dtype=np.float64)
+            i0 = (self._head + (start - self._first)) % max(self._buf.size, 1)
+            end = i0 + length
+            if end <= self._buf.size:
+                return self._buf[i0:end].copy()
+            return np.concatenate(
+                [self._buf[i0:], self._buf[: end - self._buf.size]]
+            )
+
+    def snapshot(self) -> np.ndarray:
+        """Every retained sample, oldest first (a copy)."""
+        with self._lock:
+            return self._read_retained()
+
+    def __len__(self) -> int:
+        return self.n_retained
+
+    def __repr__(self) -> str:
+        return (
+            f"LiveStore(uid={self.uid}, total={self._total}, "
+            f"retained={self.n_retained}/{self.capacity}, "
+            f"pending={self.pending}, on_full={self.on_full!r})"
+        )

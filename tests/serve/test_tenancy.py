@@ -61,8 +61,8 @@ class TestTenantHouse:
         )
         np.testing.assert_array_equal(house.read_window(0, 7), np.zeros(7))
         # Spare capacity proves appends go into a doubling buffer, not
-        # a fresh concatenate per batch.
-        assert house._buf.size > house.n_steps
+        # a fresh concatenate per batch (the backing LiveStore's ring).
+        assert house.store._buf.size > house.n_steps
 
 
 class TestRegistry:

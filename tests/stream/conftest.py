@@ -1,0 +1,46 @@
+"""Shared fixtures for the streaming suite.
+
+The stream layer records into the process-wide observability registry
+and quality monitor (``SlidingCamAL.localize`` opens request/span
+scopes, ``LiveStore.append`` bumps counters), so every test restores
+that global state — same hygiene as the serve suite.
+"""
+
+import pytest
+
+from repro import obs, quality
+from repro.serve import (
+    AdmissionController,
+    DeviceScopeService,
+    ModelBank,
+    TenantRegistry,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    yield
+    quality.uninstall()
+    obs.disable()
+    obs.set_verbose(False)
+    obs.set_quiet(False)
+    obs.log.set_stream(None)
+    obs.set_store(None)
+    obs.reset()
+    obs.registry.clear()
+
+
+@pytest.fixture(scope="session")
+def bank():
+    """One tiny untrained model bank for the serve-facing stream tests
+    (models are read-only at serve time, so sharing is safe)."""
+    return ModelBank(appliances=("kettle", "microwave"), seed=0)
+
+
+@pytest.fixture
+def service(bank):
+    return DeviceScopeService(
+        bank=bank,
+        registry=TenantRegistry(),
+        admission=AdmissionController(min_requests=10_000),
+    )

@@ -1,0 +1,149 @@
+"""Stale-window poisoning: live cache keys must move with the store.
+
+A live localization analyzes "the most recent samples of house X" — a
+referent that changes on every append. Keying its cached result on
+anything that survives an append (house id, window length, model
+fingerprint) replays a stale verdict forever: the regression these
+tests pin is ``live_window_key`` including the store's **append epoch**
+(and its process-unique uid, so a deleted-then-recreated house never
+aliases its predecessor's entries). Degraded live results additionally
+must never enter the cache at all, mirroring the batch route.
+"""
+
+import numpy as np
+
+from repro.core import ResultCache, live_window_key
+from repro.serve.service import ServiceError
+from repro.stream import LiveStore
+
+TENANT = "tenant-a"
+
+
+def run(service, route, thunk, tenant=TENANT):
+    return service.execute(route, tenant, thunk)
+
+
+def seed_house(service, house_id="h1", watts=None, appliance="kettle"):
+    if watts is None:
+        rng = np.random.default_rng(7)
+        watts = rng.uniform(80, 240, size=256) + 40.0
+        watts[60:72] = 2600.0
+    status, _, _ = run(
+        service,
+        "houses.create",
+        lambda t: service.create_house(
+            t, {"house_id": house_id, "watts": [float(w) for w in watts]}
+        ),
+    )
+    assert status == 201
+    status, _, _ = run(
+        service,
+        "devices.attach",
+        lambda t: service.attach_device(t, house_id, {"appliance": appliance}),
+    )
+    assert status in (200, 201)
+
+
+def live(service, house_id="h1", appliance="kettle", window=64):
+    return run(
+        service,
+        "houses.live_localize",
+        lambda t: service.live_localize(t, house_id, appliance, window),
+    )
+
+
+class TestKey:
+    def test_key_moves_with_the_append_epoch(self):
+        store = LiveStore(capacity=256)
+        store.append(np.arange(64.0))
+        uid, epoch = store.epoch
+        key = live_window_key("kettle", "fp", uid, epoch, 64)
+        store.append(np.arange(3.0))
+        uid2, epoch2 = store.epoch
+        assert uid2 == uid
+        assert live_window_key("kettle", "fp", uid2, epoch2, 64) != key
+
+    def test_recreated_store_never_aliases_at_equal_epochs(self):
+        """The poisoning regression's second face: delete + recreate
+        yields equal totals but must yield distinct keys."""
+        a = LiveStore(capacity=256)
+        a.append(np.arange(64.0))
+        b = LiveStore(capacity=256)  # "recreated house", same content
+        b.append(np.arange(64.0))
+        assert a.epoch[1] == b.epoch[1]
+        key_a = live_window_key("kettle", "fp", a.uid, a.epoch[1], 64)
+        key_b = live_window_key("kettle", "fp", b.uid, b.epoch[1], 64)
+        assert key_a != key_b
+
+    def test_stale_entry_is_unreachable_after_append(self):
+        """Direct ResultCache simulation of the poisoned lookup: the
+        pre-append entry simply has no key the post-append request can
+        ever compute."""
+        cache = ResultCache()
+        store = LiveStore(capacity=256)
+        store.append(np.arange(64.0))
+        cache.put(
+            live_window_key("kettle", "fp", store.uid, store.epoch[1], 64),
+            "stale-result",
+        )
+        store.append(np.array([9999.0]))
+        fresh_key = live_window_key(
+            "kettle", "fp", store.uid, store.epoch[1], 64
+        )
+        assert cache.get(fresh_key) is None
+
+
+class TestServeCache:
+    def test_append_invalidates_the_live_result(self, service):
+        """Regression: the second request after an append must compute
+        — a cache hit here would replay the pre-append window."""
+        seed_house(service)
+        status, first, _ = live(service)
+        assert status == 200 and first["cached"] is False
+        status, again, _ = live(service)
+        assert status == 200 and again["cached"] is True
+        assert again["epoch"] == first["epoch"]
+        status, _, _ = run(
+            service,
+            "houses.append",
+            lambda t: service.append(t, "h1", {"watts": [2600.0] * 8}),
+        )
+        assert status == 200
+        status, after, _ = live(service)
+        assert status == 200
+        assert after["cached"] is False
+        assert after["epoch"] == first["epoch"] + 8
+        assert after["start"] + after["length"] == after["epoch"]
+
+    def test_recreated_house_does_not_inherit_entries(self, service):
+        seed_house(service)
+        status, first, _ = live(service)
+        assert status == 200
+        status, _, _ = run(
+            service, "houses.delete", lambda t: service.delete_house(t, "h1")
+        )
+        assert status == 200
+        seed_house(service)  # identical id, identical watts
+        status, fresh, _ = live(service)
+        assert status == 200
+        assert fresh["cached"] is False
+        assert fresh["epoch"] == first["epoch"]  # same content, new store
+
+    def test_degraded_live_result_is_never_cached(self, service, bank):
+        seed_house(service)
+        status, _, _ = run(
+            service,
+            "houses.append",
+            lambda t: service.append(t, "h1", {"watts": [None] * 40}),
+        )
+        assert status == 200
+        tenant = service.registry.get(TENANT)
+        rejected_before = tenant.cache.rejected
+        status, first, _ = live(service)
+        assert status == 200 and first["verdict"] == "degraded"
+        assert first["cached"] is False
+        assert tenant.cache.rejected == rejected_before + 1
+        # Same epoch, same request: still a recompute, never a hit.
+        status, again, _ = live(service)
+        assert status == 200 and again["cached"] is False
+        assert tenant.cache.rejected == rejected_before + 2

@@ -1,0 +1,170 @@
+"""LiveStore: ring-buffer retention, absolute addressing, incremental
+resampling, and the two ``on_full`` policies.
+
+The streaming layer's correctness rests on the store being boring: an
+append never perturbs already-committed samples, absolute indices stay
+valid across eviction, and block-mean resampling is invariant to how
+the raw feed was split into appends (bit-identical to
+``resample_mean`` over the concatenated feed).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import resample_mean
+from repro.stream import LiveStore
+
+
+def feed(n: int, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).uniform(0, 3000, size=n)
+
+
+class TestRetention:
+    def test_append_read_roundtrip(self):
+        store = LiveStore(capacity=64)
+        data = feed(40)
+        assert store.append(data) == 40
+        assert store.total == 40 and store.first == 0
+        np.testing.assert_array_equal(store.read(0, 40), data)
+        np.testing.assert_array_equal(store.read(10, 7), data[10:17])
+        np.testing.assert_array_equal(store.snapshot(), data)
+        assert len(store) == 40
+
+    def test_wraparound_at_capacity_keeps_the_tail(self):
+        """Evict mode: many small appends wrap the ring repeatedly."""
+        store = LiveStore(capacity=50, on_full="evict")
+        data = feed(507, seed=1)
+        sizes = (13, 7, 50, 1, 29, 3)  # repeatedly crosses the wrap point
+        pos = 0
+        while pos < data.size:
+            chunk = data[pos : pos + sizes[pos % len(sizes)]]
+            store.append(chunk)
+            pos += chunk.size
+        assert store.total == 507
+        assert store.first == 507 - 50
+        np.testing.assert_array_equal(store.snapshot(), data[-50:])
+        np.testing.assert_array_equal(store.read(480, 20), data[480:500])
+
+    def test_one_batch_larger_than_capacity(self):
+        """A single append past capacity keeps exactly the last ring."""
+        store = LiveStore(capacity=16, on_full="evict")
+        data = feed(100, seed=2)
+        store.append(data)
+        assert store.total == 100 and store.first == 84
+        np.testing.assert_array_equal(store.snapshot(), data[-16:])
+
+    def test_read_of_evicted_or_future_window_raises(self):
+        store = LiveStore(capacity=8, on_full="evict")
+        store.append(feed(20, seed=3))
+        with pytest.raises(ValueError, match="outside retained"):
+            store.read(0, 8)  # evicted
+        with pytest.raises(ValueError, match="outside retained"):
+            store.read(18, 4)  # not yet appended
+        with pytest.raises(ValueError):
+            store.read(12, -1)
+        assert store.read(15, 0).size == 0
+
+    def test_empty_append_is_a_noop(self):
+        store = LiveStore(capacity=8)
+        store.append(feed(3, seed=4))
+        epoch = store.epoch
+        assert store.append(np.empty(0)) == 0
+        assert store.append(np.empty(0), factor=4) == 0
+        assert store.epoch == epoch and store.pending == 0
+
+    def test_rejects_bad_shapes_and_parameters(self):
+        with pytest.raises(ValueError):
+            LiveStore(capacity=0)
+        with pytest.raises(ValueError):
+            LiveStore(capacity=4, on_full="wrap")
+        with pytest.raises(ValueError):
+            LiveStore(capacity=4, step_s=0.0)
+        store = LiveStore(capacity=8)
+        with pytest.raises(ValueError, match="flat array"):
+            store.append(np.zeros((2, 3)))
+        with pytest.raises(ValueError, match="factor"):
+            store.append(np.zeros(3), factor=0)
+
+
+class TestQuota:
+    def test_exact_fit_at_capacity_then_overflow(self):
+        """Raise mode: the boundary append fits, one more sample fails
+        — and the failed append mutates nothing."""
+        store = LiveStore(capacity=10, on_full="raise")
+        store.append(feed(7, seed=5))
+        store.append(feed(3, seed=6))  # exactly at capacity
+        assert store.n_retained == 10
+        snapshot = store.snapshot()
+        with pytest.raises(OverflowError, match="10-sample quota"):
+            store.append(np.array([1.0]))
+        assert store.total == 10 and store.pending == 0
+        np.testing.assert_array_equal(store.snapshot(), snapshot)
+
+    def test_overflow_with_factor_leaves_pending_untouched(self):
+        store = LiveStore(capacity=4, on_full="raise")
+        store.append(feed(7, seed=7), factor=2)  # 3 committed, 1 pending
+        assert store.n_retained == 3 and store.pending == 1
+        with pytest.raises(OverflowError):
+            store.append(feed(5, seed=8), factor=2)  # would commit 3
+        assert store.n_retained == 3 and store.pending == 1
+
+    def test_plan_accounts_for_the_carried_remainder(self):
+        store = LiveStore(capacity=100)
+        assert store.plan(7) == 7
+        assert store.plan(7, factor=4) == 1
+        store.append(feed(7, seed=9), factor=4)
+        assert store.pending == 3
+        assert store.plan(1, factor=4) == 1  # 3 carried + 1 = one block
+        assert store.plan(1, factor=2) == 0  # factor switch drops carry
+
+
+class TestResampling:
+    @given(
+        factor=st.integers(1, 6),
+        cuts=st.lists(st.integers(1, 37), min_size=1, max_size=8),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_split_invariance_vs_resample_mean(self, factor, cuts, seed):
+        """However the raw feed is split into appends, the committed
+        series is bit-identical to ``resample_mean`` over the whole."""
+        raw = feed(sum(cuts), seed=seed)
+        store = LiveStore(capacity=4096)
+        pos = 0
+        for cut in cuts:
+            store.append(raw[pos : pos + cut], factor=factor)
+            pos += cut
+        n_blocks = raw.size // factor
+        if n_blocks:
+            np.testing.assert_array_equal(
+                store.snapshot(), resample_mean(raw[: n_blocks * factor], factor)
+            )
+        assert store.total == n_blocks
+        assert store.pending == raw.size - n_blocks * factor
+
+    def test_factor_change_with_pending_remainder_is_an_error(self):
+        store = LiveStore(capacity=64)
+        store.append(feed(5, seed=10), factor=4)
+        assert store.pending == 1
+        with pytest.raises(ValueError, match="factor changed"):
+            store.append(feed(4, seed=11), factor=2)
+        store.append(feed(3, seed=12), factor=4)  # completes the block
+        assert store.pending == 0
+        store.append(feed(4, seed=13), factor=2)  # boundary: switch is fine
+
+    def test_nan_blocks_propagate(self):
+        store = LiveStore(capacity=8)
+        raw = np.array([1.0, np.nan, 4.0, 6.0])
+        store.append(raw, factor=2)
+        out = store.snapshot()
+        assert np.isnan(out[0]) and out[1] == 5.0
+
+    def test_epoch_tracks_uid_and_total(self):
+        a, b = LiveStore(capacity=8), LiveStore(capacity=8)
+        assert a.uid != b.uid
+        a.append(feed(3, seed=14))
+        b.append(feed(3, seed=14))
+        assert a.epoch != b.epoch  # same total, different identity
+        assert a.epoch[1] == b.epoch[1] == 3
