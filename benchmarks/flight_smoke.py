@@ -1,0 +1,213 @@
+"""CI flight-recorder smoke: the black box must hold the right traces.
+
+Boots an ephemeral :mod:`repro.serve` server (continuous profiler
+sampling fast so short CI runs collect stacks), drives a mixed load of
+cached and uncached requests over a real socket, then induces exactly
+the situations the flight recorder exists for:
+
+* one **internal error** (a patched sweep raises → 500) — the
+  request's trace must be retained by outcome,
+* one **shed** (SLO window poisoned past the fast-burn threshold →
+  503) — the synthetic rejection entry must be retained,
+* **slow-decile** traffic — uncached sweeps landing past the rolling
+  p90 of a mostly-cache-hit load must be retained as ``slow``.
+
+Asserts all of the above through ``GET /debug/flight`` (JSON and
+Chrome-trace forms), asserts ``GET /debug/pprof`` produced folded
+stacks with a ``serve-handler`` label, and writes the flamegraph text
+to ``benchmarks/results/flight_flamegraph.txt`` (the CI artifact).
+Exits 0/1.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/flight_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import obs
+from repro.serve import build_server
+
+DEFAULT_OUT = (
+    Path(__file__).resolve().parent / "results" / "flight_flamegraph.txt"
+)
+
+
+def _http(url, method="GET", body=None, tenant=None, timeout=30):
+    """status, decoded payload (JSON dict or text), headers — 4xx/5xx
+    returned as data, not exceptions."""
+    data = None
+    req = urllib.request.Request(url, method=method)
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        req.add_header("Content-Type", "application/json")
+    if tenant is not None:
+        req.add_header("X-Tenant-Id", tenant)
+    try:
+        with urllib.request.urlopen(req, data=data, timeout=timeout) as resp:
+            raw = resp.read()
+            status, headers = resp.status, dict(resp.headers)
+    except urllib.error.HTTPError as err:
+        raw = err.read()
+        status, headers = err.code, dict(err.headers)
+    text = raw.decode("utf-8", "replace")
+    if headers.get("Content-Type", "").startswith("application/json"):
+        try:
+            return status, json.loads(text), headers
+        except json.JSONDecodeError:
+            pass
+    return status, text, headers
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--appliance", default="kettle")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    checks: list[tuple[str, bool]] = []
+    ok = lambda label, passed: checks.append((label, bool(passed)))  # noqa: E731
+
+    rng = np.random.default_rng(args.seed)
+    watts = (rng.uniform(80, 240, size=1024) + 40.0).tolist()
+    watts[60:72] = [2600.0] * 12  # one kettle-shaped spike
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    # Sample fast (~200 Hz): the whole smoke lasts a couple of seconds
+    # and the pprof assertion needs serve-handler stacks in that window.
+    server = build_server(
+        port=0, appliances=(args.appliance,), seed=args.seed, workers=2,
+        profile_hz=200.0,
+    )
+    flamegraph = ""
+    try:
+        with server.running():
+            base = server.url
+            status, _, _ = _http(
+                f"{base}/houses", "POST",
+                {"house_id": "house-1", "step_s": 60.0}, tenant="smoke",
+            )
+            ok("POST /houses -> 201", status == 201)
+            status, _, _ = _http(
+                f"{base}/houses/house-1/ingest", "POST", {"watts": watts},
+                tenant="smoke",
+            )
+            ok("POST ingest -> 200", status == 200)
+            status, _, _ = _http(
+                f"{base}/houses/house-1/devices", "POST",
+                {"appliance": args.appliance}, tenant="smoke",
+            )
+            ok("POST devices -> 201", status == 201)
+
+            def detect(start):
+                return _http(
+                    f"{base}/houses/house-1/detect", "POST",
+                    {"appliance": args.appliance, "start": start,
+                     "length": 128},
+                    tenant="smoke",
+                )
+
+            # Mixed load: 4 distinct windows, then 44 cache-hit
+            # revisits — a mostly-fast duration distribution that puts
+            # the rolling p90 well under an uncached sweep (slow
+            # samples must stay below ~10% of the window, or the p90
+            # itself lands on a sweep and nothing reads as slow).
+            for start in (0, 128, 256, 384):
+                status, _, _ = detect(start)
+                ok(f"detect start={start} -> 200", status == 200)
+            revisits_ok = True
+            for i in range(44):
+                status, _, _ = detect((i % 4) * 128)
+                revisits_ok = revisits_ok and status == 200
+            ok("44 cache revisits -> 200", revisits_ok)
+            # Two fresh windows now land past the p90: the slow tier.
+            for start in (512, 640):
+                status, _, _ = detect(start)
+                ok(f"slow fresh detect start={start} -> 200", status == 200)
+
+            # Induced internal error: one sweep raises, then restores.
+            service = server.service
+            real_localize = service.batcher.localize
+
+            def boom(*a, **k):
+                service.batcher.localize = real_localize
+                raise RuntimeError("flight-smoke induced failure")
+
+            service.batcher.localize = boom
+            status, _, headers = detect(768)
+            ok("induced failure -> 500 (not a hang)", status == 500)
+            ok("500 carries X-Request-Id + traceparent",
+               bool(headers.get("X-Request-Id"))
+               and bool(headers.get("traceparent")))
+            error_rid = headers.get("X-Request-Id", "")
+
+            # Induced shed: poison the SLO window past fast-burn.
+            for _ in range(64):
+                obs.slo_tracker.record(10.0, outcome="error")
+            status, _, headers = detect(896)
+            ok("overload -> 503 shed", status == 503)
+            shed_rid = headers.get("X-Request-Id", "")
+
+            status, flight, _ = _http(f"{base}/debug/flight")
+            ok("GET /debug/flight -> 200 JSON",
+               status == 200 and isinstance(flight, dict))
+            entries = flight.get("entries", []) if isinstance(flight, dict) else []
+            by_rid = {e.get("request_id"): e for e in entries}
+            ok("flight retained the induced error trace",
+               by_rid.get(error_rid, {}).get("outcome") == "error")
+            ok("flight retained the shed rejection",
+               by_rid.get(shed_rid, {}).get("outcome") == "shed")
+            ok("error trace kept with its spans",
+               len(by_rid.get(error_rid, {}).get("spans", [])) > 0)
+            ok("slow tier retained at least one trace",
+               any(e.get("reason") == "slow" for e in entries))
+            ok("every retained trace carries a trace id",
+               bool(entries)
+               and all(e.get("trace_id") for e in entries))
+
+            status, chrome, headers = _http(
+                f"{base}/debug/flight?format=chrome"
+            )
+            ok("flight chrome export downloads",
+               status == 200
+               and "attachment" in headers.get("Content-Disposition", "")
+               and isinstance(chrome, dict)
+               and len(chrome.get("traceEvents", [])) > 0)
+
+            status, flamegraph, _ = _http(f"{base}/debug/pprof")
+            ok("GET /debug/pprof -> 200 folded stacks",
+               status == 200 and isinstance(flamegraph, str)
+               and len(flamegraph.splitlines()) > 0)
+            ok("profiler labeled serve-handler threads",
+               "serve-handler" in flamegraph)
+    finally:
+        if not was_enabled:
+            obs.disable()
+        obs.reset()
+
+    if isinstance(flamegraph, str) and flamegraph:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(flamegraph + "\n")
+        print(f"flamegraph written to {args.out}")
+
+    failed = [label for label, passed in checks if not passed]
+    for label, passed in checks:
+        print(f"  [{'ok' if passed else 'FAIL'}] {label}")
+    print("flight-smoke: " + ("PASS" if not failed else "FAIL"))
+    return 0 if not failed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,19 +35,35 @@ Design rules:
 
 from __future__ import annotations
 
-from . import log, report
+from . import contprof, log, report
 from .config import (
     disable,
     enable,
     enabled,
     enabled_scope,
+    flight_enabled,
     is_quiet,
     is_verbose,
     set_enabled,
+    set_flight,
     set_quiet,
     set_verbose,
 )
-from .context import NOOP_REQUEST, RequestContext, current_request, request
+from .context import (
+    NOOP_REQUEST,
+    RequestContext,
+    current_request,
+    format_traceparent,
+    new_span_id_hex,
+    new_trace_id,
+    parse_traceparent,
+    parse_tracestate,
+    record_rejected,
+    request,
+)
+from .contprof import ContinuousProfiler, thread_role
+from .flight import FlightRecorder
+from .flight import recorder as flight_recorder
 from .export import to_chrome_trace, to_jsonl, to_openmetrics
 from .metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -93,6 +109,19 @@ __all__ = [
     "NOOP_REQUEST",
     "request",
     "current_request",
+    "record_rejected",
+    "new_trace_id",
+    "new_span_id_hex",
+    "parse_traceparent",
+    "parse_tracestate",
+    "format_traceparent",
+    "flight_enabled",
+    "set_flight",
+    "FlightRecorder",
+    "flight_recorder",
+    "ContinuousProfiler",
+    "contprof",
+    "thread_role",
     "SloTracker",
     "slo_tracker",
     "GOOD_OUTCOMES",
@@ -125,12 +154,15 @@ span = tracer.span
 
 def reset() -> None:
     """Clear all recorded data (metrics, spans, events, request ids,
-    SLO window); flags and ring-buffer capacities unchanged."""
+    SLO window, flight ring) and stop any running stack samplers;
+    flags and ring-buffer capacities unchanged."""
     registry.reset()
     tracer.reset()
     log.reset()
     _context.reset()
     slo_tracker.reset()
+    flight_recorder.reset()
+    contprof.stop_all()
 
 
 def warning(name: str, help: str = "", **labels: object) -> None:

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import contextvars
 import itertools
+import re
 import time
+import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -45,10 +47,88 @@ __all__ = [
     "request",
     "reset",
     "NOOP_REQUEST",
+    "new_trace_id",
+    "new_span_id_hex",
+    "parse_traceparent",
+    "parse_tracestate",
+    "format_traceparent",
+    "record_rejected",
 ]
 
 #: Tuple-of-pairs key identifying one (name, labels) warning signature.
 _WarningKey = tuple
+
+# -- W3C Trace Context (traceparent / tracestate) ---------------------------
+#
+# ``traceparent: <version>-<trace-id>-<parent-id>-<flags>`` with version
+# and flags as 2 lowercase hex digits, trace-id as 32 and parent-id as
+# 16 — all-zero trace/parent ids are explicitly invalid per the spec.
+# Parsing is strict-but-forgiving the way the spec asks: a malformed
+# header is *ignored* (the server starts a fresh trace), never an error.
+
+_TRACEPARENT = re.compile(
+    r"^(?P<version>[0-9a-f]{2})-(?P<trace_id>[0-9a-f]{32})-"
+    r"(?P<parent_id>[0-9a-f]{16})-(?P<flags>[0-9a-f]{2})(?P<rest>-.*)?$"
+)
+
+#: ``tracestate`` values past this size are dropped wholesale (the spec
+#: allows discarding the header when it cannot be stored verbatim).
+MAX_TRACESTATE_LEN = 512
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit W3C trace id (32 lowercase hex chars)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id_hex() -> str:
+    """A fresh 64-bit W3C span/parent id (16 lowercase hex chars)."""
+    return uuid.uuid4().hex[:16]
+
+
+def parse_traceparent(header: object) -> "tuple[str, str] | None":
+    """``(trace_id, parent_span_id)`` from a ``traceparent`` header.
+
+    Returns None for anything invalid: wrong field sizes, uppercase hex,
+    version ``ff`` (forbidden), an all-zero trace or parent id, or extra
+    fields on a version-00 header (future versions may append fields, so
+    they are accepted with the known prefix).
+    """
+    if not isinstance(header, str):
+        return None
+    match = _TRACEPARENT.match(header.strip())
+    if match is None:
+        return None
+    version = match.group("version")
+    if version == "ff":
+        return None
+    if version == "00" and match.group("rest"):
+        return None
+    trace_id = match.group("trace_id")
+    parent_id = match.group("parent_id")
+    if trace_id == "0" * 32 or parent_id == "0" * 16:
+        return None
+    return trace_id, parent_id
+
+
+def parse_tracestate(header: object) -> "str | None":
+    """Pass a ``tracestate`` header through, or drop it.
+
+    The value is vendor-opaque — we never interpret it, only echo it on
+    the response so downstream vendors keep their correlation state.
+    Oversized or non-string values are dropped (returns None).
+    """
+    if not isinstance(header, str):
+        return None
+    value = header.strip()
+    if not value or len(value) > MAX_TRACESTATE_LEN:
+        return None
+    return value
+
+
+def format_traceparent(trace_id: str, span_id_hex: str) -> str:
+    """A version-00, sampled ``traceparent`` for response headers."""
+    return f"00-{trace_id}-{span_id_hex}-01"
 
 
 @dataclass
@@ -59,6 +139,14 @@ class RequestContext:
     kind: str
     tags: dict = field(default_factory=dict)
     outcome: str = "ok"  # ok | degraded | error
+    #: W3C trace identity: ``trace_id`` is the 32-hex id this request
+    #: belongs to (client-supplied via ``traceparent`` or generated at
+    #: scope entry), ``parent_span_id`` the client's 16-hex span id (if
+    #: any), and ``span_id_hex`` this request's own 16-hex id — the one
+    #: the serve layer echoes in the response ``traceparent``.
+    trace_id: str = ""
+    parent_span_id: "str | None" = None
+    span_id_hex: str = ""
     #: First log record per (warning name, labels) — repeats bump the
     #: record's ``count`` instead of flooding the event buffer.
     warning_records: dict[_WarningKey, dict] = field(default_factory=dict)
@@ -119,8 +207,20 @@ def new_request_id(kind: str) -> str:
 
 
 @contextmanager
-def request(kind: str = "request", **tags: object) -> Iterator[RequestContext]:
-    """Open (or join) a request scope; see the module docstring."""
+def request(
+    kind: str = "request",
+    request_id: "str | None" = None,
+    trace_id: "str | None" = None,
+    parent_span_id: "str | None" = None,
+    **tags: object,
+) -> Iterator[RequestContext]:
+    """Open (or join) a request scope; see the module docstring.
+
+    ``request_id`` / ``trace_id`` / ``parent_span_id`` let a transport
+    layer (the HTTP server) bind identity it already negotiated with the
+    client; all three default to fresh values. When an enclosing scope
+    is joined the explicit identity is ignored — one click, one id.
+    """
     if not config._ENABLED:
         yield NOOP_REQUEST  # type: ignore[misc]
         return
@@ -130,7 +230,12 @@ def request(kind: str = "request", **tags: object) -> Iterator[RequestContext]:
         yield active
         return
     ctx = RequestContext(
-        request_id=new_request_id(kind), kind=kind, tags=dict(tags)
+        request_id=request_id or new_request_id(kind),
+        kind=kind,
+        tags=dict(tags),
+        trace_id=trace_id or new_trace_id(),
+        parent_span_id=parent_span_id,
+        span_id_hex=new_span_id_hex(),
     )
     token = _CURRENT.set(ctx)
     start = time.perf_counter()
@@ -166,12 +271,17 @@ def _finish(ctx: RequestContext, duration_s: float) -> None:
     log.event(
         "request",
         request_id=ctx.request_id,
+        trace_id=ctx.trace_id,
         request_kind=ctx.kind,
         duration_s=duration_s,
         outcome=ctx.outcome,
         **ctx.tags,
     )
     _flush_to_store(ctx, duration_s)
+    if config.flight_enabled():
+        from . import flight
+
+        flight.recorder.finish_request(ctx, duration_s)
 
 
 def _flush_to_store(ctx: RequestContext, duration_s: float) -> None:
@@ -200,6 +310,56 @@ def _flush_to_store(ctx: RequestContext, duration_s: float) -> None:
             "obs.store_append_failures_total",
             help="telemetry store appends dropped on disk errors",
         ).inc()
+
+
+def record_rejected(
+    kind: str,
+    outcome: str,
+    duration_s: float = 0.0,
+    request_id: "str | None" = None,
+    trace_id: "str | None" = None,
+    **tags: object,
+) -> None:
+    """Bill a request that was rejected before any work scope opened.
+
+    Early-reject paths (bad tenant id, registry full, admission shed)
+    never enter ``obs.request`` — no thunk runs — but they still need to
+    show up in ``obs.requests_total`` and the flight recorder so the
+    operator sees *every* response the service produced. Deliberately
+    skipped: the SLO tracker (sheds must not consume error budget — the
+    whole point of shedding is to protect it) and the telemetry store
+    (its history tracks completed work, not refusals).
+    """
+    if not config._ENABLED:
+        return
+    from . import log
+    from .. import obs
+
+    rid = request_id or new_request_id(kind)
+    obs.registry.counter(
+        "obs.requests_total",
+        help="completed request scopes by kind and outcome",
+    ).inc(kind=kind, outcome=outcome)
+    log.event(
+        "request_rejected",
+        request_id=rid,
+        trace_id=trace_id or "",
+        request_kind=kind,
+        duration_s=duration_s,
+        outcome=outcome,
+        **tags,
+    )
+    if config.flight_enabled():
+        from . import flight
+
+        flight.recorder.record_rejected(
+            request_id=rid,
+            trace_id=trace_id or "",
+            kind=kind,
+            outcome=outcome,
+            duration_s=duration_s,
+            tags=dict(tags),
+        )
 
 
 def reset() -> None:

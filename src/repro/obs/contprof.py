@@ -1,0 +1,231 @@
+"""Continuous wall-clock profiling via ``sys._current_frames()``.
+
+A single daemon thread wakes ~33 times per second (configurable),
+snapshots every live thread's Python stack, and accumulates counts per
+collapsed stack — the classic folded/flamegraph text format::
+
+    serve-handler;_handle (http.py:210);execute (service.py:118);... 42
+
+One line per distinct (thread label, stack) pair, count = number of
+samples in which that stack was on-CPU-or-blocked. Wall-clock sampling
+(as opposed to CPU-time) is deliberate: for a serving process, time
+spent *waiting* — on the sweep lock, on a batch window, on disk — is
+exactly what the operator needs to see.
+
+Per-thread labels come from two sources:
+
+* the thread *name* (the serve layer names its handler threads
+  ``serve-handler``, the ensemble pool uses ``ensemble-member``), and
+* an explicit role override via :func:`thread_role` — the MicroBatcher
+  wraps its stacked sweep in ``thread_role("batch-leader")`` so leader
+  work is distinguishable even though it runs on a handler thread.
+
+``start``/``stop`` are idempotent (re-entrant calls no-op), the sampler
+is a daemon thread (cannot block interpreter exit), and every started
+profiler registers in a module WeakSet so :func:`stop_all` (called from
+``obs.reset``) can guarantee no sampler outlives a test.
+
+Overhead: one ``sys._current_frames()`` call plus a few dict updates
+per tick — but the dominant cost is not the sample, it is the *wakeup*
+(an extra runnable thread contending for the GIL perturbs the compute
+threads' scheduling). Measured on the CI workload the cost scales with
+wakeup frequency: ~10% at 67 Hz, ~2.5% at 33 Hz. The default interval
+is therefore 30 ms (~33 Hz), which keeps the always-on configuration
+inside the repo's ≤5% telemetry-overhead budget —
+``benchmarks/obs_overhead.py`` gates it in CI.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+import weakref
+
+__all__ = [
+    "ContinuousProfiler",
+    "thread_role",
+    "current_role",
+    "stop_all",
+]
+
+#: Explicit role per thread ident (set via :func:`thread_role`). Plain
+#: dict mutated under the GIL — entries are removed on scope exit.
+_ROLES: dict[int, str] = {}
+
+#: Every profiler that has ever been started (weakly held) so
+#: ``obs.reset`` can stop stragglers without owning their lifecycle.
+_ACTIVE: "weakref.WeakSet[ContinuousProfiler]" = weakref.WeakSet()
+
+
+class thread_role:
+    """Context manager tagging the current thread with a role label.
+
+    While active, the profiler labels this thread's samples with
+    ``role`` instead of the thread name. Roles nest (inner wins) and
+    always restore on exit.
+    """
+
+    __slots__ = ("role", "_prev", "_ident")
+
+    def __init__(self, role: str):
+        self.role = role
+        self._prev: "str | None" = None
+        self._ident = 0
+
+    def __enter__(self) -> "thread_role":
+        self._ident = threading.get_ident()
+        self._prev = _ROLES.get(self._ident)
+        _ROLES[self._ident] = self.role
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        if self._prev is None:
+            _ROLES.pop(self._ident, None)
+        else:
+            _ROLES[self._ident] = self._prev
+        return False
+
+
+def current_role(ident: int) -> "str | None":
+    """The explicit role for a thread ident, if one is set."""
+    return _ROLES.get(ident)
+
+
+#: Memoized frame labels keyed by (code object, line). Samples hit the
+#: same few hundred frames thousands of times; formatting each once
+#: keeps the sampler's GIL hold per tick small. Strongly referencing
+#: code objects is fine — they belong to loaded modules — and the cache
+#: is cleared wholesale if it ever grows past the cap.
+_LABELS: dict = {}
+_LABELS_CAP = 8192
+
+
+def _frame_label(frame) -> str:
+    code = frame.f_code
+    key = (code, frame.f_lineno)
+    label = _LABELS.get(key)
+    if label is None:
+        if len(_LABELS) >= _LABELS_CAP:
+            _LABELS.clear()
+        label = (
+            f"{code.co_name} "
+            f"({os.path.basename(code.co_filename)}:{frame.f_lineno})"
+        )
+        _LABELS[key] = label
+    return label
+
+
+class ContinuousProfiler:
+    """Sampling wall-clock profiler over all interpreter threads."""
+
+    def __init__(self, interval_s: float = 0.03, max_stacks: int = 10_000):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if max_stacks < 1:
+            raise ValueError("max_stacks must be >= 1")
+        self.interval_s = float(interval_s)
+        self.max_stacks = max_stacks
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._samples = 0
+        self._truncated = 0
+        self._stop = threading.Event()
+        self._thread: "threading.Thread | None" = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Start sampling; a second start while running is a no-op."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="obs-contprof", daemon=True
+            )
+            self._thread.start()
+        _ACTIVE.add(self)
+
+    def stop(self) -> None:
+        """Stop sampling and join the sampler; idempotent."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+
+    @property
+    def running(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    # -- sampling ----------------------------------------------------------
+
+    def _run(self) -> None:
+        own = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            self._sample(own)
+
+    def _sample(self, skip_ident: int) -> None:
+        names = {t.ident: t.name for t in threading.enumerate()}
+        frames = sys._current_frames()
+        updates: list[str] = []
+        for ident, frame in frames.items():
+            if ident == skip_ident:
+                continue
+            label = _ROLES.get(ident) or names.get(ident, f"thread-{ident}")
+            parts = [label]
+            depth = 0
+            while frame is not None and depth < 64:
+                parts.append(_frame_label(frame))
+                frame = frame.f_back
+                depth += 1
+            # Folded format is root-first: reverse the frames (leaf was
+            # appended first), keeping the thread label at the front.
+            updates.append(";".join([parts[0]] + parts[:0:-1]))
+        with self._lock:
+            self._samples += 1
+            for key in updates:
+                if key in self._counts:
+                    self._counts[key] += 1
+                elif len(self._counts) < self.max_stacks:
+                    self._counts[key] = 1
+                else:
+                    self._truncated += 1
+
+    # -- retrieval ---------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Folded-stack text (``stack count`` lines, hottest first)."""
+        with self._lock:
+            items = sorted(
+                self._counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        return "\n".join(f"{stack} {count}" for stack, count in items)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "running": self.running,
+                "interval_s": self.interval_s,
+                "samples": self._samples,
+                "stacks": len(self._counts),
+                "truncated": self._truncated,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counts.clear()
+            self._samples = 0
+            self._truncated = 0
+
+
+def stop_all() -> None:
+    """Stop every profiler ever started (``obs.reset`` teardown hook)."""
+    for profiler in list(_ACTIVE):
+        profiler.stop()
+    _ROLES.clear()

@@ -232,7 +232,7 @@ def to_chrome_trace(source: "Tracer | list[dict]") -> dict:
         if raw_tid not in tid_tracks:
             tid_tracks[raw_tid] = len(tid_tracks)
         args = dict(node.get("attrs", {}))
-        for key in ("span_id", "parent_id", "request_id", "error"):
+        for key in ("span_id", "parent_id", "request_id", "trace_id", "error"):
             if node.get(key) is not None:
                 args[key] = node[key]
         events.append(

@@ -1,0 +1,305 @@
+"""Tail-sampling flight recorder: complete span trees for the traces
+that matter.
+
+The :class:`~repro.obs.tracing.Tracer` ring keeps *every* recent root
+span, which is the right default for a notebook but the wrong shape for
+an incident at serving scale: 10k healthy traces crowd out the three
+that explain the outage. The flight recorder inverts the policy —
+**tail-based retention** decides *after* a request completes whether its
+trace is worth keeping:
+
+* ``error`` / ``degraded`` / ``shed`` outcomes are **always** retained;
+* requests at or above the rolling p90 duration (and strictly above the
+  fastest recent request — a uniform-latency load must not read as 100%
+  slow) are retained as ``slow``, the slowest decile of recent traffic;
+* everything else is probabilistically sampled (deterministic seeded
+  RNG) so the ring also holds a baseline of healthy traces to diff
+  against.
+
+Retention is bounded twice — by entry count and by estimated JSON
+bytes — and eviction is tiered: ``sampled`` entries go first, then
+``slow``, then oldest-of-anything, so an incident's error traces are the
+last thing squeezed out.
+
+Entries whose outcome is in the always-keep class are additionally
+dumped to the installed :class:`~repro.obs.store.TelemetryStore` (PR 6)
+best-effort, so a crash right after the bad request still leaves the
+trace on disk.
+
+Wiring: :meth:`Tracer._close` feeds completed root spans to
+:meth:`FlightRecorder.add_root`; :func:`repro.obs.context._finish`
+calls :meth:`FlightRecorder.finish_request` when the outermost request
+scope exits; early-reject paths go through
+:func:`repro.obs.context.record_rejected`. All three are gated on
+:func:`repro.obs.config.flight_enabled`.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from collections import OrderedDict, deque
+
+__all__ = ["FlightRecorder", "recorder"]
+
+#: Outcomes that are always retained (and dumped to the store).
+KEEP_OUTCOMES = frozenset({"error", "degraded", "shed"})
+
+
+class FlightRecorder:
+    """Bounded ring of complete request traces with tail-based retention."""
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        max_bytes: int = 8 * 1024 * 1024,
+        sample_rate: float = 0.05,
+        slow_window: int = 512,
+        slow_quantile: float = 0.9,
+        seed: int = 0,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.sample_rate = float(sample_rate)
+        self.slow_quantile = float(slow_quantile)
+        self._seed = seed
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque()
+        self._bytes = 0
+        #: Span trees buffered per in-flight request id. Bounded so a
+        #: request that never finishes (or spans emitted outside any
+        #: serve scope) cannot grow memory without limit.
+        self._pending: OrderedDict[str, list[dict]] = OrderedDict()
+        self._pending_cap = 1024
+        #: Rolling durations of recent *completed* requests — the p90 of
+        #: this window is the "slow" retention threshold.
+        self._durations: deque[float] = deque(maxlen=slow_window)
+        # Counters (exposed via stats(), not the metrics registry, so
+        # the recorder stays usable even while metrics are cleared).
+        self._seen = 0
+        self._kept = 0
+        self._evicted = 0
+        self._store_failures = 0
+
+    # -- ingest ------------------------------------------------------------
+
+    def add_root(self, span) -> None:
+        """Buffer a completed root span tree under its request id."""
+        rid = span.request_id
+        if rid is None:
+            return
+        tree = span.to_dict()
+        with self._lock:
+            bucket = self._pending.get(rid)
+            if bucket is None:
+                while len(self._pending) >= self._pending_cap:
+                    self._pending.popitem(last=False)
+                bucket = []
+                self._pending[rid] = bucket
+            bucket.append(tree)
+
+    def finish_request(self, ctx, duration_s: float) -> None:
+        """Apply retention to a completed request's buffered trace."""
+        with self._lock:
+            spans = self._pending.pop(ctx.request_id, [])
+            self._seen += 1
+            threshold = self._slow_threshold_locked()
+            # "Slow" must also beat the *fastest* recent request: when
+            # every request takes the same time the p90 equals that
+            # time, and without the floor a uniform-latency load would
+            # read as 100% slow and flood the ring.
+            floor = min(self._durations) if self._durations else 0.0
+            self._durations.append(duration_s)
+            outcome = ctx.outcome
+            if outcome in KEEP_OUTCOMES:
+                reason = outcome
+            elif (
+                threshold is not None
+                and duration_s >= threshold
+                and duration_s > floor
+            ):
+                reason = "slow"
+            elif self._rng.random() < self.sample_rate:
+                reason = "sampled"
+            else:
+                return
+            entry = {
+                "request_id": ctx.request_id,
+                "trace_id": ctx.trace_id,
+                "kind": ctx.kind,
+                "outcome": outcome,
+                "duration_s": duration_s,
+                "tags": dict(ctx.tags),
+                "reason": reason,
+                "spans": spans,
+            }
+            self._retain_locked(entry)
+        if outcome in KEEP_OUTCOMES:
+            self._dump_to_store(entry)
+
+    def record_rejected(
+        self,
+        request_id: str,
+        trace_id: str,
+        kind: str,
+        outcome: str,
+        duration_s: float,
+        tags: dict,
+    ) -> None:
+        """Record a request refused before any span could be emitted."""
+        with self._lock:
+            self._seen += 1
+            self._durations.append(duration_s)
+            if outcome in KEEP_OUTCOMES:
+                reason = outcome
+            elif self._rng.random() < self.sample_rate:
+                reason = "sampled"
+            else:
+                return
+            entry = {
+                "request_id": request_id,
+                "trace_id": trace_id,
+                "kind": kind,
+                "outcome": outcome,
+                "duration_s": duration_s,
+                "tags": dict(tags),
+                "reason": reason,
+                "spans": [],
+            }
+            self._retain_locked(entry)
+        if outcome in KEEP_OUTCOMES:
+            self._dump_to_store(entry)
+
+    # -- retention mechanics ----------------------------------------------
+
+    def _slow_threshold_locked(self) -> "float | None":
+        """Rolling p90 duration, or None until enough history exists."""
+        n = len(self._durations)
+        if n < 20:
+            return None
+        ordered = sorted(self._durations)
+        idx = min(n - 1, int(self.slow_quantile * n))
+        return ordered[idx]
+
+    def _retain_locked(self, entry: dict) -> None:
+        entry["bytes"] = len(json.dumps(entry, default=str))
+        self._entries.append(entry)
+        self._bytes += entry["bytes"]
+        self._kept += 1
+        self._evict_locked()
+
+    def _evict_locked(self) -> None:
+        """Tiered eviction: sampled first, then slow, then oldest."""
+        count = len(self._entries)
+
+        def over() -> bool:
+            return count > self.max_entries or self._bytes > self.max_bytes
+
+        for tier in ("sampled", "slow"):
+            if not over():
+                return
+            survivors: deque[dict] = deque()
+            # Walk oldest-first, dropping this tier until under bounds.
+            for item in self._entries:
+                if over() and item["reason"] == tier:
+                    self._bytes -= item["bytes"]
+                    self._evicted += 1
+                    count -= 1
+                    continue
+                survivors.append(item)
+            self._entries = survivors
+        while over() and self._entries:
+            dropped = self._entries.popleft()
+            self._bytes -= dropped["bytes"]
+            self._evicted += 1
+            count -= 1
+
+    def _dump_to_store(self, entry: dict) -> None:
+        """Best-effort persistence of an always-keep trace (PR 6 store)."""
+        from . import store as store_mod
+
+        telemetry_store = store_mod.active_store()
+        if telemetry_store is None:
+            return
+        try:
+            telemetry_store.append({"type": "flight", **entry})
+        except OSError:
+            with self._lock:
+                self._store_failures += 1
+
+    # -- retrieval / export -----------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Retained traces, oldest first (copies of the ring entries)."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries]
+
+    def stats(self) -> dict:
+        with self._lock:
+            by_reason: dict[str, int] = {}
+            for entry in self._entries:
+                by_reason[entry["reason"]] = by_reason.get(entry["reason"], 0) + 1
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_entries": self.max_entries,
+                "max_bytes": self.max_bytes,
+                "seen": self._seen,
+                "kept": self._kept,
+                "evicted": self._evicted,
+                "pending": len(self._pending),
+                "store_failures": self._store_failures,
+                "by_reason": by_reason,
+                "slow_threshold_s": self._slow_threshold_locked(),
+            }
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome-trace document over every retained trace's spans."""
+        from . import export
+
+        spans: list[dict] = []
+        for entry in self.entries():
+            spans.extend(entry["spans"])
+        return export.to_chrome_trace(spans)
+
+    def configure(
+        self,
+        max_entries: "int | None" = None,
+        max_bytes: "int | None" = None,
+        sample_rate: "float | None" = None,
+    ) -> None:
+        """Adjust bounds in place (existing entries re-evicted)."""
+        with self._lock:
+            if max_entries is not None:
+                if max_entries < 1:
+                    raise ValueError("max_entries must be >= 1")
+                self.max_entries = max_entries
+            if max_bytes is not None:
+                if max_bytes < 1:
+                    raise ValueError("max_bytes must be >= 1")
+                self.max_bytes = max_bytes
+            if sample_rate is not None:
+                self.sample_rate = float(sample_rate)
+            self._evict_locked()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._pending.clear()
+            self._durations.clear()
+            self._bytes = 0
+            self._seen = 0
+            self._kept = 0
+            self._evicted = 0
+            self._store_failures = 0
+            self._rng = random.Random(self._seed)
+
+
+#: Process-wide recorder (``obs.flight_recorder``); ``obs.reset`` resets it.
+recorder = FlightRecorder()

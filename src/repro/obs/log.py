@@ -81,6 +81,10 @@ def event(name: str, _force: bool = False, **fields: object) -> dict:
         request = context.current_request()
         if request is not None and "request_id" not in record:
             record["request_id"] = request.request_id
+        if request is not None and "trace_id" not in record:
+            trace_id = getattr(request, "trace_id", "")
+            if trace_id:
+                record["trace_id"] = trace_id
         _BUFFER.append(record)
     if (_force or config._VERBOSE) and not config._QUIET:
         stream = _STREAM if _STREAM is not None else sys.stderr

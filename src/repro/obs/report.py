@@ -19,6 +19,8 @@ __all__ = [
     "format_slo",
     "format_history",
     "format_batching",
+    "format_top_tenants",
+    "format_flight",
     "format_dashboard",
     "ascii_report",
 ]
@@ -225,6 +227,79 @@ def format_batching(metrics_snapshot: dict) -> str:
     )
 
 
+def format_top_tenants(metrics_snapshot: dict, top: int = 5) -> str:
+    """Heaviest tenants by attributed CPU-ms, from the
+    ``devicescope.tenant_*`` metric families.
+
+    Derived purely from a registry snapshot so it renders identically
+    live (``obs --watch``) and after a ``--json`` round trip. Returns
+    ``""`` when no cost has been attributed (non-serve workloads).
+    """
+    cpu = metrics_snapshot.get("devicescope.tenant_cpu_ms_total") or {}
+    rows: dict[str, dict] = {}
+    for series in cpu.get("series", []):
+        tenant = series.get("labels", {}).get("tenant", "?")
+        rows[tenant] = {
+            "cpu_ms": float(series.get("value", 0.0)), "windows": 0
+        }
+    if not rows:
+        return ""
+    windows = metrics_snapshot.get("devicescope.tenant_windows_swept_total") or {}
+    for series in windows.get("series", []):
+        tenant = series.get("labels", {}).get("tenant", "?")
+        if tenant in rows:
+            rows[tenant]["windows"] = int(series.get("value", 0))
+    ordered = sorted(rows.items(), key=lambda kv: (-kv[1]["cpu_ms"], kv[0]))
+    total_ms = sum(r["cpu_ms"] for r in rows.values()) or 1.0
+    lines = [f"{'tenant':<24} {'cpu_ms':>10} {'share':>7} {'windows':>8}"]
+    for tenant, acc in ordered[: max(1, top)]:
+        lines.append(
+            f"{tenant:<24} {acc['cpu_ms']:>10.1f} "
+            f"{acc['cpu_ms'] / total_ms:>6.1%} {acc['windows']:>8d}"
+        )
+    return "\n".join(lines)
+
+
+def format_flight(payload: dict) -> str:
+    """Flight-recorder summary table for ``devicescope obs --flight``.
+
+    ``payload`` is :meth:`repro.serve.service.DeviceScopeService.flight_payload`'s
+    JSON shape (``stats`` + ``entries``) or equivalently
+    ``{"stats": recorder.stats(), "entries": recorder.entries()}``.
+    """
+    stats = payload.get("stats", {})
+    entries = payload.get("entries", [])
+    by_reason = stats.get("by_reason", {})
+    reason_text = (
+        " ".join(f"{k}={v}" for k, v in sorted(by_reason.items())) or "-"
+    )
+    head = (
+        f"flight: {stats.get('entries', 0)}/{stats.get('max_entries', 0)} "
+        f"traces, {_fmt_bytes(stats.get('bytes', 0))} of "
+        f"{_fmt_bytes(stats.get('max_bytes', 0))}  "
+        f"(seen={stats.get('seen', 0)} kept={stats.get('kept', 0)} "
+        f"evicted={stats.get('evicted', 0)})  {reason_text}"
+    )
+    if not entries:
+        return head + "\n(no traces retained)"
+    lines = [
+        head,
+        f"{'request_id':<18} {'trace_id':<34} {'kind':<14} "
+        f"{'outcome':<12} {'reason':<8} {'duration':>10} {'spans':>6}",
+    ]
+    for entry in entries[-40:]:
+        lines.append(
+            f"{entry.get('request_id', '?'):<18} "
+            f"{entry.get('trace_id', '')[:32]:<34} "
+            f"{entry.get('kind', '?'):<14} "
+            f"{entry.get('outcome', '?'):<12} "
+            f"{entry.get('reason', '?'):<8} "
+            f"{_fmt_seconds(entry.get('duration_s', 0.0)):>10} "
+            f"{len(entry.get('spans') or []):>6d}"
+        )
+    return "\n".join(lines)
+
+
 def format_dashboard(
     slo_snapshot: dict,
     metrics_snapshot: dict,
@@ -247,6 +322,11 @@ def format_dashboard(
     batching = format_batching(metrics_snapshot)
     if batching:
         sections.append(batching)
+    top_tenants = format_top_tenants(metrics_snapshot)
+    if top_tenants:
+        sections.append("")
+        sections.append("== top tenants (cpu) ==")
+        sections.append(top_tenants)
     sections.append("")
     sections.append("== metrics ==")
     sections.append(format_metrics(metrics_snapshot))

@@ -68,6 +68,7 @@ class Span:
         "span_id",
         "parent_id",
         "request_id",
+        "trace_id",
         "tid",
         "start_s",
         "_t0",
@@ -84,6 +85,7 @@ class Span:
         self.span_id = 0
         self.parent_id: int | None = None
         self.request_id: str | None = None
+        self.trace_id: str | None = None
         self.tid = 0
         self.start_s = 0.0
         self._t0 = 0.0
@@ -115,6 +117,8 @@ class Span:
             out["parent_id"] = self.parent_id
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.trace_id:
+            out["trace_id"] = self.trace_id
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.error is not None:
@@ -177,6 +181,7 @@ class _SpanContext:
         request = context.current_request()
         if request is not None:
             span.request_id = request.request_id
+            span.trace_id = getattr(request, "trace_id", None) or None
         self._token = _ACTIVE_SPAN_ID.set(span.span_id)
         self._tracer._stack().append(span)
         if tracemalloc.is_tracing():
@@ -253,6 +258,13 @@ class Tracer:
                 if len(self._roots) == self._roots.maxlen:
                     self._dropped += 1
                 self._roots.append(span)
+            # Feed completed root trees to the flight recorder outside
+            # the ring lock — it buffers them per request until the
+            # request scope closes and retention is decided.
+            if span.request_id is not None and config.flight_enabled():
+                from . import flight
+
+                flight.recorder.add_root(span)
 
     # -- retrieval / export -----------------------------------------------
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from .. import obs
@@ -44,9 +45,22 @@ class AdmissionDecision:
     """One admit-or-shed verdict."""
 
     accepted: bool
-    reason: str  # ok | probe | slo_burn | quality_critical | recovering
+    # ok | probe | slo_burn | quality_critical | recovering
+    # | tenant_slo_burn | tenant_cost | tenant_probe | tenant_recovering
+    reason: str
     retry_after_s: float = 0.0
     probe: bool = False
+
+
+class _TenantShedState:
+    """Per-tenant hysteresis mirror of the controller's global state."""
+
+    __slots__ = ("shedding", "healthy_streak", "shed_counter")
+
+    def __init__(self):
+        self.shedding = False
+        self.healthy_streak = 0
+        self.shed_counter = 0
 
 
 class AdmissionController:
@@ -87,6 +101,9 @@ class AdmissionController:
         min_requests: int = 16,
         probe_every: int = 8,
         retry_after_s: float = 1.0,
+        tenant_burn_shed: "float | None" = None,
+        tenant_min_requests: int = 8,
+        cost_share_shed: float = 0.5,
     ):
         if burn_accept >= burn_shed:
             raise ValueError("burn_accept must be below burn_shed")
@@ -94,6 +111,10 @@ class AdmissionController:
             raise ValueError(
                 "accept_streak >= 1, probe_every >= 2, min_requests >= 1"
             )
+        if tenant_min_requests < 1:
+            raise ValueError("tenant_min_requests must be >= 1")
+        if not (0.0 < cost_share_shed <= 1.0):
+            raise ValueError("cost_share_shed must be in (0, 1]")
         self._slo = slo
         self._quality_status = quality_status
         self.burn_shed = float(burn_shed)
@@ -102,10 +123,26 @@ class AdmissionController:
         self.min_requests = int(min_requests)
         self.probe_every = int(probe_every)
         self.retry_after_s = float(retry_after_s)
+        #: Per-tenant shed threshold — a tenant burning *its own* error
+        #: budget this fast is shed even while the service as a whole is
+        #: healthy. Defaults to the global threshold.
+        self.tenant_burn_shed = float(
+            burn_shed if tenant_burn_shed is None else tenant_burn_shed
+        )
+        self.tenant_min_requests = int(tenant_min_requests)
+        #: When global burn has left the healthy band, a tenant holding
+        #: at least this fraction of recent CPU-ms is shed first — one
+        #: heavy tenant should fail before every light tenant does.
+        self.cost_share_shed = float(cost_share_shed)
         self._lock = threading.Lock()
         self._shedding = False
         self._healthy_streak = 0
         self._shed_counter = 0  # requests seen since shedding began
+        #: tenant_id → hysteresis state, LRU-bounded.
+        self._tenant_states: "OrderedDict[str, _TenantShedState]" = (
+            OrderedDict()
+        )
+        self._tenant_states_cap = 1024
 
     # -- signal plumbing ---------------------------------------------------
 
@@ -138,8 +175,26 @@ class AdmissionController:
     def shedding(self) -> bool:
         return self._shedding
 
-    def decide(self) -> AdmissionDecision:
-        """Admit or shed the next request (thread-safe)."""
+    def shedding_tenants(self) -> list[str]:
+        """Tenants currently in per-tenant shed state (for ``/health``)."""
+        with self._lock:
+            return sorted(
+                tid
+                for tid, state in self._tenant_states.items()
+                if state.shedding
+            )
+
+    def decide(self, tenant=None, cost_share=None) -> AdmissionDecision:
+        """Admit or shed the next request (thread-safe).
+
+        With a :class:`~repro.serve.tenancy.TenantSession` (and
+        optionally that tenant's recent CPU share from the
+        :class:`~repro.serve.tenancy.CostLedger`), a globally-admitted
+        request additionally passes per-tenant gates: the tenant's own
+        SLO burn, and — once global burn leaves the healthy band — the
+        tenant's share of recent cost. Both shed *only that tenant*,
+        with the same probe/streak hysteresis as the global gate.
+        """
         burn, count = self._burn_rate()
         quality = self._quality()
         overloaded = (
@@ -175,8 +230,82 @@ class AdmissionController:
                         )
                     else:
                         decision = self._shed_decision(burn, quality)
+        if decision.accepted and tenant is not None:
+            tenant_decision = self._decide_tenant(
+                tenant, cost_share, burn, count
+            )
+            if tenant_decision is not None:
+                decision = tenant_decision
         self._record(decision)
         return decision
+
+    def _decide_tenant(
+        self, tenant, cost_share, global_burn: float, global_count: int
+    ) -> "AdmissionDecision | None":
+        """Per-tenant gate; None means "no opinion, keep global verdict"."""
+        snapshot = tenant.slo.snapshot()
+        tburn = snapshot.get("burn_rate", 0.0)
+        if not isinstance(tburn, (int, float)) or math.isnan(tburn):
+            tburn = 0.0
+        tcount = int(snapshot.get("count", 0))
+        burn_hot = (
+            tcount >= self.tenant_min_requests
+            and tburn >= self.tenant_burn_shed
+        )
+        strained = (
+            global_count >= self.min_requests
+            and global_burn > self.burn_accept
+        )
+        cost_hot = (
+            cost_share is not None
+            and strained
+            and float(cost_share) >= self.cost_share_shed
+        )
+        overloaded = burn_hot or cost_hot
+        recovered = tburn <= self.burn_accept and not cost_hot
+        reason = "tenant_slo_burn" if burn_hot or not cost_hot else "tenant_cost"
+        with self._lock:
+            state = self._tenant_states.get(tenant.tenant_id)
+            if state is None:
+                if not overloaded:
+                    return None
+                while len(self._tenant_states) >= self._tenant_states_cap:
+                    self._tenant_states.popitem(last=False)
+                state = _TenantShedState()
+                self._tenant_states[tenant.tenant_id] = state
+            else:
+                self._tenant_states.move_to_end(tenant.tenant_id)
+            if not state.shedding:
+                if not overloaded:
+                    return None
+                state.shedding = True
+                state.healthy_streak = 0
+                state.shed_counter = 0
+                return AdmissionDecision(
+                    accepted=False,
+                    reason=reason,
+                    retry_after_s=self.retry_after_s,
+                )
+            if recovered:
+                state.healthy_streak += 1
+            else:
+                state.healthy_streak = 0
+            if state.healthy_streak >= self.accept_streak:
+                state.shedding = False
+                state.shed_counter = 0
+                return AdmissionDecision(
+                    accepted=True, reason="tenant_recovering"
+                )
+            state.shed_counter += 1
+            if state.shed_counter % self.probe_every == 0:
+                return AdmissionDecision(
+                    accepted=True, reason="tenant_probe", probe=True
+                )
+            return AdmissionDecision(
+                accepted=False,
+                reason=reason,
+                retry_after_s=self.retry_after_s,
+            )
 
     def _shed_decision(self, burn: float, quality: str) -> AdmissionDecision:
         reason = (
@@ -210,3 +339,4 @@ class AdmissionController:
             self._shedding = False
             self._healthy_streak = 0
             self._shed_counter = 0
+            self._tenant_states.clear()

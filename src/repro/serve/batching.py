@@ -30,10 +30,13 @@ direct path. Both are counted under ``serve.batch.fallback_total``.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 
 from .. import obs
+from ..obs.contprof import thread_role
+from .tenancy import bill_work
 
 __all__ = ["MicroBatcher", "DEFAULT_BATCH_WINDOW_MS", "DEFAULT_BATCH_MAX"]
 
@@ -53,12 +56,14 @@ BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 class _Pending:
     """One caller's window, and the slot its row result lands in."""
 
-    __slots__ = ("window", "result", "error")
+    __slots__ = ("window", "result", "error", "cost_ms")
 
     def __init__(self, window: np.ndarray):
         self.window = window
         self.result = None
         self.error: BaseException | None = None
+        #: This row's CPU-ms share of the stacked sweep (leader-set).
+        self.cost_ms = 0.0
 
 
 class _Batch:
@@ -125,6 +130,9 @@ class MicroBatcher:
                 result = model.localize_watts(
                     window[None, :], appliance=appliance
                 )
+            # Sweep ran inline on the caller's thread: the handler's own
+            # CPU delta already covers it, so bill only the window count.
+            bill_work(windows=1)
             self._account(1, fallback=True)
             return result
         key = (appliance, model.fingerprint(), int(window.shape[0]))
@@ -143,11 +151,18 @@ class MicroBatcher:
                     del self._forming[key]
                     batch.full.set()
         if leader:
-            return self._lead(key, batch, pending, appliance, model, sweep_lock)
-        batch.done.wait()
-        if pending.error is not None:
-            raise pending.error
-        return pending.result
+            result = self._lead(
+                key, batch, pending, appliance, model, sweep_lock
+            )
+        else:
+            batch.done.wait()
+            if pending.error is not None:
+                raise pending.error
+            result = pending.result
+        # Each row bills its fair share of the stacked sweep on its own
+        # handler thread, where service.execute settles the request bill.
+        bill_work(cpu_share_ms=pending.cost_ms, windows=1)
+        return result
 
     # -- internals ---------------------------------------------------------
 
@@ -160,9 +175,22 @@ class MicroBatcher:
         rows = batch.rows
         try:
             stacked = np.stack([p.window for p in rows])
-            with obs.span("serve.batch_sweep", size=len(rows)):
-                with sweep_lock:
-                    result = model.localize_watts(stacked, appliance=appliance)
+            with obs.span("serve.batch_sweep", size=len(rows)) as sweep_span:
+                with thread_role("batch-leader"):
+                    cpu0 = time.thread_time()
+                    with sweep_lock:
+                        result = model.localize_watts(
+                            stacked, appliance=appliance
+                        )
+                    sweep_cpu_ms = (time.thread_time() - cpu0) * 1e3
+                sweep_span.set(cpu_ms=sweep_cpu_ms)
+            # The whole-batch sweep ran on this (leader) thread but
+            # belongs to all rows equally: subtract it from the leader's
+            # raw CPU delta and hand each row a 1/B share.
+            share_ms = sweep_cpu_ms / len(rows)
+            for p in rows:
+                p.cost_ms = share_ms
+            bill_work(cpu_inline_ms=sweep_cpu_ms)
             for p, row_result in zip(rows, result.split()):
                 p.result = row_result
         except BaseException as exc:

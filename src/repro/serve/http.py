@@ -27,11 +27,20 @@ POST     /houses/{id}/devices                  attach an appliance
 DELETE   /houses/{id}/devices/{appliance}      detach an appliance
 POST     /houses/{id}/detect                   detection probability
 POST     /houses/{id}/localize                 per-sample localization
+GET      /debug/flight                         flight-recorder traces
+GET      /debug/pprof                          collapsed-stack profile
 =======  ====================================  ======================
 
-``/health`` and ``/metrics`` are **admission-exempt** and run outside
-``obs.request`` scopes: they must answer under overload, and health
-pings must not dilute the SLO window they report on.
+``/health``, ``/metrics``, and the ``/debug/*`` operator plane are
+**admission-exempt** and run outside ``obs.request`` scopes: they must
+answer under overload, and health pings must not dilute the SLO window
+they report on.
+
+Trace context (DESIGN.md §14): every request parses a W3C
+``traceparent``/``tracestate`` pair (malformed headers are ignored, a
+fresh trace id is minted) and **every** response — including 404/405,
+body-parse 400s, 503 sheds, and 500s — carries ``X-Request-Id`` and
+``traceparent`` headers.
 
 Shutdown model (DESIGN.md §11): handler threads are non-daemon with
 ``block_on_close`` set, and the protocol is HTTP/1.0 (one request per
@@ -50,6 +59,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
 from .. import obs
+from ..obs import context as obs_context
+from ..obs.contprof import thread_role
 from .service import DeviceScopeService, ModelBank, ServiceError
 
 __all__ = ["DeviceScopeServer", "build_server"]
@@ -89,6 +100,9 @@ _ROUTES: list[tuple[str, re.Pattern, str, bool]] = [
     ),
     ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/detect$"), "detect", False),
     ("POST", re.compile(r"^/houses/(?P<hid>[^/]+)/localize$"), "localize", False),
+    # Operator plane: incident traces and the continuous profiler.
+    ("GET", re.compile(r"^/debug/flight$"), "debug.flight", True),
+    ("GET", re.compile(r"^/debug/pprof$"), "debug.pprof", True),
 ]
 
 
@@ -111,6 +125,19 @@ class _Handler(BaseHTTPRequestHandler):
         if obs.enabled():
             obs.log.event("serve.access", line=format % args)
 
+    def _response_headers(self, headers: dict | None) -> dict:
+        """Trace identity first, then per-response headers on top.
+
+        The handler's own ``traceparent`` (generated in
+        :meth:`_begin_trace`) covers responses that never reach the
+        service (404, 405, body-parse errors, 500); when the service ran
+        the request it returns a ``traceparent`` whose span id matches
+        the request scope, and that one wins the merge.
+        """
+        merged = dict(getattr(self, "_trace_headers", None) or {})
+        merged.update(headers or {})
+        return merged
+
     def _send_json(
         self, status: int, payload: dict, headers: dict | None = None
     ) -> None:
@@ -118,18 +145,57 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (headers or {}).items():
+        for name, value in self._response_headers(headers).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_text(self, status: int, text: str, content_type: str) -> None:
+    def _send_text(
+        self,
+        status: int,
+        text: str,
+        content_type: str,
+        headers: dict | None = None,
+    ) -> None:
         body = text.encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in self._response_headers(headers).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _begin_trace(self) -> None:
+        """Parse (or mint) W3C trace identity for this request.
+
+        A valid incoming ``traceparent`` is honored: its trace id flows
+        through the request scope into every span. Malformed headers are
+        ignored per the spec — the server starts a fresh trace rather
+        than erroring. A valid ``tracestate`` is echoed untouched.
+        """
+        parsed = obs_context.parse_traceparent(self.headers.get("traceparent"))
+        if parsed is not None:
+            trace_id, parent_span_id = parsed
+        else:
+            trace_id, parent_span_id = obs_context.new_trace_id(), None
+        rid = obs_context.new_request_id("serve")
+        self._trace = {
+            "request_id": rid,
+            "trace_id": trace_id,
+            "parent_span_id": parent_span_id,
+        }
+        self._trace_headers = {
+            "X-Request-Id": rid,
+            "traceparent": obs_context.format_traceparent(
+                trace_id, obs_context.new_span_id_hex()
+            ),
+        }
+        tracestate = obs_context.parse_tracestate(
+            self.headers.get("tracestate")
+        )
+        if tracestate is not None:
+            self._trace_headers["tracestate"] = tracestate
 
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
@@ -159,21 +225,10 @@ class _Handler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         path = split.path.rstrip("/") or "/"
         query = parse_qs(split.query)
+        self._begin_trace()
         try:
-            for route_method, pattern, name, exempt in _ROUTES:
-                match = pattern.match(path)
-                if match is None:
-                    continue
-                if route_method != method:
-                    continue
-                self._dispatch(name, exempt, match, query)
-                return
-            # Path matched no route at all vs wrong method on a known
-            # path — report 405 for the latter.
-            if any(p.match(path) for _, p, _, _ in _ROUTES):
-                self._send_json(405, {"error": f"method {method} not allowed"})
-            else:
-                self._send_json(404, {"error": f"no route {path!r}"})
+            with thread_role("serve-handler"):
+                self._route(method, path, query)
         except ServiceError as err:
             self._send_json(err.status, err.payload)
         except BrokenPipeError:  # client went away mid-response
@@ -189,9 +244,25 @@ class _Handler(BaseHTTPRequestHandler):
                     500, {"error": f"internal error: {type(err).__name__}"}
                 )
 
+    def _route(self, method: str, path: str, query: dict) -> None:
+        for route_method, pattern, name, exempt in _ROUTES:
+            match = pattern.match(path)
+            if match is None:
+                continue
+            if route_method != method:
+                continue
+            self._dispatch(name, exempt, match, query)
+            return
+        # Path matched no route at all vs wrong method on a known
+        # path — report 405 for the latter.
+        if any(p.match(path) for _, p, _, _ in _ROUTES):
+            self._send_json(405, {"error": f"method {method} not allowed"})
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
     def _dispatch(self, name: str, exempt: bool, match, query: dict) -> None:
         service = self.service
-        # The two operator endpoints bypass tenancy and admission: they
+        # The operator endpoints bypass tenancy and admission: they
         # must stay live under overload and must not touch SLO state.
         if name == "health":
             status, payload = service.health()
@@ -199,6 +270,21 @@ class _Handler(BaseHTTPRequestHandler):
             return
         if name == "metrics":
             self._send_text(200, service.metrics_text(), _OPENMETRICS_CONTENT_TYPE)
+            return
+        if name == "debug.flight":
+            fmt = (query.get("format") or [None])[0]
+            status, payload = service.flight_payload(fmt)
+            headers = (
+                {"Content-Disposition": 'attachment; filename="flight.json"'}
+                if fmt == "chrome"
+                else None
+            )
+            self._send_json(status, payload, headers)
+            return
+        if name == "debug.pprof":
+            self._send_text(
+                200, service.pprof_text(), "text/plain; charset=utf-8"
+            )
             return
         tenant_id = self._tenant_id(query)
         body = (
@@ -244,7 +330,11 @@ class _Handler(BaseHTTPRequestHandler):
             "localize": lambda t: service.localize(t, hid, body),
         }
         status, payload, headers = service.execute(
-            name, tenant_id, thunks[name], admission_exempt=exempt
+            name,
+            tenant_id,
+            thunks[name],
+            admission_exempt=exempt,
+            trace=getattr(self, "_trace", None),
         )
         self._send_json(status, payload, headers)
 
@@ -267,9 +357,17 @@ class DeviceScopeServer(ThreadingHTTPServer):
     daemon_threads = False
     block_on_close = True
 
-    def __init__(self, address: tuple[str, int], service: DeviceScopeService):
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: DeviceScopeService,
+        profile: bool = True,
+    ):
         super().__init__(address, _Handler)
         self.service = service
+        #: Start the continuous profiler with the server? (The CLI's
+        #: ``--profile-hz 0`` turns it off.)
+        self.profile = bool(profile)
         self._serve_thread: threading.Thread | None = None
 
     @property
@@ -285,6 +383,10 @@ class DeviceScopeServer(ThreadingHTTPServer):
                 daemon=True,
             )
             self._serve_thread.start()
+            if self.profile:
+                # Re-entrant: ContinuousProfiler.start() no-ops while
+                # its sampler is already alive.
+                self.service.profiler.start()
         return self
 
     def close(self) -> None:
@@ -295,7 +397,7 @@ class DeviceScopeServer(ThreadingHTTPServer):
             self._serve_thread = None
         self.server_close()
         # Handlers are drained; release engine resources (the member
-        # fan-out pools) behind them.
+        # fan-out pools, the profiler's sampler thread) behind them.
         self.service.close()
 
     @contextlib.contextmanager
@@ -320,6 +422,7 @@ def build_server(
     slo_objective_ms: float | None = None,
     batch_window_ms: float | None = None,
     batch_max: int | None = None,
+    profile_hz: float | None = None,
 ) -> DeviceScopeServer:
     """Wire a ready-to-start server (``port=0`` picks an ephemeral one).
 
@@ -332,6 +435,10 @@ def build_server(
     (the CLI's ``--batch-window-ms`` / ``--batch-max``); ``batch_max=1``
     or ``batch_window_ms=0`` disables coalescing entirely. Ignored when
     a pre-built ``service`` is passed.
+
+    ``profile_hz`` sets the continuous profiler's sampling rate (the
+    CLI's ``--profile-hz``; default ~33 Hz); ``0`` disables the sampler
+    entirely — ``/debug/pprof`` then reports zero samples.
     """
     if service is None:
         from .tenancy import TenantRegistry
@@ -355,4 +462,7 @@ def build_server(
             registry=registry,
             **batch_kwargs,
         )
-    return DeviceScopeServer((host, port), service)
+    profile_on = profile_hz is None or profile_hz > 0
+    if profile_hz is not None and profile_hz > 0:
+        service.profiler.interval_s = 1.0 / float(profile_hz)
+    return DeviceScopeServer((host, port), service, profile=profile_on)

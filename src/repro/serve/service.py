@@ -35,12 +35,20 @@ from .. import obs
 from ..core import CamAL, live_window_key, window_key
 from ..datasets import APPLIANCE_NAMES, Standardizer, build_dataset
 from ..models import ResNetEnsemble
+from ..obs import context as obs_context
+from ..obs.contprof import ContinuousProfiler
 from ..robust import RobustError
 from ..nn.conv import TIME_TILE
 from ..stream import SlidingCamAL
 from .admission import AdmissionController
 from .batching import DEFAULT_BATCH_MAX, DEFAULT_BATCH_WINDOW_MS, MicroBatcher
-from .tenancy import TenantHouse, TenantRegistry, TenantSession
+from .tenancy import (
+    CostLedger,
+    TenantHouse,
+    TenantRegistry,
+    TenantSession,
+    consume_work,
+)
 
 __all__ = ["ServiceError", "ModelBank", "DeviceScopeService"]
 
@@ -191,10 +199,20 @@ class DeviceScopeService:
                 batch_window_ms=batch_window_ms, batch_max=batch_max
             )
         )
+        #: Per-tenant / per-route CPU-ms + windows accounting. Feeds the
+        #: ``devicescope_*`` metric families, the ``/health`` top-tenants
+        #: table, and admission control's per-tenant cost gate.
+        self.costs = CostLedger()
+        #: Continuous stack sampler behind ``GET /debug/pprof``. Owned
+        #: here (not the HTTP server) so the transport-free service and
+        #: the CLI can profile too; the server starts/stops it around
+        #: its own lifecycle.
+        self.profiler = ContinuousProfiler()
         self.started_at = time.time()
 
     def close(self) -> None:
         """Release held resources; the server calls this on shutdown."""
+        self.profiler.stop()
         self.bank.close()
 
     # -- the request wrapper ----------------------------------------------
@@ -205,26 +223,71 @@ class DeviceScopeService:
         tenant_id: str,
         thunk,
         admission_exempt: bool = False,
+        trace: "dict | None" = None,
     ) -> tuple[int, dict, dict]:
         """Run one request end to end.
 
         Returns ``(status, payload, headers)``. ``admission_exempt``
         marks the routes that must keep answering under overload
         (``/health``, ``/metrics`` — an unscrapeable melting server is
-        undebuggable).
+        undebuggable). ``trace`` carries transport-negotiated identity
+        (``request_id`` / ``trace_id`` / ``parent_span_id``, all
+        optional) so a client-supplied ``traceparent`` threads into the
+        request scope and every span under it.
+
+        Every return path — including bad tenant id, registry-full, and
+        admission shed, which never open a work scope — carries
+        ``X-Request-Id`` + ``traceparent`` headers and is billed to
+        ``obs.requests_total`` / the flight recorder / the cost ledger,
+        so no response the service produces is untraceable.
         """
+        trace = trace or {}
+        rid = trace.get("request_id") or obs_context.new_request_id("serve")
+        trace_id = trace.get("trace_id") or obs_context.new_trace_id()
+        parent_span_id = trace.get("parent_span_id")
+        span_hex = obs_context.new_span_id_hex()
+        headers = {
+            "X-Request-Id": rid,
+            "traceparent": obs_context.format_traceparent(trace_id, span_hex),
+        }
+
+        def rejected(outcome: str, reason: str, cost_tenant: str) -> None:
+            obs.record_rejected(
+                kind="serve",
+                outcome=outcome,
+                request_id=rid,
+                trace_id=trace_id,
+                route=route,
+                tenant=cost_tenant,
+                reason=reason,
+            )
+            self.costs.charge(
+                cost_tenant, route, cpu_ms=0.0, outcome=outcome
+            )
+
         try:
             TenantRegistry.validate_tenant_id(tenant_id)
         except ValueError as err:
-            return 400, {"error": str(err)}, {}
+            # The raw id is unvalidated bytes — never a metrics label.
+            rejected("client_error", "bad_tenant_id", "invalid")
+            return 400, {"error": str(err)}, dict(headers)
         try:
             tenant = self.registry.get_or_create(tenant_id)
         except OverflowError as err:
             # Registry exhaustion is overload, not caller error.
-            return 503, {"error": str(err)}, {"Retry-After": "1"}
+            rejected("shed", "registry_full", tenant_id)
+            return (
+                503,
+                {"error": str(err)},
+                {"Retry-After": "1", **headers},
+            )
         if not admission_exempt:
-            decision = self.admission.decide()
+            decision = self.admission.decide(
+                tenant=tenant,
+                cost_share=self.costs.recent_share(tenant_id),
+            )
             if not decision.accepted:
+                rejected("shed", decision.reason, tenant_id)
                 return (
                     503,
                     {
@@ -232,9 +295,14 @@ class DeviceScopeService:
                         "reason": decision.reason,
                         "retry_after_s": decision.retry_after_s,
                     },
-                    {"Retry-After": f"{decision.retry_after_s:g}"},
+                    {
+                        "Retry-After": f"{decision.retry_after_s:g}",
+                        **headers,
+                    },
                 )
         start = time.perf_counter()
+        cpu0 = time.thread_time()
+        consume_work()  # drop any stale accumulator state on this thread
         # Pessimistic default: an exception type we did not anticipate
         # propagates to the HTTP layer's 500 handler, and the finally
         # must bill it as an error — never as "ok" — so the tenant
@@ -243,36 +311,64 @@ class DeviceScopeService:
         outcome = "error"
         try:
             with obs.request(
-                kind="serve", route=route, tenant=tenant_id
+                kind="serve",
+                request_id=rid,
+                trace_id=trace_id,
+                parent_span_id=parent_span_id,
+                route=route,
+                tenant=tenant_id,
             ) as req:
-                try:
-                    status, payload = thunk(tenant)
-                except ServiceError as err:
-                    if err.status >= 500:
-                        raise
-                    # Handled 4xx: the caller's fault, answered
-                    # correctly. Billed as client_error — which spends
-                    # no error budget (obs.GOOD_OUTCOMES) — in *both*
-                    # the global tracker (via the request scope) and
-                    # the tenant tracker (the finally), so a client
-                    # replaying bad requests cannot trip admission
-                    # control for everyone.
-                    outcome = "client_error"
-                    req.set_outcome(outcome)
-                    return err.status, err.payload, {}
-                except (RobustError, ValueError, KeyError, OverflowError) as err:
-                    outcome = "client_error"
-                    req.set_outcome(outcome)
-                    return 400, {"error": str(err)}, {}
-                if payload.get("verdict") in ("degraded", "failed"):
-                    req.mark_degraded()
-                outcome = req.outcome
-            return status, payload, {}
+                if getattr(req, "request_id", None) == rid:
+                    # We own the scope (not joined, not the no-op):
+                    # align its span id with the traceparent we return.
+                    req.span_id_hex = span_hex
+                with obs.span(f"serve.{route}", route=route, tenant=tenant_id):
+                    try:
+                        status, payload = thunk(tenant)
+                    except ServiceError as err:
+                        if err.status >= 500:
+                            raise
+                        # Handled 4xx: the caller's fault, answered
+                        # correctly. Billed as client_error — which
+                        # spends no error budget (obs.GOOD_OUTCOMES) —
+                        # in *both* the global tracker (via the request
+                        # scope) and the tenant tracker (the finally),
+                        # so a client replaying bad requests cannot trip
+                        # admission control for everyone.
+                        outcome = "client_error"
+                        req.set_outcome(outcome)
+                        return err.status, err.payload, dict(headers)
+                    except (
+                        RobustError, ValueError, KeyError, OverflowError
+                    ) as err:
+                        outcome = "client_error"
+                        req.set_outcome(outcome)
+                        return 400, {"error": str(err)}, dict(headers)
+                    if payload.get("verdict") in ("degraded", "failed"):
+                        req.mark_degraded()
+                    outcome = req.outcome
+            return status, payload, dict(headers)
         except ServiceError as err:
             # 5xx ServiceErrors are genuine service failures.
-            return err.status, err.payload, {}
+            return err.status, err.payload, dict(headers)
         finally:
-            tenant.slo.record(time.perf_counter() - start, outcome=outcome)
+            elapsed = time.perf_counter() - start
+            tenant.slo.record(elapsed, outcome=outcome)
+            share_ms, inline_ms, windows = consume_work()
+            # Attributed CPU: what this thread burned, minus shared work
+            # it executed on others' behalf (the batch leader's stacked
+            # sweep), plus this request's fair share of shared work.
+            cpu_ms = (
+                (time.thread_time() - cpu0) * 1e3 - inline_ms + share_ms
+            )
+            self.costs.charge(
+                tenant_id,
+                route,
+                cpu_ms,
+                windows=windows,
+                duration_s=elapsed,
+                outcome=outcome,
+            )
 
     # -- houses ------------------------------------------------------------
 
@@ -704,6 +800,36 @@ class DeviceScopeService:
             obs.registry.snapshot(), slo=obs.slo_tracker.snapshot()
         )
 
+    def flight_payload(self, fmt: "str | None" = None) -> tuple[int, object]:
+        """The flight recorder's retained traces (operator plane).
+
+        ``fmt="chrome"`` returns a Chrome trace-event document over all
+        retained span trees — download and open in Perfetto; the default
+        returns stats + entries as JSON.
+        """
+        recorder = obs.flight_recorder
+        if fmt == "chrome":
+            return 200, recorder.to_chrome_trace()
+        if fmt is not None:
+            raise ServiceError(
+                400, f"unknown format {fmt!r}; use format=chrome or omit"
+            )
+        return 200, {
+            "stats": recorder.stats(),
+            "entries": recorder.entries(),
+        }
+
+    def pprof_text(self) -> str:
+        """Collapsed-stack flamegraph text from the continuous profiler."""
+        stats = self.profiler.stats()
+        header = (
+            f"# devicescope continuous profiler: "
+            f"samples={stats['samples']} stacks={stats['stacks']} "
+            f"interval_s={stats['interval_s']:g} "
+            f"running={int(stats['running'])}\n"
+        )
+        return header + self.profiler.collapsed() + "\n"
+
     def health(self) -> tuple[int, dict]:
         """Process health: the same status the CLI derives.
 
@@ -721,6 +847,13 @@ class DeviceScopeService:
             "status": status,
             "uptime_s": time.time() - self.started_at,
             "shedding": self.admission.shedding,
+            "shedding_tenants": self.admission.shedding_tenants(),
+            "costs": {
+                "top_tenants": self.costs.top_tenants(5),
+                "routes": self.costs.snapshot()["routes"],
+            },
+            "flight": obs.flight_recorder.stats(),
+            "profiler": self.profiler.stats(),
             "batching": self.batcher.stats(),
             "slo": obs.slo_tracker.snapshot(),
             "robust": {

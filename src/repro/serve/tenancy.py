@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 import threading
 import weakref
+from collections import deque
 
 import numpy as np
 
@@ -37,6 +38,9 @@ __all__ = [
     "TenantHouse",
     "TenantSession",
     "TenantRegistry",
+    "CostLedger",
+    "bill_work",
+    "consume_work",
     "tenant_trackers",
     "tenant_slo_snapshots",
 ]
@@ -313,6 +317,155 @@ class TenantRegistry:
 
     def __contains__(self, tenant_id: str) -> bool:
         return tenant_id in self._sessions
+
+
+# -- cost attribution --------------------------------------------------------
+#
+# The serve layer bills every request with sampled CPU-ms (via
+# ``time.thread_time()`` deltas on the handler thread) and windows-swept.
+# Work done *on behalf of* a request on another thread — the micro-batch
+# leader's stacked sweep — is split across the coalesced rows: the
+# executing thread records its inline cost and each row's share through
+# the thread-local accumulator below, and ``service.execute`` settles
+# the bill as ``handler_delta - inline + share`` when the request exits.
+
+_WORK = threading.local()
+
+
+def bill_work(
+    cpu_share_ms: float = 0.0,
+    cpu_inline_ms: float = 0.0,
+    windows: int = 0,
+) -> None:
+    """Accumulate attributed work for the current thread's request.
+
+    ``cpu_share_ms`` is this request's *fair share* of work executed
+    somewhere (possibly on this very thread); ``cpu_inline_ms`` is work
+    that ran on this thread but belongs to the shared pool (the batch
+    leader's whole-batch sweep) and must be subtracted from the thread's
+    raw CPU delta to avoid double billing. Callable multiple times per
+    request; totals settle at :func:`consume_work`.
+    """
+    _WORK.share_ms = getattr(_WORK, "share_ms", 0.0) + float(cpu_share_ms)
+    _WORK.inline_ms = getattr(_WORK, "inline_ms", 0.0) + float(cpu_inline_ms)
+    _WORK.windows = getattr(_WORK, "windows", 0) + int(windows)
+
+
+def consume_work() -> tuple[float, float, int]:
+    """``(share_ms, inline_ms, windows)`` for this thread; resets to 0."""
+    out = (
+        getattr(_WORK, "share_ms", 0.0),
+        getattr(_WORK, "inline_ms", 0.0),
+        getattr(_WORK, "windows", 0),
+    )
+    _WORK.share_ms = 0.0
+    _WORK.inline_ms = 0.0
+    _WORK.windows = 0
+    return out
+
+
+class CostLedger:
+    """Thread-safe per-tenant and per-route resource accounting.
+
+    Tracks cumulative CPU-ms, request counts, and windows swept, plus a
+    rolling window of recent charges from which
+    :meth:`recent_share` derives each tenant's share of *current* burn —
+    the signal :class:`~repro.serve.admission.AdmissionController` uses
+    to shed a heavy tenant before the whole service trips. Charges also
+    publish the ``devicescope.*`` labeled metric families (rendered as
+    ``devicescope_tenant_cpu_ms_total`` etc. in OpenMetrics).
+    """
+
+    def __init__(self, recent_window: int = 256):
+        if recent_window < 1:
+            raise ValueError("recent_window must be >= 1")
+        self._lock = threading.Lock()
+        self._tenants: dict[str, dict] = {}
+        self._routes: dict[str, dict] = {}
+        self._recent: deque[tuple[str, float]] = deque(maxlen=recent_window)
+
+    def charge(
+        self,
+        tenant_id: str,
+        route: str,
+        cpu_ms: float,
+        windows: int = 0,
+        duration_s: float = 0.0,
+        outcome: str = "ok",
+    ) -> None:
+        """Bill one completed (or rejected) request."""
+        cpu_ms = max(0.0, float(cpu_ms))
+        with self._lock:
+            tenant = self._tenants.setdefault(
+                tenant_id, {"cpu_ms": 0.0, "requests": 0, "windows": 0}
+            )
+            tenant["cpu_ms"] += cpu_ms
+            tenant["requests"] += 1
+            tenant["windows"] += int(windows)
+            rt = self._routes.setdefault(
+                route, {"cpu_ms": 0.0, "requests": 0, "windows": 0}
+            )
+            rt["cpu_ms"] += cpu_ms
+            rt["requests"] += 1
+            rt["windows"] += int(windows)
+            self._recent.append((tenant_id, cpu_ms))
+        if obs.enabled():
+            obs.registry.counter(
+                "devicescope.tenant_cpu_ms_total",
+                help="sampled CPU milliseconds attributed per tenant",
+            ).inc(cpu_ms, tenant=tenant_id)
+            obs.registry.counter(
+                "devicescope.tenant_windows_swept_total",
+                help="localization windows swept per tenant",
+            ).inc(int(windows), tenant=tenant_id)
+            obs.registry.counter(
+                "devicescope.route_requests_total",
+                help="requests per route and outcome",
+            ).inc(route=route, outcome=outcome)
+            obs.registry.histogram(
+                "devicescope.route_seconds",
+                help="request wall time per route",
+            ).observe(duration_s, route=route)
+
+    def recent_share(self, tenant_id: str) -> float:
+        """This tenant's fraction of recent CPU-ms (0.0 with no data)."""
+        with self._lock:
+            total = 0.0
+            mine = 0.0
+            for tid, cpu_ms in self._recent:
+                total += cpu_ms
+                if tid == tenant_id:
+                    mine += cpu_ms
+        if total <= 0.0:
+            return 0.0
+        return mine / total
+
+    def top_tenants(self, n: int = 5) -> list[dict]:
+        """Heaviest tenants by cumulative CPU-ms, descending, each with
+        its ``share`` of the all-tenant total."""
+        with self._lock:
+            rows = [
+                {"tenant": tid, **dict(acc)}
+                for tid, acc in self._tenants.items()
+            ]
+        total = sum(row["cpu_ms"] for row in rows)
+        for row in rows:
+            row["share"] = row["cpu_ms"] / total if total > 0.0 else 0.0
+        rows.sort(key=lambda r: (-r["cpu_ms"], r["tenant"]))
+        return rows[: max(0, n)]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tenants": {t: dict(a) for t, a in self._tenants.items()},
+                "routes": {r: dict(a) for r, a in self._routes.items()},
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._tenants.clear()
+            self._routes.clear()
+            self._recent.clear()
 
 
 def tenant_trackers() -> list[tuple[str, SloTracker]]:

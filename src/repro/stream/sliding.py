@@ -193,6 +193,7 @@ class SlidingCamAL:
                 root.set(
                     start=loc.start, end=loc.end,
                     reused=loc.reused, computed=loc.computed,
+                    reuse_ratio=loc.reuse_ratio,
                 )
         self._record(loc)
         return loc

@@ -1,0 +1,167 @@
+"""Continuous profiler: sampling, roles, idempotent lifecycle, teardown."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs import contprof
+from repro.obs.contprof import ContinuousProfiler, current_role, thread_role
+
+
+def _spin_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+def test_collects_folded_stacks_from_live_threads():
+    profiler = ContinuousProfiler(interval_s=0.002)
+    stop = threading.Event()
+
+    def busy():
+        while not stop.is_set():
+            sum(range(100))
+
+    worker = threading.Thread(target=busy, name="busy-worker", daemon=True)
+    worker.start()
+    profiler.start()
+    try:
+        assert _spin_until(lambda: profiler.stats()["samples"] >= 10)
+    finally:
+        profiler.stop()
+        stop.set()
+        worker.join()
+    text = profiler.collapsed()
+    lines = text.splitlines()
+    assert lines, "no stacks collected"
+    # Folded format: thread label, then root-first frames, then a count.
+    label, rest = lines[0].split(";", 1)
+    assert label
+    assert rest.rsplit(" ", 1)[1].isdigit()
+    assert "busy-worker" in text
+    # The sampler never samples itself.
+    assert "obs-contprof" not in text
+
+
+def test_start_and_stop_are_idempotent():
+    profiler = ContinuousProfiler(interval_s=0.005)
+    profiler.start()
+    first = profiler._thread
+    profiler.start()  # second start is a no-op, same thread
+    assert profiler._thread is first
+    profiler.stop()
+    assert not profiler.running
+    profiler.stop()  # second stop is a no-op
+    assert not profiler.running
+    # Restart works after a stop.
+    profiler.start()
+    assert profiler.running
+    profiler.stop()
+
+
+def test_thread_role_overrides_thread_name_and_restores():
+    ident = threading.get_ident()
+    assert current_role(ident) is None
+    with thread_role("serve-handler"):
+        assert current_role(ident) == "serve-handler"
+        with thread_role("batch-leader"):  # inner wins
+            assert current_role(ident) == "batch-leader"
+        assert current_role(ident) == "serve-handler"
+    assert current_role(ident) is None
+
+
+def test_samples_label_threads_by_role():
+    profiler = ContinuousProfiler(interval_s=0.002)
+    stop = threading.Event()
+    entered = threading.Event()
+
+    def busy():
+        with thread_role("batch-leader"):
+            entered.set()
+            while not stop.is_set():
+                sum(range(100))
+
+    worker = threading.Thread(target=busy, daemon=True)
+    worker.start()
+    assert entered.wait(5.0)
+    profiler.start()
+    try:
+        assert _spin_until(
+            lambda: "batch-leader" in profiler.collapsed()
+        )
+    finally:
+        profiler.stop()
+        stop.set()
+        worker.join()
+
+
+def test_stack_table_is_bounded():
+    profiler = ContinuousProfiler(interval_s=1.0, max_stacks=2)
+    stop = threading.Event()
+    started = threading.Event()
+
+    def busy():
+        started.set()
+        stop.wait()
+
+    worker = threading.Thread(target=busy, daemon=True)
+    worker.start()
+    assert started.wait(5.0)
+    # Fill the table to its cap; the worker's (novel) stack must then
+    # be counted as truncated instead of growing the table.
+    profiler._counts.update({"a;x": 1, "b;y": 1})
+    profiler._sample(threading.get_ident())
+    stop.set()
+    worker.join()
+    stats = profiler.stats()
+    assert stats["stacks"] == 2
+    assert stats["truncated"] >= 1
+
+
+def test_reset_clears_counts_but_not_lifecycle():
+    profiler = ContinuousProfiler(interval_s=0.002)
+    profiler.start()
+    try:
+        assert _spin_until(lambda: profiler.stats()["samples"] > 0)
+        profiler.reset()
+        stats = profiler.stats()
+        assert stats["samples"] == 0 and stats["stacks"] == 0
+        assert profiler.running
+    finally:
+        profiler.stop()
+
+
+def test_obs_reset_stops_every_started_profiler():
+    a = ContinuousProfiler(interval_s=0.01)
+    b = ContinuousProfiler(interval_s=0.01)
+    a.start()
+    b.start()
+    with thread_role("leftover"):
+        obs.reset()
+        assert not a.running and not b.running
+        # stop_all also clears role leftovers from dead threads.
+        assert current_role(threading.get_ident()) is None
+
+
+def test_constructor_validates():
+    with pytest.raises(ValueError):
+        ContinuousProfiler(interval_s=0.0)
+    with pytest.raises(ValueError):
+        ContinuousProfiler(max_stacks=0)
+
+
+def test_frame_label_cache_stays_bounded():
+    contprof._LABELS.clear()
+    cap = contprof._LABELS_CAP
+    frame = next(iter(__import__("sys")._current_frames().values()))
+    contprof._LABELS.update(
+        {("fake", i): "x" for i in range(cap)}
+    )
+    contprof._frame_label(frame)  # overflow clears, then re-inserts
+    assert len(contprof._LABELS) <= cap
+    contprof._LABELS.clear()

@@ -1,0 +1,210 @@
+"""Flight recorder: tail-based retention, bounds, and teardown.
+
+The acceptance contract (mirrored by ``benchmarks/flight_smoke.py``
+over a live server): under a mixed load the recorder retains 100% of
+error/degraded/shed traces plus the slowest decile, stays inside its
+entry and byte bounds, and tears down completely on ``obs.reset()``.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs.flight import KEEP_OUTCOMES, FlightRecorder
+
+
+class _Ctx:
+    """A minimal stand-in for RequestContext (the recorder only reads)."""
+
+    def __init__(self, request_id, outcome="ok", kind="serve", trace_id="t" * 32):
+        self.request_id = request_id
+        self.outcome = outcome
+        self.kind = kind
+        self.trace_id = trace_id
+        self.tags = {}
+
+
+def _finish(rec, rid, outcome="ok", duration_s=0.001):
+    rec.finish_request(_Ctx(rid, outcome=outcome), duration_s)
+
+
+def test_keep_outcomes_always_retained():
+    rec = FlightRecorder(sample_rate=0.0)
+    for i, outcome in enumerate(sorted(KEEP_OUTCOMES)):
+        _finish(rec, f"r{i}", outcome=outcome)
+    assert [e["outcome"] for e in rec.entries()] == sorted(KEEP_OUTCOMES)
+    assert all(e["reason"] == e["outcome"] for e in rec.entries())
+
+
+def test_healthy_fast_requests_dropped_when_sampling_off():
+    rec = FlightRecorder(sample_rate=0.0)
+    for i in range(50):
+        _finish(rec, f"r{i}", outcome="ok")
+    assert rec.entries() == []
+    assert rec.stats()["seen"] == 50
+
+
+def test_slow_tier_needs_history_then_catches_the_slowest_decile():
+    rec = FlightRecorder(sample_rate=0.0)
+    # Below 20 samples there is no threshold: a 10x outlier is dropped.
+    for i in range(10):
+        _finish(rec, f"warm{i}", duration_s=0.001)
+    _finish(rec, "early-slow", duration_s=0.1)
+    assert rec.entries() == []
+    for i in range(20):
+        _finish(rec, f"more{i}", duration_s=0.001)
+    assert rec.stats()["slow_threshold_s"] is not None
+    _finish(rec, "late-slow", duration_s=0.1)
+    kept = rec.entries()
+    assert [e["request_id"] for e in kept] == ["late-slow"]
+    assert kept[0]["reason"] == "slow"
+
+
+def test_probabilistic_baseline_is_deterministic_per_seed():
+    def kept_ids(seed):
+        rec = FlightRecorder(sample_rate=0.2, seed=seed)
+        for i in range(100):
+            _finish(rec, f"r{i}")
+        return [e["request_id"] for e in rec.entries()]
+
+    a, b = kept_ids(7), kept_ids(7)
+    assert a == b and 0 < len(a) < 100
+    assert kept_ids(8) != a
+
+
+def test_entry_bound_evicts_sampled_before_errors():
+    rec = FlightRecorder(max_entries=4, sample_rate=1.0)
+    for i in range(4):
+        _finish(rec, f"ok{i}", outcome="ok")
+    for i in range(4):
+        _finish(rec, f"err{i}", outcome="error")
+    entries = rec.entries()
+    assert len(entries) == 4
+    assert all(e["outcome"] == "error" for e in entries)
+    assert rec.stats()["evicted"] == 4
+
+
+def test_byte_bound_holds_and_oldest_errors_go_last():
+    rec = FlightRecorder(max_bytes=2000, sample_rate=0.0)
+    for i in range(50):
+        _finish(rec, f"err{i}", outcome="error")
+    stats = rec.stats()
+    assert stats["bytes"] <= 2000
+    assert stats["entries"] >= 1
+    # Survivors are the *newest* errors (oldest evicted first).
+    assert rec.entries()[-1]["request_id"] == "err49"
+
+
+def test_record_rejected_keeps_sheds_without_spans():
+    rec = FlightRecorder(sample_rate=0.0)
+    rec.record_rejected(
+        request_id="serve-x", trace_id="a" * 32, kind="serve",
+        outcome="shed", duration_s=0.0, tags={"reason": "slo_burn"},
+    )
+    rec.record_rejected(
+        request_id="serve-y", trace_id="b" * 32, kind="serve",
+        outcome="client_error", duration_s=0.0, tags={},
+    )
+    entries = rec.entries()
+    assert [e["request_id"] for e in entries] == ["serve-x"]
+    assert entries[0]["spans"] == []
+    assert entries[0]["tags"]["reason"] == "slo_burn"
+
+
+def test_pending_span_buffer_is_bounded():
+    class _Span:
+        def __init__(self, rid):
+            self.request_id = rid
+
+        def to_dict(self):
+            return {"name": "s"}
+
+    rec = FlightRecorder()
+    rec._pending_cap = 8
+    for i in range(32):
+        rec.add_root(_Span(f"r{i}"))
+    assert rec.stats()["pending"] == 8
+
+
+def test_mixed_load_acceptance_all_bad_plus_slow_decile():
+    """200 mixed requests: every error/degraded/shed retained, the
+    slowest decile retained, bounds hold."""
+    rec = FlightRecorder(max_entries=256, sample_rate=0.05, seed=0)
+    bad = []
+    for i in range(200):
+        if i % 40 == 7:
+            outcome, duration = "error", 0.002
+        elif i % 40 == 19:
+            outcome, duration = "degraded", 0.002
+        elif i % 40 == 31:
+            outcome, duration = "shed", 0.0
+        elif i % 10 == 3:
+            outcome, duration = "ok", 0.05  # the slow decile
+        else:
+            outcome, duration = "ok", 0.001
+        if outcome in KEEP_OUTCOMES:
+            bad.append(f"r{i}")
+        _finish(rec, f"r{i}", outcome=outcome, duration_s=duration)
+    kept = {e["request_id"]: e for e in rec.entries()}
+    missing = [rid for rid in bad if rid not in kept]
+    assert not missing, f"lost always-keep traces: {missing}"
+    slow = [e for e in kept.values() if e["reason"] == "slow"]
+    # The 0.05s band is 10% of traffic; once history warms up, all of
+    # it clears the rolling p90.
+    assert len(slow) >= 10
+    stats = rec.stats()
+    assert stats["entries"] <= 256 and stats["bytes"] <= rec.max_bytes
+
+
+def test_always_keep_traces_dump_to_store(tmp_path):
+    obs.enable()
+    store = obs.TelemetryStore(tmp_path)
+    obs.set_store(store)
+    try:
+        rec = FlightRecorder(sample_rate=0.0)
+        _finish(rec, "bad-1", outcome="error")
+        store.seal_active()
+        flights = [
+            rec_ for rec_ in store.records() if rec_.get("type") == "flight"
+        ]
+        assert len(flights) == 1
+        assert flights[0]["request_id"] == "bad-1"
+    finally:
+        obs.set_store(None)
+        store.close()
+
+
+def test_obs_reset_tears_down_the_flight_ring():
+    obs.enable()
+    with obs.request(kind="serve") as req:
+        req.set_outcome("error")
+        with obs.span("work"):
+            pass
+    assert obs.flight_recorder.stats()["entries"] == 1
+    entry = obs.flight_recorder.entries()[0]
+    assert entry["outcome"] == "error"
+    assert entry["spans"] and entry["spans"][0]["name"] == "work"
+    obs.reset()
+    stats = obs.flight_recorder.stats()
+    assert stats["entries"] == 0 and stats["seen"] == 0
+    assert stats["pending"] == 0 and stats["bytes"] == 0
+
+
+def test_set_flight_disables_retention():
+    obs.enable()
+    obs.set_flight(False)
+    try:
+        with obs.request(kind="serve") as req:
+            req.set_outcome("error")
+    finally:
+        obs.set_flight(True)
+    assert obs.flight_recorder.stats()["seen"] == 0
+
+
+def test_configure_revalidates_bounds():
+    rec = FlightRecorder(sample_rate=0.0)
+    for i in range(10):
+        _finish(rec, f"e{i}", outcome="error")
+    rec.configure(max_entries=3)
+    assert rec.stats()["entries"] == 3
+    with pytest.raises(ValueError):
+        rec.configure(max_entries=0)
